@@ -1,0 +1,186 @@
+//! Bregman balls and the query-to-ball projection bound.
+
+use bregman::{DecomposableBregman, GeodesicInterpolator};
+use serde::{Deserialize, Serialize};
+
+/// Number of bisection steps used when projecting a query onto a ball
+/// surface. 20 halvings shrink the θ interval below 1e-6, far below the
+/// tolerance that matters for pruning decisions (the bisection stays on the
+/// conservative side of the surface, so fewer steps never break exactness).
+const PROJECTION_BISECTION_STEPS: usize = 20;
+
+/// A Bregman ball `{x : D_f(x, center) ≤ radius}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BregmanBall {
+    center: Vec<f64>,
+    radius: f64,
+}
+
+impl BregmanBall {
+    /// A ball with the given centre and radius (radius must be ≥ 0).
+    pub fn new(center: Vec<f64>, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "ball radius must be non-negative");
+        Self { center, radius }
+    }
+
+    /// The ball centre.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The ball radius (a divergence value, not a metric distance).
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Dimensionality of the centre.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Whether a point lies inside the ball under divergence `b`.
+    pub fn contains<B: DecomposableBregman>(&self, b: &B, point: &[f64]) -> bool {
+        b.divergence(point, &self.center) <= self.radius
+    }
+
+    /// Lower bound on `D_f(x, query)` over all `x` in the ball.
+    ///
+    /// If the query could itself be a ball member (its divergence to the
+    /// centre is within the radius) the bound is zero. Otherwise the
+    /// minimizer lies on the dual geodesic between the query and the centre
+    /// (the KKT stationarity condition makes `∇f(x*)` a convex combination
+    /// of `∇f(query)` and `∇f(center)`), so a bisection that keeps its
+    /// iterate on the *outside* of the ball yields a conservative bound:
+    /// the returned value never exceeds the true minimum, so pruning with it
+    /// preserves exactness.
+    pub fn min_divergence_from<B: DecomposableBregman>(&self, b: &B, query: &[f64]) -> f64 {
+        let to_center = b.divergence(query, &self.center);
+        if to_center <= self.radius {
+            return 0.0;
+        }
+        // θ = 0 → query (outside the ball), θ = 1 → centre (inside).
+        let mut interp = GeodesicInterpolator::new(b.clone(), query, &self.center);
+        let mut lo = 0.0f64; // invariant: D(x_lo, center) ≥ radius (outside)
+        let mut hi = 1.0f64; // invariant: D(x_hi, center) ≤ radius (inside)
+        for _ in 0..PROJECTION_BISECTION_STEPS {
+            let mid = 0.5 * (lo + hi);
+            let d_center = interp.divergence_to(mid, &self.center);
+            if d_center >= self.radius {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        interp.divergence_to(lo, query)
+    }
+
+    /// Whether the ball can intersect the query range
+    /// `{x : D_f(x, query) ≤ range}`.
+    pub fn intersects_range<B: DecomposableBregman>(
+        &self,
+        b: &B,
+        query: &[f64],
+        range: f64,
+    ) -> bool {
+        // Cheap sufficient condition: the centre itself lies in the range, so
+        // the ball certainly intersects it and the projection can be skipped.
+        if b.divergence(&self.center, query) <= range {
+            return true;
+        }
+        self.min_divergence_from(b, query) <= range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bregman::{Divergence, Exponential, ItakuraSaito, SquaredEuclidean};
+
+    #[test]
+    fn contains_is_consistent_with_divergence() {
+        let ball = BregmanBall::new(vec![1.0, 1.0], 0.5);
+        assert!(ball.contains(&SquaredEuclidean, &[1.0, 1.5])); // D = 0.25
+        assert!(!ball.contains(&SquaredEuclidean, &[2.0, 2.0])); // D = 2
+        assert_eq!(ball.dim(), 2);
+        assert_eq!(ball.radius(), 0.5);
+    }
+
+    #[test]
+    fn min_divergence_zero_when_query_inside() {
+        let ball = BregmanBall::new(vec![2.0, 2.0], 1.0);
+        assert_eq!(ball.min_divergence_from(&SquaredEuclidean, &[2.1, 2.1]), 0.0);
+    }
+
+    #[test]
+    fn min_divergence_matches_euclidean_geometry() {
+        // For squared Euclidean the ball is a disk of radius sqrt(R); the
+        // projection distance is (|q−c| − sqrt(R))².
+        let ball = BregmanBall::new(vec![0.0, 0.0], 1.0);
+        let query = [3.0, 4.0]; // |q−c| = 5
+        let expected = (5.0f64 - 1.0).powi(2);
+        let bound = ball.min_divergence_from(&SquaredEuclidean, &query);
+        // The bisection is conservative (stays just outside the surface), so
+        // the bound approaches the geometric value from below.
+        assert!(bound <= expected + 1e-9);
+        assert!((bound - expected).abs() < 1e-3, "bound {bound} vs expected {expected}");
+    }
+
+    #[test]
+    fn min_divergence_is_a_true_lower_bound() {
+        // Sample points inside the ball and verify none violates the bound.
+        let divergences: (ItakuraSaito, Exponential, SquaredEuclidean) =
+            (ItakuraSaito, Exponential, SquaredEuclidean);
+        let center = vec![1.5, 2.0, 0.8];
+        let radius = 0.4;
+        let query = vec![4.0, 0.5, 3.0];
+
+        fn check<B: DecomposableBregman>(b: &B, center: &[f64], radius: f64, query: &[f64]) {
+            let ball = BregmanBall::new(center.to_vec(), radius);
+            let bound = ball.min_divergence_from(b, query);
+            // Deterministic grid of perturbations around the centre.
+            let offsets = [-0.3, -0.15, 0.0, 0.1, 0.25];
+            for &dx in &offsets {
+                for &dy in &offsets {
+                    for &dz in &offsets {
+                        let p = [center[0] + dx, center[1] + dy, center[2] + dz];
+                        if p.iter().any(|v| *v <= 0.05) {
+                            continue;
+                        }
+                        if b.divergence(&p, center) <= radius {
+                            let d = b.divergence(&p, query);
+                            assert!(
+                                d + 1e-9 >= bound,
+                                "{}: point {:?} in ball has D={} < bound={}",
+                                b.name(),
+                                p,
+                                d,
+                                bound
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        check(&divergences.0, &center, radius, &query);
+        check(&divergences.1, &center, radius, &query);
+        check(&divergences.2, &center, radius, &query);
+    }
+
+    #[test]
+    fn intersects_range_consistent_with_bound() {
+        let ball = BregmanBall::new(vec![0.0], 1.0);
+        // min divergence from query 5.0: (5 − 1)² = 16 under squared Euclidean.
+        assert!(ball.intersects_range(&SquaredEuclidean, &[5.0], 16.5));
+        assert!(!ball.intersects_range(&SquaredEuclidean, &[5.0], 15.5));
+    }
+
+    #[test]
+    fn zero_radius_ball_bound_is_divergence_to_center() {
+        let ball = BregmanBall::new(vec![2.0, 3.0], 0.0);
+        let q = [1.0, 1.0];
+        let bound = ball.min_divergence_from(&SquaredEuclidean, &q);
+        let exact = SquaredEuclidean.divergence(&[2.0, 3.0], &q);
+        assert!(bound <= exact + 1e-9);
+        assert!((bound - exact).abs() < 1e-3 * (1.0 + exact));
+    }
+}

@@ -1,0 +1,295 @@
+//! BB-tree construction by recursive Bregman 2-means clustering.
+//!
+//! Following Cayton (ICML 2008), each node is split by a two-cluster Bregman
+//! k-means. Because the *right-type* centroid (the minimizer of
+//! `Σ_i D_f(x_i, μ)` over `μ`) is the arithmetic mean for every Bregman
+//! divergence (Banerjee et al., JMLR 2005), the Lloyd iteration uses plain
+//! means regardless of the divergence; only the assignment step evaluates
+//! `D_f`.
+
+use bregman::vector::mean_of;
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ball::BregmanBall;
+use crate::node::{BBTree, Node, NodeId, NodeKind};
+
+/// Construction parameters for a BB-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBTreeConfig {
+    /// Maximum number of points per leaf (the paper's leaf capacity `C`).
+    pub leaf_capacity: usize,
+    /// Maximum Lloyd iterations per split.
+    pub max_kmeans_iters: usize,
+    /// Seed for the (deterministic) centre initialization.
+    pub seed: u64,
+}
+
+impl Default for BBTreeConfig {
+    fn default() -> Self {
+        Self { leaf_capacity: 32, max_kmeans_iters: 16, seed: 0x5EED }
+    }
+}
+
+impl BBTreeConfig {
+    /// A configuration with the given leaf capacity and default remaining
+    /// parameters.
+    pub fn with_leaf_capacity(leaf_capacity: usize) -> Self {
+        Self { leaf_capacity, ..Self::default() }
+    }
+}
+
+/// Builds [`BBTree`] instances for a fixed divergence.
+#[derive(Debug, Clone)]
+pub struct BBTreeBuilder<B: DecomposableBregman> {
+    divergence: B,
+    config: BBTreeConfig,
+}
+
+impl<B: DecomposableBregman> BBTreeBuilder<B> {
+    /// A builder using `divergence` and `config`.
+    pub fn new(divergence: B, config: BBTreeConfig) -> Self {
+        Self { divergence, config }
+    }
+
+    /// The configuration used by this builder.
+    pub fn config(&self) -> BBTreeConfig {
+        self.config
+    }
+
+    /// Build a tree over every point of `dataset`.
+    pub fn build(&self, dataset: &DenseDataset) -> BBTree {
+        let ids: Vec<PointId> = (0..dataset.len()).map(PointId::from).collect();
+        self.build_subset(dataset, ids)
+    }
+
+    /// Build a tree over a subset of the dataset's points.
+    pub fn build_subset(&self, dataset: &DenseDataset, ids: Vec<PointId>) -> BBTree {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let point_count = ids.len();
+        let root = if ids.is_empty() {
+            // Degenerate empty tree: a single empty leaf with a zero ball.
+            nodes.push(Node {
+                ball: BregmanBall::new(vec![self.divergence.domain_anchor(); dataset.dim()], 0.0),
+                kind: NodeKind::Leaf { points: Vec::new() },
+            });
+            NodeId(0)
+        } else {
+            self.build_recursive(dataset, ids, &mut nodes, &mut rng)
+        };
+        BBTree {
+            nodes,
+            root,
+            dim: dataset.dim(),
+            point_count,
+            divergence_name: self.divergence.name().to_string(),
+        }
+    }
+
+    fn build_recursive(
+        &self,
+        dataset: &DenseDataset,
+        ids: Vec<PointId>,
+        nodes: &mut Vec<Node>,
+        rng: &mut ChaCha8Rng,
+    ) -> NodeId {
+        let ball = self.covering_ball(dataset, &ids);
+        if ids.len() <= self.config.leaf_capacity {
+            nodes.push(Node { ball, kind: NodeKind::Leaf { points: ids } });
+            return NodeId((nodes.len() - 1) as u32);
+        }
+        let (left_ids, right_ids) = self.split(dataset, &ids, rng);
+        if left_ids.is_empty() || right_ids.is_empty() {
+            // Clustering collapsed (e.g. all points identical): make a leaf
+            // even though it exceeds the nominal capacity.
+            nodes.push(Node { ball, kind: NodeKind::Leaf { points: ids } });
+            return NodeId((nodes.len() - 1) as u32);
+        }
+        let left = self.build_recursive(dataset, left_ids, nodes, rng);
+        let right = self.build_recursive(dataset, right_ids, nodes, rng);
+        nodes.push(Node { ball, kind: NodeKind::Internal { left, right } });
+        NodeId((nodes.len() - 1) as u32)
+    }
+
+    /// The smallest ball centred at the arithmetic mean that covers `ids`.
+    fn covering_ball(&self, dataset: &DenseDataset, ids: &[PointId]) -> BregmanBall {
+        let center = if ids.is_empty() {
+            vec![self.divergence.domain_anchor(); dataset.dim()]
+        } else {
+            mean_of(dataset, ids)
+        };
+        let radius = ids
+            .iter()
+            .map(|&id| self.divergence.divergence(dataset.point(id), &center))
+            .fold(0.0f64, f64::max);
+        BregmanBall::new(center, radius)
+    }
+
+    /// Bregman 2-means split of `ids` into two non-empty halves (when
+    /// possible).
+    fn split(
+        &self,
+        dataset: &DenseDataset,
+        ids: &[PointId],
+        rng: &mut ChaCha8Rng,
+    ) -> (Vec<PointId>, Vec<PointId>) {
+        // Initialize with two distinct points sampled from the node.
+        let mut candidates: Vec<PointId> = ids.to_vec();
+        candidates.shuffle(rng);
+        let c0 = dataset.point(candidates[0]).to_vec();
+        let mut c1 = None;
+        for &cand in candidates.iter().skip(1) {
+            if dataset.point(cand) != c0.as_slice() {
+                c1 = Some(dataset.point(cand).to_vec());
+                break;
+            }
+        }
+        let Some(mut center_b) = c1 else {
+            // Every point is identical; no useful split exists.
+            return (ids.to_vec(), Vec::new());
+        };
+        let mut center_a = c0;
+
+        let mut assignment_a: Vec<PointId> = Vec::with_capacity(ids.len());
+        let mut assignment_b: Vec<PointId> = Vec::with_capacity(ids.len());
+        for _ in 0..self.config.max_kmeans_iters {
+            let mut new_a = Vec::with_capacity(ids.len());
+            let mut new_b = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let p = dataset.point(id);
+                let da = self.divergence.divergence(p, &center_a);
+                let db = self.divergence.divergence(p, &center_b);
+                if da <= db {
+                    new_a.push(id);
+                } else {
+                    new_b.push(id);
+                }
+            }
+            if new_a.is_empty() || new_b.is_empty() {
+                // Keep the previous assignment if this one degenerated.
+                if assignment_a.is_empty() && assignment_b.is_empty() {
+                    assignment_a = new_a;
+                    assignment_b = new_b;
+                }
+                break;
+            }
+            let converged = new_a == assignment_a && new_b == assignment_b;
+            assignment_a = new_a;
+            assignment_b = new_b;
+            if converged {
+                break;
+            }
+            center_a = mean_of(dataset, &assignment_a);
+            center_b = mean_of(dataset, &assignment_b);
+        }
+        if assignment_a.is_empty() || assignment_b.is_empty() {
+            // Fall back to a balanced split so construction always terminates.
+            let mid = ids.len() / 2;
+            return (ids[..mid].to_vec(), ids[mid..].to_vec());
+        }
+        (assignment_a, assignment_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bregman::{Divergence, ItakuraSaito, SquaredEuclidean};
+
+    fn clustered_dataset() -> DenseDataset {
+        // Two well separated clusters of 16 points each.
+        let mut rows = Vec::new();
+        for i in 0..16 {
+            rows.push(vec![1.0 + (i % 4) as f64 * 0.1, 1.0 + (i / 4) as f64 * 0.1]);
+        }
+        for i in 0..16 {
+            rows.push(vec![10.0 + (i % 4) as f64 * 0.1, 10.0 + (i / 4) as f64 * 0.1]);
+        }
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn build_produces_capacity_respecting_leaves() {
+        let ds = clustered_dataset();
+        let config = BBTreeConfig::with_leaf_capacity(4);
+        let tree = BBTreeBuilder::new(SquaredEuclidean, config).build(&ds);
+        for id in 0..tree.node_count() {
+            if let NodeKind::Leaf { points } = &tree.node(NodeId(id as u32)).kind {
+                assert!(points.len() <= 4, "leaf of size {} exceeds capacity", points.len());
+            }
+        }
+    }
+
+    #[test]
+    fn first_split_separates_the_two_clusters() {
+        let ds = clustered_dataset();
+        let config = BBTreeConfig::with_leaf_capacity(16);
+        let tree = BBTreeBuilder::new(SquaredEuclidean, config).build(&ds);
+        // Root must be internal; its children should each hold one cluster.
+        if let NodeKind::Internal { left, right } = &tree.node(tree.root()).kind {
+            let left_pts = tree.collect_points(*left);
+            let right_pts = tree.collect_points(*right);
+            assert_eq!(left_pts.len(), 16);
+            assert_eq!(right_pts.len(), 16);
+            // Each side must be homogeneous: entirely ids 0..16 or entirely 16..32.
+            let homogeneous = |pts: &[PointId]| {
+                pts.iter().all(|p| p.0 < 16) || pts.iter().all(|p| p.0 >= 16)
+            };
+            assert!(homogeneous(&left_pts) && homogeneous(&right_pts));
+        } else {
+            panic!("root should be internal for 32 points with capacity 16");
+        }
+    }
+
+    #[test]
+    fn covering_invariant_for_itakura_saito() {
+        let rows: Vec<Vec<f64>> =
+            (1..=40).map(|i| vec![i as f64, (41 - i) as f64, 0.5 * i as f64]).collect();
+        let ds = DenseDataset::from_rows(&rows).unwrap();
+        let tree = BBTreeBuilder::new(ItakuraSaito, BBTreeConfig::with_leaf_capacity(5)).build(&ds);
+        assert!(tree.validate_covering(&ItakuraSaito, |pid| ds.point(pid).to_vec()));
+        assert_eq!(tree.divergence_name(), ItakuraSaito.name());
+    }
+
+    #[test]
+    fn identical_points_collapse_to_single_leaf() {
+        let rows = vec![vec![2.0, 2.0]; 50];
+        let ds = DenseDataset::from_rows(&rows).unwrap();
+        let tree = BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.points_in_leaf_order().len(), 50);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_tree() {
+        let ds = DenseDataset::empty(3).unwrap();
+        let tree = BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::default()).build(&ds);
+        assert!(tree.is_empty());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = clustered_dataset();
+        let config = BBTreeConfig { leaf_capacity: 4, max_kmeans_iters: 8, seed: 99 };
+        let t1 = BBTreeBuilder::new(SquaredEuclidean, config).build(&ds);
+        let t2 = BBTreeBuilder::new(SquaredEuclidean, config).build(&ds);
+        assert_eq!(t1.points_in_leaf_order(), t2.points_in_leaf_order());
+        assert_eq!(t1.node_count(), t2.node_count());
+    }
+
+    #[test]
+    fn subset_build_only_indexes_subset() {
+        let ds = clustered_dataset();
+        let ids: Vec<PointId> = (0..10).map(PointId::from).collect();
+        let tree = BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(3))
+            .build_subset(&ds, ids.clone());
+        let mut indexed = tree.points_in_leaf_order();
+        indexed.sort();
+        assert_eq!(indexed, ids);
+    }
+}

@@ -1,0 +1,255 @@
+//! Disk-resident BB-tree: the paper's **BBT** baseline.
+//!
+//! The paper extends Cayton's in-memory BB-tree to disk by keeping the tree
+//! structure (ball centres and radii) in memory while the data points live in
+//! fixed-size pages; every leaf visit loads the leaf's points through the
+//! buffer pool so the per-query I/O cost can be measured. [`DiskBBTree`]
+//! bundles the tree with its page store and exposes exact kNN, range search
+//! and the variational approximate search over that storage layout.
+
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
+
+use crate::build::{BBTreeBuilder, BBTreeConfig};
+use crate::knn::Neighbor;
+use crate::node::BBTree;
+use crate::stats::SearchStats;
+use crate::variational::VariationalConfig;
+
+/// Result of one disk-resident query: neighbours plus CPU and I/O cost.
+#[derive(Debug, Clone)]
+pub struct DiskQueryResult {
+    /// The neighbours, ordered by increasing divergence.
+    pub neighbors: Vec<Neighbor>,
+    /// Tree traversal counters.
+    pub search: SearchStats,
+    /// Physical I/O counters for this query.
+    pub io: IoStats,
+}
+
+/// A BB-tree whose data points are stored in a [`PageStore`], laid out in the
+/// tree's own leaf order so that each leaf is (close to) contiguous on disk.
+#[derive(Debug, Clone)]
+pub struct DiskBBTree<B: DecomposableBregman> {
+    divergence: B,
+    tree: BBTree,
+    store: PageStore,
+}
+
+impl<B: DecomposableBregman> DiskBBTree<B> {
+    /// Build the tree over `dataset` and lay the points out on the simulated
+    /// disk in leaf order.
+    pub fn build(
+        divergence: B,
+        dataset: &DenseDataset,
+        tree_config: BBTreeConfig,
+        store_config: PageStoreConfig,
+    ) -> Self {
+        let tree = BBTreeBuilder::new(divergence.clone(), tree_config).build(dataset);
+        let order: Vec<u32> = tree.points_in_leaf_order().iter().map(|p| p.0).collect();
+        let store = PageStore::build_with_order(store_config, dataset.dim(), &order, |pid| {
+            dataset.point(PointId(pid))
+        });
+        Self { divergence, tree, store }
+    }
+
+    /// The in-memory tree structure.
+    pub fn tree(&self) -> &BBTree {
+        &self.tree
+    }
+
+    /// The simulated disk image.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The divergence this index was built for.
+    pub fn divergence(&self) -> &B {
+        &self.divergence
+    }
+
+    /// Exact kNN with per-query I/O accounting through `pool`.
+    pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> DiskQueryResult {
+        let before = pool.stats();
+        let mut stats = SearchStats::new();
+        let neighbors = self.tree.knn_with_leaf_loader(
+            &self.divergence,
+            query,
+            k,
+            &mut stats,
+            |leaf_points, out| {
+                let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
+                for (pid, coords) in pool.read_points(&self.store, &ids) {
+                    out.push((PointId(pid), coords));
+                }
+            },
+        );
+        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+    }
+
+    /// Approximate kNN using the variational early-termination rule.
+    pub fn knn_variational(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+        config: &VariationalConfig,
+    ) -> DiskQueryResult {
+        let before = pool.stats();
+        let mut stats = SearchStats::new();
+        let max_leaves = config.leaf_budget(self.tree.leaf_count());
+        let mut loader = |leaf_points: &[PointId], out: &mut Vec<(PointId, Vec<f64>)>| {
+            let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
+            for (pid, coords) in pool.read_points(&self.store, &ids) {
+                out.push((PointId(pid), coords));
+            }
+        };
+        let neighbors =
+            self.tree.knn_bounded(&self.divergence, query, k, &mut stats, max_leaves, &mut loader);
+        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+    }
+
+    /// Range query: load every candidate leaf's points from disk and refine
+    /// them against the exact divergence. Returns `(id, divergence)` pairs
+    /// with divergence ≤ `radius`.
+    pub fn range(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        radius: f64,
+    ) -> (Vec<(PointId, f64)>, SearchStats, IoStats) {
+        let before = pool.stats();
+        let mut stats = SearchStats::new();
+        let candidates =
+            self.tree.range_candidates(&self.divergence, query, radius, &mut stats);
+        let ids: Vec<u32> = candidates.iter().map(|p| p.0).collect();
+        let mut out = Vec::new();
+        for (pid, coords) in pool.read_points(&self.store, &ids) {
+            stats.candidates_examined += 1;
+            stats.distance_computations += 1;
+            let d = self.divergence.divergence(&coords, query);
+            if d <= radius {
+                out.push((PointId(pid), d));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        (out, stats, pool.stats().since(&before))
+    }
+
+    /// Number of pages in the simulated disk image.
+    pub fn page_count(&self) -> usize {
+        self.store.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::linear_scan_knn;
+    use crate::range::linear_scan_range;
+    use bregman::{ItakuraSaito, SquaredEuclidean};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> DenseDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.1..10.0)).collect()).collect();
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn disk_knn_matches_linear_scan() {
+        let ds = random_dataset(250, 8, 41);
+        let index = DiskBBTree::build(
+            SquaredEuclidean,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(1024),
+        );
+        let mut pool = BufferPool::unbuffered();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let query: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..10.0)).collect();
+            let result = index.knn(&mut pool, &query, 10);
+            let expected = linear_scan_knn(&SquaredEuclidean, &ds, &query, 10);
+            assert_eq!(result.neighbors.len(), 10);
+            for (g, e) in result.neighbors.iter().zip(expected.iter()) {
+                assert!((g.distance - e.distance).abs() < 1e-9);
+            }
+            assert!(result.io.pages_read > 0, "disk search must perform I/O");
+        }
+    }
+
+    #[test]
+    fn disk_range_matches_linear_scan() {
+        let ds = random_dataset(200, 4, 77);
+        let index = DiskBBTree::build(
+            ItakuraSaito,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(10),
+            PageStoreConfig::with_page_size(512),
+        );
+        let mut pool = BufferPool::new(16);
+        let query = vec![3.0, 3.0, 3.0, 3.0];
+        let (got, stats, io) = index.range(&mut pool, &query, 1.2);
+        let expected = linear_scan_range(&ItakuraSaito, &ds, &query, 1.2);
+        assert_eq!(got.len(), expected.len());
+        assert!(stats.candidates_examined >= got.len() as u64);
+        assert!(io.pages_read > 0 || got.is_empty());
+    }
+
+    #[test]
+    fn io_cost_bounded_by_page_count_with_warm_pool() {
+        let ds = random_dataset(300, 6, 5);
+        let index = DiskBBTree::build(
+            SquaredEuclidean,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(20),
+            PageStoreConfig::with_page_size(2048),
+        );
+        // A pool large enough to hold the whole store never re-reads a page.
+        let mut pool = BufferPool::new(index.page_count());
+        let result = index.knn(&mut pool, &[5.0; 6], 5);
+        assert!(result.io.pages_read <= index.page_count() as u64);
+        assert!(result.neighbors.len() == 5);
+    }
+
+    #[test]
+    fn leaf_order_layout_keeps_leaf_pages_contiguous() {
+        let ds = random_dataset(128, 4, 9);
+        let index = DiskBBTree::build(
+            SquaredEuclidean,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(8 * 4 * 8), // 8 records per page
+        );
+        // Every leaf of capacity 8 should span at most 2 pages.
+        for leaf in index.tree().leaves_in_order() {
+            if let crate::node::NodeKind::Leaf { points } = &index.tree().node(leaf).kind {
+                let pages: std::collections::HashSet<_> = points
+                    .iter()
+                    .map(|p| index.store().address_of(p.0).unwrap().page)
+                    .collect();
+                assert!(pages.len() <= 2, "leaf spread over {} pages", pages.len());
+            }
+        }
+    }
+
+    #[test]
+    fn variational_visits_no_more_leaves_than_budget() {
+        let ds = random_dataset(400, 6, 13);
+        let index = DiskBBTree::build(
+            SquaredEuclidean,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(1024),
+        );
+        let mut pool = BufferPool::unbuffered();
+        let config = VariationalConfig { explore_fraction: 0.1 };
+        let result = index.knn_variational(&mut pool, &[5.0; 6], 10, &config);
+        let budget = config.leaf_budget(index.tree().leaf_count());
+        assert!(result.search.leaves_visited as usize <= budget);
+        assert_eq!(result.neighbors.len(), 10);
+    }
+}

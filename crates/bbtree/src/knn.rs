@@ -1,0 +1,368 @@
+//! Exact k-nearest-neighbour search by best-first branch-and-bound.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+use serde::{Deserialize, Serialize};
+
+use crate::node::{BBTree, NodeId, NodeKind};
+use crate::stats::SearchStats;
+
+/// One kNN result: a point id and its divergence from the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Identifier of the neighbour.
+    pub id: PointId,
+    /// Divergence `D_f(point, query)`.
+    pub distance: f64,
+}
+
+/// Max-heap entry over neighbour distance (largest distance at the top), so
+/// the heap holds the current k best and its top is the pruning threshold.
+#[derive(Debug, Clone, Copy)]
+struct HeapNeighbor(Neighbor);
+
+impl PartialEq for HeapNeighbor {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance && self.0.id == other.0.id
+    }
+}
+impl Eq for HeapNeighbor {}
+impl PartialOrd for HeapNeighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNeighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+/// Min-heap entry over a node lower bound (smallest bound popped first).
+#[derive(Debug, Clone, Copy)]
+struct FrontierEntry {
+    bound: f64,
+    node: NodeId,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.node == other.node
+    }
+}
+impl Eq for FrontierEntry {}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the smallest bound.
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Running top-k accumulator shared by the in-memory, disk-resident and
+/// variational searches.
+#[derive(Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapNeighbor>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The current pruning threshold: the k-th best distance, or infinity
+    /// while fewer than k neighbours have been seen.
+    pub(crate) fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|n| n.0.distance).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    pub(crate) fn offer(&mut self, id: PointId, distance: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapNeighbor(Neighbor { id, distance }));
+        } else if distance < self.threshold() {
+            self.heap.pop();
+            self.heap.push(HeapNeighbor(Neighbor { id, distance }));
+        }
+    }
+
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self.heap.into_iter().map(|h| h.0).collect();
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then_with(|| a.id.cmp(&b.id)));
+        out
+    }
+}
+
+impl BBTree {
+    /// Exact kNN search over an in-memory dataset.
+    ///
+    /// `dataset` must be the dataset the tree was built over (the tree only
+    /// stores point ids). Returns up to `k` neighbours ordered by increasing
+    /// divergence `D_f(point, query)`.
+    pub fn knn<B: DecomposableBregman>(
+        &self,
+        divergence: &B,
+        dataset: &DenseDataset,
+        query: &[f64],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        self.knn_with_leaf_loader(divergence, query, k, stats, |leaf_points, out| {
+            for &pid in leaf_points {
+                out.push((pid, dataset.point(pid).to_vec()));
+            }
+        })
+    }
+
+    /// Best-first kNN where leaf contents are produced by `load_leaf`; this is
+    /// the shared skeleton of the in-memory, disk-resident and variational
+    /// searches.
+    pub(crate) fn knn_with_leaf_loader<B, F>(
+        &self,
+        divergence: &B,
+        query: &[f64],
+        k: usize,
+        stats: &mut SearchStats,
+        mut load_leaf: F,
+    ) -> Vec<Neighbor>
+    where
+        B: DecomposableBregman,
+        F: FnMut(&[PointId], &mut Vec<(PointId, Vec<f64>)>),
+    {
+        self.knn_bounded(divergence, query, k, stats, usize::MAX, &mut load_leaf)
+    }
+
+    /// Best-first kNN visiting at most `max_leaves` leaves (exact when
+    /// `max_leaves` is `usize::MAX`, approximate otherwise).
+    pub(crate) fn knn_bounded<B, F>(
+        &self,
+        divergence: &B,
+        query: &[f64],
+        k: usize,
+        stats: &mut SearchStats,
+        max_leaves: usize,
+        load_leaf: &mut F,
+    ) -> Vec<Neighbor>
+    where
+        B: DecomposableBregman,
+        F: FnMut(&[PointId], &mut Vec<(PointId, Vec<f64>)>),
+    {
+        let mut top = TopK::new(k);
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
+        frontier.push(FrontierEntry { bound: 0.0, node: self.root });
+        let mut leaf_buffer: Vec<(PointId, Vec<f64>)> = Vec::new();
+        let mut leaves_visited = 0usize;
+
+        while let Some(entry) = frontier.pop() {
+            if entry.bound > top.threshold() {
+                break; // best-first: nothing left can improve the result
+            }
+            stats.nodes_visited += 1;
+            match &self.node(entry.node).kind {
+                NodeKind::Leaf { points } => {
+                    stats.leaves_visited += 1;
+                    leaves_visited += 1;
+                    leaf_buffer.clear();
+                    load_leaf(points, &mut leaf_buffer);
+                    for (pid, coords) in leaf_buffer.drain(..) {
+                        stats.distance_computations += 1;
+                        let d = divergence.divergence(&coords, query);
+                        top.offer(pid, d);
+                    }
+                    if leaves_visited >= max_leaves {
+                        break;
+                    }
+                }
+                NodeKind::Internal { left, right } => {
+                    for child in [*left, *right] {
+                        let bound = self.node(child).ball.min_divergence_from(divergence, query);
+                        if bound <= top.threshold() {
+                            frontier.push(FrontierEntry { bound, node: child });
+                        }
+                    }
+                }
+            }
+        }
+        top.into_sorted()
+    }
+}
+
+/// Brute-force kNN by linear scan; the reference every index is tested
+/// against.
+pub fn linear_scan_knn<B: DecomposableBregman>(
+    divergence: &B,
+    dataset: &DenseDataset,
+    query: &[f64],
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (id, point) in dataset.iter() {
+        top.offer(id, divergence.divergence(point, query));
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{BBTreeBuilder, BBTreeConfig};
+    use bregman::{Exponential, ItakuraSaito, SquaredEuclidean};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> DenseDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.1..10.0)).collect()).collect();
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    fn assert_same_neighbors(a: &[Neighbor], b: &[Neighbor]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                (x.distance - y.distance).abs() < 1e-9 * (1.0 + x.distance.abs()),
+                "distance mismatch: {} vs {}",
+                x.distance,
+                y.distance
+            );
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_squared_euclidean() {
+        let ds = random_dataset(300, 6, 1);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let query: Vec<f64> = (0..6).map(|_| rng.gen_range(0.1..10.0)).collect();
+            let mut stats = SearchStats::new();
+            let got = tree.knn(&SquaredEuclidean, &ds, &query, 5, &mut stats);
+            let expected = linear_scan_knn(&SquaredEuclidean, &ds, &query, 5);
+            assert_same_neighbors(&got, &expected);
+            assert!(stats.distance_computations <= ds.len() as u64);
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_itakura_saito_and_exponential() {
+        let ds = random_dataset(200, 4, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let query: Vec<f64> = (0..4).map(|_| rng.gen_range(0.5..5.0)).collect();
+
+        let tree_isd =
+            BBTreeBuilder::new(ItakuraSaito, BBTreeConfig::with_leaf_capacity(10)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got = tree_isd.knn(&ItakuraSaito, &ds, &query, 7, &mut stats);
+        assert_same_neighbors(&got, &linear_scan_knn(&ItakuraSaito, &ds, &query, 7));
+
+        let tree_exp =
+            BBTreeBuilder::new(Exponential, BBTreeConfig::with_leaf_capacity(10)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got = tree_exp.knn(&Exponential, &ds, &query, 7, &mut stats);
+        assert_same_neighbors(&got, &linear_scan_knn(&Exponential, &ds, &query, 7));
+    }
+
+    #[test]
+    fn pruning_actually_reduces_work_on_clustered_data() {
+        // Clustered data: the search should not touch every point.
+        let mut rows = Vec::new();
+        for c in 0..8 {
+            for i in 0..50 {
+                rows.push(vec![
+                    100.0 * c as f64 + (i % 7) as f64 * 0.01,
+                    100.0 * c as f64 + (i / 7) as f64 * 0.01,
+                ]);
+            }
+        }
+        let ds = DenseDataset::from_rows(&rows).unwrap();
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(16)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got = tree.knn(&SquaredEuclidean, &ds, &[100.0, 100.0], 3, &mut stats);
+        assert_eq!(got.len(), 3);
+        assert!(
+            stats.distance_computations < ds.len() as u64 / 2,
+            "expected pruning, computed {} of {} distances",
+            stats.distance_computations,
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let ds = random_dataset(12, 3, 5);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(4)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got = tree.knn(&SquaredEuclidean, &ds, &[1.0, 1.0, 1.0], 50, &mut stats);
+        assert_eq!(got.len(), 12);
+        // Results must be sorted by distance.
+        for pair in got.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_tree() {
+        let ds = random_dataset(10, 2, 6);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(4)).build(&ds);
+        let mut stats = SearchStats::new();
+        assert!(tree.knn(&SquaredEuclidean, &ds, &[1.0, 1.0], 0, &mut stats).is_empty());
+
+        let empty = DenseDataset::empty(2).unwrap();
+        let empty_tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::default()).build(&empty);
+        assert!(empty_tree.knn(&SquaredEuclidean, &empty, &[1.0, 1.0], 3, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn linear_scan_is_sorted_and_deterministic() {
+        let ds = random_dataset(64, 3, 8);
+        let got = linear_scan_knn(&SquaredEuclidean, &ds, &[5.0, 5.0, 5.0], 10);
+        assert_eq!(got.len(), 10);
+        for pair in got.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+    }
+
+    #[test]
+    fn top_k_threshold_behaviour() {
+        let mut top = TopK::new(2);
+        assert_eq!(top.threshold(), f64::INFINITY);
+        top.offer(PointId(0), 5.0);
+        assert_eq!(top.threshold(), f64::INFINITY);
+        top.offer(PointId(1), 3.0);
+        assert_eq!(top.threshold(), 5.0);
+        top.offer(PointId(2), 1.0);
+        assert_eq!(top.threshold(), 3.0);
+        let sorted = top.into_sorted();
+        assert_eq!(sorted[0].id, PointId(2));
+        assert_eq!(sorted[1].id, PointId(1));
+    }
+}

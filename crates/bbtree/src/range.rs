@@ -1,0 +1,212 @@
+//! Bregman range search (Cayton, NeurIPS 2009).
+//!
+//! A range query asks for every point `x` with `D_f(x, query) ≤ radius`.
+//! The tree is traversed top-down; a node is pruned when the Bregman
+//! projection bound of its ball exceeds the radius. Following the paper's
+//! cost model, the *candidates* of a range query are all points stored in
+//! the leaves that could not be pruned — those are the points whose pages
+//! must be fetched from disk — and the exact filtering happens afterwards
+//! during refinement.
+
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+
+use crate::node::{BBTree, NodeKind};
+use crate::stats::SearchStats;
+
+impl BBTree {
+    /// Candidate point ids for a range query: every point in a leaf whose
+    /// ball intersects `{x : D_f(x, query) ≤ radius}`.
+    pub fn range_candidates<B: DecomposableBregman>(
+        &self,
+        divergence: &B,
+        query: &[f64],
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.collect_range_leaves(divergence, query, radius, stats, &mut |points| {
+            out.extend_from_slice(points);
+        });
+        out
+    }
+
+    /// Visit every leaf intersecting the range, invoking `visit` with its
+    /// point ids. Shared by the in-memory and disk-resident searches.
+    pub(crate) fn collect_range_leaves<B: DecomposableBregman>(
+        &self,
+        divergence: &B,
+        query: &[f64],
+        radius: f64,
+        stats: &mut SearchStats,
+        visit: &mut dyn FnMut(&[PointId]),
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.node(id);
+            if !node.ball.intersects_range(divergence, query, radius) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf { points } => {
+                    stats.leaves_visited += 1;
+                    visit(points);
+                }
+                NodeKind::Internal { left, right } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+            }
+        }
+    }
+
+    /// Exact range query over an in-memory dataset: candidates are refined by
+    /// computing the actual divergence. Returns `(id, divergence)` pairs in
+    /// ascending divergence order.
+    pub fn range_query_exact<B: DecomposableBregman>(
+        &self,
+        divergence: &B,
+        dataset: &DenseDataset,
+        query: &[f64],
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<(PointId, f64)> {
+        let candidates = self.range_candidates(divergence, query, radius, stats);
+        let mut out = Vec::new();
+        for pid in candidates {
+            stats.candidates_examined += 1;
+            stats.distance_computations += 1;
+            let d = divergence.divergence(dataset.point(pid), query);
+            if d <= radius {
+                out.push((pid, d));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Brute-force range query by linear scan (test oracle).
+pub fn linear_scan_range<B: DecomposableBregman>(
+    divergence: &B,
+    dataset: &DenseDataset,
+    query: &[f64],
+    radius: f64,
+) -> Vec<(PointId, f64)> {
+    let mut out = Vec::new();
+    for (id, point) in dataset.iter() {
+        let d = divergence.divergence(point, query);
+        if d <= radius {
+            out.push((id, d));
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{BBTreeBuilder, BBTreeConfig};
+    use bregman::{ItakuraSaito, SquaredEuclidean};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> DenseDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(0.1..10.0)).collect()).collect();
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn exact_range_matches_linear_scan() {
+        let ds = random_dataset(400, 5, 11);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(16)).build(&ds);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..8 {
+            let query: Vec<f64> = (0..5).map(|_| rng.gen_range(0.1..10.0)).collect();
+            let radius = rng.gen_range(1.0..40.0);
+            let mut stats = SearchStats::new();
+            let got = tree.range_query_exact(&SquaredEuclidean, &ds, &query, radius, &mut stats);
+            let expected = linear_scan_range(&SquaredEuclidean, &ds, &query, radius);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(g.0, e.0);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_superset_of_true_results() {
+        let ds = random_dataset(300, 4, 21);
+        let tree = BBTreeBuilder::new(ItakuraSaito, BBTreeConfig::with_leaf_capacity(12)).build(&ds);
+        let query = vec![2.0, 5.0, 1.0, 3.0];
+        let radius = 0.8;
+        let mut stats = SearchStats::new();
+        let candidates = tree.range_candidates(&ItakuraSaito, &query, radius, &mut stats);
+        let truth = linear_scan_range(&ItakuraSaito, &ds, &query, radius);
+        let candidate_set: std::collections::HashSet<_> = candidates.iter().copied().collect();
+        for (pid, _) in truth {
+            assert!(candidate_set.contains(&pid), "true result {pid:?} missing from candidates");
+        }
+    }
+
+    #[test]
+    fn zero_radius_returns_only_exact_duplicates() {
+        let mut rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 + 1.0, 2.0]).collect();
+        rows.push(vec![7.0, 2.0]); // duplicate of index 6
+        let ds = DenseDataset::from_rows(&rows).unwrap();
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got = tree.range_query_exact(&SquaredEuclidean, &ds, &[7.0, 2.0], 0.0, &mut stats);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(_, d)| *d == 0.0));
+    }
+
+    #[test]
+    fn huge_radius_returns_everything_and_prunes_nothing() {
+        let ds = random_dataset(100, 3, 33);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(10)).build(&ds);
+        let mut stats = SearchStats::new();
+        let got =
+            tree.range_query_exact(&SquaredEuclidean, &ds, &[5.0, 5.0, 5.0], 1e12, &mut stats);
+        assert_eq!(got.len(), ds.len());
+        assert_eq!(stats.leaves_visited as usize, tree.leaf_count());
+    }
+
+    #[test]
+    fn pruning_skips_leaves_for_tight_ranges() {
+        // Two distant clusters; a tight range around one must not visit the
+        // other cluster's leaves.
+        let mut rows = Vec::new();
+        for i in 0..64 {
+            rows.push(vec![1.0 + (i % 8) as f64 * 0.01, 1.0 + (i / 8) as f64 * 0.01]);
+        }
+        for i in 0..64 {
+            rows.push(vec![500.0 + (i % 8) as f64 * 0.01, 500.0 + (i / 8) as f64 * 0.01]);
+        }
+        let ds = DenseDataset::from_rows(&rows).unwrap();
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
+        let mut stats = SearchStats::new();
+        let candidates = tree.range_candidates(&SquaredEuclidean, &[1.0, 1.0], 0.5, &mut stats);
+        assert!(!candidates.is_empty());
+        assert!((stats.leaves_visited as usize) < tree.leaf_count());
+        assert!(candidates.iter().all(|pid| pid.index() < 64));
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let ds = DenseDataset::empty(2).unwrap();
+        let tree = BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::default()).build(&ds);
+        let mut stats = SearchStats::new();
+        assert!(tree.range_candidates(&SquaredEuclidean, &[1.0, 1.0], 10.0, &mut stats).is_empty());
+    }
+}

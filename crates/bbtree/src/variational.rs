@@ -1,0 +1,78 @@
+//! Simplified variational approximate BB-tree search (the paper's **Var**
+//! baseline, after Coviello et al., ICML 2013).
+//!
+//! Coviello et al. speed up BB-tree kNN search over data distributions by
+//! estimating, during backtracking, the probability that the still-unexplored
+//! nodes improve the current result, and stopping once that probability is
+//! small. The estimate is derived from the data's distribution.
+//!
+//! This reproduction keeps the *role* of the method in the evaluation — an
+//! approximate BB-tree competitor trading accuracy for fewer node/leaf visits
+//! — while simplifying the stopping rule to an explicit leaf-visit budget
+//! expressed as a fraction of the tree's leaves. Because the underlying
+//! traversal is best-first (most promising leaves first), truncating the
+//! exploration after a fixed number of leaves is exactly the "stop
+//! backtracking early" behaviour the variational criterion induces; the
+//! budget plays the role of the variational confidence threshold. The
+//! substitution is recorded in `DESIGN.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the variational-style approximate search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationalConfig {
+    /// Fraction of the tree's leaves the search may visit (clamped to
+    /// `(0, 1]`). Smaller values are faster and less accurate.
+    pub explore_fraction: f64,
+}
+
+impl Default for VariationalConfig {
+    fn default() -> Self {
+        Self { explore_fraction: 0.2 }
+    }
+}
+
+impl VariationalConfig {
+    /// The absolute number of leaves the search may visit for a tree with
+    /// `leaf_count` leaves (always at least 1 so a result is produced).
+    pub fn leaf_budget(&self, leaf_count: usize) -> usize {
+        let f = if self.explore_fraction.is_finite() && self.explore_fraction > 0.0 {
+            self.explore_fraction.min(1.0)
+        } else {
+            1.0
+        };
+        ((leaf_count as f64 * f).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_fraction_of_leaves() {
+        let c = VariationalConfig { explore_fraction: 0.25 };
+        assert_eq!(c.leaf_budget(100), 25);
+        assert_eq!(c.leaf_budget(101), 26);
+    }
+
+    #[test]
+    fn budget_is_at_least_one() {
+        let c = VariationalConfig { explore_fraction: 0.01 };
+        assert_eq!(c.leaf_budget(10), 1);
+        assert_eq!(c.leaf_budget(0), 1);
+    }
+
+    #[test]
+    fn degenerate_fractions_fall_back_to_full_exploration() {
+        assert_eq!(VariationalConfig { explore_fraction: 0.0 }.leaf_budget(40), 40);
+        assert_eq!(VariationalConfig { explore_fraction: -3.0 }.leaf_budget(40), 40);
+        assert_eq!(VariationalConfig { explore_fraction: f64::NAN }.leaf_budget(40), 40);
+        assert_eq!(VariationalConfig { explore_fraction: 5.0 }.leaf_budget(40), 40);
+    }
+
+    #[test]
+    fn default_explores_a_fifth() {
+        assert_eq!(VariationalConfig::default().leaf_budget(50), 10);
+    }
+}

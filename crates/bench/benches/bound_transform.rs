@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the BrePartition transform and bound
+//! determination (the per-query cost the optimal-M model reasons about).
+
+use bregman::DivergenceKind;
+use brepartition_core::partition::equal::equal_contiguous;
+use brepartition_core::{QueryBounds, TransformedDataset, TransformedQuery};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::HierarchicalSpec;
+
+fn bench_transforms(c: &mut Criterion) {
+    let data = HierarchicalSpec { n: 2_000, dim: 96, clusters: 20, blocks: 12, ..Default::default() }
+        .generate();
+    let kind = DivergenceKind::ItakuraSaito;
+    let mut group = c.benchmark_group("bound_pipeline");
+    for m in [4usize, 12, 24, 48] {
+        let partitioning = equal_contiguous(96, m).unwrap();
+        let transformed = TransformedDataset::build(kind, &data, &partitioning);
+        let query = data.row(5).to_vec();
+        group.bench_with_input(BenchmarkId::new("query_transform", m), &m, |b, _| {
+            b.iter(|| black_box(TransformedQuery::build(kind, black_box(&query), &partitioning)))
+        });
+        let tq = TransformedQuery::build(kind, &query, &partitioning);
+        group.bench_with_input(BenchmarkId::new("qb_determine_k20", m), &m, |b, _| {
+            b.iter(|| black_box(QueryBounds::determine(&transformed, &tq, 20)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_transform(c: &mut Criterion) {
+    let data = HierarchicalSpec { n: 1_000, dim: 64, clusters: 16, blocks: 8, ..Default::default() }
+        .generate();
+    let partitioning = equal_contiguous(64, 8).unwrap();
+    c.bench_function("ptransform_1000x64_m8", |b| {
+        b.iter(|| {
+            black_box(TransformedDataset::build(
+                DivergenceKind::ItakuraSaito,
+                black_box(&data),
+                &partitioning,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_transforms, bench_dataset_transform);
+criterion_main!(benches);

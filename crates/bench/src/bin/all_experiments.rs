@@ -1,0 +1,23 @@
+//! Run the complete reproduced evaluation and write the markdown report.
+//!
+//! ```bash
+//! cargo run --release -p brepartition-bench --bin all_experiments [output.md]
+//! ```
+//!
+//! Scale is controlled by `BREPARTITION_SCALE` (`quick` default, `paper`,
+//! `tiny`). The report is printed to stdout and, when a path argument is
+//! given, also written to that file (this is how `EXPERIMENTS.md`'s measured
+//! numbers were produced).
+
+use brepartition_bench::experiments::run_all;
+use brepartition_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let report = run_all(scale);
+    println!("{report}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &report).expect("write report file");
+        eprintln!("report written to {path}");
+    }
+}

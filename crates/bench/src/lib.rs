@@ -1,0 +1,24 @@
+//! Experiment harness reproducing the BrePartition evaluation.
+//!
+//! Every table and figure of the paper's Section 9 has a module under
+//! [`experiments`] that generates the (scaled-down, synthetic-proxy)
+//! workload, runs the relevant methods and renders a markdown table with the
+//! same rows/series the paper reports. The binaries in `src/bin/` and the
+//! `fig*`/`table*` bench targets are thin wrappers around these modules, so
+//! `cargo bench` regenerates every experiment and
+//! `cargo run --bin all_experiments` writes the complete report used to fill
+//! `EXPERIMENTS.md`.
+//!
+//! Scale is controlled by [`Scale`]: the default keeps the whole suite in
+//! the minutes range on a laptop; set `BREPARTITION_SCALE=paper` for a
+//! larger run (still far below the paper's real datasets, which are not
+//! redistributable).
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use report::Table;
+pub use runner::{MethodMetrics, Workbench};
+pub use scale::Scale;

@@ -1,0 +1,93 @@
+//! Experiment scale control.
+
+use serde::{Deserialize, Serialize};
+
+/// How large the generated proxy workloads are.
+///
+/// The paper's real datasets range from 54 K to 11 M points; this
+/// reproduction defaults to a few thousand points so the complete
+/// evaluation runs in minutes. The environment variable
+/// `BREPARTITION_SCALE` selects a preset: `quick` (default), `paper`
+/// (larger, tens of thousands of points) or `tiny` (CI smoke test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of points of the largest dataset (the SIFT proxy); other
+    /// datasets are scaled proportionally with a floor.
+    pub max_points: usize,
+    /// Queries per workload (the paper uses 50).
+    pub queries: usize,
+    /// Dimensionality cap applied to the proxies (the paper's full
+    /// dimensionalities are kept under `paper` scale).
+    pub max_dim: usize,
+}
+
+impl Scale {
+    /// The default laptop-friendly scale.
+    pub fn quick() -> Scale {
+        Scale { max_points: 4_000, queries: 10, max_dim: 96 }
+    }
+
+    /// A larger scale closer to the paper's setting (minutes to hours).
+    pub fn paper() -> Scale {
+        Scale { max_points: 40_000, queries: 50, max_dim: 400 }
+    }
+
+    /// A smoke-test scale for CI.
+    pub fn tiny() -> Scale {
+        Scale { max_points: 600, queries: 4, max_dim: 32 }
+    }
+
+    /// Read the scale from `BREPARTITION_SCALE` (`quick`, `paper`, `tiny`),
+    /// defaulting to [`Scale::quick`].
+    pub fn from_env() -> Scale {
+        match std::env::var("BREPARTITION_SCALE").ok().as_deref() {
+            Some("paper") | Some("full") => Scale::paper(),
+            Some("tiny") | Some("ci") => Scale::tiny(),
+            _ => Scale::quick(),
+        }
+    }
+
+    /// Clamp a requested dimensionality to this scale.
+    pub fn dim(&self, requested: usize) -> usize {
+        requested.min(self.max_dim)
+    }
+
+    /// Clamp a requested point count to this scale. The floor of a quarter
+    /// of `max_points` keeps the scaled datasets large enough for the
+    /// paper's k values (up to 100) to remain meaningful.
+    pub fn points(&self, requested: usize) -> usize {
+        requested.min(self.max_points).max(self.max_points / 4).max(200)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Scale::tiny().max_points < Scale::quick().max_points);
+        assert!(Scale::quick().max_points < Scale::paper().max_points);
+    }
+
+    #[test]
+    fn clamps_respect_limits() {
+        let s = Scale::quick();
+        assert_eq!(s.dim(400), 96);
+        assert_eq!(s.dim(32), 32);
+        assert_eq!(s.points(1_000_000), 4_000);
+        assert_eq!(s.points(10), 1_000);
+        assert_eq!(Scale::tiny().points(10), 200);
+    }
+
+    #[test]
+    fn default_is_quick() {
+        assert_eq!(Scale::default(), Scale::quick());
+    }
+}

@@ -1,0 +1,228 @@
+//! Runtime-selectable divergence kinds.
+//!
+//! The experiment harness and the examples choose divergences by name (the
+//! paper's Table 4 associates each dataset with either the exponential
+//! distance "ED" or the Itakura-Saito distance "ISD"). [`DivergenceKind`]
+//! is the cheap, copyable selector; [`DivergenceKind::for_each_decomposable`]
+//! lets generic call sites monomorphize over the concrete generator without
+//! dynamic dispatch in the hot path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::divergence::{DecomposableBregman, Divergence};
+use crate::error::{BregmanError, Result};
+use crate::{Exponential, GeneralizedI, ItakuraSaito, SquaredEuclidean};
+
+/// Selector for the decomposable divergences shipped with this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// Squared Euclidean distance (`φ(t) = t²`).
+    SquaredEuclidean,
+    /// Itakura-Saito distance (`φ(t) = −ln t`), the paper's "ISD".
+    ItakuraSaito,
+    /// Exponential distance (`φ(t) = e^t`), the paper's "ED".
+    Exponential,
+    /// Generalized I-divergence / unnormalized KL (`φ(t) = t ln t`).
+    GeneralizedI,
+}
+
+impl DivergenceKind {
+    /// All kinds, in a stable order (useful for exhaustive tests).
+    pub const ALL: [DivergenceKind; 4] = [
+        DivergenceKind::SquaredEuclidean,
+        DivergenceKind::ItakuraSaito,
+        DivergenceKind::Exponential,
+        DivergenceKind::GeneralizedI,
+    ];
+
+    /// Parse the abbreviations used in the paper's Table 4 plus the full
+    /// names of the divergences.
+    pub fn parse(name: &str) -> Result<Self> {
+        let lowered = name.trim().to_ascii_lowercase();
+        match lowered.as_str() {
+            "ed" | "exp" | "exponential" => Ok(DivergenceKind::Exponential),
+            "isd" | "is" | "itakura-saito" | "itakura_saito" | "itakurasaito" => {
+                Ok(DivergenceKind::ItakuraSaito)
+            }
+            "se" | "l2" | "squared-euclidean" | "squared_euclidean" | "squaredeuclidean" => {
+                Ok(DivergenceKind::SquaredEuclidean)
+            }
+            "kl" | "gi" | "generalized-i" | "generalized_i" | "generalizedi" => {
+                Ok(DivergenceKind::GeneralizedI)
+            }
+            _ => Err(BregmanError::InvalidMatrix(format!("unknown divergence name: {name}"))),
+        }
+    }
+
+    /// The canonical short name (matching the paper's notation where one
+    /// exists).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            DivergenceKind::SquaredEuclidean => "SE",
+            DivergenceKind::ItakuraSaito => "ISD",
+            DivergenceKind::Exponential => "ED",
+            DivergenceKind::GeneralizedI => "GI",
+        }
+    }
+
+    /// A boxed trait object for call sites that only need [`Divergence`].
+    pub fn boxed(&self) -> Box<dyn Divergence> {
+        match self {
+            DivergenceKind::SquaredEuclidean => Box::new(SquaredEuclidean),
+            DivergenceKind::ItakuraSaito => Box::new(ItakuraSaito),
+            DivergenceKind::Exponential => Box::new(Exponential),
+            DivergenceKind::GeneralizedI => Box::new(GeneralizedI),
+        }
+    }
+
+    /// Whether data for this divergence must be strictly positive.
+    pub fn requires_positive_data(&self) -> bool {
+        matches!(self, DivergenceKind::ItakuraSaito | DivergenceKind::GeneralizedI)
+    }
+
+    /// Whether the kind may be used with the partitioned BrePartition
+    /// pipeline (see [`DecomposableBregman::cumulative_across_partitions`]).
+    pub fn supports_partitioning(&self) -> bool {
+        match self {
+            DivergenceKind::SquaredEuclidean => SquaredEuclidean.cumulative_across_partitions(),
+            DivergenceKind::ItakuraSaito => ItakuraSaito.cumulative_across_partitions(),
+            DivergenceKind::Exponential => Exponential.cumulative_across_partitions(),
+            DivergenceKind::GeneralizedI => GeneralizedI.cumulative_across_partitions(),
+        }
+    }
+
+    /// Invoke `f` with the concrete generator, monomorphizing the caller.
+    pub fn with_decomposable<R>(&self, f: impl FnOnce(&dyn Divergence) -> R) -> R {
+        match self {
+            DivergenceKind::SquaredEuclidean => f(&SquaredEuclidean),
+            DivergenceKind::ItakuraSaito => f(&ItakuraSaito),
+            DivergenceKind::Exponential => f(&Exponential),
+            DivergenceKind::GeneralizedI => f(&GeneralizedI),
+        }
+    }
+
+    /// Evaluate the divergence between two slices through the selector.
+    pub fn divergence(&self, x: &[f64], y: &[f64]) -> f64 {
+        match self {
+            DivergenceKind::SquaredEuclidean => SquaredEuclidean.divergence(x, y),
+            DivergenceKind::ItakuraSaito => ItakuraSaito.divergence(x, y),
+            DivergenceKind::Exponential => Exponential.divergence(x, y),
+            DivergenceKind::GeneralizedI => GeneralizedI.divergence(x, y),
+        }
+    }
+
+    /// The BrePartition data-point components `(α_x, γ_x)` of a subvector
+    /// (see [`DecomposableBregman::point_components`]).
+    pub fn point_components(&self, x: &[f64]) -> (f64, f64) {
+        match self {
+            DivergenceKind::SquaredEuclidean => SquaredEuclidean.point_components(x),
+            DivergenceKind::ItakuraSaito => ItakuraSaito.point_components(x),
+            DivergenceKind::Exponential => Exponential.point_components(x),
+            DivergenceKind::GeneralizedI => GeneralizedI.point_components(x),
+        }
+    }
+
+    /// The BrePartition query components `(α_y, β_yy, δ_y)` of a subvector
+    /// (see [`DecomposableBregman::query_components`]).
+    pub fn query_components(&self, y: &[f64]) -> (f64, f64, f64) {
+        match self {
+            DivergenceKind::SquaredEuclidean => SquaredEuclidean.query_components(y),
+            DivergenceKind::ItakuraSaito => ItakuraSaito.query_components(y),
+            DivergenceKind::Exponential => Exponential.query_components(y),
+            DivergenceKind::GeneralizedI => GeneralizedI.query_components(y),
+        }
+    }
+
+    /// Whether every coordinate of `x` lies in the divergence's domain.
+    pub fn in_domain_vec(&self, x: &[f64]) -> bool {
+        match self {
+            DivergenceKind::SquaredEuclidean => {
+                Divergence::in_domain_vec(&SquaredEuclidean, x)
+            }
+            DivergenceKind::ItakuraSaito => Divergence::in_domain_vec(&ItakuraSaito, x),
+            DivergenceKind::Exponential => Divergence::in_domain_vec(&Exponential, x),
+            DivergenceKind::GeneralizedI => Divergence::in_domain_vec(&GeneralizedI, x),
+        }
+    }
+}
+
+impl std::fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_abbreviations() {
+        assert_eq!(DivergenceKind::parse("ED").unwrap(), DivergenceKind::Exponential);
+        assert_eq!(DivergenceKind::parse("ISD").unwrap(), DivergenceKind::ItakuraSaito);
+        assert_eq!(DivergenceKind::parse("l2").unwrap(), DivergenceKind::SquaredEuclidean);
+        assert_eq!(DivergenceKind::parse("KL").unwrap(), DivergenceKind::GeneralizedI);
+        assert!(DivergenceKind::parse("cosine").is_err());
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        for kind in DivergenceKind::ALL {
+            assert_eq!(kind.to_string(), kind.short_name());
+        }
+    }
+
+    #[test]
+    fn boxed_agrees_with_direct_evaluation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.5, 2.5, 3.5];
+        for kind in DivergenceKind::ALL {
+            let via_enum = kind.divergence(&x, &y);
+            let via_box = kind.boxed().divergence(&x, &y);
+            assert!((via_enum - via_box).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn positivity_requirements() {
+        assert!(DivergenceKind::ItakuraSaito.requires_positive_data());
+        assert!(DivergenceKind::GeneralizedI.requires_positive_data());
+        assert!(!DivergenceKind::Exponential.requires_positive_data());
+        assert!(!DivergenceKind::SquaredEuclidean.requires_positive_data());
+    }
+
+    #[test]
+    fn partitioning_support_matches_paper() {
+        assert!(DivergenceKind::SquaredEuclidean.supports_partitioning());
+        assert!(DivergenceKind::ItakuraSaito.supports_partitioning());
+        assert!(DivergenceKind::Exponential.supports_partitioning());
+        assert!(!DivergenceKind::GeneralizedI.supports_partitioning());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for kind in DivergenceKind::ALL {
+            let json = serde_json_roundtrip(&kind);
+            assert_eq!(json, kind);
+        }
+    }
+
+    fn serde_json_roundtrip(kind: &DivergenceKind) -> DivergenceKind {
+        // serde_json is not a dependency of this crate; use the
+        // self-describing token round-trip through serde's test-friendly
+        // in-memory format instead: serialize to a String via Display-like
+        // encoding is not enough, so lean on bincode-style manual check.
+        // Simplest: use serde's `serde::de::value` helpers.
+        use serde::de::IntoDeserializer;
+        use serde::Deserialize;
+        let name = match kind {
+            DivergenceKind::SquaredEuclidean => "SquaredEuclidean",
+            DivergenceKind::ItakuraSaito => "ItakuraSaito",
+            DivergenceKind::Exponential => "Exponential",
+            DivergenceKind::GeneralizedI => "GeneralizedI",
+        };
+        DivergenceKind::deserialize(name.into_deserializer())
+            .map_err(|_: serde::de::value::Error| ())
+            .unwrap()
+    }
+}

@@ -1,0 +1,67 @@
+//! Bregman divergences and the dense-vector primitives used throughout the
+//! BrePartition reproduction.
+//!
+//! A Bregman divergence is defined by a strictly convex, differentiable
+//! generator function `f` as
+//!
+//! ```text
+//! D_f(x, y) = f(x) − f(y) − ⟨∇f(y), x − y⟩
+//! ```
+//!
+//! Most generators used in multimedia retrieval are *decomposable*
+//! (separable): `f(x) = Σ_j φ(x_j)` for a scalar generator `φ`. Decomposable
+//! divergences are the ones the BrePartition bound machinery applies to,
+//! because the divergence of a concatenated vector is the sum of the
+//! divergences of its parts. This crate provides:
+//!
+//! * [`DecomposableBregman`] — the scalar-generator trait with derived
+//!   vector-level operations (divergence, gradient, dual coordinates,
+//!   geodesic interpolation),
+//! * [`Divergence`] — the object-safe, possibly non-decomposable divergence
+//!   trait (implemented by every decomposable divergence and by
+//!   [`mahalanobis::SquaredMahalanobis`]),
+//! * concrete generators: [`SquaredEuclidean`], [`ItakuraSaito`],
+//!   [`Exponential`], [`GeneralizedI`] (generalized KL),
+//!   and the non-decomposable [`SquaredMahalanobis`],
+//! * [`DivergenceKind`] — a plain-enum selector that maps names used in the
+//!   paper ("ED", "ISD", …) to boxed divergences,
+//! * [`vector`] — a flat, cache-friendly dense dataset container and small
+//!   vector helpers shared by the index crates.
+//!
+//! # Example
+//!
+//! ```
+//! use bregman::{Divergence, ItakuraSaito};
+//!
+//! let isd = ItakuraSaito;
+//! let x = [1.0, 2.0, 4.0];
+//! let y = [1.0, 1.0, 1.0];
+//! let d = isd.divergence(&x, &y);
+//! assert!(d > 0.0);
+//! assert_eq!(isd.divergence(&x, &x), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divergence;
+pub mod dual;
+pub mod error;
+pub mod exponential;
+pub mod generalized_i;
+pub mod itakura_saito;
+pub mod kind;
+pub mod mahalanobis;
+pub mod squared_euclidean;
+pub mod vector;
+
+pub use divergence::{DecomposableBregman, Divergence};
+pub use dual::GeodesicInterpolator;
+pub use error::{BregmanError, Result};
+pub use exponential::Exponential;
+pub use generalized_i::GeneralizedI;
+pub use itakura_saito::ItakuraSaito;
+pub use kind::DivergenceKind;
+pub use mahalanobis::SquaredMahalanobis;
+pub use squared_euclidean::SquaredEuclidean;
+pub use vector::{DenseDataset, PointId};

@@ -1,0 +1,221 @@
+//! Squared Mahalanobis distance as a (non-decomposable) Bregman divergence.
+//!
+//! Generator `f(x) = ½ xᵀ Q x` for a symmetric positive-definite matrix `Q`,
+//! giving `D_f(x, y) = ½ (x − y)ᵀ Q (x − y)`. With `Q = I` this reduces to
+//! half the squared Euclidean distance. Because the generator couples
+//! dimensions through `Q`, this divergence is not decomposable and is only
+//! usable with the flat indexes (linear scan, BB-tree, VA-file on a
+//! diagonal `Q`), not with the partitioned BrePartition pipeline — unless
+//! `Q` is diagonal, in which case [`SquaredMahalanobis::try_into_diagonal`]
+//! exposes the per-dimension weights so callers can fall back to a weighted
+//! decomposable form.
+
+use crate::divergence::Divergence;
+use crate::error::{BregmanError, Result};
+
+/// Squared Mahalanobis distance `½ (x−y)ᵀ Q (x−y)` with a symmetric
+/// positive-definite matrix `Q` stored in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquaredMahalanobis {
+    dim: usize,
+    /// Row-major `dim × dim` matrix.
+    q: Vec<f64>,
+}
+
+impl SquaredMahalanobis {
+    /// Build from a row-major `dim × dim` matrix.
+    ///
+    /// Validates shape, symmetry (within `1e-9`) and positive diagonal; a
+    /// full positive-definiteness check (Cholesky) is performed as well so
+    /// that downstream code can rely on `D ≥ 0`.
+    pub fn new(dim: usize, q: Vec<f64>) -> Result<Self> {
+        if dim == 0 {
+            return Err(BregmanError::Empty("Mahalanobis dimension"));
+        }
+        if q.len() != dim * dim {
+            return Err(BregmanError::InvalidMatrix(format!(
+                "expected {} entries for a {dim}x{dim} matrix, got {}",
+                dim * dim,
+                q.len()
+            )));
+        }
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                let a = q[i * dim + j];
+                let b = q[j * dim + i];
+                if (a - b).abs() > 1e-9 * (1.0 + a.abs().max(b.abs())) {
+                    return Err(BregmanError::InvalidMatrix(format!(
+                        "matrix is not symmetric at ({i},{j}): {a} vs {b}"
+                    )));
+                }
+            }
+        }
+        let me = Self { dim, q };
+        if !me.is_positive_definite() {
+            return Err(BregmanError::InvalidMatrix(
+                "matrix is not positive definite".to_string(),
+            ));
+        }
+        Ok(me)
+    }
+
+    /// The identity-matrix instance (half squared Euclidean distance).
+    pub fn identity(dim: usize) -> Result<Self> {
+        let mut q = vec![0.0; dim * dim];
+        for i in 0..dim {
+            q[i * dim + i] = 1.0;
+        }
+        Self::new(dim, q)
+    }
+
+    /// Build from a diagonal of positive weights.
+    pub fn diagonal(weights: &[f64]) -> Result<Self> {
+        let dim = weights.len();
+        let mut q = vec![0.0; dim * dim];
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(BregmanError::InvalidMatrix(format!(
+                    "diagonal weight {w} at index {i} must be positive"
+                )));
+            }
+            q[i * dim + i] = w;
+        }
+        Self::new(dim, q)
+    }
+
+    /// Dimensionality of the matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// If `Q` is diagonal, return the per-dimension weights; otherwise `None`.
+    pub fn try_into_diagonal(&self) -> Option<Vec<f64>> {
+        let mut weights = Vec::with_capacity(self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let v = self.q[i * self.dim + j];
+                if i != j && v.abs() > 1e-12 {
+                    return None;
+                }
+                if i == j {
+                    weights.push(v);
+                }
+            }
+        }
+        Some(weights)
+    }
+
+    /// Gradient `∇f(y) = Q y`.
+    pub fn gradient(&self, y: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(y.len(), self.dim);
+        let mut out = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let row = &self.q[i * self.dim..(i + 1) * self.dim];
+            out[i] = row.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    fn is_positive_definite(&self) -> bool {
+        // In-place Cholesky factorization attempt on a copy.
+        let n = self.dim;
+        let mut a = self.q.clone();
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                for k in 0..j {
+                    sum -= a[i * n + k] * a[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return false;
+                    }
+                    a[i * n + j] = sum.sqrt();
+                } else {
+                    a[i * n + j] = sum / a[j * n + j];
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Divergence for SquaredMahalanobis {
+    fn name(&self) -> &'static str {
+        "Squared Mahalanobis"
+    }
+
+    fn divergence(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        debug_assert_eq!(y.len(), self.dim);
+        let n = self.dim;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let di = x[i] - y[i];
+            let row = &self.q[i * n..(i + 1) * n];
+            let mut inner = 0.0;
+            for j in 0..n {
+                inner += row[j] * (x[j] - y[j]);
+            }
+            acc += di * inner;
+        }
+        0.5 * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_reduces_to_half_squared_euclidean() {
+        let m = SquaredMahalanobis::identity(3).unwrap();
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.0, 0.0, 0.0];
+        assert!((m.divergence(&x, &y) - 0.5 * 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square_and_asymmetric() {
+        assert!(SquaredMahalanobis::new(2, vec![1.0, 0.0, 0.0]).is_err());
+        assert!(SquaredMahalanobis::new(2, vec![1.0, 0.5, -0.5, 1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        // Eigenvalues 3 and -1: not PD.
+        let q = vec![1.0, 2.0, 2.0, 1.0];
+        assert!(SquaredMahalanobis::new(2, q).is_err());
+    }
+
+    #[test]
+    fn diagonal_weights_roundtrip() {
+        let m = SquaredMahalanobis::diagonal(&[2.0, 3.0]).unwrap();
+        assert_eq!(m.try_into_diagonal(), Some(vec![2.0, 3.0]));
+        let full = SquaredMahalanobis::new(2, vec![1.0, 0.2, 0.2, 1.0]).unwrap();
+        assert_eq!(full.try_into_diagonal(), None);
+    }
+
+    #[test]
+    fn diagonal_rejects_non_positive_weight() {
+        assert!(SquaredMahalanobis::diagonal(&[1.0, 0.0]).is_err());
+        assert!(SquaredMahalanobis::diagonal(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn non_negative_and_zero_at_equality() {
+        let m = SquaredMahalanobis::new(2, vec![2.0, 0.5, 0.5, 1.0]).unwrap();
+        let x = [1.0, -1.0];
+        let y = [0.5, 2.0];
+        assert!(m.divergence(&x, &y) > 0.0);
+        assert!(m.divergence(&x, &x).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gradient_is_qy() {
+        let m = SquaredMahalanobis::new(2, vec![2.0, 0.5, 0.5, 1.0]).unwrap();
+        let g = m.gradient(&[1.0, 2.0]);
+        assert!((g[0] - 3.0).abs() < 1e-12);
+        assert!((g[1] - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,421 @@
+//! The approximate kNN extension with a probability guarantee (Section 8).
+//!
+//! The exact per-query searching bound has the shape `κ + µ`, where `κ`
+//! collects the transform components that do not involve the Cauchy
+//! relaxation and `µ = sqrt(Σ x² · Σ φ'(y)²)` is the relaxed term. The
+//! relaxation replaces the true cross term `β_xy = −Σ x_j φ'(y_j)` by its
+//! Cauchy–Schwarz majorant `µ`, so shrinking `µ` by a coefficient
+//! `c ∈ (0, 1]` trades exactness for a smaller candidate set. Proposition 1
+//! gives the coefficient that preserves the result with probability `p` when
+//! the distribution of `β_xy` is known:
+//!
+//! ```text
+//! c = Ψ⁻¹( p·Ψ(µ) + (1 − p)·Ψ(−κ) ) / µ
+//! ```
+//!
+//! where `Ψ` is the CDF of `β_xy`. Following the paper's footnote (fit a
+//! known distribution to the per-dimension histograms), `β_xy` is modelled
+//! as a Normal whose mean and variance follow from the per-dimension means
+//! and variances of the data:
+//! `E[β_xy] = −Σ_j E[x_j]·φ'(y_j)` and
+//! `Var[β_xy] = Σ_j Var[x_j]·φ'(y_j)²` (independence across dimensions).
+
+use bregman::PointId;
+use pagestore::BufferPool;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::bound::QueryBounds;
+use crate::error::{CoreError, Result};
+use crate::search::{BrePartitionIndex, QueryResult};
+use crate::transform::TransformedQuery;
+
+/// Parameters of the approximate search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproximateConfig {
+    /// Probability guarantee `p ∈ (0, 1]`: the returned points are the exact
+    /// kNN with (modelled) probability at least `p`.
+    pub probability: f64,
+}
+
+impl Default for ApproximateConfig {
+    fn default() -> Self {
+        Self { probability: 0.9 }
+    }
+}
+
+impl ApproximateConfig {
+    /// A configuration with the given probability guarantee.
+    pub fn with_probability(probability: f64) -> Self {
+        Self { probability }
+    }
+}
+
+/// A univariate Normal distribution with the CDF and quantile function needed
+/// by Proposition 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalDistribution {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (non-negative).
+    pub std_dev: f64,
+}
+
+impl NormalDistribution {
+    /// A Normal with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> NormalDistribution {
+        NormalDistribution { mean, std_dev: std_dev.max(0.0) }
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        let z = (x - self.mean) / (self.std_dev * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Quantile (inverse CDF), computed by bisection over ±12σ — monotone,
+    /// robust and precise far beyond what the coefficient needs.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        if p <= 0.0 {
+            return self.mean - 12.0 * self.std_dev;
+        }
+        if p >= 1.0 {
+            return self.mean + 12.0 * self.std_dev;
+        }
+        let mut lo = self.mean - 12.0 * self.std_dev;
+        let mut hi = self.mean + 12.0 * self.std_dev;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, max absolute
+/// error ≈ 1.5e-7, ample for the coefficient computation).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+impl BrePartitionIndex {
+    /// Approximate kNN search with probability guarantee
+    /// `config.probability` (the paper's **ABP**). Uses a fresh,
+    /// configuration-sized buffer pool.
+    pub fn knn_approximate(
+        &self,
+        query: &[f64],
+        k: usize,
+        config: &ApproximateConfig,
+    ) -> Result<QueryResult> {
+        let mut pool = self.new_buffer_pool();
+        self.knn_approximate_with_pool(&mut pool, query, k, config)
+    }
+
+    /// Approximate kNN search reusing a caller-supplied buffer pool.
+    pub fn knn_approximate_with_pool(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+        config: &ApproximateConfig,
+    ) -> Result<QueryResult> {
+        if !(config.probability > 0.0 && config.probability <= 1.0) {
+            return Err(CoreError::InvalidProbability(config.probability));
+        }
+        self.validate_query(query)?;
+        let bound_started = Instant::now();
+        let transformed_query = TransformedQuery::build(self.kind(), query, self.partitioning());
+        let Some(bounds) = QueryBounds::determine(self.transformed(), &transformed_query, k) else {
+            return Ok(QueryResult {
+                neighbors: Vec::new(),
+                stats: crate::stats::QueryStats::default(),
+                bounds: QueryBounds { pivot_point: 0, per_subspace: Vec::new(), total: 0.0 },
+                coefficient: Some(1.0),
+            });
+        };
+
+        // Full-space κ and µ of the pivot point t.
+        let pivot = bounds.pivot_point;
+        let (alpha_y, beta_yy, delta_y) = transformed_query.totals();
+        let kappa = self.transformed().total_alpha(pivot) + alpha_y + beta_yy;
+        let mu = (self.transformed().total_gamma(pivot) * delta_y).max(0.0).sqrt();
+
+        // Model β_xy = −Σ_j x_j φ'(y_j) as a Normal from per-dimension
+        // moments.
+        let coefficient = self.shrink_coefficient(query, kappa, mu, config.probability);
+
+        // Shrink only the Cauchy term of every subspace radius:
+        // radius_j = κ_j(t) + c·µ_j(t).
+        let radii: Vec<f64> = (0..self.partitions())
+            .map(|s| {
+                let (alpha_x, gamma_x) = self.transformed().components(pivot, s);
+                let (a_y, b_yy, d_y) = transformed_query.components(s);
+                let kappa_j = alpha_x + a_y + b_yy;
+                let mu_j = (gamma_x * d_y).max(0.0).sqrt();
+                kappa_j + coefficient * mu_j
+            })
+            .collect();
+        let bound_seconds = bound_started.elapsed().as_secs_f64();
+
+        let (neighbors, mut stats) = self.filter_and_refine(pool, query, k, &radii);
+        stats.bound_seconds = bound_seconds;
+        let approx_bounds = QueryBounds {
+            pivot_point: pivot,
+            per_subspace: radii,
+            total: kappa + coefficient * mu,
+        };
+        Ok(QueryResult { neighbors, stats, bounds: approx_bounds, coefficient: Some(coefficient) })
+    }
+
+    /// Proposition 1: the shrink coefficient for the given query, exact
+    /// bound decomposition `κ + µ` and probability guarantee `p`.
+    pub fn shrink_coefficient(&self, query: &[f64], kappa: f64, mu: f64, p: f64) -> f64 {
+        if mu <= 0.0 || !mu.is_finite() {
+            return 1.0;
+        }
+        let distribution = self.beta_xy_distribution(query);
+        let target = p * distribution.cdf(mu) + (1.0 - p) * distribution.cdf(-kappa);
+        let c = distribution.quantile(target) / mu;
+        if !c.is_finite() {
+            return 1.0;
+        }
+        c.clamp(0.0, 1.0)
+    }
+
+    /// The modelled distribution of `β_xy = −Σ_j x_j φ'(y_j)` over data
+    /// points `x`, for a fixed query `y`.
+    pub fn beta_xy_distribution(&self, query: &[f64]) -> NormalDistribution {
+        let (_, grad) = {
+            // φ'(y_j) per dimension, computed through the divergence kind.
+            let mut grad = Vec::with_capacity(query.len());
+            for &y in query {
+                // query_components on a single value gives (−φ(y), yφ'(y), φ'(y)²);
+                // recover φ'(y) from the last component's square root with the
+                // sign of yφ'(y)/y when y ≠ 0.
+                let (_, beta_yy, delta) = self.kind().query_components(&[y]);
+                let magnitude = delta.max(0.0).sqrt();
+                let sign = if y != 0.0 {
+                    (beta_yy / y).signum()
+                } else {
+                    1.0
+                };
+                grad.push(sign * magnitude);
+            }
+            ((), grad)
+        };
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for (j, &g) in grad.iter().enumerate() {
+            mean -= self.dimension_means()[j] * g;
+            var += self.dimension_variances()[j] * g * g;
+        }
+        NormalDistribution::new(mean, var.max(0.0).sqrt())
+    }
+
+    /// Convenience: the union candidate count the exact search would examine
+    /// for this query, used by experiments comparing exact vs approximate
+    /// candidate sizes without running the refinement twice.
+    pub fn exact_candidate_count(&self, query: &[f64], k: usize) -> Result<usize> {
+        let result = self.knn(query, k)?;
+        Ok(result.stats.candidates)
+    }
+}
+
+/// The neighbours of an approximate result restricted to ids (helper for
+/// accuracy evaluation).
+pub fn neighbor_ids(neighbors: &[(PointId, f64)]) -> Vec<PointId> {
+    neighbors.iter().map(|(id, _)| *id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BrePartitionConfig;
+    use bregman::{DenseDataset, DivergenceKind};
+    use datagen::correlated::CorrelatedSpec;
+    use datagen::ground_truth::single_query_knn;
+    use datagen::metrics::{overall_ratio, recall};
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> DenseDataset {
+        CorrelatedSpec { n, dim, blocks: (dim / 4).max(1), correlation: 0.7, mean: 5.0, scale: 1.0, seed }
+            .generate()
+    }
+
+    fn index(ds: &DenseDataset) -> BrePartitionIndex {
+        let cfg = BrePartitionConfig::default()
+            .with_partitions(4)
+            .with_leaf_capacity(16)
+            .with_page_size(4096);
+        BrePartitionIndex::build(DivergenceKind::ItakuraSaito, ds, &cfg).unwrap()
+    }
+
+    #[test]
+    fn normal_distribution_cdf_and_quantile_are_consistent() {
+        let n = NormalDistribution::new(2.0, 3.0);
+        assert!((n.cdf(2.0) - 0.5).abs() < 1e-6);
+        assert!(n.cdf(-10.0) < 0.001);
+        assert!(n.cdf(14.0) > 0.999);
+        for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let q = n.quantile(p);
+            assert!((n.cdf(q) - p).abs() < 1e-6, "p={p}");
+        }
+        // Degenerate σ = 0.
+        let point = NormalDistribution::new(1.0, 0.0);
+        assert_eq!(point.cdf(0.5), 0.0);
+        assert_eq!(point.cdf(1.5), 1.0);
+        assert_eq!(point.quantile(0.3), 1.0);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coefficient_is_in_unit_interval_and_monotone_in_p() {
+        let ds = dataset(400, 16, 1);
+        let idx = index(&ds);
+        let query = ds.row(9).to_vec();
+        let result = idx.knn(&query, 10).unwrap();
+        let kappa = result.bounds.total; // not exactly κ, but gives a scale
+        let mu = result.bounds.total.max(1.0);
+        let c_low = idx.shrink_coefficient(&query, kappa, mu, 0.5);
+        let c_high = idx.shrink_coefficient(&query, kappa, mu, 0.99);
+        assert!((0.0..=1.0).contains(&c_low));
+        assert!((0.0..=1.0).contains(&c_high));
+        assert!(c_high >= c_low - 1e-9, "higher p must not shrink more ({c_high} < {c_low})");
+    }
+
+    #[test]
+    fn approximate_results_have_reasonable_accuracy() {
+        let ds = dataset(800, 24, 2);
+        let idx = index(&ds);
+        let config = ApproximateConfig::with_probability(0.9);
+        let mut ratios = Vec::new();
+        let mut recalls = Vec::new();
+        for qi in [3usize, 77, 200, 431, 650] {
+            let query = ds.row(qi).to_vec();
+            let approx = idx.knn_approximate(&query, 10, &config).unwrap();
+            let exact = single_query_knn(DivergenceKind::ItakuraSaito, &ds, &query, 10);
+            assert_eq!(approx.neighbors.len(), 10);
+            assert!(approx.coefficient.unwrap() <= 1.0);
+            ratios.push(overall_ratio(&approx.neighbors, &exact));
+            recalls.push(recall(&approx.neighbors, &exact));
+        }
+        let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let mean_recall = recalls.iter().sum::<f64>() / recalls.len() as f64;
+        assert!(mean_ratio < 1.5, "overall ratio too large: {mean_ratio}");
+        assert!(mean_recall > 0.5, "recall too low: {mean_recall}");
+    }
+
+    #[test]
+    fn approximate_candidates_never_exceed_exact_candidates() {
+        let ds = dataset(900, 20, 3);
+        let idx = index(&ds);
+        let config = ApproximateConfig::with_probability(0.7);
+        for qi in [10usize, 300, 500] {
+            let query = ds.row(qi).to_vec();
+            let exact = idx.knn(&query, 20).unwrap();
+            let approx = idx.knn_approximate(&query, 20, &config).unwrap();
+            assert!(
+                approx.stats.candidates <= exact.stats.candidates,
+                "approximate search should not enlarge the candidate set ({} > {})",
+                approx.stats.candidates,
+                exact.stats.candidates
+            );
+        }
+    }
+
+    #[test]
+    fn higher_probability_means_no_fewer_candidates() {
+        let ds = dataset(700, 16, 4);
+        let idx = index(&ds);
+        let query = ds.row(123).to_vec();
+        let low = idx
+            .knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.6))
+            .unwrap();
+        let high = idx
+            .knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.95))
+            .unwrap();
+        assert!(high.stats.candidates >= low.stats.candidates);
+        assert!(high.coefficient.unwrap() >= low.coefficient.unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        let ds = dataset(100, 8, 5);
+        let idx = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &BrePartitionConfig::default().with_partitions(2).with_leaf_capacity(8),
+        )
+        .unwrap();
+        let query = ds.row(0).to_vec();
+        for p in [0.0, -0.5, 1.5] {
+            assert!(matches!(
+                idx.knn_approximate(&query, 3, &ApproximateConfig::with_probability(p)),
+                Err(CoreError::InvalidProbability(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn neighbor_ids_helper() {
+        let pairs = vec![(PointId(3), 0.1), (PointId(9), 0.5)];
+        assert_eq!(neighbor_ids(&pairs), vec![PointId(3), PointId(9)]);
+    }
+
+    #[test]
+    fn beta_xy_distribution_matches_empirical_moments() {
+        let ds = dataset(2000, 12, 6);
+        let idx = index(&ds);
+        let query = ds.row(31).to_vec();
+        let model = idx.beta_xy_distribution(&query);
+        // Empirical β_xy over the dataset.
+        let (_, _, _delta) = DivergenceKind::ItakuraSaito.query_components(&query);
+        let mut values = Vec::with_capacity(ds.len());
+        for (_, point) in ds.iter() {
+            let mut beta = 0.0;
+            for (j, (&x, &y)) in point.iter().zip(query.iter()).enumerate() {
+                let _ = j;
+                // φ'(y) = −1/y for Itakura-Saito.
+                beta -= x * (-1.0 / y);
+            }
+            values.push(beta);
+        }
+        let emp_mean = values.iter().sum::<f64>() / values.len() as f64;
+        let emp_var =
+            values.iter().map(|v| (v - emp_mean) * (v - emp_mean)).sum::<f64>() / values.len() as f64;
+        assert!(
+            (model.mean - emp_mean).abs() < 0.05 * emp_mean.abs().max(1.0),
+            "model mean {} vs empirical {}",
+            model.mean,
+            emp_mean
+        );
+        // The independence assumption makes the modelled variance an
+        // approximation; demand the right order of magnitude only.
+        assert!(model.std_dev > 0.0);
+        assert!(model.std_dev < 10.0 * emp_var.sqrt() + 1.0);
+    }
+}

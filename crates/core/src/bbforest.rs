@@ -1,0 +1,254 @@
+//! The BB-forest: one BB-tree per subspace over a shared disk layout
+//! (Section 6).
+//!
+//! After dimensionality partitioning, every subspace gets its own BB-tree
+//! built over the projected (low-dimensional) points. The full-resolution
+//! points are laid out on the simulated disk **once**, in the leaf order of
+//! the first subspace's tree; every other tree stores only point ids that
+//! resolve through the shared [`pagestore::DiskLayout`]. Thanks to PCCP the
+//! clusters of different subspaces are similar, so the candidates produced
+//! by different subspaces tend to live on the same pages and the union of
+//! candidates costs few extra page reads — the effect Fig. 10 measures.
+
+use bbtree::{BBTree, BBTreeBuilder, BBTreeConfig, SearchStats};
+use bregman::{DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId, SquaredEuclidean};
+use pagestore::{PageStore, PageStoreConfig};
+
+use crate::error::Result;
+use crate::partition::Partitioning;
+
+/// Dispatch a block of code over the concrete divergence selected by a
+/// [`DivergenceKind`], binding it to `$div`.
+macro_rules! with_divergence {
+    ($kind:expr, $div:ident, $body:expr) => {
+        match $kind {
+            DivergenceKind::SquaredEuclidean => {
+                let $div = SquaredEuclidean;
+                $body
+            }
+            DivergenceKind::ItakuraSaito => {
+                let $div = ItakuraSaito;
+                $body
+            }
+            DivergenceKind::Exponential => {
+                let $div = Exponential;
+                $body
+            }
+            DivergenceKind::GeneralizedI => {
+                let $div = GeneralizedI;
+                $body
+            }
+        }
+    };
+}
+
+/// One BB-tree per subspace plus the shared page store for the
+/// full-resolution points.
+#[derive(Debug, Clone)]
+pub struct BBForest {
+    kind: DivergenceKind,
+    trees: Vec<BBTree>,
+    store: PageStore,
+    /// Seconds spent building the trees and laying out the pages (reported by
+    /// the index-construction experiment, Fig. 7).
+    build_seconds: f64,
+}
+
+impl BBForest {
+    /// Build the forest: one tree per subspace over the projected data, and
+    /// the shared page store laid out in the first tree's leaf order.
+    pub fn build(
+        kind: DivergenceKind,
+        dataset: &DenseDataset,
+        partitioning: &Partitioning,
+        tree_config: BBTreeConfig,
+        store_config: PageStoreConfig,
+    ) -> Result<BBForest> {
+        let started = std::time::Instant::now();
+        let subspace_data = partitioning.project_dataset(dataset)?;
+        let trees: Vec<BBTree> = subspace_data
+            .iter()
+            .enumerate()
+            .map(|(i, sub)| {
+                let config = BBTreeConfig { seed: tree_config.seed.wrapping_add(i as u64), ..tree_config };
+                with_divergence!(kind, div, BBTreeBuilder::new(div, config).build(sub))
+            })
+            .collect();
+        // Lay the original high-dimensional points out in the first tree's
+        // leaf order; all trees share the resulting addresses.
+        let order: Vec<u32> = trees
+            .first()
+            .map(|t| t.points_in_leaf_order().iter().map(|p| p.0).collect())
+            .unwrap_or_else(|| (0..dataset.len() as u32).collect());
+        let store = PageStore::build_with_order(store_config, dataset.dim(), &order, |pid| {
+            dataset.point(PointId(pid))
+        });
+        let build_seconds = started.elapsed().as_secs_f64();
+        Ok(BBForest { kind, trees, store, build_seconds })
+    }
+
+    /// The divergence the forest was built for.
+    pub fn kind(&self) -> DivergenceKind {
+        self.kind
+    }
+
+    /// Number of subspace trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The subspace trees.
+    pub fn trees(&self) -> &[BBTree] {
+        &self.trees
+    }
+
+    /// One subspace tree.
+    pub fn tree(&self, subspace: usize) -> &BBTree {
+        &self.trees[subspace]
+    }
+
+    /// The shared page store holding the full-resolution points.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Wall-clock seconds spent building the forest.
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Range-query candidates of one subspace: the ids of every point stored
+    /// in a leaf whose ball intersects `{x : D_f(x, query_sub) ≤ radius}`.
+    pub fn subspace_candidates(
+        &self,
+        subspace: usize,
+        query_sub: &[f64],
+        radius: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<PointId> {
+        let tree = &self.trees[subspace];
+        with_divergence!(self.kind, div, tree.range_candidates(&div, query_sub, radius, stats))
+    }
+
+    /// Total number of pages in the shared store.
+    pub fn page_count(&self) -> usize {
+        self.store.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::equal::equal_contiguous;
+    use datagen::correlated::CorrelatedSpec;
+
+    fn dataset() -> DenseDataset {
+        CorrelatedSpec { n: 400, dim: 24, blocks: 6, correlation: 0.8, mean: 5.0, scale: 1.0, seed: 3 }
+            .generate()
+    }
+
+    #[test]
+    fn forest_has_one_tree_per_subspace() {
+        let ds = dataset();
+        let p = equal_contiguous(24, 6).unwrap();
+        let forest = BBForest::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &p,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(4096),
+        )
+        .unwrap();
+        assert_eq!(forest.len(), 6);
+        assert!(!forest.is_empty());
+        assert_eq!(forest.kind(), DivergenceKind::ItakuraSaito);
+        assert!(forest.build_seconds() >= 0.0);
+        for tree in forest.trees() {
+            assert_eq!(tree.len(), ds.len());
+            assert_eq!(tree.dim(), 4);
+        }
+    }
+
+    #[test]
+    fn shared_store_addresses_every_point_once() {
+        let ds = dataset();
+        let p = equal_contiguous(24, 4).unwrap();
+        let forest = BBForest::build(
+            DivergenceKind::Exponential,
+            &ds,
+            &p,
+            BBTreeConfig::with_leaf_capacity(20),
+            PageStoreConfig::with_page_size(8192),
+        )
+        .unwrap();
+        assert_eq!(forest.store().point_count(), ds.len());
+        assert_eq!(forest.page_count(), forest.store().page_count());
+        for pid in 0..ds.len() as u32 {
+            assert!(forest.store().address_of(pid).is_some());
+        }
+    }
+
+    #[test]
+    fn subspace_candidates_cover_all_true_range_members() {
+        let ds = dataset();
+        let p = equal_contiguous(24, 3).unwrap();
+        let forest = BBForest::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &p,
+            BBTreeConfig::with_leaf_capacity(10),
+            PageStoreConfig::with_page_size(4096),
+        )
+        .unwrap();
+        let query = ds.row(11);
+        let mut sub_query = Vec::new();
+        for s in 0..3 {
+            p.project_point_into(s, query, &mut sub_query);
+            let radius = 0.6;
+            let mut stats = SearchStats::new();
+            let candidates: std::collections::HashSet<u32> = forest
+                .subspace_candidates(s, &sub_query, radius, &mut stats)
+                .iter()
+                .map(|p| p.0)
+                .collect();
+            // Every point whose projected divergence is within the radius
+            // must be among the candidates.
+            let sub_data = ds.project(p.subspace(s)).unwrap();
+            for (pid, sub_point) in sub_data.iter() {
+                let d = DivergenceKind::ItakuraSaito.divergence(sub_point, &sub_query);
+                if d <= radius {
+                    assert!(candidates.contains(&pid.0), "missing candidate {pid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_tree_leaf_points_are_contiguous_on_disk() {
+        let ds = dataset();
+        let p = equal_contiguous(24, 5).unwrap();
+        let forest = BBForest::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &p,
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(24 * 8 * 8), // 8 records per page
+        )
+        .unwrap();
+        let first_tree = forest.tree(0);
+        for leaf in first_tree.leaves_in_order() {
+            if let bbtree::NodeKind::Leaf { points } = &first_tree.node(leaf).kind {
+                let pages: std::collections::HashSet<_> = points
+                    .iter()
+                    .map(|pid| forest.store().address_of(pid.0).unwrap().page)
+                    .collect();
+                assert!(pages.len() <= 2, "leaf spans {} pages", pages.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Index configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How many partitions to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionCount {
+    /// Derive the optimized `M` from the cost model of Theorem 4.
+    Auto,
+    /// Use a fixed number of partitions (clamped to `[1, d]` at build time).
+    Fixed(usize),
+}
+
+impl Default for PartitionCount {
+    fn default() -> Self {
+        PartitionCount::Auto
+    }
+}
+
+/// Which dimensionality-partitioning strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Pearson-Correlation-Coefficient-based Partition (the paper's PCCP):
+    /// correlated dimensions are spread across different partitions.
+    Pccp,
+    /// Naive equal, contiguous split (the paper's baseline used in the PCCP
+    /// ablation of Fig. 10).
+    EqualContiguous,
+}
+
+impl Default for PartitionStrategy {
+    fn default() -> Self {
+        PartitionStrategy::Pccp
+    }
+}
+
+/// Configuration of a [`crate::BrePartitionIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrePartitionConfig {
+    /// Number of partitions (`Auto` applies Theorem 4).
+    pub partitions: PartitionCount,
+    /// Partitioning strategy (PCCP by default).
+    pub strategy: PartitionStrategy,
+    /// Leaf capacity of every subspace BB-tree.
+    pub leaf_capacity: usize,
+    /// Page size of the simulated disk holding the full-resolution points.
+    pub page_size_bytes: usize,
+    /// Buffer-pool capacity in pages used for queries issued through
+    /// [`crate::BrePartitionIndex::knn`]. Zero disables caching so every
+    /// page access is counted as physical I/O (the paper's per-query metric).
+    pub buffer_pool_pages: usize,
+    /// Number of data points sampled when fitting the cost model and the
+    /// PCCP correlation matrix.
+    pub sample_size: usize,
+    /// Seed for every randomized choice (sampling, k-means initialization,
+    /// PCCP's random first dimension).
+    pub seed: u64,
+}
+
+impl Default for BrePartitionConfig {
+    fn default() -> Self {
+        Self {
+            partitions: PartitionCount::Auto,
+            strategy: PartitionStrategy::Pccp,
+            leaf_capacity: 32,
+            page_size_bytes: 32 * 1024,
+            buffer_pool_pages: 0,
+            sample_size: 256,
+            seed: 0xB5EED,
+        }
+    }
+}
+
+impl BrePartitionConfig {
+    /// Use a fixed number of partitions.
+    pub fn with_partitions(mut self, m: usize) -> Self {
+        self.partitions = PartitionCount::Fixed(m);
+        self
+    }
+
+    /// Select the partitioning strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the simulated disk page size.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size_bytes = bytes;
+        self
+    }
+
+    /// Set the leaf capacity of the subspace BB-trees.
+    pub fn with_leaf_capacity(mut self, capacity: usize) -> Self {
+        self.leaf_capacity = capacity;
+        self
+    }
+
+    /// Set the query-time buffer-pool size in pages.
+    pub fn with_buffer_pool_pages(mut self, pages: usize) -> Self {
+        self.buffer_pool_pages = pages;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_style_settings() {
+        let c = BrePartitionConfig::default();
+        assert_eq!(c.partitions, PartitionCount::Auto);
+        assert_eq!(c.strategy, PartitionStrategy::Pccp);
+        assert_eq!(c.page_size_bytes, 32 * 1024);
+        assert_eq!(c.buffer_pool_pages, 0);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = BrePartitionConfig::default()
+            .with_partitions(12)
+            .with_strategy(PartitionStrategy::EqualContiguous)
+            .with_page_size(4096)
+            .with_leaf_capacity(8)
+            .with_buffer_pool_pages(64)
+            .with_seed(7);
+        assert_eq!(c.partitions, PartitionCount::Fixed(12));
+        assert_eq!(c.strategy, PartitionStrategy::EqualContiguous);
+        assert_eq!(c.page_size_bytes, 4096);
+        assert_eq!(c.leaf_capacity, 8);
+        assert_eq!(c.buffer_pool_pages, 64);
+        assert_eq!(c.seed, 7);
+    }
+}

@@ -1,0 +1,69 @@
+//! BrePartition: optimized high-dimensional kNN search with Bregman
+//! distances.
+//!
+//! This crate implements the paper's partition–filter–refinement framework:
+//!
+//! 1. **Partition** — the `d` dimensions are split into `M` low-dimensional
+//!    subspaces. `M` is chosen by the cost model of Theorem 4
+//!    ([`partition::optimal_m`]) and the assignment of dimensions to
+//!    subspaces uses PCCP, the Pearson-Correlation-Coefficient-based
+//!    Partition ([`partition::pccp`]), which spreads correlated dimensions
+//!    across subspaces so their candidate sets overlap.
+//! 2. **Filter** — every data point is pre-transformed, per subspace, into a
+//!    tuple `P(x) = (α_x, γ_x)`; a query is transformed into triples
+//!    `Q(y) = (α_y, β_yy, δ_y)` ([`transform`]). The Cauchy–Schwarz upper
+//!    bound assembled from these components ([`bound`]) yields, per
+//!    subspace, a search radius (the components of the k-th smallest summed
+//!    upper bound, Algorithm 4). A range query in each subspace's BB-tree —
+//!    all trees integrated into one disk-resident **BB-forest**
+//!    ([`bbforest`]) — produces candidates.
+//! 3. **Refine** — the union of the per-subspace candidates is fetched from
+//!    disk (I/O counted per page) and the exact divergences decide the kNN
+//!    ([`search`]).
+//!
+//! The approximate extension ([`approximate`]) shrinks the Cauchy term by a
+//! coefficient derived from the data distribution to meet a user-specified
+//! probability guarantee, trading a little accuracy for fewer candidates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bregman::{DivergenceKind, DenseDataset};
+//! use brepartition_core::{BrePartitionConfig, BrePartitionIndex};
+//!
+//! // A small strictly positive dataset for the Itakura-Saito divergence.
+//! let rows: Vec<Vec<f64>> = (0..200)
+//!     .map(|i| (0..16).map(|j| 1.0 + ((i * 7 + j * 3) % 23) as f64).collect())
+//!     .collect();
+//! let data = DenseDataset::from_rows(&rows).unwrap();
+//!
+//! let config = BrePartitionConfig::default();
+//! let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+//! let query = data.row(0).to_vec();
+//! let result = index.knn(&query, 5).unwrap();
+//! assert_eq!(result.neighbors.len(), 5);
+//! assert_eq!(result.neighbors[0].1, 0.0); // the query is a data point
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximate;
+pub mod bbforest;
+pub mod bound;
+pub mod config;
+pub mod error;
+pub mod partition;
+pub mod search;
+pub mod stats;
+pub mod transform;
+
+pub use approximate::{ApproximateConfig, NormalDistribution};
+pub use bbforest::BBForest;
+pub use bound::{upper_bound_from_components, QueryBounds};
+pub use config::{BrePartitionConfig, PartitionCount, PartitionStrategy};
+pub use error::{CoreError, Result};
+pub use partition::{optimal_m::CostModel, Partitioning};
+pub use search::{BrePartitionIndex, QueryResult};
+pub use stats::QueryStats;
+pub use transform::{TransformedDataset, TransformedQuery};

@@ -1,0 +1,519 @@
+//! The BrePartition index: build (Algorithm 5) and exact kNN search
+//! (Algorithm 6).
+
+use bbtree::{BBTreeConfig, SearchStats};
+use bregman::{DenseDataset, DivergenceKind, PointId};
+use pagestore::{BufferPool, PageStoreConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::bbforest::BBForest;
+use crate::bound::QueryBounds;
+use crate::config::{BrePartitionConfig, PartitionCount, PartitionStrategy};
+use crate::error::{CoreError, Result};
+use crate::partition::optimal_m::CostModel;
+use crate::partition::{equal::equal_contiguous, pccp::pccp, Partitioning};
+use crate::stats::QueryStats;
+use crate::transform::{TransformedDataset, TransformedQuery};
+
+/// Result of one kNN query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The neighbours as `(id, divergence)` pairs, ordered by increasing
+    /// divergence.
+    pub neighbors: Vec<(PointId, f64)>,
+    /// Per-phase cost breakdown.
+    pub stats: QueryStats,
+    /// The per-subspace searching bounds the filter phase used.
+    pub bounds: QueryBounds,
+    /// The shrink coefficient applied to the Cauchy term (`None` for the
+    /// exact search, `Some(c)` for the approximate extension).
+    pub coefficient: Option<f64>,
+}
+
+/// Summary of the precomputation phase (Algorithm 5), reported for the
+/// index-construction experiment (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Number of partitions actually used.
+    pub partitions: usize,
+    /// Wall-clock seconds for the whole precomputation.
+    pub total_seconds: f64,
+    /// Seconds spent inside BB-forest construction (clustering + layout).
+    pub forest_seconds: f64,
+    /// Pages written while laying the data out on the simulated disk.
+    pub pages_written: u64,
+}
+
+/// The disk-resident BrePartition index.
+#[derive(Debug, Clone)]
+pub struct BrePartitionIndex {
+    kind: DivergenceKind,
+    config: BrePartitionConfig,
+    partitioning: Partitioning,
+    transformed: TransformedDataset,
+    forest: BBForest,
+    cost_model: Option<CostModel>,
+    /// Per-dimension means of the data (used by the approximate extension to
+    /// model the distribution of the Cauchy-relaxed term).
+    dim_means: Vec<f64>,
+    /// Per-dimension variances of the data.
+    dim_vars: Vec<f64>,
+    build: BuildReport,
+}
+
+impl BrePartitionIndex {
+    /// Algorithm 5 (`BrePartitionConstruct`): determine `M`, partition the
+    /// dimensions, transform every point, and build the BB-forest.
+    pub fn build(
+        kind: DivergenceKind,
+        dataset: &DenseDataset,
+        config: &BrePartitionConfig,
+    ) -> Result<BrePartitionIndex> {
+        if dataset.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        if !kind.supports_partitioning() {
+            return Err(CoreError::UnsupportedDivergence {
+                divergence: kind.short_name().to_string(),
+            });
+        }
+        let started = Instant::now();
+        let d = dataset.dim();
+
+        // 1. Number of partitions: fixed, or the cost-model optimum.
+        let (m, cost_model) = match config.partitions {
+            PartitionCount::Fixed(m) => {
+                if m == 0 || m > d {
+                    return Err(CoreError::InvalidPartitionCount { requested: m, dim: d });
+                }
+                (m, CostModel::fit(kind, dataset, config.sample_size, config.seed).ok())
+            }
+            PartitionCount::Auto => {
+                let model = CostModel::fit(kind, dataset, config.sample_size, config.seed)?;
+                (model.optimal_partitions(1).clamp(1, d), Some(model))
+            }
+        };
+
+        // 2. Dimensionality partitioning.
+        let partitioning = match config.strategy {
+            PartitionStrategy::Pccp => pccp(dataset, m, config.sample_size, config.seed)?,
+            PartitionStrategy::EqualContiguous => equal_contiguous(d, m)?,
+        };
+
+        // 3. Transform every point into per-subspace tuples.
+        let transformed = TransformedDataset::build(kind, dataset, &partitioning);
+
+        // 4. Build the BB-forest and lay the data out on the simulated disk.
+        let forest = BBForest::build(
+            kind,
+            dataset,
+            &partitioning,
+            BBTreeConfig { leaf_capacity: config.leaf_capacity, max_kmeans_iters: 16, seed: config.seed },
+            PageStoreConfig::with_page_size(config.page_size_bytes),
+        )?;
+
+        // Per-dimension moments for the approximate extension.
+        let (dim_means, dim_vars) = column_moments(dataset);
+
+        let build = BuildReport {
+            partitions: m,
+            total_seconds: started.elapsed().as_secs_f64(),
+            forest_seconds: forest.build_seconds(),
+            pages_written: forest.store().build_writes(),
+        };
+        Ok(BrePartitionIndex {
+            kind,
+            config: *config,
+            partitioning,
+            transformed,
+            forest,
+            cost_model,
+            dim_means,
+            dim_vars,
+            build,
+        })
+    }
+
+    /// The divergence the index answers queries for.
+    pub fn kind(&self) -> DivergenceKind {
+        self.kind
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &BrePartitionConfig {
+        &self.config
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.transformed.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.transformed.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.partitioning.dim()
+    }
+
+    /// The number of partitions in use (`M`).
+    pub fn partitions(&self) -> usize {
+        self.partitioning.len()
+    }
+
+    /// The dimensionality partitioning in use.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The fitted cost model, when one was computed.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.cost_model.as_ref()
+    }
+
+    /// The BB-forest (exposed for experiments that inspect the index).
+    pub fn forest(&self) -> &BBForest {
+        &self.forest
+    }
+
+    /// The per-point transforms (exposed for the approximate extension and
+    /// for experiments).
+    pub fn transformed(&self) -> &TransformedDataset {
+        &self.transformed
+    }
+
+    /// Per-dimension means of the indexed data.
+    pub fn dimension_means(&self) -> &[f64] {
+        &self.dim_means
+    }
+
+    /// Per-dimension variances of the indexed data.
+    pub fn dimension_variances(&self) -> &[f64] {
+        &self.dim_vars
+    }
+
+    /// Construction-cost report.
+    pub fn build_report(&self) -> BuildReport {
+        self.build
+    }
+
+    /// A fresh buffer pool sized according to the index configuration.
+    pub fn new_buffer_pool(&self) -> BufferPool {
+        BufferPool::new(self.config.buffer_pool_pages)
+    }
+
+    /// Algorithm 6 (`BrePartitionSearch`): exact kNN with a fresh,
+    /// configuration-sized buffer pool (per-query I/O accounting, as in the
+    /// paper's figures).
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<QueryResult> {
+        let mut pool = self.new_buffer_pool();
+        self.knn_with_pool(&mut pool, query, k)
+    }
+
+    /// Exact kNN reusing a caller-supplied buffer pool (warm-cache setting).
+    pub fn knn_with_pool(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+    ) -> Result<QueryResult> {
+        self.validate_query(query)?;
+        let bound_started = Instant::now();
+        let transformed_query = TransformedQuery::build(self.kind, query, &self.partitioning);
+        let Some(bounds) = QueryBounds::determine(&self.transformed, &transformed_query, k) else {
+            return Ok(QueryResult {
+                neighbors: Vec::new(),
+                stats: QueryStats::default(),
+                bounds: QueryBounds { pivot_point: 0, per_subspace: Vec::new(), total: 0.0 },
+                coefficient: None,
+            });
+        };
+        let bound_seconds = bound_started.elapsed().as_secs_f64();
+        let (neighbors, mut stats) =
+            self.filter_and_refine(pool, query, k, &bounds.per_subspace);
+        stats.bound_seconds = bound_seconds;
+        Ok(QueryResult { neighbors, stats, bounds, coefficient: None })
+    }
+
+    /// Shared filter + refine phases, parameterized by the per-subspace
+    /// radii (the exact search passes Algorithm 4's bounds, the approximate
+    /// extension passes shrunken ones).
+    pub(crate) fn filter_and_refine(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+        radii: &[f64],
+    ) -> (Vec<(PointId, f64)>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let io_before = pool.stats();
+
+        // Filter: union of the per-subspace range-query candidates.
+        let filter_started = Instant::now();
+        let n = self.transformed.len();
+        let mut in_union = vec![false; n];
+        let mut union: Vec<u32> = Vec::new();
+        let mut search_stats = SearchStats::new();
+        let mut sub_query = Vec::new();
+        for (s, &radius) in radii.iter().enumerate() {
+            self.partitioning.project_point_into(s, query, &mut sub_query);
+            let candidates =
+                self.forest.subspace_candidates(s, &sub_query, radius, &mut search_stats);
+            stats.subspace_candidates_total += candidates.len();
+            for pid in candidates {
+                let idx = pid.index();
+                if !in_union[idx] {
+                    in_union[idx] = true;
+                    union.push(pid.0);
+                }
+            }
+        }
+        stats.filter_seconds = filter_started.elapsed().as_secs_f64();
+        stats.candidates = union.len();
+
+        // Refine: load candidates page by page and keep the k best exact
+        // divergences.
+        let refine_started = Instant::now();
+        let mut neighbors: Vec<(PointId, f64)> = Vec::with_capacity(union.len().min(k * 4));
+        for (pid, coords) in pool.read_points(self.forest.store(), &union) {
+            search_stats.candidates_examined += 1;
+            search_stats.distance_computations += 1;
+            let d = self.kind.divergence(&coords, query);
+            neighbors.push((PointId(pid), d));
+        }
+        neighbors.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        neighbors.truncate(k);
+        stats.refine_seconds = refine_started.elapsed().as_secs_f64();
+        stats.search = search_stats;
+        stats.io = pool.stats().since(&io_before);
+        (neighbors, stats)
+    }
+
+    pub(crate) fn validate_query(&self, query: &[f64]) -> Result<()> {
+        if query.len() != self.dim() {
+            return Err(CoreError::QueryDimensionMismatch {
+                expected: self.dim(),
+                actual: query.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-column means and variances of a dataset.
+fn column_moments(dataset: &DenseDataset) -> (Vec<f64>, Vec<f64>) {
+    let d = dataset.dim();
+    let n = dataset.len().max(1) as f64;
+    let mut means = vec![0.0; d];
+    for i in 0..dataset.len() {
+        for (j, &v) in dataset.row(i).iter().enumerate() {
+            means[j] += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0; d];
+    for i in 0..dataset.len() {
+        for (j, &v) in dataset.row(i).iter().enumerate() {
+            let dv = v - means[j];
+            vars[j] += dv * dv;
+        }
+    }
+    for v in &mut vars {
+        *v /= n;
+    }
+    (means, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::correlated::CorrelatedSpec;
+    use datagen::ground_truth::single_query_knn;
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> DenseDataset {
+        CorrelatedSpec { n, dim, blocks: (dim / 4).max(1), correlation: 0.8, mean: 5.0, scale: 1.0, seed }
+            .generate()
+    }
+
+    fn config() -> BrePartitionConfig {
+        BrePartitionConfig::default()
+            .with_partitions(4)
+            .with_leaf_capacity(16)
+            .with_page_size(4096)
+    }
+
+    #[test]
+    fn knn_matches_brute_force_itakura_saito() {
+        let ds = dataset(500, 24, 1);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config()).unwrap();
+        for qi in [0usize, 7, 99, 250] {
+            let query = ds.row(qi).to_vec();
+            let got = index.knn(&query, 10).unwrap();
+            let expected = single_query_knn(DivergenceKind::ItakuraSaito, &ds, &query, 10);
+            assert_eq!(got.neighbors.len(), 10);
+            for (g, e) in got.neighbors.iter().zip(expected.iter()) {
+                assert!(
+                    (g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()),
+                    "query {qi}: {} vs {}",
+                    g.1,
+                    e.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_exponential_with_auto_partitions() {
+        let ds = dataset(400, 16, 2);
+        let cfg = BrePartitionConfig::default().with_leaf_capacity(8).with_page_size(2048);
+        let index = BrePartitionIndex::build(DivergenceKind::Exponential, &ds, &cfg).unwrap();
+        assert!(index.partitions() >= 1 && index.partitions() <= 16);
+        let query = ds.row(42).to_vec();
+        let got = index.knn(&query, 5).unwrap();
+        let expected = single_query_knn(DivergenceKind::Exponential, &ds, &query, 5);
+        for (g, e) in got.neighbors.iter().zip(expected.iter()) {
+            assert!((g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()));
+        }
+    }
+
+    #[test]
+    fn candidates_contain_the_true_knn() {
+        // Theorem 3: the union of per-subspace candidates is a superset of
+        // the exact kNN result.
+        let ds = dataset(600, 20, 3);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config()).unwrap();
+        let query = ds.row(13).to_vec();
+        let k = 20;
+        let got = index.knn(&query, k).unwrap();
+        let expected = single_query_knn(DivergenceKind::ItakuraSaito, &ds, &query, k);
+        let got_ids: std::collections::HashSet<_> = got.neighbors.iter().map(|(id, _)| *id).collect();
+        for (id, _) in expected {
+            assert!(got_ids.contains(&id), "true neighbour {id} missing");
+        }
+        assert!(got.stats.candidates >= k);
+        assert!(got.stats.candidates <= ds.len());
+    }
+
+    #[test]
+    fn filter_prunes_part_of_the_dataset() {
+        // Clustered positive data: neighbours of a query are concentrated in
+        // its own cluster, so the k-th upper bound is tight enough to prune
+        // the other clusters.
+        // Hierarchically clustered positive data: within-point coordinate
+        // scales are homogeneous relative to the between-cluster separation,
+        // the regime where the paper's Cauchy filter is effective.
+        let ds = datagen::HierarchicalSpec {
+            n: 1500,
+            dim: 32,
+            clusters: 15,
+            blocks: 8,
+            ..Default::default()
+        }
+        .generate();
+        let cfg = config().with_partitions(8);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &cfg).unwrap();
+        let query = ds.row(3).to_vec();
+        let got = index.knn(&query, 10).unwrap();
+        assert!(
+            got.stats.candidates < ds.len(),
+            "expected pruning, got {} candidates out of {}",
+            got.stats.candidates,
+            ds.len()
+        );
+        assert!(got.stats.io.pages_read > 0);
+        assert!(got.stats.io.pages_read <= index.forest().page_count() as u64);
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        let ds = dataset(100, 8, 5);
+        assert!(matches!(
+            BrePartitionIndex::build(DivergenceKind::GeneralizedI, &ds, &config()),
+            Err(CoreError::UnsupportedDivergence { .. })
+        ));
+        let empty = DenseDataset::empty(8).unwrap();
+        assert!(matches!(
+            BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &empty, &config()),
+            Err(CoreError::EmptyDataset)
+        ));
+        let too_many = BrePartitionConfig::default().with_partitions(99);
+        assert!(matches!(
+            BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &too_many),
+            Err(CoreError::InvalidPartitionCount { .. })
+        ));
+    }
+
+    #[test]
+    fn query_dimension_is_validated() {
+        let ds = dataset(100, 8, 6);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config().with_partitions(2)).unwrap();
+        assert!(matches!(
+            index.knn(&[1.0, 2.0], 3),
+            Err(CoreError::QueryDimensionMismatch { expected: 8, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let ds = dataset(60, 12, 7);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config().with_partitions(3)).unwrap();
+        let query = ds.row(0).to_vec();
+        let got = index.knn(&query, 500).unwrap();
+        assert_eq!(got.neighbors.len(), 60);
+    }
+
+    #[test]
+    fn accessors_and_build_report() {
+        let ds = dataset(200, 16, 8);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config()).unwrap();
+        assert_eq!(index.len(), 200);
+        assert!(!index.is_empty());
+        assert_eq!(index.dim(), 16);
+        assert_eq!(index.partitions(), 4);
+        assert_eq!(index.kind(), DivergenceKind::ItakuraSaito);
+        assert_eq!(index.partitioning().len(), 4);
+        assert_eq!(index.dimension_means().len(), 16);
+        assert_eq!(index.dimension_variances().len(), 16);
+        assert!(index.cost_model().is_some());
+        let report = index.build_report();
+        assert_eq!(report.partitions, 4);
+        assert!(report.total_seconds >= report.forest_seconds);
+        assert!(report.pages_written > 0);
+        assert_eq!(index.config().leaf_capacity, 16);
+    }
+
+    #[test]
+    fn pccp_and_equal_strategies_both_return_exact_results() {
+        let ds = dataset(400, 24, 9);
+        for strategy in [PartitionStrategy::Pccp, PartitionStrategy::EqualContiguous] {
+            let cfg = config().with_strategy(strategy);
+            let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &cfg).unwrap();
+            let query = ds.row(77).to_vec();
+            let got = index.knn(&query, 8).unwrap();
+            let expected = single_query_knn(DivergenceKind::ItakuraSaito, &ds, &query, 8);
+            for (g, e) in got.neighbors.iter().zip(expected.iter()) {
+                assert!((g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_pool_reduces_physical_reads() {
+        let ds = dataset(800, 16, 10);
+        let cfg = config().with_buffer_pool_pages(0);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &cfg).unwrap();
+        let query = ds.row(5).to_vec();
+        let cold = index.knn(&query, 10).unwrap();
+        let mut warm_pool = BufferPool::new(4096);
+        index.knn_with_pool(&mut warm_pool, &query, 10).unwrap();
+        let second = index.knn_with_pool(&mut warm_pool, &query, 10).unwrap();
+        assert!(second.stats.io.pages_read <= cold.stats.io.pages_read);
+        assert!(second.stats.io.cache_hits > 0);
+    }
+}

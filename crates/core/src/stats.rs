@@ -1,0 +1,132 @@
+//! Per-query cost breakdown reported by the BrePartition index.
+
+use bbtree::SearchStats;
+use pagestore::IoStats;
+use serde::{Deserialize, Serialize};
+
+/// Cost breakdown of one BrePartition query, covering the three phases of
+/// the framework (bound computation, per-subspace filtering, refinement).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Seconds spent transforming the query and determining the searching
+    /// bounds (Algorithm 4).
+    pub bound_seconds: f64,
+    /// Seconds spent running the per-subspace range queries.
+    pub filter_seconds: f64,
+    /// Seconds spent loading candidates and computing exact divergences.
+    pub refine_seconds: f64,
+    /// Size of the final (union) candidate set.
+    pub candidates: usize,
+    /// Sum of the per-subspace candidate-set sizes (before the union), a
+    /// measure of how much the subspaces overlap.
+    pub subspace_candidates_total: usize,
+    /// Tree traversal counters accumulated over every subspace.
+    pub search: SearchStats,
+    /// Physical I/O performed while loading candidates.
+    pub io: IoStats,
+}
+
+impl QueryStats {
+    /// Total wall-clock seconds across the three phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.bound_seconds + self.filter_seconds + self.refine_seconds
+    }
+
+    /// Overlap factor of the subspace candidate sets: the ratio of the summed
+    /// subspace candidate counts to the union size (≥ 1; higher means more
+    /// overlap, which is what PCCP aims for). Returns 1 when there were no
+    /// candidates.
+    pub fn overlap_factor(&self) -> f64 {
+        if self.candidates == 0 {
+            1.0
+        } else {
+            self.subspace_candidates_total as f64 / self.candidates as f64
+        }
+    }
+
+    /// Accumulate another query's stats into this one (used to average over
+    /// a workload).
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.bound_seconds += other.bound_seconds;
+        self.filter_seconds += other.filter_seconds;
+        self.refine_seconds += other.refine_seconds;
+        self.candidates += other.candidates;
+        self.subspace_candidates_total += other.subspace_candidates_total;
+        self.search.accumulate(&other.search);
+        self.io.accumulate(&other.io);
+    }
+
+    /// Divide every additive counter by `count`, producing per-query means.
+    pub fn mean_over(&self, count: usize) -> QueryStats {
+        if count == 0 {
+            return *self;
+        }
+        let c = count as f64;
+        QueryStats {
+            bound_seconds: self.bound_seconds / c,
+            filter_seconds: self.filter_seconds / c,
+            refine_seconds: self.refine_seconds / c,
+            candidates: self.candidates / count,
+            subspace_candidates_total: self.subspace_candidates_total / count,
+            search: SearchStats {
+                nodes_visited: self.search.nodes_visited / count as u64,
+                leaves_visited: self.search.leaves_visited / count as u64,
+                distance_computations: self.search.distance_computations / count as u64,
+                candidates_examined: self.search.candidates_examined / count as u64,
+            },
+            io: IoStats {
+                pages_read: self.io.pages_read / count as u64,
+                cache_hits: self.io.cache_hits / count as u64,
+                pages_written: self.io.pages_written / count as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_overlap() {
+        let stats = QueryStats {
+            bound_seconds: 0.1,
+            filter_seconds: 0.2,
+            refine_seconds: 0.3,
+            candidates: 10,
+            subspace_candidates_total: 30,
+            ..QueryStats::default()
+        };
+        assert!((stats.total_seconds() - 0.6).abs() < 1e-12);
+        assert!((stats.overlap_factor() - 3.0).abs() < 1e-12);
+        assert_eq!(QueryStats::default().overlap_factor(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_and_mean() {
+        let mut total = QueryStats::default();
+        for _ in 0..4 {
+            total.accumulate(&QueryStats {
+                bound_seconds: 1.0,
+                filter_seconds: 2.0,
+                refine_seconds: 3.0,
+                candidates: 8,
+                subspace_candidates_total: 16,
+                search: SearchStats {
+                    nodes_visited: 4,
+                    leaves_visited: 2,
+                    distance_computations: 10,
+                    candidates_examined: 8,
+                },
+                io: IoStats { pages_read: 12, cache_hits: 4, pages_written: 0 },
+            });
+        }
+        let mean = total.mean_over(4);
+        assert!((mean.bound_seconds - 1.0).abs() < 1e-12);
+        assert_eq!(mean.candidates, 8);
+        assert_eq!(mean.search.nodes_visited, 4);
+        assert_eq!(mean.io.pages_read, 12);
+        // mean_over(0) is the identity.
+        assert_eq!(total.mean_over(0).candidates, total.candidates);
+    }
+}

@@ -1,0 +1,134 @@
+//! Brute-force ground truth, parallelized across queries.
+
+use bregman::{DenseDataset, DivergenceKind, PointId};
+use serde::{Deserialize, Serialize};
+
+/// Exact kNN results for a batch of queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// `results[q]` holds the `k` nearest `(id, divergence)` pairs of query
+    /// `q`, ordered by increasing divergence.
+    pub results: Vec<Vec<(PointId, f64)>>,
+    /// The `k` the truth was computed for.
+    pub k: usize,
+}
+
+impl GroundTruth {
+    /// The exact neighbours of one query.
+    pub fn neighbors_of(&self, query_index: usize) -> &[(PointId, f64)] {
+        &self.results[query_index]
+    }
+
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the truth covers no queries.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+/// Compute exact kNN for every query by linear scan, fanning queries out over
+/// `threads` worker threads with `crossbeam`'s scoped threads.
+pub fn ground_truth_knn(
+    divergence: DivergenceKind,
+    dataset: &DenseDataset,
+    queries: &DenseDataset,
+    k: usize,
+    threads: usize,
+) -> GroundTruth {
+    let q = queries.len();
+    let mut results: Vec<Vec<(PointId, f64)>> = vec![Vec::new(); q];
+    if q == 0 || dataset.is_empty() || k == 0 {
+        return GroundTruth { results, k };
+    }
+    let threads = threads.max(1).min(q);
+    let chunk = q.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (worker, slot) in results.chunks_mut(chunk).enumerate() {
+            let start = worker * chunk;
+            scope.spawn(move |_| {
+                for (offset, out) in slot.iter_mut().enumerate() {
+                    let query = queries.row(start + offset);
+                    *out = single_query_knn(divergence, dataset, query, k);
+                }
+            });
+        }
+    })
+    .expect("ground-truth worker panicked");
+    GroundTruth { results, k }
+}
+
+/// Exact kNN of one query by linear scan.
+pub fn single_query_knn(
+    divergence: DivergenceKind,
+    dataset: &DenseDataset,
+    query: &[f64],
+    k: usize,
+) -> Vec<(PointId, f64)> {
+    let mut all: Vec<(PointId, f64)> = dataset
+        .iter()
+        .map(|(id, point)| (id, divergence.divergence(point, query)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    #[test]
+    fn parallel_truth_matches_sequential_truth() {
+        let ds = uniform(500, 8, 0.5, 5.0, 1);
+        let queries = uniform(12, 8, 0.5, 5.0, 2);
+        let parallel =
+            ground_truth_knn(DivergenceKind::ItakuraSaito, &ds, &queries, 7, 4);
+        assert_eq!(parallel.len(), 12);
+        for qi in 0..queries.len() {
+            let sequential =
+                single_query_knn(DivergenceKind::ItakuraSaito, &ds, queries.row(qi), 7);
+            assert_eq!(parallel.neighbors_of(qi), sequential.as_slice());
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_of_length_k() {
+        let ds = uniform(100, 4, 0.5, 3.0, 3);
+        let queries = uniform(5, 4, 0.5, 3.0, 4);
+        let truth = ground_truth_knn(DivergenceKind::Exponential, &ds, &queries, 10, 2);
+        for qi in 0..5 {
+            let nn = truth.neighbors_of(qi);
+            assert_eq!(nn.len(), 10);
+            for pair in nn.windows(2) {
+                assert!(pair[0].1 <= pair[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_produce_empty_truth() {
+        let ds = uniform(10, 3, 0.5, 1.0, 5);
+        let queries = uniform(3, 3, 0.5, 1.0, 6);
+        assert!(ground_truth_knn(DivergenceKind::SquaredEuclidean, &ds, &queries, 0, 2)
+            .results
+            .iter()
+            .all(|r| r.is_empty()));
+        let empty_queries = DenseDataset::empty(3).unwrap();
+        assert!(ground_truth_knn(DivergenceKind::SquaredEuclidean, &ds, &empty_queries, 3, 2)
+            .is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries_is_fine() {
+        let ds = uniform(50, 3, 0.5, 1.0, 7);
+        let queries = uniform(2, 3, 0.5, 1.0, 8);
+        let truth = ground_truth_knn(DivergenceKind::SquaredEuclidean, &ds, &queries, 3, 64);
+        assert_eq!(truth.len(), 2);
+        assert_eq!(truth.k, 3);
+    }
+}

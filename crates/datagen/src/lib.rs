@@ -1,0 +1,37 @@
+//! Dataset generators, query workloads, ground truth and accuracy metrics
+//! for the BrePartition evaluation.
+//!
+//! The paper evaluates on four real datasets (Audio, Fonts, Deep, SIFT) and
+//! two synthetic ones (Normal, Uniform). The real datasets are not
+//! redistributable here, so this crate generates *proxies* that preserve the
+//! properties the algorithms are sensitive to — dimensionality, value
+//! domain (strictly positive for Itakura-Saito data), block correlation
+//! structure between dimensions (what PCCP exploits) and relative dataset
+//! sizes — at a configurable, laptop-friendly scale. The substitution is
+//! documented in `DESIGN.md`.
+//!
+//! * [`synthetic`] — uniform / normal / clustered generators,
+//! * [`correlated`] — block-correlated Gaussian generator,
+//! * [`proxies`] — the six named datasets of Table 4 with their divergence
+//!   and page-size settings,
+//! * [`queries`] — query workload sampling,
+//! * [`ground_truth`] — multi-threaded brute-force kNN,
+//! * [`metrics`] — overall ratio (the paper's accuracy metric) and recall.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlated;
+pub mod ground_truth;
+pub mod hierarchical;
+pub mod metrics;
+pub mod proxies;
+pub mod queries;
+pub mod synthetic;
+
+pub use correlated::CorrelatedSpec;
+pub use hierarchical::HierarchicalSpec;
+pub use ground_truth::{ground_truth_knn, GroundTruth};
+pub use metrics::{overall_ratio, recall};
+pub use proxies::{DatasetSpec, PaperDataset};
+pub use queries::QueryWorkload;

@@ -1,0 +1,109 @@
+//! Accuracy metrics for approximate search.
+
+use bregman::PointId;
+
+/// The paper's *overall ratio*:
+/// `OR = (1/k) Σ_i D_f(p_i, q) / D_f(p*_i, q)`
+/// where `p_i` is the i-th returned point and `p*_i` the exact i-th nearest
+/// neighbour. An exact result has `OR = 1`; larger is worse.
+///
+/// Pairs whose exact divergence is zero are counted as ratio 1 when the
+/// returned divergence is also (numerically) zero and are otherwise assigned
+/// the returned divergence plus one, which keeps the metric finite.
+pub fn overall_ratio(returned: &[(PointId, f64)], exact: &[(PointId, f64)]) -> f64 {
+    let k = returned.len().min(exact.len());
+    if k == 0 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for i in 0..k {
+        let approx_d = returned[i].1;
+        let exact_d = exact[i].1;
+        let ratio = if exact_d > 0.0 {
+            approx_d / exact_d
+        } else if approx_d.abs() < 1e-12 {
+            1.0
+        } else {
+            1.0 + approx_d
+        };
+        total += ratio;
+    }
+    total / k as f64
+}
+
+/// Recall: the fraction of exact neighbours that appear anywhere in the
+/// returned list.
+pub fn recall(returned: &[(PointId, f64)], exact: &[(PointId, f64)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let returned_ids: std::collections::HashSet<PointId> =
+        returned.iter().map(|(id, _)| *id).collect();
+    let hit = exact.iter().filter(|(id, _)| returned_ids.contains(id)).count();
+    hit as f64 / exact.len() as f64
+}
+
+/// Average of a slice of `f64` values; zero for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(values: &[(u32, f64)]) -> Vec<(PointId, f64)> {
+        values.iter().map(|&(id, d)| (PointId(id), d)).collect()
+    }
+
+    #[test]
+    fn exact_results_have_ratio_one_and_full_recall() {
+        let exact = pairs(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        assert_eq!(overall_ratio(&exact, &exact), 1.0);
+        assert_eq!(recall(&exact, &exact), 1.0);
+    }
+
+    #[test]
+    fn worse_results_increase_ratio() {
+        let exact = pairs(&[(1, 1.0), (2, 2.0)]);
+        let approx = pairs(&[(5, 2.0), (6, 2.0)]);
+        let or = overall_ratio(&approx, &exact);
+        assert!((or - 1.5).abs() < 1e-12); // (2/1 + 2/2) / 2
+        assert_eq!(recall(&approx, &exact), 0.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let exact = pairs(&[(1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)]);
+        let approx = pairs(&[(1, 1.0), (9, 2.5), (3, 3.0), (8, 9.0)]);
+        assert_eq!(recall(&approx, &exact), 0.5);
+    }
+
+    #[test]
+    fn zero_exact_distance_handled() {
+        let exact = pairs(&[(1, 0.0), (2, 1.0)]);
+        let same = pairs(&[(1, 0.0), (2, 1.0)]);
+        assert_eq!(overall_ratio(&same, &exact), 1.0);
+        let off = pairs(&[(3, 0.5), (2, 1.0)]);
+        let or = overall_ratio(&off, &exact);
+        assert!(or > 1.0 && or.is_finite());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(overall_ratio(&[], &[]), 1.0);
+        assert_eq!(recall(&[], &[]), 1.0);
+        let exact = pairs(&[(1, 1.0)]);
+        assert_eq!(recall(&[], &exact), 0.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Query workload generation.
+//!
+//! The paper samples 50 query points per dataset. This module produces query
+//! workloads either by perturbing randomly chosen data points (queries whose
+//! neighbourhoods are non-trivial) or by drawing fresh points from the same
+//! generator; perturbation keeps queries inside the divergence domain.
+
+use bregman::{DenseDataset, DivergenceKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A batch of query points with the divergence they are meant to be used
+/// with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// Divergence the workload targets (used for domain checks).
+    pub divergence: DivergenceKind,
+    /// The query points.
+    pub queries: DenseDataset,
+}
+
+impl QueryWorkload {
+    /// Sample `count` queries by perturbing distinct data points with
+    /// multiplicative noise of relative magnitude `jitter` (clamped into the
+    /// divergence's domain).
+    pub fn perturbed_from(
+        dataset: &DenseDataset,
+        divergence: DivergenceKind,
+        count: usize,
+        jitter: f64,
+        seed: u64,
+    ) -> QueryWorkload {
+        assert!(!dataset.is_empty(), "cannot sample queries from an empty dataset");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..dataset.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(count.max(1).min(dataset.len()));
+        // Repeat indices if more queries than points were requested.
+        while indices.len() < count {
+            indices.push(indices[rng.gen_range(0..indices.len())]);
+        }
+        let mut rows = Vec::with_capacity(count);
+        for &idx in &indices {
+            let base = dataset.row(idx);
+            let row: Vec<f64> = base
+                .iter()
+                .map(|&v| {
+                    let noise = 1.0 + jitter * (rng.gen_range(-1.0..1.0));
+                    let perturbed = v * noise + jitter * rng.gen_range(-0.5..0.5);
+                    if divergence.requires_positive_data() {
+                        perturbed.max(1e-3)
+                    } else {
+                        perturbed
+                    }
+                })
+                .collect();
+            rows.push(row);
+        }
+        QueryWorkload {
+            divergence,
+            queries: DenseDataset::from_rows(&rows).expect("query rows share the data dimension"),
+        }
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterate over the query points.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.queries.len()).map(move |i| self.queries.row(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    #[test]
+    fn workload_has_requested_size_and_dimension() {
+        let ds = uniform(200, 10, 1.0, 5.0, 1);
+        let w = QueryWorkload::perturbed_from(&ds, DivergenceKind::Exponential, 25, 0.05, 2);
+        assert_eq!(w.len(), 25);
+        assert!(!w.is_empty());
+        assert_eq!(w.queries.dim(), 10);
+        assert_eq!(w.iter().count(), 25);
+    }
+
+    #[test]
+    fn isd_workload_stays_positive_even_with_large_jitter() {
+        let ds = uniform(100, 6, 0.01, 2.0, 3);
+        let w = QueryWorkload::perturbed_from(&ds, DivergenceKind::ItakuraSaito, 50, 2.0, 4);
+        for q in w.iter() {
+            assert!(q.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn more_queries_than_points_recycles_points() {
+        let ds = uniform(10, 4, 1.0, 2.0, 5);
+        let w = QueryWorkload::perturbed_from(&ds, DivergenceKind::SquaredEuclidean, 30, 0.1, 6);
+        assert_eq!(w.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = uniform(100, 5, 1.0, 3.0, 7);
+        let a = QueryWorkload::perturbed_from(&ds, DivergenceKind::Exponential, 10, 0.1, 8);
+        let b = QueryWorkload::perturbed_from(&ds, DivergenceKind::Exponential, 10, 0.1, 8);
+        let c = QueryWorkload::perturbed_from(&ds, DivergenceKind::Exponential, 10, 0.1, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_data_points() {
+        let ds = uniform(50, 3, 1.0, 4.0, 10);
+        let w = QueryWorkload::perturbed_from(&ds, DivergenceKind::SquaredEuclidean, 5, 0.0, 11);
+        // Every query must coincide with some data point.
+        for q in w.iter() {
+            let found = (0..ds.len()).any(|i| {
+                ds.row(i).iter().zip(q.iter()).all(|(a, b)| (a - b).abs() < 1e-12)
+            });
+            assert!(found);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! LRU buffer pool with I/O accounting.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+
+use crate::io_stats::IoStats;
+use crate::page::PageId;
+use crate::store::PageStore;
+use crate::PointId;
+
+/// An LRU page cache in front of a [`PageStore`].
+///
+/// Every access that is not already cached counts as one physical page read
+/// in the attached [`IoStats`]; cached accesses count as hits. The pool is
+/// the *only* sanctioned read path for indexes, which is how every index in
+/// this repository reports the paper's I/O-cost metric.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// Pages currently resident, mapping to their position generation.
+    resident: HashMap<PageId, ()>,
+    /// LRU order: front = least recently used.
+    lru: VecDeque<PageId>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages. A capacity of zero disables
+    /// caching entirely (every access is a physical read), which is how the
+    /// per-query I/O numbers in the paper's figures are measured.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            resident: HashMap::with_capacity(capacity),
+            lru: VecDeque::with_capacity(capacity),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// A pool that never caches (each access is a physical page read).
+    pub fn unbuffered() -> Self {
+        Self::new(0)
+    }
+
+    /// Current I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Reset the I/O counters (e.g. between queries).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Drop every cached page but keep the statistics.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+    }
+
+    /// Number of pages currently cached.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Touch a page: record the access, updating LRU state and counters, and
+    /// return a reference to the page. Returns `None` for an unknown page id.
+    pub fn fetch<'s>(&mut self, store: &'s PageStore, id: PageId) -> Option<&'s crate::page::Page> {
+        let page = store.raw_page(id)?;
+        if self.capacity == 0 {
+            self.stats.pages_read += 1;
+            return Some(page);
+        }
+        if self.resident.contains_key(&id) {
+            self.stats.cache_hits += 1;
+            // Move to the back of the LRU queue.
+            if let Some(pos) = self.lru.iter().position(|&p| p == id) {
+                self.lru.remove(pos);
+            }
+            self.lru.push_back(id);
+        } else {
+            self.stats.pages_read += 1;
+            if self.resident.len() >= self.capacity {
+                if let Some(evicted) = self.lru.pop_front() {
+                    self.resident.remove(&evicted);
+                }
+            }
+            self.resident.insert(id, ());
+            self.lru.push_back(id);
+        }
+        Some(page)
+    }
+
+    /// Read one point through the pool, decoding its coordinates.
+    pub fn read_point(&mut self, store: &PageStore, point: PointId) -> Option<Vec<f64>> {
+        let addr = store.address_of(point)?;
+        let page = self.fetch(store, addr.page)?;
+        Some(page.decode_slot(addr.slot as usize))
+    }
+
+    /// Read one point through the pool into a caller-provided buffer.
+    pub fn read_point_into(
+        &mut self,
+        store: &PageStore,
+        point: PointId,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        match store.address_of(point) {
+            Some(addr) => match self.fetch(store, addr.page) {
+                Some(page) => {
+                    page.decode_slot_into(addr.slot as usize, out);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Read a batch of points, visiting pages in first-seen order so that
+    /// points co-located on a page cost a single physical read. Returns the
+    /// decoded points in the same order as `points`.
+    pub fn read_points(&mut self, store: &PageStore, points: &[PointId]) -> Vec<(PointId, Vec<f64>)> {
+        let groups = store.layout().pages_for(points);
+        let mut by_id: HashMap<PointId, Vec<f64>> = HashMap::with_capacity(points.len());
+        for (page_id, members) in groups {
+            if let Some(page) = self.fetch(store, page_id) {
+                for pid in members {
+                    if let Some(slot) = page.slot_of(pid) {
+                        by_id.insert(pid, page.decode_slot(slot));
+                    }
+                }
+            }
+        }
+        points
+            .iter()
+            .filter_map(|pid| by_id.remove(pid).map(|coords| (*pid, coords)))
+            .collect()
+    }
+}
+
+/// A [`BufferPool`] behind a mutex, for experiment harnesses that issue
+/// queries from multiple threads against a shared store.
+#[derive(Debug)]
+pub struct SharedBufferPool {
+    inner: Mutex<BufferPool>,
+}
+
+impl SharedBufferPool {
+    /// Wrap a pool for shared use.
+    pub fn new(pool: BufferPool) -> Self {
+        Self { inner: Mutex::new(pool) }
+    }
+
+    /// Run a closure with exclusive access to the pool.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BufferPool) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Snapshot the current I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats()
+    }
+
+    /// Reset the I/O counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{PageStore, PageStoreConfig};
+
+    fn store(n: usize, dim: usize, per_page: usize) -> (PageStore, Vec<Vec<f64>>) {
+        let data: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..dim).map(|j| (i * dim + j) as f64).collect()).collect();
+        let config = PageStoreConfig::with_page_size(dim * 8 * per_page);
+        let s = PageStore::build_sequential(config, dim, n, |pid| &data[pid as usize]);
+        (s, data)
+    }
+
+    #[test]
+    fn unbuffered_counts_every_access_as_physical_read() {
+        let (s, data) = store(6, 2, 2);
+        let mut pool = BufferPool::unbuffered();
+        for pid in 0..6u32 {
+            assert_eq!(pool.read_point(&s, pid).unwrap(), data[pid as usize]);
+        }
+        assert_eq!(pool.stats().pages_read, 6);
+        assert_eq!(pool.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn cached_rereads_are_hits() {
+        let (s, _) = store(6, 2, 2);
+        let mut pool = BufferPool::new(8);
+        pool.read_point(&s, 0);
+        pool.read_point(&s, 1); // same page as 0
+        pool.read_point(&s, 2); // new page
+        assert_eq!(pool.stats().pages_read, 2);
+        assert_eq!(pool.stats().cache_hits, 1);
+        assert_eq!(pool.resident_pages(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_page() {
+        let (s, _) = store(8, 2, 2); // pages: {0,1},{2,3},{4,5},{6,7}
+        let mut pool = BufferPool::new(2);
+        pool.read_point(&s, 0); // page 0 in
+        pool.read_point(&s, 2); // page 1 in
+        pool.read_point(&s, 4); // page 2 in, page 0 evicted
+        pool.read_point(&s, 0); // page 0 again: physical read
+        assert_eq!(pool.stats().pages_read, 4);
+        assert_eq!(pool.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn lru_refreshes_recency_on_hit() {
+        let (s, _) = store(8, 2, 2);
+        let mut pool = BufferPool::new(2);
+        pool.read_point(&s, 0); // page 0
+        pool.read_point(&s, 2); // page 1
+        pool.read_point(&s, 1); // hit page 0, making page 1 the LRU victim
+        pool.read_point(&s, 4); // page 2 in, evicts page 1
+        pool.read_point(&s, 0); // page 0 should still be resident
+        assert_eq!(pool.stats().cache_hits, 2);
+        assert_eq!(pool.stats().pages_read, 3);
+    }
+
+    #[test]
+    fn batched_read_costs_one_read_per_page() {
+        let (s, data) = store(10, 3, 5); // pages: {0..4},{5..9}
+        let mut pool = BufferPool::unbuffered();
+        let result = pool.read_points(&s, &[0, 1, 2, 7, 8]);
+        assert_eq!(result.len(), 5);
+        assert_eq!(pool.stats().pages_read, 2);
+        for (pid, coords) in result {
+            assert_eq!(coords, data[pid as usize]);
+        }
+    }
+
+    #[test]
+    fn read_point_into_and_missing_points() {
+        let (s, data) = store(4, 2, 2);
+        let mut pool = BufferPool::new(2);
+        let mut buf = Vec::new();
+        assert!(pool.read_point_into(&s, 3, &mut buf));
+        assert_eq!(buf, data[3]);
+        assert!(!pool.read_point_into(&s, 100, &mut buf));
+        assert!(pool.read_point(&s, 100).is_none());
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let (s, _) = store(4, 2, 2);
+        let mut pool = BufferPool::new(2);
+        pool.read_point(&s, 0);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), IoStats::default());
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn shared_pool_is_usable_from_threads() {
+        let (s, _) = store(16, 2, 2);
+        let shared = SharedBufferPool::new(BufferPool::new(4));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let shared = &shared;
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..4u32 {
+                        shared.with(|pool| pool.read_point(s, t * 4 + i));
+                    }
+                });
+            }
+        });
+        let stats = shared.stats();
+        assert_eq!(stats.logical_reads(), 16);
+        shared.reset_stats();
+        assert_eq!(shared.stats(), IoStats::default());
+    }
+}

@@ -1,0 +1,140 @@
+//! The point → page directory (`P.address` in the paper's BB-forest).
+
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageId;
+use crate::PointId;
+
+/// Physical address of a point record: which page it lives in and which slot
+/// within that page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PageAddress {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot (record index) within the page.
+    pub slot: u32,
+}
+
+/// Directory mapping every point id to its [`PageAddress`].
+///
+/// The BB-forest records these addresses in the leaf nodes of every subspace
+/// tree, so a candidate produced by any subspace resolves to the same page.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiskLayout {
+    addresses: Vec<Option<PageAddress>>,
+}
+
+impl DiskLayout {
+    /// An empty layout with room for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { addresses: vec![None; n] }
+    }
+
+    /// Record the address of a point, growing the directory as needed.
+    pub fn set(&mut self, point: PointId, address: PageAddress) {
+        let idx = point as usize;
+        if idx >= self.addresses.len() {
+            self.addresses.resize(idx + 1, None);
+        }
+        self.addresses[idx] = Some(address);
+    }
+
+    /// Look up the address of a point.
+    pub fn get(&self, point: PointId) -> Option<PageAddress> {
+        self.addresses.get(point as usize).copied().flatten()
+    }
+
+    /// Number of points with a recorded address.
+    pub fn len(&self) -> usize {
+        self.addresses.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether no address has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over `(point, address)` pairs in point-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, PageAddress)> + '_ {
+        self.addresses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|addr| (i as PointId, addr)))
+    }
+
+    /// Group a set of points by the page they live on, preserving first-seen
+    /// page order. This is the primitive both the BB-forest and the VA-file
+    /// use to turn a candidate list into a page access list.
+    pub fn pages_for(&self, points: &[PointId]) -> Vec<(PageId, Vec<PointId>)> {
+        let mut order: Vec<PageId> = Vec::new();
+        let mut groups: std::collections::HashMap<PageId, Vec<PointId>> =
+            std::collections::HashMap::new();
+        for &p in points {
+            if let Some(addr) = self.get(p) {
+                let entry = groups.entry(addr.page).or_insert_with(|| {
+                    order.push(addr.page);
+                    Vec::new()
+                });
+                entry.push(p);
+            }
+        }
+        order
+            .into_iter()
+            .map(|page| {
+                let pts = groups.remove(&page).unwrap_or_default();
+                (page, pts)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_and_growth() {
+        let mut layout = DiskLayout::with_capacity(2);
+        layout.set(0, PageAddress { page: PageId(0), slot: 0 });
+        layout.set(5, PageAddress { page: PageId(2), slot: 1 });
+        assert_eq!(layout.get(0), Some(PageAddress { page: PageId(0), slot: 0 }));
+        assert_eq!(layout.get(5), Some(PageAddress { page: PageId(2), slot: 1 }));
+        assert_eq!(layout.get(1), None);
+        assert_eq!(layout.get(99), None);
+        assert_eq!(layout.len(), 2);
+        assert!(!layout.is_empty());
+    }
+
+    #[test]
+    fn iter_returns_only_recorded_points() {
+        let mut layout = DiskLayout::default();
+        layout.set(3, PageAddress { page: PageId(1), slot: 0 });
+        layout.set(1, PageAddress { page: PageId(0), slot: 7 });
+        let pairs: Vec<_> = layout.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 1);
+        assert_eq!(pairs[1].0, 3);
+    }
+
+    #[test]
+    fn pages_for_groups_and_preserves_first_seen_order() {
+        let mut layout = DiskLayout::default();
+        layout.set(0, PageAddress { page: PageId(4), slot: 0 });
+        layout.set(1, PageAddress { page: PageId(2), slot: 0 });
+        layout.set(2, PageAddress { page: PageId(4), slot: 1 });
+        layout.set(3, PageAddress { page: PageId(9), slot: 0 });
+        let groups = layout.pages_for(&[0, 1, 2, 3, 99]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, PageId(4));
+        assert_eq!(groups[0].1, vec![0, 2]);
+        assert_eq!(groups[1].0, PageId(2));
+        assert_eq!(groups[2].0, PageId(9));
+    }
+
+    #[test]
+    fn empty_layout_reports_empty() {
+        let layout = DiskLayout::default();
+        assert!(layout.is_empty());
+        assert!(layout.pages_for(&[1, 2, 3]).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! A simulated disk-resident page store with I/O accounting.
+//!
+//! The BrePartition paper evaluates every index by its *I/O cost*: the number
+//! of disk pages fetched per query on an SSD with a configurable page size
+//! (Table 4 uses 32 KB–128 KB pages depending on the dataset). This crate
+//! reproduces that measurement deterministically:
+//!
+//! * [`PageStore`] — an immutable, page-organized copy of a dataset. Points
+//!   are serialized into fixed-size pages in a caller-supplied order (the
+//!   BB-forest lays points out in the leaf order of one of its trees so that
+//!   all subspaces touch the same pages).
+//! * [`DiskLayout`] — the point → (page, slot) directory, i.e. the
+//!   `P.address` stored in BB-forest leaf nodes.
+//! * [`BufferPool`] — an LRU cache in front of the store. Every miss counts
+//!   as one physical page read in [`IoStats`]; hits are counted separately.
+//! * [`SharedBufferPool`] — a mutex-wrapped pool for multi-threaded
+//!   experiment harnesses.
+//!
+//! The store is "simulated" in the sense that pages live in memory, but the
+//! byte-level layout (little-endian `f64` records packed into fixed-size
+//! pages) and the access-path accounting match what a real disk-resident
+//! implementation would do, which is what the paper's I/O metric measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer_pool;
+pub mod io_stats;
+pub mod layout;
+pub mod page;
+pub mod store;
+
+pub use buffer_pool::{BufferPool, SharedBufferPool};
+pub use io_stats::IoStats;
+pub use layout::{DiskLayout, PageAddress};
+pub use page::{Page, PageId};
+pub use store::{PageStore, PageStoreConfig};
+
+/// Identifier of a point: a dense `u32` index, matching
+/// `bregman::PointId.0`. The page store is deliberately independent of the
+/// `bregman` crate so it can page out any fixed-width `f64` records.
+pub type PointId = u32;

@@ -1,0 +1,165 @@
+//! Fixed-size pages holding serialized point records.
+
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::PointId;
+
+/// Identifier of a page within a [`crate::PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page {}", self.0)
+    }
+}
+
+/// One fixed-size disk page: a header with the resident point ids followed by
+/// their little-endian `f64` coordinates, padded to the configured page size.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: PageId,
+    dim: usize,
+    point_ids: Vec<PointId>,
+    payload: Bytes,
+}
+
+impl Page {
+    /// Serialize `points` (id + coordinates) into a page image.
+    ///
+    /// The caller is responsible for ensuring the records fit in the page
+    /// size; this constructor only encodes.
+    pub fn encode(id: PageId, dim: usize, points: &[(PointId, &[f64])], page_size: usize) -> Page {
+        let mut buf = BytesMut::with_capacity(page_size);
+        for (_, coords) in points {
+            debug_assert_eq!(coords.len(), dim);
+            for &v in *coords {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Pad to the nominal page size so the simulated disk image has the
+        // same footprint a real page would.
+        if buf.len() < page_size {
+            buf.resize(page_size, 0);
+        }
+        Page {
+            id,
+            dim,
+            point_ids: points.iter().map(|(pid, _)| *pid).collect(),
+            payload: buf.freeze(),
+        }
+    }
+
+    /// The page identifier.
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Number of point records stored in this page.
+    pub fn len(&self) -> usize {
+        self.point_ids.len()
+    }
+
+    /// Whether the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.point_ids.is_empty()
+    }
+
+    /// The ids of the points resident in this page, in slot order.
+    pub fn point_ids(&self) -> &[PointId] {
+        &self.point_ids
+    }
+
+    /// Size in bytes of the serialized page image (including padding).
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Decode the coordinates of the record in the given slot.
+    pub fn decode_slot(&self, slot: usize) -> Vec<f64> {
+        let record = 8 * self.dim;
+        let start = slot * record;
+        let bytes = &self.payload[start..start + record];
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Decode the coordinates of the record in the given slot into `out`.
+    pub fn decode_slot_into(&self, slot: usize, out: &mut Vec<f64>) {
+        let record = 8 * self.dim;
+        let start = slot * record;
+        let bytes = &self.payload[start..start + record];
+        out.clear();
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+    }
+
+    /// Find the slot of a point id within this page, if resident.
+    pub fn slot_of(&self, point: PointId) -> Option<usize> {
+        self.point_ids.iter().position(|&p| p == point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = vec![1.5, -2.25, 3.0];
+        let b = vec![0.0, 7.5, -1.0];
+        let page = Page::encode(PageId(3), 3, &[(10, &a), (11, &b)], 256);
+        assert_eq!(page.id(), PageId(3));
+        assert_eq!(page.len(), 2);
+        assert!(!page.is_empty());
+        assert_eq!(page.point_ids(), &[10, 11]);
+        assert_eq!(page.decode_slot(0), a);
+        assert_eq!(page.decode_slot(1), b);
+        assert_eq!(page.size_bytes(), 256);
+    }
+
+    #[test]
+    fn decode_slot_into_reuses_buffer() {
+        let a = vec![1.0, 2.0];
+        let page = Page::encode(PageId(0), 2, &[(0, &a)], 64);
+        let mut buf = vec![9.0; 17];
+        page.decode_slot_into(0, &mut buf);
+        assert_eq!(buf, a);
+    }
+
+    #[test]
+    fn slot_of_resident_and_missing_points() {
+        let a = vec![1.0];
+        let b = vec![2.0];
+        let page = Page::encode(PageId(0), 1, &[(5, &a), (9, &b)], 64);
+        assert_eq!(page.slot_of(9), Some(1));
+        assert_eq!(page.slot_of(77), None);
+    }
+
+    #[test]
+    fn page_larger_than_payload_is_padded() {
+        let a = vec![1.0, 2.0];
+        let page = Page::encode(PageId(0), 2, &[(0, &a)], 4096);
+        assert_eq!(page.size_bytes(), 4096);
+    }
+
+    #[test]
+    fn page_id_display() {
+        assert_eq!(PageId(4).to_string(), "page 4");
+        assert_eq!(PageId(4).index(), 4);
+    }
+}

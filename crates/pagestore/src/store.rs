@@ -1,0 +1,206 @@
+//! The immutable page-organized copy of a dataset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::{DiskLayout, PageAddress};
+use crate::page::{Page, PageId};
+use crate::PointId;
+
+/// Configuration of a [`PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageStoreConfig {
+    /// Nominal page size in bytes (the paper uses 32 KB–128 KB).
+    pub page_size_bytes: usize,
+}
+
+impl PageStoreConfig {
+    /// A store with the given page size.
+    pub fn with_page_size(page_size_bytes: usize) -> Self {
+        Self { page_size_bytes }
+    }
+
+    /// How many `dim`-dimensional `f64` records fit in one page (at least 1,
+    /// so a pathological configuration still makes progress).
+    pub fn records_per_page(&self, dim: usize) -> usize {
+        (self.page_size_bytes / (8 * dim.max(1))).max(1)
+    }
+}
+
+impl Default for PageStoreConfig {
+    fn default() -> Self {
+        // 32 KB matches the smallest page size used in the paper's Table 4.
+        Self { page_size_bytes: 32 * 1024 }
+    }
+}
+
+/// An immutable, page-organized copy of a set of `f64` records.
+///
+/// Built once from a dataset and a point order; read through a
+/// [`crate::BufferPool`] so that physical page fetches are counted.
+#[derive(Debug, Clone)]
+pub struct PageStore {
+    config: PageStoreConfig,
+    dim: usize,
+    pages: Vec<Page>,
+    layout: DiskLayout,
+    build_writes: u64,
+}
+
+impl PageStore {
+    /// Lay out `n` points in the order given by `order`, packing
+    /// `records_per_page` consecutive points into each page.
+    ///
+    /// `point` is a lookup closure from point id to its coordinates; the
+    /// store copies (serializes) the coordinates so the source dataset can be
+    /// dropped afterwards.
+    pub fn build_with_order<'a, F>(
+        config: PageStoreConfig,
+        dim: usize,
+        order: &[PointId],
+        mut point: F,
+    ) -> PageStore
+    where
+        F: FnMut(PointId) -> &'a [f64],
+    {
+        let per_page = config.records_per_page(dim);
+        let mut pages = Vec::with_capacity(order.len().div_ceil(per_page.max(1)));
+        let mut layout = DiskLayout::with_capacity(order.len());
+        for (page_index, chunk) in order.chunks(per_page).enumerate() {
+            let page_id = PageId(page_index as u32);
+            let records: Vec<(PointId, &[f64])> =
+                chunk.iter().map(|&pid| (pid, point(pid))).collect();
+            for (slot, &(pid, _)) in records.iter().enumerate() {
+                layout.set(pid, PageAddress { page: page_id, slot: slot as u32 });
+            }
+            pages.push(Page::encode(page_id, dim, &records, config.page_size_bytes));
+        }
+        let build_writes = pages.len() as u64;
+        PageStore { config, dim, pages, layout, build_writes }
+    }
+
+    /// Lay out points `0..n` in their natural order.
+    pub fn build_sequential<'a, F>(
+        config: PageStoreConfig,
+        dim: usize,
+        n: usize,
+        point: F,
+    ) -> PageStore
+    where
+        F: FnMut(PointId) -> &'a [f64],
+    {
+        let order: Vec<PointId> = (0..n as u32).collect();
+        Self::build_with_order(config, dim, &order, point)
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> PageStoreConfig {
+        self.config
+    }
+
+    /// Dimensionality of every record.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of pages in the store.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of point records in the store.
+    pub fn point_count(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// Number of page writes performed while building (used for the
+    /// index-construction experiment).
+    pub fn build_writes(&self) -> u64 {
+        self.build_writes
+    }
+
+    /// Raw page access *without* I/O accounting. Index implementations must
+    /// go through a [`crate::BufferPool`]; this accessor exists for the pool
+    /// itself and for tests.
+    pub fn raw_page(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(id.index())
+    }
+
+    /// The point → page directory.
+    pub fn layout(&self) -> &DiskLayout {
+        &self.layout
+    }
+
+    /// The address of a point, if it was laid out.
+    pub fn address_of(&self, point: PointId) -> Option<PageAddress> {
+        self.layout.get(point)
+    }
+
+    /// Total size of the simulated disk image in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.pages.iter().map(Page::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| (0..dim).map(|j| (i * dim + j) as f64).collect()).collect()
+    }
+
+    #[test]
+    fn records_per_page_respects_page_size() {
+        let config = PageStoreConfig::with_page_size(1024);
+        assert_eq!(config.records_per_page(16), 8); // 16*8 = 128 bytes per record
+        assert_eq!(config.records_per_page(1024), 1); // too large: still 1
+        assert_eq!(PageStoreConfig::default().page_size_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn sequential_build_addresses_every_point() {
+        let data = dataset(10, 4);
+        let config = PageStoreConfig::with_page_size(4 * 8 * 3); // 3 records per page
+        let store = PageStore::build_sequential(config, 4, 10, |pid| &data[pid as usize]);
+        assert_eq!(store.point_count(), 10);
+        assert_eq!(store.page_count(), 4); // ceil(10/3)
+        assert_eq!(store.build_writes(), 4);
+        for pid in 0..10u32 {
+            let addr = store.address_of(pid).unwrap();
+            let page = store.raw_page(addr.page).unwrap();
+            assert_eq!(page.decode_slot(addr.slot as usize), data[pid as usize]);
+        }
+    }
+
+    #[test]
+    fn custom_order_places_neighbours_on_same_page() {
+        let data = dataset(6, 2);
+        let order = vec![5u32, 3, 1, 0, 2, 4];
+        let config = PageStoreConfig::with_page_size(2 * 8 * 2); // 2 records per page
+        let store = PageStore::build_with_order(config, 2, &order, |pid| &data[pid as usize]);
+        // Points 5 and 3 were adjacent in the order, so they share page 0.
+        assert_eq!(store.address_of(5).unwrap().page, PageId(0));
+        assert_eq!(store.address_of(3).unwrap().page, PageId(0));
+        assert_eq!(store.address_of(4).unwrap().page, PageId(2));
+    }
+
+    #[test]
+    fn size_bytes_counts_padding() {
+        let data = dataset(3, 2);
+        let config = PageStoreConfig::with_page_size(4096);
+        let store = PageStore::build_sequential(config, 2, 3, |pid| &data[pid as usize]);
+        assert_eq!(store.page_count(), 1);
+        assert_eq!(store.size_bytes(), 4096);
+        assert_eq!(store.dim(), 2);
+        assert_eq!(store.config().page_size_bytes, 4096);
+    }
+
+    #[test]
+    fn missing_page_and_point_return_none() {
+        let data = dataset(2, 2);
+        let store =
+            PageStore::build_sequential(PageStoreConfig::default(), 2, 2, |pid| &data[pid as usize]);
+        assert!(store.raw_page(PageId(7)).is_none());
+        assert!(store.address_of(99).is_none());
+    }
+}

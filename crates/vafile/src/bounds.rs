@@ -1,0 +1,187 @@
+//! Per-cell divergence bounds for a fixed query.
+//!
+//! For a decomposable divergence the per-dimension term
+//! `d_φ(x, y) = φ(x) − φ(y) − φ'(y)(x − y)` is convex in `x` with its minimum
+//! at `x = y`. Over a quantizer cell `[lo, hi]` this gives closed-form
+//! bounds:
+//!
+//! * lower bound: `d_φ(clamp(y, lo, hi), y)` (zero when `y` falls inside the
+//!   cell),
+//! * upper bound: `max(d_φ(lo, y), d_φ(hi, y))` (convexity puts the maximum
+//!   at an endpoint).
+//!
+//! [`QueryBoundTable`] materializes both bounds for every `(dimension,
+//! cell)` pair once per query, so scanning the approximation file costs two
+//! table lookups and two additions per dimension per point.
+
+use bregman::DecomposableBregman;
+
+use crate::quantizer::Quantizer;
+
+/// Per-(dimension, cell) lower and upper divergence bounds for one query.
+#[derive(Debug, Clone)]
+pub struct QueryBoundTable {
+    cells: usize,
+    dim: usize,
+    /// `lower[d * cells + c]`: lower bound of the dimension-`d` term when the
+    /// point's coordinate lies in cell `c`.
+    lower: Vec<f64>,
+    /// Upper bound counterpart.
+    upper: Vec<f64>,
+}
+
+impl QueryBoundTable {
+    /// Build the table for `query` under `divergence`.
+    ///
+    /// Cell intervals whose endpoints fall outside the divergence domain
+    /// (e.g. a zero left edge under Itakura-Saito when the data is strictly
+    /// positive) are nudged to the nearest in-domain value before the bound
+    /// is evaluated.
+    pub fn build<B: DecomposableBregman>(
+        divergence: &B,
+        quantizer: &Quantizer,
+        query: &[f64],
+    ) -> QueryBoundTable {
+        let dim = quantizer.dim();
+        debug_assert_eq!(query.len(), dim);
+        let cells = quantizer.cells();
+        let mut lower = vec![0.0; dim * cells];
+        let mut upper = vec![0.0; dim * cells];
+        for d in 0..dim {
+            let y = query[d];
+            for c in 0..cells {
+                let (mut lo, mut hi) = quantizer.cell_interval(d, c as u16);
+                if !divergence.in_domain(lo) {
+                    lo = nudge_into_domain(divergence, lo, hi);
+                }
+                if !divergence.in_domain(hi) {
+                    hi = nudge_into_domain(divergence, hi, lo);
+                }
+                let closest = y.clamp(lo, hi);
+                let lower_bound = if closest == y {
+                    0.0
+                } else {
+                    divergence.scalar_divergence(closest, y)
+                };
+                let upper_bound = divergence
+                    .scalar_divergence(lo, y)
+                    .max(divergence.scalar_divergence(hi, y));
+                lower[d * cells + c] = lower_bound.max(0.0);
+                upper[d * cells + c] = upper_bound.max(lower[d * cells + c]);
+            }
+        }
+        QueryBoundTable { cells, dim, lower, upper }
+    }
+
+    /// Dimensionality of the table.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Accumulate the lower and upper divergence bounds of a full
+    /// approximation (one cell per dimension).
+    pub fn bounds_for(&self, approximation: &[u16]) -> (f64, f64) {
+        debug_assert_eq!(approximation.len(), self.dim);
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for (d, &cell) in approximation.iter().enumerate() {
+            let idx = d * self.cells + cell as usize;
+            lo += self.lower[idx];
+            hi += self.upper[idx];
+        }
+        (lo, hi)
+    }
+}
+
+/// Move a value that violates the generator domain toward `other` until it is
+/// valid, falling back to the divergence's domain anchor.
+fn nudge_into_domain<B: DecomposableBregman>(divergence: &B, value: f64, other: f64) -> f64 {
+    if divergence.in_domain(other) {
+        // Use a point just inside the interval on the side of `other`.
+        let candidate = value + (other - value) * 1e-6;
+        if divergence.in_domain(candidate) {
+            return candidate;
+        }
+        return other;
+    }
+    divergence.domain_anchor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::QuantizerConfig;
+    use bregman::{DenseDataset, Exponential, ItakuraSaito, SquaredEuclidean};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64, positive: bool) -> DenseDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let range = if positive { 0.2..10.0 } else { -5.0..5.0 };
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(range.clone())).collect()).collect();
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    fn check_bounds_sandwich<B: DecomposableBregman>(b: &B, positive: bool, seed: u64) {
+        let ds = dataset(120, 5, seed, positive);
+        let quantizer = Quantizer::train(QuantizerConfig { bits_per_dim: 4 }, &ds);
+        let query: Vec<f64> = ds.point(bregman::PointId(3)).to_vec();
+        let table = QueryBoundTable::build(b, &quantizer, &query);
+        for (_, point) in ds.iter() {
+            let approx = quantizer.approximate(point);
+            let (lo, hi) = table.bounds_for(&approx);
+            let exact = b.divergence(point, &query);
+            assert!(
+                lo <= exact + 1e-7 * (1.0 + exact.abs()),
+                "{}: lower bound {lo} exceeds exact {exact}",
+                b.name()
+            );
+            assert!(
+                hi + 1e-7 * (1.0 + hi.abs()) >= exact,
+                "{}: upper bound {hi} below exact {exact}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_divergence_squared_euclidean() {
+        check_bounds_sandwich(&SquaredEuclidean, false, 1);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_divergence_itakura_saito() {
+        check_bounds_sandwich(&ItakuraSaito, true, 2);
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_divergence_exponential() {
+        check_bounds_sandwich(&Exponential, false, 3);
+    }
+
+    #[test]
+    fn query_inside_cell_gives_zero_lower_bound() {
+        let ds = dataset(50, 3, 9, true);
+        let quantizer = Quantizer::train(QuantizerConfig { bits_per_dim: 3 }, &ds);
+        let query = ds.point(bregman::PointId(0)).to_vec();
+        let table = QueryBoundTable::build(&SquaredEuclidean, &quantizer, &query);
+        let approx = quantizer.approximate(&query);
+        let (lo, _) = table.bounds_for(&approx);
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let ds = dataset(80, 4, 11, true);
+        let quantizer = Quantizer::train(QuantizerConfig { bits_per_dim: 5 }, &ds);
+        let query = vec![1.0, 2.0, 3.0, 4.0];
+        let table = QueryBoundTable::build(&ItakuraSaito, &quantizer, &query);
+        for (_, point) in ds.iter() {
+            let approx = quantizer.approximate(point);
+            let (lo, hi) = table.bounds_for(&approx);
+            assert!(lo <= hi);
+            assert!(lo >= 0.0);
+        }
+    }
+}

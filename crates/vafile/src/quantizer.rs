@@ -1,0 +1,188 @@
+//! Per-dimension scalar quantizer used to build vector approximations.
+
+use bregman::DenseDataset;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the scalar quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizerConfig {
+    /// Bits per dimension; each dimension is divided into `2^bits` cells.
+    pub bits_per_dim: u8,
+}
+
+impl Default for QuantizerConfig {
+    fn default() -> Self {
+        Self { bits_per_dim: 6 }
+    }
+}
+
+impl QuantizerConfig {
+    /// Number of cells per dimension.
+    pub fn cells(&self) -> usize {
+        1usize << self.bits_per_dim.min(16)
+    }
+}
+
+/// A uniform per-dimension scalar quantizer trained on the data's
+/// per-dimension ranges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Quantizer {
+    config: QuantizerConfig,
+    /// Per-dimension lower bound of the data range.
+    lo: Vec<f64>,
+    /// Per-dimension cell width (zero for constant dimensions).
+    width: Vec<f64>,
+}
+
+impl Quantizer {
+    /// Train the quantizer on a dataset by recording per-dimension bounds.
+    pub fn train(config: QuantizerConfig, dataset: &DenseDataset) -> Quantizer {
+        let (lo, hi) = dataset
+            .bounds()
+            .unwrap_or_else(|| (vec![0.0; dataset.dim()], vec![1.0; dataset.dim()]));
+        let cells = config.cells() as f64;
+        let width = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| {
+                let span = h - l;
+                if span > 0.0 {
+                    span / cells
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Quantizer { config, lo, width }
+    }
+
+    /// The quantizer configuration.
+    pub fn config(&self) -> QuantizerConfig {
+        self.config
+    }
+
+    /// Dimensionality the quantizer was trained for.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Number of cells per dimension.
+    pub fn cells(&self) -> usize {
+        self.config.cells()
+    }
+
+    /// Cell index of a scalar value in a dimension (clamped to the trained
+    /// range, so out-of-range values land in the first or last cell).
+    pub fn cell(&self, dim: usize, value: f64) -> u16 {
+        let cells = self.cells();
+        if self.width[dim] == 0.0 {
+            return 0;
+        }
+        let raw = ((value - self.lo[dim]) / self.width[dim]).floor();
+        let clamped = raw.clamp(0.0, (cells - 1) as f64);
+        clamped as u16
+    }
+
+    /// The `[lo, hi]` interval covered by a cell of a dimension.
+    ///
+    /// For constant dimensions the interval degenerates to the single trained
+    /// value.
+    pub fn cell_interval(&self, dim: usize, cell: u16) -> (f64, f64) {
+        if self.width[dim] == 0.0 {
+            return (self.lo[dim], self.lo[dim]);
+        }
+        let lo = self.lo[dim] + cell as f64 * self.width[dim];
+        let hi = lo + self.width[dim];
+        (lo, hi)
+    }
+
+    /// Quantize a full point into its approximation (one cell per dimension).
+    pub fn approximate(&self, point: &[f64]) -> Vec<u16> {
+        debug_assert_eq!(point.len(), self.dim());
+        point.iter().enumerate().map(|(d, &v)| self.cell(d, v)).collect()
+    }
+
+    /// Size in bytes of one packed approximation record (`bits_per_dim` bits
+    /// per dimension, rounded up to whole bytes per record).
+    pub fn approximation_bytes_per_point(&self) -> usize {
+        ((self.dim() * self.config.bits_per_dim as usize) + 7) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> DenseDataset {
+        DenseDataset::from_rows(&[
+            vec![0.0, 10.0, 5.0],
+            vec![1.0, 20.0, 5.0],
+            vec![2.0, 30.0, 5.0],
+            vec![4.0, 40.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cells_cover_the_training_range() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 2 }, &dataset());
+        assert_eq!(q.cells(), 4);
+        assert_eq!(q.dim(), 3);
+        // Dimension 0 spans [0,4]; width 1.
+        assert_eq!(q.cell(0, 0.0), 0);
+        assert_eq!(q.cell(0, 0.99), 0);
+        assert_eq!(q.cell(0, 1.5), 1);
+        assert_eq!(q.cell(0, 3.99), 3);
+        // The max value maps to the last cell.
+        assert_eq!(q.cell(0, 4.0), 3);
+        // Out-of-range values are clamped.
+        assert_eq!(q.cell(0, -5.0), 0);
+        assert_eq!(q.cell(0, 100.0), 3);
+    }
+
+    #[test]
+    fn value_lies_inside_its_cell_interval() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 3 }, &dataset());
+        for &value in &[0.0, 0.7, 1.2, 2.9, 3.999, 4.0] {
+            let cell = q.cell(0, value);
+            let (lo, hi) = q.cell_interval(0, cell);
+            assert!(lo <= value + 1e-12 && value <= hi + 1e-12, "{value} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_degenerates_gracefully() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 4 }, &dataset());
+        assert_eq!(q.cell(2, 5.0), 0);
+        assert_eq!(q.cell(2, 123.0), 0);
+        let (lo, hi) = q.cell_interval(2, 0);
+        assert_eq!(lo, 5.0);
+        assert_eq!(hi, 5.0);
+    }
+
+    #[test]
+    fn approximate_produces_one_cell_per_dimension() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 2 }, &dataset());
+        let approx = q.approximate(&[4.0, 10.0, 5.0]);
+        assert_eq!(approx.len(), 3);
+        assert_eq!(approx[0], 3);
+        assert_eq!(approx[1], 0);
+    }
+
+    #[test]
+    fn approximation_record_size_rounds_up_to_bytes() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 6 }, &dataset());
+        // 3 dims * 6 bits = 18 bits → 3 bytes.
+        assert_eq!(q.approximation_bytes_per_point(), 3);
+        let q8 = Quantizer::train(QuantizerConfig { bits_per_dim: 8 }, &dataset());
+        assert_eq!(q8.approximation_bytes_per_point(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_uses_unit_range() {
+        let empty = DenseDataset::empty(2).unwrap();
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 2 }, &empty);
+        assert_eq!(q.cell(0, 0.5), 2);
+        assert_eq!(q.cell(1, -3.0), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The VA-file index: filter on approximations, refine on disk pages.
+
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::bounds::QueryBoundTable;
+use crate::quantizer::{Quantizer, QuantizerConfig};
+
+/// Construction parameters of a [`VaFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VaFileConfig {
+    /// Quantizer resolution.
+    pub quantizer: QuantizerConfig,
+    /// Page layout of the full-resolution data.
+    pub page_size_bytes: usize,
+}
+
+impl Default for VaFileConfig {
+    fn default() -> Self {
+        Self { quantizer: QuantizerConfig::default(), page_size_bytes: 32 * 1024 }
+    }
+}
+
+/// Result of one VA-file kNN query.
+#[derive(Debug, Clone)]
+pub struct VaQueryResult {
+    /// Neighbours ordered by increasing divergence.
+    pub neighbors: Vec<(PointId, f64)>,
+    /// Number of candidates that survived the filter phase.
+    pub candidates: usize,
+    /// Candidates whose exact divergence was evaluated before termination.
+    pub refined: usize,
+    /// I/O cost: approximation-file scan pages plus data pages fetched.
+    pub io: IoStats,
+}
+
+/// A VA-file over a dataset for a fixed decomposable divergence.
+#[derive(Debug, Clone)]
+pub struct VaFile<B: DecomposableBregman> {
+    divergence: B,
+    quantizer: Quantizer,
+    /// One approximation (cell index per dimension) per point.
+    approximations: Vec<Vec<u16>>,
+    /// Full-resolution data pages.
+    store: PageStore,
+    /// Pages occupied by the (packed) approximation file; scanned on every
+    /// query.
+    approximation_pages: u64,
+}
+
+impl<B: DecomposableBregman> VaFile<B> {
+    /// Build a VA-file: train the quantizer, approximate every point and lay
+    /// the full-resolution data out sequentially on the simulated disk.
+    pub fn build(divergence: B, dataset: &DenseDataset, config: VaFileConfig) -> Self {
+        let quantizer = Quantizer::train(config.quantizer, dataset);
+        let approximations: Vec<Vec<u16>> =
+            dataset.iter().map(|(_, point)| quantizer.approximate(point)).collect();
+        let store = PageStore::build_sequential(
+            PageStoreConfig::with_page_size(config.page_size_bytes),
+            dataset.dim(),
+            dataset.len(),
+            |pid| dataset.point(PointId(pid)),
+        );
+        let approx_bytes = quantizer.approximation_bytes_per_point() * dataset.len();
+        let approximation_pages = (approx_bytes as u64).div_ceil(config.page_size_bytes as u64);
+        Self { divergence, quantizer, approximations, store, approximation_pages }
+    }
+
+    /// The divergence the index was built for.
+    pub fn divergence(&self) -> &B {
+        &self.divergence
+    }
+
+    /// The trained quantizer.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The full-resolution page store.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.approximations.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.approximations.is_empty()
+    }
+
+    /// Pages occupied by the approximation file (scanned on every query).
+    pub fn approximation_pages(&self) -> u64 {
+        self.approximation_pages
+    }
+
+    /// Exact kNN search.
+    pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> VaQueryResult {
+        let io_before = pool.stats();
+        if k == 0 || self.is_empty() {
+            return VaQueryResult {
+                neighbors: Vec::new(),
+                candidates: 0,
+                refined: 0,
+                io: IoStats::default(),
+            };
+        }
+        let table = QueryBoundTable::build(&self.divergence, &self.quantizer, query);
+
+        // Phase 1: scan approximations, tracking the k-th smallest upper
+        // bound as the pruning threshold.
+        let mut bounds: Vec<(PointId, f64, f64)> = Vec::with_capacity(self.len());
+        let mut upper_heap: std::collections::BinaryHeap<OrderedF64> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        for (i, approx) in self.approximations.iter().enumerate() {
+            let (lo, hi) = table.bounds_for(approx);
+            bounds.push((PointId(i as u32), lo, hi));
+            if upper_heap.len() < k {
+                upper_heap.push(OrderedF64(hi));
+            } else if hi < upper_heap.peek().map(|v| v.0).unwrap_or(f64::INFINITY) {
+                upper_heap.pop();
+                upper_heap.push(OrderedF64(hi));
+            }
+        }
+        let threshold = upper_heap.peek().map(|v| v.0).unwrap_or(f64::INFINITY);
+
+        // Candidates: lower bound within the k-th smallest upper bound.
+        let mut candidates: Vec<(PointId, f64)> = bounds
+            .into_iter()
+            .filter(|(_, lo, _)| *lo <= threshold)
+            .map(|(pid, lo, _)| (pid, lo))
+            .collect();
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let candidate_count = candidates.len();
+
+        // Phase 2: refine in ascending lower-bound order with the standard
+        // VA-file termination rule.
+        let mut result: Vec<(PointId, f64)> = Vec::with_capacity(k + 1);
+        let mut refined = 0usize;
+        let mut buffer = Vec::new();
+        for (pid, lower) in candidates {
+            let kth = if result.len() >= k {
+                result[k - 1].1
+            } else {
+                f64::INFINITY
+            };
+            if lower > kth {
+                break;
+            }
+            if !pool.read_point_into(&self.store, pid.0, &mut buffer) {
+                continue;
+            }
+            refined += 1;
+            let d = self.divergence.divergence(&buffer, query);
+            let pos = result.partition_point(|(_, existing)| *existing <= d);
+            result.insert(pos, (pid, d));
+            if result.len() > k {
+                result.truncate(k);
+            }
+        }
+
+        let mut io = pool.stats().since(&io_before);
+        io.pages_read += self.approximation_pages;
+        VaQueryResult { neighbors: result, candidates: candidate_count, refined, io }
+    }
+
+    /// Number of pages occupied by the full-resolution data.
+    pub fn data_pages(&self) -> usize {
+        self.store.page_count()
+    }
+}
+
+/// `f64` wrapper ordered by `total_cmp` for use in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bregman::{Exponential, ItakuraSaito, SquaredEuclidean};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(n: usize, d: usize, seed: u64, positive: bool) -> DenseDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let range = if positive { 0.2..10.0 } else { -5.0..5.0 };
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..d).map(|_| rng.gen_range(range.clone())).collect()).collect();
+        DenseDataset::from_rows(&rows).unwrap()
+    }
+
+    fn brute_force<B: DecomposableBregman>(
+        b: &B,
+        ds: &DenseDataset,
+        query: &[f64],
+        k: usize,
+    ) -> Vec<(PointId, f64)> {
+        let mut all: Vec<(PointId, f64)> =
+            ds.iter().map(|(id, p)| (id, b.divergence(p, query))).collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    fn check_exactness<B: DecomposableBregman>(b: B, positive: bool, seed: u64) {
+        let ds = dataset(300, 6, seed, positive);
+        let index = VaFile::build(
+            b.clone(),
+            &ds,
+            VaFileConfig {
+                quantizer: QuantizerConfig { bits_per_dim: 5 },
+                page_size_bytes: 2048,
+            },
+        );
+        let mut pool = BufferPool::unbuffered();
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let range = if positive { 0.2..10.0 } else { -5.0..5.0 };
+        for _ in 0..5 {
+            let query: Vec<f64> = (0..6).map(|_| rng.gen_range(range.clone())).collect();
+            let got = index.knn(&mut pool, &query, 8);
+            let expected = brute_force(&b, &ds, &query, 8);
+            assert_eq!(got.neighbors.len(), 8);
+            for (g, e) in got.neighbors.iter().zip(expected.iter()) {
+                assert!(
+                    (g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()),
+                    "distance mismatch {} vs {}",
+                    g.1,
+                    e.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_squared_euclidean() {
+        check_exactness(SquaredEuclidean, false, 100);
+    }
+
+    #[test]
+    fn exact_for_itakura_saito() {
+        check_exactness(ItakuraSaito, true, 200);
+    }
+
+    #[test]
+    fn exact_for_exponential() {
+        check_exactness(Exponential, false, 300);
+    }
+
+    #[test]
+    fn filter_prunes_most_points_with_enough_bits() {
+        let ds = dataset(1000, 8, 7, true);
+        let index = VaFile::build(
+            SquaredEuclidean,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 6 }, page_size_bytes: 4096 },
+        );
+        let mut pool = BufferPool::unbuffered();
+        let query = ds.point(PointId(17)).to_vec();
+        let result = index.knn(&mut pool, &query, 10);
+        assert!(result.candidates < ds.len(), "filter should prune something");
+        assert!(result.refined <= result.candidates);
+        assert!(result.io.pages_read >= index.approximation_pages());
+    }
+
+    #[test]
+    fn io_includes_approximation_scan() {
+        let ds = dataset(200, 4, 8, true);
+        let index = VaFile::build(SquaredEuclidean, &ds, VaFileConfig::default());
+        let mut pool = BufferPool::unbuffered();
+        let result = index.knn(&mut pool, &[1.0, 2.0, 3.0, 4.0], 5);
+        assert!(result.io.pages_read >= index.approximation_pages());
+        assert_eq!(index.data_pages(), index.store().page_count());
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let ds = dataset(50, 3, 9, true);
+        let index = VaFile::build(SquaredEuclidean, &ds, VaFileConfig::default());
+        let mut pool = BufferPool::unbuffered();
+        assert!(index.knn(&mut pool, &[1.0, 1.0, 1.0], 0).neighbors.is_empty());
+
+        let empty = DenseDataset::empty(3).unwrap();
+        let empty_index = VaFile::build(SquaredEuclidean, &empty, VaFileConfig::default());
+        assert!(empty_index.is_empty());
+        assert!(empty_index.knn(&mut pool, &[1.0, 1.0, 1.0], 5).neighbors.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all_points() {
+        let ds = dataset(20, 3, 10, true);
+        let index = VaFile::build(ItakuraSaito, &ds, VaFileConfig::default());
+        let mut pool = BufferPool::unbuffered();
+        let result = index.knn(&mut pool, &[1.0, 1.0, 1.0], 50);
+        assert_eq!(result.neighbors.len(), 20);
+        for pair in result.neighbors.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn coarser_quantizer_yields_more_candidates() {
+        let ds = dataset(600, 6, 11, true);
+        let fine = VaFile::build(
+            SquaredEuclidean,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 7 }, page_size_bytes: 4096 },
+        );
+        let coarse = VaFile::build(
+            SquaredEuclidean,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 2 }, page_size_bytes: 4096 },
+        );
+        let query = ds.point(PointId(5)).to_vec();
+        let mut pool = BufferPool::unbuffered();
+        let fine_result = fine.knn(&mut pool, &query, 10);
+        let coarse_result = coarse.knn(&mut pool, &query, 10);
+        assert!(
+            coarse_result.candidates >= fine_result.candidates,
+            "coarse quantizer should produce at least as many candidates ({} vs {})",
+            coarse_result.candidates,
+            fine_result.candidates
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Partition tuning: the cost model's optimum and the PCCP ablation.
+//!
+//! Reproduces, on a laptop-scale workload, the two design experiments of the
+//! paper's Section 9.3: the trade-off between the number of partitions `M`
+//! and query cost (Figs. 8–9), and the effect of PCCP versus a naive equal
+//! split (Fig. 10).
+//!
+//! ```bash
+//! cargo run --release --example partition_tuning
+//! ```
+
+use brepartition::prelude::*;
+
+fn main() {
+    let n = 3_000;
+    let dim = 96;
+    let k = 20;
+    let query_count = 10;
+
+    let data = HierarchicalSpec {
+        n,
+        dim,
+        clusters: 30,
+        blocks: 12,
+        base_scale: 5.0,
+        ..Default::default()
+    }
+    .generate();
+    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, query_count, 0.02, 21);
+
+    // The cost model's suggested optimum.
+    let auto = BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        &data,
+        &BrePartitionConfig::default().with_page_size(16 * 1024),
+    )
+    .unwrap();
+    println!("cost-model optimum: M = {}\n", auto.partitions());
+
+    // Sweep M around the optimum (the shape of Figs. 8 and 9).
+    println!("{:>4} {:>14} {:>16} {:>14}", "M", "avg I/O", "avg candidates", "avg time (ms)");
+    for m in [2usize, 4, 8, 12, 16, 24, 32] {
+        let config = BrePartitionConfig::default()
+            .with_partitions(m)
+            .with_page_size(16 * 1024);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let mut io = 0u64;
+        let mut candidates = 0usize;
+        let mut seconds = 0.0;
+        for query in workload.iter() {
+            let result = index.knn(query, k).unwrap();
+            io += result.stats.io.pages_read;
+            candidates += result.stats.candidates;
+            seconds += result.stats.total_seconds();
+        }
+        println!(
+            "{:>4} {:>14.1} {:>16.1} {:>14.3}",
+            m,
+            io as f64 / query_count as f64,
+            candidates as f64 / query_count as f64,
+            seconds * 1e3 / query_count as f64
+        );
+    }
+
+    // PCCP vs the naive equal split at the optimum M (the Fig. 10 ablation).
+    println!("\n{:<18} {:>14} {:>16}", "strategy", "avg I/O", "avg candidates");
+    for (name, strategy) in [
+        ("PCCP", PartitionStrategy::Pccp),
+        ("equal/contiguous", PartitionStrategy::EqualContiguous),
+    ] {
+        let config = BrePartitionConfig::default()
+            .with_partitions(auto.partitions())
+            .with_strategy(strategy)
+            .with_page_size(16 * 1024);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let mut io = 0u64;
+        let mut candidates = 0usize;
+        for query in workload.iter() {
+            let result = index.knn(query, k).unwrap();
+            io += result.stats.io.pages_read;
+            candidates += result.stats.candidates;
+        }
+        println!(
+            "{:<18} {:>14.1} {:>16.1}",
+            name,
+            io as f64 / query_count as f64,
+            candidates as f64 / query_count as f64
+        );
+    }
+}

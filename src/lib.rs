@@ -1,0 +1,81 @@
+//! BrePartition — optimized high-dimensional kNN search with Bregman
+//! distances.
+//!
+//! This is the façade crate of the workspace: it re-exports the public API
+//! of every component so applications can depend on a single crate.
+//!
+//! * [`core`](brepartition_core) — the BrePartition index (bounds, optimal
+//!   partitioning, PCCP, BB-forest, exact and approximate search),
+//! * [`bregman`] — Bregman divergences and the dense dataset container,
+//! * [`bbtree`] — Bregman ball trees (the BBT baseline and the per-subspace
+//!   index),
+//! * [`vafile`] — the VA-file baseline,
+//! * [`pagestore`] — the simulated disk with I/O accounting,
+//! * [`datagen`] — dataset proxies, query workloads, ground truth and
+//!   accuracy metrics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use brepartition::prelude::*;
+//!
+//! // Generate a small Itakura-Saito workload.
+//! let data = HierarchicalSpec { n: 500, dim: 32, clusters: 10, blocks: 8, ..Default::default() }
+//!     .generate();
+//! let config = BrePartitionConfig::default().with_partitions(8).with_page_size(8 * 1024);
+//! let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+//!
+//! let query = data.row(42).to_vec();
+//! let result = index.knn(&query, 10).unwrap();
+//! assert_eq!(result.neighbors.len(), 10);
+//! assert_eq!(result.neighbors[0].0.index(), 42); // the query is its own 1-NN
+//! println!("{} candidate points, {} page reads", result.stats.candidates, result.stats.io.pages_read);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bbtree;
+pub use bregman;
+pub use brepartition_core as core;
+pub use datagen;
+pub use pagestore;
+pub use vafile;
+
+/// The most commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
+    pub use bregman::{
+        DecomposableBregman, DenseDataset, Divergence, DivergenceKind, Exponential, ItakuraSaito,
+        PointId, SquaredEuclidean,
+    };
+    pub use brepartition_core::{
+        ApproximateConfig, BrePartitionConfig, BrePartitionIndex, PartitionCount,
+        PartitionStrategy, QueryResult,
+    };
+    pub use datagen::{
+        ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,
+        QueryWorkload,
+    };
+    pub use pagestore::{BufferPool, IoStats, PageStoreConfig};
+    pub use vafile::{VaFile, VaFileConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let data = HierarchicalSpec { n: 200, dim: 16, clusters: 8, blocks: 4, ..Default::default() }
+            .generate();
+        let index = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &data,
+            &BrePartitionConfig::default().with_partitions(4).with_page_size(4096),
+        )
+        .unwrap();
+        let result = index.knn(data.row(0), 3).unwrap();
+        assert_eq!(result.neighbors.len(), 3);
+    }
+}

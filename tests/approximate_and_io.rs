@@ -1,0 +1,183 @@
+//! Integration tests for the approximate extension (ABP) and for the I/O
+//! accounting that the evaluation relies on.
+
+use brepartition::prelude::*;
+
+fn workload(n: usize, dim: usize) -> (DenseDataset, QueryWorkload) {
+    let data = HierarchicalSpec {
+        n,
+        dim,
+        clusters: 24,
+        blocks: 8,
+        ..Default::default()
+    }
+    .generate();
+    let queries = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, 8, 0.02, 99);
+    (data, queries)
+}
+
+#[test]
+fn approximate_search_trades_candidates_for_bounded_accuracy_loss() {
+    let (data, queries) = workload(1_500, 48);
+    let k = 20;
+    let truth = ground_truth_knn(DivergenceKind::ItakuraSaito, &data, &queries.queries, k, 4);
+    let index = BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        &data,
+        &BrePartitionConfig::default().with_partitions(8).with_page_size(8 * 1024),
+    )
+    .unwrap();
+
+    let mut exact_candidates = 0usize;
+    let mut approx_candidates = 0usize;
+    let mut ratios = Vec::new();
+    let mut recalls = Vec::new();
+    let config = ApproximateConfig::with_probability(0.9);
+    for (qi, query) in queries.iter().enumerate() {
+        let exact = index.knn(query, k).unwrap();
+        let approx = index.knn_approximate(query, k, &config).unwrap();
+        exact_candidates += exact.stats.candidates;
+        approx_candidates += approx.stats.candidates;
+        ratios.push(overall_ratio(&approx.neighbors, truth.neighbors_of(qi)));
+        recalls.push(recall(&approx.neighbors, truth.neighbors_of(qi)));
+        assert!(approx.coefficient.unwrap() <= 1.0);
+        assert!(approx.coefficient.unwrap() >= 0.0);
+    }
+    assert!(
+        approx_candidates <= exact_candidates,
+        "approximate search should not enlarge the candidate set"
+    );
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let mean_recall = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(mean_ratio < 1.5, "mean overall ratio {mean_ratio} too far from exact");
+    assert!(mean_recall > 0.5, "mean recall {mean_recall} too low for p = 0.9");
+}
+
+#[test]
+fn accuracy_improves_with_the_probability_guarantee() {
+    let (data, queries) = workload(1_200, 40);
+    let k = 10;
+    let truth = ground_truth_knn(DivergenceKind::ItakuraSaito, &data, &queries.queries, k, 4);
+    let index = BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        &data,
+        &BrePartitionConfig::default().with_partitions(8).with_page_size(8 * 1024),
+    )
+    .unwrap();
+    let mean_ratio = |p: f64| -> f64 {
+        let config = ApproximateConfig::with_probability(p);
+        let mut ratios = Vec::new();
+        for (qi, query) in queries.iter().enumerate() {
+            let approx = index.knn_approximate(query, k, &config).unwrap();
+            ratios.push(overall_ratio(&approx.neighbors, truth.neighbors_of(qi)));
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    let low = mean_ratio(0.6);
+    let high = mean_ratio(0.95);
+    // Higher guarantees must not be (meaningfully) less accurate.
+    assert!(
+        high <= low + 0.05,
+        "p = 0.95 gave ratio {high}, worse than p = 0.6 ratio {low}"
+    );
+}
+
+#[test]
+fn per_query_io_is_within_the_store_size_and_positive() {
+    let (data, queries) = workload(1_000, 32);
+    let index = BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        &data,
+        &BrePartitionConfig::default().with_partitions(8).with_page_size(4 * 1024),
+    )
+    .unwrap();
+    let pages = index.forest().page_count() as u64;
+    for query in queries.iter() {
+        let result = index.knn(query, 10).unwrap();
+        assert!(result.stats.io.pages_read > 0, "loading candidates must cost I/O");
+        assert!(
+            result.stats.io.pages_read <= pages,
+            "a query cannot read more distinct pages than the store holds ({} > {pages})",
+            result.stats.io.pages_read
+        );
+    }
+}
+
+#[test]
+fn larger_page_sizes_reduce_page_reads() {
+    let (data, queries) = workload(1_200, 32);
+    let avg_io = |page_size: usize| -> f64 {
+        let index = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &data,
+            &BrePartitionConfig::default().with_partitions(8).with_page_size(page_size),
+        )
+        .unwrap();
+        let mut io = 0u64;
+        for query in queries.iter() {
+            io += index.knn(query, 10).unwrap().stats.io.pages_read;
+        }
+        io as f64 / queries.len() as f64
+    };
+    let small = avg_io(2 * 1024);
+    let large = avg_io(32 * 1024);
+    assert!(
+        large < small,
+        "32 KB pages should need fewer reads than 2 KB pages ({large} vs {small})"
+    );
+}
+
+#[test]
+fn buffer_pool_reuse_reduces_physical_io_across_queries() {
+    let (data, queries) = workload(1_000, 32);
+    let index = BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        &data,
+        &BrePartitionConfig::default().with_partitions(8).with_page_size(4 * 1024),
+    )
+    .unwrap();
+    // Cold: a fresh unbuffered pool per query.
+    let mut cold = 0u64;
+    for query in queries.iter() {
+        cold += index.knn(query, 10).unwrap().stats.io.pages_read;
+    }
+    // Warm: one large shared pool across the workload.
+    let mut pool = BufferPool::new(index.forest().page_count());
+    let mut warm = 0u64;
+    for query in queries.iter() {
+        warm += index.knn_with_pool(&mut pool, query, 10).unwrap().stats.io.pages_read;
+    }
+    assert!(warm <= cold, "a shared pool must not increase physical reads");
+}
+
+#[test]
+fn variational_baseline_is_faster_but_less_accurate_than_exact_bbt() {
+    let (data, queries) = workload(1_500, 40);
+    let k = 10;
+    let index = DiskBBTree::build(
+        ItakuraSaito,
+        &data,
+        BBTreeConfig::with_leaf_capacity(16),
+        PageStoreConfig::with_page_size(8 * 1024),
+    );
+    let mut exact_io = 0u64;
+    let mut var_io = 0u64;
+    let mut recalls = Vec::new();
+    let config = VariationalConfig { explore_fraction: 0.1 };
+    for query in queries.iter() {
+        let mut pool = BufferPool::unbuffered();
+        let exact = index.knn(&mut pool, query, k);
+        let mut pool = BufferPool::unbuffered();
+        let var = index.knn_variational(&mut pool, query, k, &config);
+        exact_io += exact.io.pages_read;
+        var_io += var.io.pages_read;
+        let exact_pairs: Vec<(PointId, f64)> =
+            exact.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+        let var_pairs: Vec<(PointId, f64)> =
+            var.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+        recalls.push(recall(&var_pairs, &exact_pairs));
+    }
+    assert!(var_io <= exact_io, "the variational search must not read more pages");
+    let mean_recall = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(mean_recall > 0.3, "variational recall collapsed: {mean_recall}");
+}

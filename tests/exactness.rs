@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: every exact index must agree with brute
+//! force on the same workload, for every supported divergence.
+
+use brepartition::prelude::*;
+
+fn proxy(dataset: PaperDataset, n: usize, dim: usize, seed: u64) -> (DenseDataset, DivergenceKind) {
+    let spec = dataset.scaled_spec(n).with_points(n).with_dim(dim);
+    (spec.generate(seed), spec.divergence)
+}
+
+fn assert_distances_match(
+    label: &str,
+    got: &[(PointId, f64)],
+    expected: &[(PointId, f64)],
+) {
+    assert_eq!(got.len(), expected.len(), "{label}: result size mismatch");
+    for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+        assert!(
+            (g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()),
+            "{label}: rank {i} distance {} vs expected {}",
+            g.1,
+            e.1
+        );
+    }
+}
+
+#[test]
+fn brepartition_is_exact_on_every_proxy_dataset() {
+    for dataset in [PaperDataset::Audio, PaperDataset::Fonts, PaperDataset::Deep, PaperDataset::Sift] {
+        let (data, kind) = proxy(dataset, 600, 48, 1);
+        let workload = QueryWorkload::perturbed_from(&data, kind, 5, 0.02, 2);
+        let truth = ground_truth_knn(kind, &data, &workload.queries, 10, 4);
+        let index = BrePartitionIndex::build(
+            kind,
+            &data,
+            &BrePartitionConfig::default().with_partitions(8).with_page_size(8 * 1024),
+        )
+        .unwrap();
+        for (qi, query) in workload.iter().enumerate() {
+            let result = index.knn(query, 10).unwrap();
+            assert_distances_match(
+                &format!("BrePartition/{dataset}"),
+                &result.neighbors,
+                truth.neighbors_of(qi),
+            );
+        }
+    }
+}
+
+#[test]
+fn brepartition_with_auto_partitions_is_exact() {
+    let (data, kind) = proxy(PaperDataset::Audio, 800, 64, 3);
+    let workload = QueryWorkload::perturbed_from(&data, kind, 4, 0.05, 4);
+    let truth = ground_truth_knn(kind, &data, &workload.queries, 20, 4);
+    let index = BrePartitionIndex::build(
+        kind,
+        &data,
+        &BrePartitionConfig::default().with_page_size(16 * 1024),
+    )
+    .unwrap();
+    assert!(index.partitions() >= 1 && index.partitions() <= 64);
+    for (qi, query) in workload.iter().enumerate() {
+        let result = index.knn(query, 20).unwrap();
+        assert_distances_match("BrePartition/auto-M", &result.neighbors, truth.neighbors_of(qi));
+    }
+}
+
+#[test]
+fn disk_bbtree_is_exact_on_proxies() {
+    let (data, kind) = proxy(PaperDataset::Fonts, 500, 40, 5);
+    assert_eq!(kind, DivergenceKind::ItakuraSaito);
+    let workload = QueryWorkload::perturbed_from(&data, kind, 4, 0.02, 6);
+    let truth = ground_truth_knn(kind, &data, &workload.queries, 15, 4);
+    let index = DiskBBTree::build(
+        ItakuraSaito,
+        &data,
+        BBTreeConfig::with_leaf_capacity(16),
+        PageStoreConfig::with_page_size(8 * 1024),
+    );
+    for (qi, query) in workload.iter().enumerate() {
+        let mut pool = BufferPool::unbuffered();
+        let result = index.knn(&mut pool, query, 15);
+        let got: Vec<(PointId, f64)> =
+            result.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+        assert_distances_match("DiskBBTree/Fonts", &got, truth.neighbors_of(qi));
+    }
+}
+
+#[test]
+fn vafile_is_exact_on_proxies() {
+    let (data, kind) = proxy(PaperDataset::Sift, 700, 32, 7);
+    assert_eq!(kind, DivergenceKind::Exponential);
+    let workload = QueryWorkload::perturbed_from(&data, kind, 4, 0.02, 8);
+    let truth = ground_truth_knn(kind, &data, &workload.queries, 10, 4);
+    let index = VaFile::build(
+        Exponential,
+        &data,
+        VaFileConfig { page_size_bytes: 8 * 1024, ..VaFileConfig::default() },
+    );
+    for (qi, query) in workload.iter().enumerate() {
+        let mut pool = BufferPool::unbuffered();
+        let result = index.knn(&mut pool, query, 10);
+        assert_distances_match("VaFile/Sift", &result.neighbors, truth.neighbors_of(qi));
+    }
+}
+
+#[test]
+fn all_three_exact_indexes_agree_with_each_other() {
+    let (data, kind) = proxy(PaperDataset::Deep, 400, 32, 9);
+    let query = data.row(17).to_vec();
+    let k = 12;
+
+    let bp = BrePartitionIndex::build(
+        kind,
+        &data,
+        &BrePartitionConfig::default().with_partitions(4).with_page_size(8 * 1024),
+    )
+    .unwrap();
+    let bp_result = bp.knn(&query, k).unwrap();
+
+    let bbt = DiskBBTree::build(
+        Exponential,
+        &data,
+        BBTreeConfig::with_leaf_capacity(16),
+        PageStoreConfig::with_page_size(8 * 1024),
+    );
+    let mut pool = BufferPool::unbuffered();
+    let bbt_result = bbt.knn(&mut pool, &query, k);
+
+    let vaf = VaFile::build(
+        Exponential,
+        &data,
+        VaFileConfig { page_size_bytes: 8 * 1024, ..VaFileConfig::default() },
+    );
+    let mut pool = BufferPool::unbuffered();
+    let vaf_result = vaf.knn(&mut pool, &query, k);
+
+    for i in 0..k {
+        let a = bp_result.neighbors[i].1;
+        let b = bbt_result.neighbors[i].distance;
+        let c = vaf_result.neighbors[i].1;
+        assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "BP vs BBT at rank {i}");
+        assert!((a - c).abs() < 1e-9 * (1.0 + a.abs()), "BP vs VAF at rank {i}");
+    }
+}
+
+#[test]
+fn squared_euclidean_round_trips_through_the_whole_stack() {
+    // The squared Euclidean generator is the simplest decomposable
+    // divergence; it exercises the pipeline with negative coordinates.
+    let data = datagen::synthetic::normal(500, 24, 0.0, 1.0, 11);
+    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::SquaredEuclidean, 3, 0.1, 12);
+    let truth = ground_truth_knn(DivergenceKind::SquaredEuclidean, &data, &workload.queries, 8, 2);
+    let index = BrePartitionIndex::build(
+        DivergenceKind::SquaredEuclidean,
+        &data,
+        &BrePartitionConfig::default().with_partitions(6).with_page_size(4096),
+    )
+    .unwrap();
+    for (qi, query) in workload.iter().enumerate() {
+        let result = index.knn(query, 8).unwrap();
+        assert_distances_match("BrePartition/SE", &result.neighbors, truth.neighbors_of(qi));
+    }
+}
+
+#[test]
+fn generalized_i_divergence_is_rejected_by_the_partitioned_index() {
+    let data = datagen::synthetic::uniform(100, 16, 0.5, 2.0, 13);
+    let err = BrePartitionIndex::build(
+        DivergenceKind::GeneralizedI,
+        &data,
+        &BrePartitionConfig::default().with_partitions(4),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not cumulative"));
+}

@@ -1,0 +1,164 @@
+//! Workspace-level property tests: the theorems the BrePartition framework
+//! rests on, checked on randomized inputs across crates.
+
+use brepartition::prelude::*;
+use proptest::prelude::*;
+
+/// Random strictly positive dataset plus an in-domain query.
+fn dataset_and_query(
+    max_points: usize,
+    dim: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    let rows = prop::collection::vec(prop::collection::vec(0.2f64..20.0, dim), 30..max_points);
+    let query = prop::collection::vec(0.2f64..20.0, dim);
+    (rows, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Theorem 2: the summed per-subspace Cauchy bound dominates the exact
+    /// divergence for every point, any partitioning.
+    #[test]
+    fn summed_upper_bound_dominates_divergence(
+        (rows, query) in dataset_and_query(60, 12),
+        m in 1usize..6,
+    ) {
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let kind = DivergenceKind::ItakuraSaito;
+        let partitioning =
+            brepartition::core::partition::equal::equal_contiguous(12, m).unwrap();
+        let transformed =
+            brepartition::core::TransformedDataset::build(kind, &data, &partitioning);
+        let tq = brepartition::core::TransformedQuery::build(kind, &query, &partitioning);
+        for i in 0..data.len() {
+            let total: f64 = (0..m)
+                .map(|s| {
+                    brepartition::core::upper_bound_from_components(
+                        transformed.components(i, s),
+                        tq.components(s),
+                    )
+                })
+                .sum();
+            let exact = kind.divergence(data.row(i), &query);
+            prop_assert!(exact <= total + 1e-7 * (1.0 + total.abs()));
+        }
+    }
+
+    /// Theorem 3 end-to-end: the exact kNN of a query always appears in the
+    /// BrePartition result (which therefore matches brute force).
+    #[test]
+    fn brepartition_matches_brute_force(
+        (rows, query) in dataset_and_query(80, 16),
+        k in 1usize..12,
+        m in 2usize..6,
+    ) {
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let kind = DivergenceKind::ItakuraSaito;
+        let index = BrePartitionIndex::build(
+            kind,
+            &data,
+            &BrePartitionConfig::default()
+                .with_partitions(m)
+                .with_leaf_capacity(8)
+                .with_page_size(2048),
+        )
+        .unwrap();
+        let got = index.knn(&query, k).unwrap();
+        let truth = ground_truth_knn(
+            kind,
+            &data,
+            &DenseDataset::from_rows(&[query.clone()]).unwrap(),
+            k,
+            1,
+        );
+        let expected = truth.neighbors_of(0);
+        prop_assert_eq!(got.neighbors.len(), expected.len());
+        for (g, e) in got.neighbors.iter().zip(expected.iter()) {
+            prop_assert!((g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()));
+        }
+    }
+
+    /// The VA-file is exact for the exponential distance on data with
+    /// negative coordinates as well.
+    #[test]
+    fn vafile_matches_brute_force_on_signed_data(
+        rows in prop::collection::vec(prop::collection::vec(-3.0f64..3.0, 10), 30..70),
+        k in 1usize..8,
+    ) {
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let query = rows[0].iter().map(|v| v * 0.9 + 0.05).collect::<Vec<f64>>();
+        let index = VaFile::build(
+            Exponential,
+            &data,
+            VaFileConfig { page_size_bytes: 1024, ..VaFileConfig::default() },
+        );
+        let mut pool = BufferPool::unbuffered();
+        let got = index.knn(&mut pool, &query, k);
+        let truth = ground_truth_knn(
+            DivergenceKind::Exponential,
+            &data,
+            &DenseDataset::from_rows(&[query.clone()]).unwrap(),
+            k,
+            1,
+        );
+        for (g, e) in got.neighbors.iter().zip(truth.neighbors_of(0).iter()) {
+            prop_assert!((g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()));
+        }
+    }
+
+    /// The disk BB-tree range query returns exactly the points within the
+    /// radius, and its candidate set is a superset of them.
+    #[test]
+    fn bbtree_range_query_is_exact(
+        (rows, query) in dataset_and_query(70, 8),
+        radius in 0.05f64..5.0,
+    ) {
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let index = DiskBBTree::build(
+            ItakuraSaito,
+            &data,
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(1024),
+        );
+        let mut pool = BufferPool::unbuffered();
+        let (got, _, _) = index.range(&mut pool, &query, radius);
+        let mut expected: Vec<(PointId, f64)> = data
+            .iter()
+            .map(|(id, p)| (id, DivergenceKind::ItakuraSaito.divergence(p, &query)))
+            .filter(|(_, d)| *d <= radius)
+            .collect();
+        expected.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(g.0, e.0);
+        }
+    }
+
+    /// The approximate coefficient always lies in (0, 1] and shrinking the
+    /// radii never produces more candidates than the exact search.
+    #[test]
+    fn approximate_coefficient_and_candidates_are_bounded(
+        (rows, query) in dataset_and_query(60, 12),
+        p in 0.5f64..1.0,
+    ) {
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let kind = DivergenceKind::ItakuraSaito;
+        let index = BrePartitionIndex::build(
+            kind,
+            &data,
+            &BrePartitionConfig::default()
+                .with_partitions(4)
+                .with_leaf_capacity(8)
+                .with_page_size(2048),
+        )
+        .unwrap();
+        let exact = index.knn(&query, 5).unwrap();
+        let approx = index
+            .knn_approximate(&query, 5, &ApproximateConfig::with_probability(p))
+            .unwrap();
+        let c = approx.coefficient.unwrap();
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(approx.stats.candidates <= exact.stats.candidates);
+    }
+}
