@@ -1,7 +1,6 @@
 //! Bregman balls and the query-to-ball projection bound.
 
 use bregman::{DecomposableBregman, GeodesicInterpolator};
-use serde::{Deserialize, Serialize};
 
 /// Number of bisection steps used when projecting a query onto a ball
 /// surface. 20 halvings shrink the θ interval below 1e-6, far below the
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 const PROJECTION_BISECTION_STEPS: usize = 20;
 
 /// A Bregman ball `{x : D_f(x, center) ≤ radius}`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BregmanBall {
     center: Vec<f64>,
     radius: f64,

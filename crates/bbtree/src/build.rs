@@ -12,13 +12,12 @@ use bregman::{DecomposableBregman, DenseDataset, PointId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::ball::BregmanBall;
 use crate::node::{BBTree, Node, NodeId, NodeKind};
 
 /// Construction parameters for a BB-tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBTreeConfig {
     /// Maximum number of points per leaf (the paper's leaf capacity `C`).
     pub leaf_capacity: usize,
@@ -236,9 +235,8 @@ mod tests {
             assert_eq!(left_pts.len(), 16);
             assert_eq!(right_pts.len(), 16);
             // Each side must be homogeneous: entirely ids 0..16 or entirely 16..32.
-            let homogeneous = |pts: &[PointId]| {
-                pts.iter().all(|p| p.0 < 16) || pts.iter().all(|p| p.0 >= 16)
-            };
+            let homogeneous =
+                |pts: &[PointId]| pts.iter().all(|p| p.0 < 16) || pts.iter().all(|p| p.0 >= 16);
             assert!(homogeneous(&left_pts) && homogeneous(&right_pts));
         } else {
             panic!("root should be internal for 32 points with capacity 16");
@@ -259,7 +257,8 @@ mod tests {
     fn identical_points_collapse_to_single_leaf() {
         let rows = vec![vec![2.0, 2.0]; 50];
         let ds = DenseDataset::from_rows(&rows).unwrap();
-        let tree = BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
+        let tree =
+            BBTreeBuilder::new(SquaredEuclidean, BBTreeConfig::with_leaf_capacity(8)).build(&ds);
         assert_eq!(tree.leaf_count(), 1);
         assert_eq!(tree.points_in_leaf_order().len(), 50);
     }

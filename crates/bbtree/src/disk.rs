@@ -120,8 +120,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
     ) -> (Vec<(PointId, f64)>, SearchStats, IoStats) {
         let before = pool.stats();
         let mut stats = SearchStats::new();
-        let candidates =
-            self.tree.range_candidates(&self.divergence, query, radius, &mut stats);
+        let candidates = self.tree.range_candidates(&self.divergence, query, radius, &mut stats);
         let ids: Vec<u32> = candidates.iter().map(|p| p.0).collect();
         let mut out = Vec::new();
         for (pid, coords) in pool.read_points(&self.store, &ids) {
@@ -227,10 +226,8 @@ mod tests {
         // Every leaf of capacity 8 should span at most 2 pages.
         for leaf in index.tree().leaves_in_order() {
             if let crate::node::NodeKind::Leaf { points } = &index.tree().node(leaf).kind {
-                let pages: std::collections::HashSet<_> = points
-                    .iter()
-                    .map(|p| index.store().address_of(p.0).unwrap().page)
-                    .collect();
+                let pages: std::collections::HashSet<_> =
+                    points.iter().map(|p| index.store().address_of(p.0).unwrap().page).collect();
                 assert!(pages.len() <= 2, "leaf spread over {} pages", pages.len());
             }
         }

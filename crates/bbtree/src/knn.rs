@@ -4,13 +4,12 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use bregman::{DecomposableBregman, DenseDataset, PointId};
-use serde::{Deserialize, Serialize};
 
 use crate::node::{BBTree, NodeId, NodeKind};
 use crate::stats::SearchStats;
 
 /// One kNN result: a point id and its divergence from the query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Identifier of the neighbour.
     pub id: PointId,
@@ -36,10 +35,7 @@ impl PartialOrd for HeapNeighbor {
 }
 impl Ord for HeapNeighbor {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .distance
-            .total_cmp(&other.0.distance)
-            .then_with(|| self.0.id.cmp(&other.0.id))
+        self.0.distance.total_cmp(&other.0.distance).then_with(|| self.0.id.cmp(&other.0.id))
     }
 }
 
@@ -64,10 +60,7 @@ impl PartialOrd for FrontierEntry {
 impl Ord for FrontierEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the BinaryHeap (a max-heap) pops the smallest bound.
-        other
-            .bound
-            .total_cmp(&self.bound)
-            .then_with(|| other.node.0.cmp(&self.node.0))
+        other.bound.total_cmp(&self.bound).then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
 

@@ -1,12 +1,11 @@
 //! Arena-based BB-tree representation.
 
 use bregman::{DecomposableBregman, PointId};
-use serde::{Deserialize, Serialize};
 
 use crate::ball::BregmanBall;
 
 /// Index of a node inside the tree arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -19,7 +18,7 @@ impl NodeId {
 
 /// Children of a node: either two sub-balls or the point ids of a leaf
 /// cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum NodeKind {
     /// Internal node with two children.
     Internal {
@@ -36,7 +35,7 @@ pub enum NodeKind {
 }
 
 /// One node of a BB-tree: a Bregman ball plus its children or leaf contents.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The covering Bregman ball of every point below this node.
     pub ball: BregmanBall,
@@ -49,7 +48,7 @@ pub struct Node {
 /// The tree stores only point *ids*; the coordinates live in the owning
 /// dataset (in-memory search) or in a [`pagestore::PageStore`]
 /// (disk-resident search via [`crate::DiskBBTree`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BBTree {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
@@ -192,8 +191,7 @@ mod tests {
     use bregman::{DenseDataset, SquaredEuclidean};
 
     fn grid_dataset() -> DenseDataset {
-        let rows: Vec<Vec<f64>> =
-            (0..32).map(|i| vec![(i % 8) as f64, (i / 8) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![(i % 8) as f64, (i / 8) as f64]).collect();
         DenseDataset::from_rows(&rows).unwrap()
     }
 

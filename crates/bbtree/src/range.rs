@@ -144,7 +144,8 @@ mod tests {
     #[test]
     fn candidates_are_a_superset_of_true_results() {
         let ds = random_dataset(300, 4, 21);
-        let tree = BBTreeBuilder::new(ItakuraSaito, BBTreeConfig::with_leaf_capacity(12)).build(&ds);
+        let tree =
+            BBTreeBuilder::new(ItakuraSaito, BBTreeConfig::with_leaf_capacity(12)).build(&ds);
         let query = vec![2.0, 5.0, 1.0, 3.0];
         let radius = 0.8;
         let mut stats = SearchStats::new();

@@ -1,13 +1,11 @@
 //! Search-cost counters reported by every BB-tree traversal.
 
-use serde::{Deserialize, Serialize};
-
 /// CPU-side cost counters for one tree traversal.
 ///
 /// These complement [`pagestore::IoStats`]: `SearchStats` counts in-memory
 /// work (nodes touched, divergence evaluations), while the buffer pool counts
 /// physical page reads.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SearchStats {
     /// Tree nodes popped/visited during the traversal.
     pub nodes_visited: u64,
@@ -44,7 +42,10 @@ impl std::fmt::Display for SearchStats {
         write!(
             f,
             "{} nodes, {} leaves, {} divergence evals, {} candidates",
-            self.nodes_visited, self.leaves_visited, self.distance_computations, self.candidates_examined
+            self.nodes_visited,
+            self.leaves_visited,
+            self.distance_computations,
+            self.candidates_examined
         )
     }
 }
@@ -55,8 +56,18 @@ mod tests {
 
     #[test]
     fn accumulate_and_reset() {
-        let mut a = SearchStats { nodes_visited: 1, leaves_visited: 2, distance_computations: 3, candidates_examined: 4 };
-        let b = SearchStats { nodes_visited: 10, leaves_visited: 20, distance_computations: 30, candidates_examined: 40 };
+        let mut a = SearchStats {
+            nodes_visited: 1,
+            leaves_visited: 2,
+            distance_computations: 3,
+            candidates_examined: 4,
+        };
+        let b = SearchStats {
+            nodes_visited: 10,
+            leaves_visited: 20,
+            distance_computations: 30,
+            candidates_examined: 40,
+        };
         a.accumulate(&b);
         assert_eq!(a.nodes_visited, 11);
         assert_eq!(a.candidates_examined, 44);
@@ -66,7 +77,12 @@ mod tests {
 
     #[test]
     fn display_mentions_every_counter() {
-        let s = SearchStats { nodes_visited: 5, leaves_visited: 6, distance_computations: 7, candidates_examined: 8 };
+        let s = SearchStats {
+            nodes_visited: 5,
+            leaves_visited: 6,
+            distance_computations: 7,
+            candidates_examined: 8,
+        };
         let text = s.to_string();
         for needle in ["5 nodes", "6 leaves", "7 divergence", "8 candidates"] {
             assert!(text.contains(needle), "missing {needle} in {text}");

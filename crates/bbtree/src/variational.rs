@@ -16,10 +16,8 @@
 //! budget plays the role of the variational confidence threshold. The
 //! substitution is recorded in `DESIGN.md`.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the variational-style approximate search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationalConfig {
     /// Fraction of the tree's leaves the search may visit (clamped to
     /// `(0, 1]`). Smaller values are faster and less accurate.

@@ -8,8 +8,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use datagen::HierarchicalSpec;
 
 fn bench_transforms(c: &mut Criterion) {
-    let data = HierarchicalSpec { n: 2_000, dim: 96, clusters: 20, blocks: 12, ..Default::default() }
-        .generate();
+    let data =
+        HierarchicalSpec { n: 2_000, dim: 96, clusters: 20, blocks: 12, ..Default::default() }
+            .generate();
     let kind = DivergenceKind::ItakuraSaito;
     let mut group = c.benchmark_group("bound_pipeline");
     for m in [4usize, 12, 24, 48] {
@@ -28,8 +29,9 @@ fn bench_transforms(c: &mut Criterion) {
 }
 
 fn bench_dataset_transform(c: &mut Criterion) {
-    let data = HierarchicalSpec { n: 1_000, dim: 64, clusters: 16, blocks: 8, ..Default::default() }
-        .generate();
+    let data =
+        HierarchicalSpec { n: 1_000, dim: 64, clusters: 16, blocks: 8, ..Default::default() }
+            .generate();
     let partitioning = equal_contiguous(64, 8).unwrap();
     c.bench_function("ptransform_1000x64_m8", |b| {
         b.iter(|| {

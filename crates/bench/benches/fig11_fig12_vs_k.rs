@@ -7,11 +7,8 @@ use brepartition_bench::experiments::fig11_fig12_vs_k;
 use brepartition_bench::{Scale, Workbench};
 
 fn main() {
-    let scale = if std::env::var("BREPARTITION_SCALE").is_ok() {
-        Scale::from_env()
-    } else {
-        Scale::tiny()
-    };
+    let scale =
+        if std::env::var("BREPARTITION_SCALE").is_ok() { Scale::from_env() } else { Scale::tiny() };
     let bench = Workbench::new(scale);
     for table in fig11_fig12_vs_k::run(&bench) {
         print!("{table}");

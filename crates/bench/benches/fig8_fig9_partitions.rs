@@ -7,11 +7,8 @@ use brepartition_bench::experiments::fig8_fig9_partitions;
 use brepartition_bench::{Scale, Workbench};
 
 fn main() {
-    let scale = if std::env::var("BREPARTITION_SCALE").is_ok() {
-        Scale::from_env()
-    } else {
-        Scale::tiny()
-    };
+    let scale =
+        if std::env::var("BREPARTITION_SCALE").is_ok() { Scale::from_env() } else { Scale::tiny() };
     let bench = Workbench::new(scale);
     for table in fig8_fig9_partitions::run(&bench) {
         print!("{table}");

@@ -8,12 +8,11 @@ use pagestore::BufferPool;
 use vafile::{QuantizerConfig, QueryBoundTable, VaFile, VaFileConfig};
 
 fn bench_vafile(c: &mut Criterion) {
-    let data = HierarchicalSpec { n: 4_000, dim: 64, clusters: 32, blocks: 8, ..Default::default() }
-        .generate();
-    let config = VaFileConfig {
-        quantizer: QuantizerConfig { bits_per_dim: 6 },
-        page_size_bytes: 16 * 1024,
-    };
+    let data =
+        HierarchicalSpec { n: 4_000, dim: 64, clusters: 32, blocks: 8, ..Default::default() }
+            .generate();
+    let config =
+        VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 6 }, page_size_bytes: 16 * 1024 };
     let index = VaFile::build(ItakuraSaito, &data, config);
     let query = data.row(7).to_vec();
 

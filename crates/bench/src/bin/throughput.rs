@@ -1,0 +1,15 @@
+//! Regenerate the "throughput" experiment and print its markdown tables.
+//!
+//! Scale is controlled by the `BREPARTITION_SCALE` environment variable
+//! (`quick` default, `paper`, `tiny`).
+
+use brepartition_bench::experiments::throughput;
+use brepartition_bench::{Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bench = Workbench::new(scale);
+    for table in throughput::run(&bench) {
+        print!("{table}");
+    }
+}

@@ -66,11 +66,10 @@ struct Series {
 
 fn run_methods(workload: &Workload, paper_m: usize) -> Series {
     // Build each index once and sweep k over it.
-    let bp_config = BrePartitionConfig::default()
-        .with_page_size(workload.page_size)
-        .with_partitions(paper_m);
-    let bp_index = BrePartitionIndex::build(workload.kind, &workload.dataset, &bp_config)
-        .expect("BP build");
+    let bp_config =
+        BrePartitionConfig::default().with_page_size(workload.page_size).with_partitions(paper_m);
+    let bp_index =
+        BrePartitionIndex::build(workload.kind, &workload.dataset, &bp_config).expect("BP build");
     let bp: Vec<(f64, f64)> = KS
         .iter()
         .map(|&k| {

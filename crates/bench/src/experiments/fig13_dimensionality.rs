@@ -39,7 +39,9 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
     for dim in dimension_sweep(bench.scale.max_dim) {
         let spec = PaperDataset::Fonts
             .scaled_spec(bench.scale.max_points)
-            .with_points(bench.scale.points(PaperDataset::Fonts.scaled_spec(bench.scale.max_points).n))
+            .with_points(
+                bench.scale.points(PaperDataset::Fonts.scaled_spec(bench.scale.max_points).n),
+            )
             .with_dim(dim);
         let workload = bench.workload_from_spec("Fonts", spec, 13);
         let m = bench.paper_m(workload.dataset.dim());

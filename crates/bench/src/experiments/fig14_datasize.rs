@@ -24,12 +24,11 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
         &["n", "BP", "VAF", "BBT"],
     );
     let max = bench.scale.max_points;
-    let sweep: Vec<usize> = [0.2, 0.4, 0.6, 0.8, 1.0]
-        .iter()
-        .map(|f| ((max as f64 * f) as usize).max(200))
-        .collect();
+    let sweep: Vec<usize> =
+        [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| ((max as f64 * f) as usize).max(200)).collect();
     for n in sweep {
-        let spec = PaperDataset::Sift.scaled_spec(max).with_points(n).with_dim(bench.scale.dim(128));
+        let spec =
+            PaperDataset::Sift.scaled_spec(max).with_points(n).with_dim(bench.scale.dim(128));
         let workload = bench.workload_from_spec("Sift", spec, 14);
         let m = bench.paper_m(workload.dataset.dim());
         let bp = bench.run_brepartition(&workload, k, Some(m), PartitionStrategy::Pccp);

@@ -29,12 +29,20 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
         let workload = bench.workload(dataset, 8);
         let mut table = Table::new(
             format!("Figs. 8/9 — {} : per-query I/O (pages) and running time (ms) vs M", dataset),
-            &["M", "I/O k=20", "I/O k=60", "I/O k=100", "time k=20", "time k=60", "time k=100", "candidates k=20"],
+            &[
+                "M",
+                "I/O k=20",
+                "I/O k=60",
+                "I/O k=100",
+                "time k=20",
+                "time k=60",
+                "time k=100",
+                "candidates k=20",
+            ],
         );
         for m in m_sweep(workload.dataset.dim()) {
-            let config = BrePartitionConfig::default()
-                .with_partitions(m)
-                .with_page_size(workload.page_size);
+            let config =
+                BrePartitionConfig::default().with_partitions(m).with_page_size(workload.page_size);
             let Ok(index) = BrePartitionIndex::build(workload.kind, &workload.dataset, &config)
             else {
                 continue;

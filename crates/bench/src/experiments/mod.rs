@@ -11,6 +11,7 @@ pub mod fig15_approximate;
 pub mod fig7_construction;
 pub mod fig8_fig9_partitions;
 pub mod table4_datasets;
+pub mod throughput;
 
 use crate::report::Table;
 use crate::runner::Workbench;
@@ -35,6 +36,7 @@ pub fn run_all(scale: Scale) -> String {
         ("Fig. 13 — impact of dimensionality", fig13_dimensionality::run(&bench)),
         ("Fig. 14 — impact of data size", fig14_datasize::run(&bench)),
         ("Fig. 15 — approximate solution", fig15_approximate::run(&bench)),
+        ("Engine — batch-serving throughput (beyond the paper)", throughput::run(&bench)),
     ];
     for (title, tables) in sections {
         out.push_str(&format!("## {title}\n\n"));

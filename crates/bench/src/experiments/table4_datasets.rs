@@ -12,7 +12,15 @@ use crate::runner::Workbench;
 pub fn run(bench: &Workbench) -> Vec<Table> {
     let mut table = Table::new(
         "Table 4 — datasets (scaled proxies) and optimized number of partitions M",
-        &["Dataset", "n (proxy)", "d (proxy)", "Measure", "Page size", "M (paper)", "M (cost model)"],
+        &[
+            "Dataset",
+            "n (proxy)",
+            "d (proxy)",
+            "Measure",
+            "Page size",
+            "M (paper)",
+            "M (cost model)",
+        ],
     );
     for dataset in PaperDataset::ALL {
         let workload = bench.workload(dataset, 4);
@@ -29,7 +37,9 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
             DivergenceKind::GeneralizedI => None,
             kind => CostModel::fit(kind, &workload.dataset, 128, 7).ok(),
         };
-        let m = fitted.map(|model| model.optimal_partitions(1).to_string()).unwrap_or_else(|| "-".into());
+        let m = fitted
+            .map(|model| model.optimal_partitions(1).to_string())
+            .unwrap_or_else(|| "-".into());
         table.row(vec![
             dataset.name().to_string(),
             workload.dataset.len().to_string(),

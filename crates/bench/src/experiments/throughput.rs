@@ -1,0 +1,125 @@
+//! Batch-serving throughput of the concurrent query engine.
+//!
+//! Not a figure of the paper: the paper measures single queries in
+//! isolation, while this experiment drives the [`brepartition_engine`]
+//! serving layer with a large batch of queries on a hierarchically
+//! clustered Itakura-Saito workload and reports, per backend and thread
+//! count, the numbers a deployment is tuned against — QPS, latency
+//! percentiles, candidate-set sizes and per-query physical I/O.
+
+use std::sync::Arc;
+
+use bbtree::BBTreeConfig;
+use bregman::DivergenceKind;
+use brepartition_core::{ApproximateConfig, BrePartitionConfig, BrePartitionIndex};
+use brepartition_engine::{
+    bbtree_backend_for_kind, vafile_backend_for_kind, BrePartitionBackend, EngineConfig,
+    QueryEngine, SearchBackend, ThroughputReport,
+};
+use datagen::{HierarchicalSpec, QueryWorkload};
+use pagestore::PageStoreConfig;
+use vafile::VaFileConfig;
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::Workbench;
+
+const PAGE_SIZE: usize = 32 * 1024;
+const K: usize = 10;
+
+/// Run the throughput experiment: all four backends, 1 thread vs all cores.
+pub fn run(bench: &Workbench) -> Vec<Table> {
+    let kind = DivergenceKind::ItakuraSaito;
+    let n = bench.scale.max_points.max(600);
+    let dim = 32.min(bench.scale.max_dim);
+    let dataset = HierarchicalSpec {
+        n,
+        dim,
+        clusters: (n / 100).clamp(8, 32),
+        blocks: (dim / 4).max(2),
+        ..Default::default()
+    }
+    .generate();
+    // The paper measures 50 isolated queries; a throughput experiment needs
+    // a real batch, so the query count scales with the preset.
+    let batch_size = (bench.scale.queries * 16).clamp(64, 1024);
+    let workload = QueryWorkload::perturbed_from(&dataset, kind, batch_size, 0.02, 0x7B);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+
+    let bp_config =
+        BrePartitionConfig::default().with_partitions(bench.paper_m(dim)).with_page_size(PAGE_SIZE);
+    let index = Arc::new(BrePartitionIndex::build(kind, &dataset, &bp_config).expect("BP build"));
+
+    let backends: Vec<Arc<dyn SearchBackend>> = vec![
+        Arc::new(BrePartitionBackend::exact(index.clone())),
+        Arc::new(BrePartitionBackend::approximate(index, ApproximateConfig::with_probability(0.9))),
+        Arc::from(bbtree_backend_for_kind(
+            kind,
+            &dataset,
+            BBTreeConfig::with_leaf_capacity(32),
+            PageStoreConfig::with_page_size(PAGE_SIZE),
+        )),
+        Arc::from(vafile_backend_for_kind(
+            kind,
+            &dataset,
+            VaFileConfig { page_size_bytes: PAGE_SIZE, ..VaFileConfig::default() },
+        )),
+    ];
+
+    let pool_threads = brepartition_engine::recommended_pool_threads();
+    let mut table = Table::new(
+        format!(
+            "Engine throughput — hierarchical ISD, n={n}, d={dim}, {batch_size} queries, k={K}"
+        ),
+        &[
+            "method",
+            "threads",
+            "QPS",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "mean (ms)",
+            "cand/q",
+            "IO pages/q",
+        ],
+    );
+    for backend in backends {
+        for threads in [1, pool_threads] {
+            let engine = QueryEngine::with_config(
+                backend.clone(),
+                EngineConfig::default().with_threads(threads),
+            );
+            let batch = engine.run_batch(&queries, K).expect("batch run");
+            table.row(report_row(&batch.report));
+        }
+    }
+    vec![table]
+}
+
+fn report_row(report: &ThroughputReport) -> Vec<String> {
+    vec![
+        report.backend.clone(),
+        report.threads.to_string(),
+        fmt_f64(report.qps),
+        fmt_f64(report.latency.p50_ms),
+        fmt_f64(report.latency.p95_ms),
+        fmt_f64(report.latency.p99_ms),
+        fmt_f64(report.latency.mean_ms),
+        fmt_f64(report.avg_candidates),
+        fmt_f64(report.avg_io_pages),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn throughput_rows_cover_all_backends_and_thread_counts() {
+        let bench = Workbench::new(Scale::tiny());
+        let tables = run(&bench);
+        assert_eq!(tables.len(), 1);
+        // 4 backends × 2 thread counts.
+        assert_eq!(tables[0].len(), 8);
+    }
+}

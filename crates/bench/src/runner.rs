@@ -3,13 +3,17 @@
 use std::time::Instant;
 
 use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
-use bregman::{DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId, SquaredEuclidean};
+use bregman::{
+    DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId,
+    SquaredEuclidean,
+};
 use brepartition_core::{
     ApproximateConfig, BrePartitionConfig, BrePartitionIndex, PartitionStrategy,
 };
-use datagen::{ground_truth_knn, overall_ratio, DatasetSpec, GroundTruth, PaperDataset, QueryWorkload};
+use datagen::{
+    ground_truth_knn, overall_ratio, DatasetSpec, GroundTruth, PaperDataset, QueryWorkload,
+};
 use pagestore::{BufferPool, PageStoreConfig};
-use serde::{Deserialize, Serialize};
 use vafile::{VaFile, VaFileConfig};
 
 use crate::scale::Scale;
@@ -31,7 +35,7 @@ pub struct Workload {
 }
 
 /// Aggregated per-method measurements over one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodMetrics {
     /// Method label ("BP", "VAF", "BBT", "ABP (p=0.9)", "Var").
     pub method: String,
@@ -73,8 +77,13 @@ impl Workbench {
     /// and data-size sweeps).
     pub fn workload_from_spec(&self, name: &str, spec: DatasetSpec, seed: u64) -> Workload {
         let dataset = spec.generate(seed);
-        let queries =
-            QueryWorkload::perturbed_from(&dataset, spec.divergence, self.scale.queries, 0.02, seed ^ 0x51DE);
+        let queries = QueryWorkload::perturbed_from(
+            &dataset,
+            spec.divergence,
+            self.scale.queries,
+            0.02,
+            seed ^ 0x51DE,
+        );
         Workload {
             name: name.to_string(),
             dataset,
@@ -152,8 +161,8 @@ impl Workbench {
             .with_page_size(workload.page_size)
             .with_partitions(self.paper_m(workload.dataset.dim()));
         let build_started = Instant::now();
-        let index = BrePartitionIndex::build(workload.kind, &workload.dataset, &config)
-            .expect("ABP build");
+        let index =
+            BrePartitionIndex::build(workload.kind, &workload.dataset, &config).expect("ABP build");
         let build_seconds = build_started.elapsed().as_secs_f64();
         let approx = ApproximateConfig::with_probability(p);
         let mut io = 0u64;
@@ -191,8 +200,7 @@ impl Workbench {
         explore_fraction: f64,
         truth: &GroundTruth,
     ) -> MethodMetrics {
-        let mut metrics =
-            self.run_bbt_impl(workload, k, Some((explore_fraction, truth)), "Var");
+        let mut metrics = self.run_bbt_impl(workload, k, Some((explore_fraction, truth)), "Var");
         metrics.method = "Var".to_string();
         metrics
     }

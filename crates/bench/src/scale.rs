@@ -1,7 +1,5 @@
 //! Experiment scale control.
 
-use serde::{Deserialize, Serialize};
-
 /// How large the generated proxy workloads are.
 ///
 /// The paper's real datasets range from 54 K to 11 M points; this
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// evaluation runs in minutes. The environment variable
 /// `BREPARTITION_SCALE` selects a preset: `quick` (default), `paper`
 /// (larger, tens of thousands of points) or `tiny` (CI smoke test).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Number of points of the largest dataset (the SIFT proxy); other
     /// datasets are scaled proportionally with a floor.

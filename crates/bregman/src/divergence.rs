@@ -104,6 +104,9 @@ pub trait DecomposableBregman: Divergence + Clone {
     }
 
     /// Primal coordinates of a dual point: `(∇f)⁻¹(s)` applied element-wise.
+    // Named to pair with `to_dual`; it maps a point, it does not construct a
+    // divergence, so the `from_*` constructor convention does not apply.
+    #[allow(clippy::wrong_self_convention)]
     fn from_dual(&self, s: &[f64]) -> Vec<f64> {
         s.iter().map(|&v| self.phi_prime_inv(v)).collect()
     }
@@ -164,7 +167,9 @@ mod tests {
     use super::*;
     use crate::{Exponential, GeneralizedI, ItakuraSaito, SquaredEuclidean};
 
-    fn all_decomposable() -> Vec<Box<dyn Fn(&[f64], &[f64]) -> f64>> {
+    type DivergenceFn = Box<dyn Fn(&[f64], &[f64]) -> f64>;
+
+    fn all_decomposable() -> Vec<DivergenceFn> {
         vec![
             Box::new(|x, y| SquaredEuclidean.divergence(x, y)),
             Box::new(|x, y| ItakuraSaito.divergence(x, y)),
@@ -184,11 +189,7 @@ mod tests {
 
     #[test]
     fn non_negative_on_positive_orthant() {
-        let xs = [
-            vec![0.5, 1.0, 2.5],
-            vec![1.0, 1.0, 1.0],
-            vec![3.0, 0.25, 7.5],
-        ];
+        let xs = [vec![0.5, 1.0, 2.5], vec![1.0, 1.0, 1.0], vec![3.0, 0.25, 7.5]];
         for d in all_decomposable() {
             for x in &xs {
                 for y in &xs {

@@ -77,8 +77,8 @@ impl<B: DecomposableBregman> GeodesicInterpolator<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Exponential, ItakuraSaito, SquaredEuclidean};
     use crate::divergence::Divergence;
+    use crate::{Exponential, ItakuraSaito, SquaredEuclidean};
 
     #[test]
     fn endpoints_are_recovered() {

@@ -52,9 +52,7 @@ impl SquaredMahalanobis {
         }
         let me = Self { dim, q };
         if !me.is_positive_definite() {
-            return Err(BregmanError::InvalidMatrix(
-                "matrix is not positive definite".to_string(),
-            ));
+            return Err(BregmanError::InvalidMatrix("matrix is not positive definite".to_string()));
         }
         Ok(me)
     }
@@ -108,12 +106,10 @@ impl SquaredMahalanobis {
     /// Gradient `∇f(y) = Q y`.
     pub fn gradient(&self, y: &[f64]) -> Vec<f64> {
         debug_assert_eq!(y.len(), self.dim);
-        let mut out = vec![0.0; self.dim];
-        for i in 0..self.dim {
-            let row = &self.q[i * self.dim..(i + 1) * self.dim];
-            out[i] = row.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
-        }
-        out
+        self.q
+            .chunks_exact(self.dim)
+            .map(|row| row.iter().zip(y.iter()).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     fn is_positive_definite(&self) -> bool {

@@ -5,12 +5,10 @@
 //! (row-major). Points are addressed by [`PointId`], which is a plain
 //! `u32`-sized newtype so candidate lists stay compact.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{BregmanError, Result};
 
 /// Identifier of a point inside a [`DenseDataset`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PointId(pub u32);
 
 impl PointId {
@@ -34,7 +32,7 @@ impl std::fmt::Display for PointId {
 }
 
 /// A dense, row-major collection of `n` points of dimensionality `d`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseDataset {
     dim: usize,
     data: Vec<f64>,
@@ -46,7 +44,7 @@ impl DenseDataset {
         if dim == 0 {
             return Err(BregmanError::Empty("dimensionality"));
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(BregmanError::RaggedData { len: data.len(), dim });
         }
         Ok(Self { dim, data })
@@ -224,12 +222,8 @@ mod tests {
     use super::*;
 
     fn small() -> DenseDataset {
-        DenseDataset::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-            vec![7.0, 8.0, 9.0],
-        ])
-        .unwrap()
+        DenseDataset::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]])
+            .unwrap()
     }
 
     #[test]

@@ -22,7 +22,6 @@
 
 use bregman::PointId;
 use pagestore::BufferPool;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use crate::bound::QueryBounds;
@@ -31,7 +30,7 @@ use crate::search::{BrePartitionIndex, QueryResult};
 use crate::transform::TransformedQuery;
 
 /// Parameters of the approximate search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApproximateConfig {
     /// Probability guarantee `p ∈ (0, 1]`: the returned points are the exact
     /// kNN with (modelled) probability at least `p`.
@@ -53,7 +52,7 @@ impl ApproximateConfig {
 
 /// A univariate Normal distribution with the CDF and quantile function needed
 /// by Proposition 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NormalDistribution {
     /// Mean.
     pub mean: f64,
@@ -111,7 +110,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -212,11 +212,7 @@ impl BrePartitionIndex {
                 // sign of yφ'(y)/y when y ≠ 0.
                 let (_, beta_yy, delta) = self.kind().query_components(&[y]);
                 let magnitude = delta.max(0.0).sqrt();
-                let sign = if y != 0.0 {
-                    (beta_yy / y).signum()
-                } else {
-                    1.0
-                };
+                let sign = if y != 0.0 { (beta_yy / y).signum() } else { 1.0 };
                 grad.push(sign * magnitude);
             }
             ((), grad)
@@ -255,8 +251,16 @@ mod tests {
     use datagen::metrics::{overall_ratio, recall};
 
     fn dataset(n: usize, dim: usize, seed: u64) -> DenseDataset {
-        CorrelatedSpec { n, dim, blocks: (dim / 4).max(1), correlation: 0.7, mean: 5.0, scale: 1.0, seed }
-            .generate()
+        CorrelatedSpec {
+            n,
+            dim,
+            blocks: (dim / 4).max(1),
+            correlation: 0.7,
+            mean: 5.0,
+            scale: 1.0,
+            seed,
+        }
+        .generate()
     }
 
     fn index(ds: &DenseDataset) -> BrePartitionIndex {
@@ -352,12 +356,10 @@ mod tests {
         let ds = dataset(700, 16, 4);
         let idx = index(&ds);
         let query = ds.row(123).to_vec();
-        let low = idx
-            .knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.6))
-            .unwrap();
-        let high = idx
-            .knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.95))
-            .unwrap();
+        let low =
+            idx.knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.6)).unwrap();
+        let high =
+            idx.knn_approximate(&query, 10, &ApproximateConfig::with_probability(0.95)).unwrap();
         assert!(high.stats.candidates >= low.stats.candidates);
         assert!(high.coefficient.unwrap() >= low.coefficient.unwrap() - 1e-9);
     }
@@ -405,8 +407,8 @@ mod tests {
             values.push(beta);
         }
         let emp_mean = values.iter().sum::<f64>() / values.len() as f64;
-        let emp_var =
-            values.iter().map(|v| (v - emp_mean) * (v - emp_mean)).sum::<f64>() / values.len() as f64;
+        let emp_var = values.iter().map(|v| (v - emp_mean) * (v - emp_mean)).sum::<f64>()
+            / values.len() as f64;
         assert!(
             (model.mean - emp_mean).abs() < 0.05 * emp_mean.abs().max(1.0),
             "model mean {} vs empirical {}",

@@ -11,7 +11,10 @@
 //! candidates costs few extra page reads — the effect Fig. 10 measures.
 
 use bbtree::{BBTree, BBTreeBuilder, BBTreeConfig, SearchStats};
-use bregman::{DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId, SquaredEuclidean};
+use bregman::{
+    DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId,
+    SquaredEuclidean,
+};
 use pagestore::{PageStore, PageStoreConfig};
 
 use crate::error::Result;
@@ -70,7 +73,8 @@ impl BBForest {
             .iter()
             .enumerate()
             .map(|(i, sub)| {
-                let config = BBTreeConfig { seed: tree_config.seed.wrapping_add(i as u64), ..tree_config };
+                let config =
+                    BBTreeConfig { seed: tree_config.seed.wrapping_add(i as u64), ..tree_config };
                 with_divergence!(kind, div, BBTreeBuilder::new(div, config).build(sub))
             })
             .collect();
@@ -148,8 +152,16 @@ mod tests {
     use datagen::correlated::CorrelatedSpec;
 
     fn dataset() -> DenseDataset {
-        CorrelatedSpec { n: 400, dim: 24, blocks: 6, correlation: 0.8, mean: 5.0, scale: 1.0, seed: 3 }
-            .generate()
+        CorrelatedSpec {
+            n: 400,
+            dim: 24,
+            blocks: 6,
+            correlation: 0.8,
+            mean: 5.0,
+            scale: 1.0,
+            seed: 3,
+        }
+        .generate()
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Upper bound assembly and search-bound determination (Algorithms 1 and 4,
 //! Theorems 1–3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::transform::{TransformedDataset, TransformedQuery};
 
 /// Algorithm 1 (`UBCompute`): assemble the per-subspace Cauchy–Schwarz upper
@@ -21,7 +19,7 @@ pub fn upper_bound_from_components(point: (f64, f64), query: (f64, f64, f64)) ->
 
 /// The per-subspace search bounds of one query (Algorithm 4's `QB`), plus
 /// the summed bound used by the cost model and the approximate extension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryBounds {
     /// Index of the data point whose summed upper bound was the k-th
     /// smallest (the paper's point `t`).

@@ -1,41 +1,29 @@
 //! Index configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How many partitions to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionCount {
     /// Derive the optimized `M` from the cost model of Theorem 4.
+    #[default]
     Auto,
     /// Use a fixed number of partitions (clamped to `[1, d]` at build time).
     Fixed(usize),
 }
 
-impl Default for PartitionCount {
-    fn default() -> Self {
-        PartitionCount::Auto
-    }
-}
-
 /// Which dimensionality-partitioning strategy to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionStrategy {
     /// Pearson-Correlation-Coefficient-based Partition (the paper's PCCP):
     /// correlated dimensions are spread across different partitions.
+    #[default]
     Pccp,
     /// Naive equal, contiguous split (the paper's baseline used in the PCCP
     /// ablation of Fig. 10).
     EqualContiguous,
 }
 
-impl Default for PartitionStrategy {
-    fn default() -> Self {
-        PartitionStrategy::Pccp
-    }
-}
-
 /// Configuration of a [`crate::BrePartitionIndex`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BrePartitionConfig {
     /// Number of partitions (`Auto` applies Theorem 4).
     pub partitions: PartitionCount,

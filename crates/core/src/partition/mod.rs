@@ -6,12 +6,11 @@ pub mod optimal_m;
 pub mod pccp;
 
 use bregman::DenseDataset;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{CoreError, Result};
 
 /// A partitioning of `d` dimensions into `M` disjoint, exhaustive subspaces.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partitioning {
     subspaces: Vec<Vec<usize>>,
     dim: usize,
@@ -74,10 +73,7 @@ impl Partitioning {
     /// Project the full dataset into per-subspace datasets (the inputs to
     /// the per-subspace BB-trees).
     pub fn project_dataset(&self, dataset: &DenseDataset) -> Result<Vec<DenseDataset>> {
-        self.subspaces
-            .iter()
-            .map(|dims| dataset.project(dims).map_err(CoreError::from))
-            .collect()
+        self.subspaces.iter().map(|dims| dataset.project(dims).map_err(CoreError::from)).collect()
     }
 
     /// Project one point into the given subspace, reusing `out`.
@@ -117,11 +113,8 @@ mod tests {
 
     #[test]
     fn project_dataset_produces_one_dataset_per_subspace() {
-        let ds = DenseDataset::from_rows(&[
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![5.0, 6.0, 7.0, 8.0],
-        ])
-        .unwrap();
+        let ds =
+            DenseDataset::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]]).unwrap();
         let p = Partitioning::new(vec![vec![3, 0], vec![1, 2]]).unwrap();
         let projected = p.project_dataset(&ds).unwrap();
         assert_eq!(projected.len(), 2);

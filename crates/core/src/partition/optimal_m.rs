@@ -24,7 +24,6 @@ use bregman::{DenseDataset, DivergenceKind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::bound::upper_bound_from_components;
 use crate::error::{CoreError, Result};
@@ -32,7 +31,7 @@ use crate::partition::equal::equal_contiguous;
 use crate::transform::TransformedQuery;
 
 /// Fitted parameters of the query cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Scale of the fitted bound decay `UB ≈ A·α^M`.
     pub a: f64,
@@ -103,15 +102,13 @@ impl CostModel {
             let mut scratch = Vec::new();
             for (s, dims) in partitioning.subspaces().iter().enumerate() {
                 DenseDataset::gather_into(x_row, dims, &mut scratch);
-                bound += upper_bound_from_components(kind.point_components(&scratch), q.components(s));
+                bound +=
+                    upper_bound_from_components(kind.point_components(&scratch), q.components(s));
             }
             if bound <= 0.0 {
                 continue;
             }
-            let within = dataset
-                .iter()
-                .filter(|(_, p)| kind.divergence(p, query) <= bound)
-                .count();
+            let within = dataset.iter().filter(|(_, p)| kind.divergence(p, query) <= bound).count();
             beta_samples.push(within as f64 / n as f64 / bound);
         }
         let beta = if beta_samples.is_empty() {
@@ -225,14 +222,12 @@ mod tests {
     #[test]
     fn optimal_m_is_within_bounds_and_deterministic() {
         let ds = dataset(600, 48);
-        let m1 = CostModel::fit(DivergenceKind::ItakuraSaito, &ds, 64, 9)
-            .unwrap()
-            .optimal_partitions(1);
-        let m2 = CostModel::fit(DivergenceKind::ItakuraSaito, &ds, 64, 9)
-            .unwrap()
-            .optimal_partitions(1);
+        let m1 =
+            CostModel::fit(DivergenceKind::ItakuraSaito, &ds, 64, 9).unwrap().optimal_partitions(1);
+        let m2 =
+            CostModel::fit(DivergenceKind::ItakuraSaito, &ds, 64, 9).unwrap().optimal_partitions(1);
         assert_eq!(m1, m2);
-        assert!(m1 >= 1 && m1 <= 48);
+        assert!((1..=48).contains(&m1));
     }
 
     #[test]

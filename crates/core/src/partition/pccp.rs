@@ -48,8 +48,8 @@ pub fn correlation_matrix(dataset: &DenseDataset, sample_size: usize) -> Vec<Vec
             vars[j] += dv * dv;
         }
     }
-    for j in 0..d {
-        matrix[j][j] = 1.0;
+    for (j, row) in matrix.iter_mut().enumerate() {
+        row[j] = 1.0;
     }
     for a in 0..d {
         if vars[a] == 0.0 {
@@ -73,7 +73,12 @@ pub fn correlation_matrix(dataset: &DenseDataset, sample_size: usize) -> Vec<Vec
 }
 
 /// Run PCCP over `dataset`, producing `m` partitions.
-pub fn pccp(dataset: &DenseDataset, m: usize, sample_size: usize, seed: u64) -> Result<Partitioning> {
+pub fn pccp(
+    dataset: &DenseDataset,
+    m: usize,
+    sample_size: usize,
+    seed: u64,
+) -> Result<Partitioning> {
     let d = dataset.dim();
     if m == 0 || m > d {
         return Err(CoreError::InvalidPartitionCount { requested: m, dim: d });
@@ -104,10 +109,8 @@ fn assign_groups(corr: &[Vec<f64>], d: usize, m: usize, seed: u64) -> Vec<Vec<us
                 .iter()
                 .enumerate()
                 .map(|(pos, &cand)| {
-                    let best_corr = group
-                        .iter()
-                        .map(|&g| corr[g][cand])
-                        .fold(f64::NEG_INFINITY, f64::max);
+                    let best_corr =
+                        group.iter().map(|&g| corr[g][cand]).fold(f64::NEG_INFINITY, f64::max);
                     (pos, best_corr)
                 })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -141,8 +144,7 @@ fn partition_from_groups(
     }
     // Guard against empty partitions when d < m (rejected earlier) or when
     // rounding left a partition empty: rebalance from the largest partition.
-    loop {
-        let Some(empty_idx) = subspaces.iter().position(Vec::is_empty) else { break };
+    while let Some(empty_idx) = subspaces.iter().position(Vec::is_empty) {
         let (donor_idx, _) = subspaces
             .iter()
             .enumerate()
@@ -163,16 +165,8 @@ mod tests {
     use datagen::correlated::CorrelatedSpec;
 
     fn correlated_dataset(dim: usize, blocks: usize) -> DenseDataset {
-        CorrelatedSpec {
-            n: 1500,
-            dim,
-            blocks,
-            correlation: 0.92,
-            mean: 5.0,
-            scale: 1.0,
-            seed: 17,
-        }
-        .generate()
+        CorrelatedSpec { n: 1500, dim, blocks, correlation: 0.92, mean: 5.0, scale: 1.0, seed: 17 }
+            .generate()
     }
 
     #[test]

@@ -4,7 +4,6 @@
 use bbtree::{BBTreeConfig, SearchStats};
 use bregman::{DenseDataset, DivergenceKind, PointId};
 use pagestore::{BufferPool, PageStoreConfig};
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use crate::bbforest::BBForest;
@@ -17,7 +16,7 @@ use crate::stats::QueryStats;
 use crate::transform::{TransformedDataset, TransformedQuery};
 
 /// Result of one kNN query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     /// The neighbours as `(id, divergence)` pairs, ordered by increasing
     /// divergence.
@@ -33,7 +32,7 @@ pub struct QueryResult {
 
 /// Summary of the precomputation phase (Algorithm 5), reported for the
 /// index-construction experiment (Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuildReport {
     /// Number of partitions actually used.
     pub partitions: usize,
@@ -109,7 +108,11 @@ impl BrePartitionIndex {
             kind,
             dataset,
             &partitioning,
-            BBTreeConfig { leaf_capacity: config.leaf_capacity, max_kmeans_iters: 16, seed: config.seed },
+            BBTreeConfig {
+                leaf_capacity: config.leaf_capacity,
+                max_kmeans_iters: 16,
+                seed: config.seed,
+            },
             PageStoreConfig::with_page_size(config.page_size_bytes),
         )?;
 
@@ -233,8 +236,7 @@ impl BrePartitionIndex {
             });
         };
         let bound_seconds = bound_started.elapsed().as_secs_f64();
-        let (neighbors, mut stats) =
-            self.filter_and_refine(pool, query, k, &bounds.per_subspace);
+        let (neighbors, mut stats) = self.filter_and_refine(pool, query, k, &bounds.per_subspace);
         stats.bound_seconds = bound_seconds;
         Ok(QueryResult { neighbors, stats, bounds, coefficient: None })
     }
@@ -337,15 +339,20 @@ mod tests {
     use datagen::ground_truth::single_query_knn;
 
     fn dataset(n: usize, dim: usize, seed: u64) -> DenseDataset {
-        CorrelatedSpec { n, dim, blocks: (dim / 4).max(1), correlation: 0.8, mean: 5.0, scale: 1.0, seed }
-            .generate()
+        CorrelatedSpec {
+            n,
+            dim,
+            blocks: (dim / 4).max(1),
+            correlation: 0.8,
+            mean: 5.0,
+            scale: 1.0,
+            seed,
+        }
+        .generate()
     }
 
     fn config() -> BrePartitionConfig {
-        BrePartitionConfig::default()
-            .with_partitions(4)
-            .with_leaf_capacity(16)
-            .with_page_size(4096)
+        BrePartitionConfig::default().with_partitions(4).with_leaf_capacity(16).with_page_size(4096)
     }
 
     #[test]
@@ -392,7 +399,8 @@ mod tests {
         let k = 20;
         let got = index.knn(&query, k).unwrap();
         let expected = single_query_knn(DivergenceKind::ItakuraSaito, &ds, &query, k);
-        let got_ids: std::collections::HashSet<_> = got.neighbors.iter().map(|(id, _)| *id).collect();
+        let got_ids: std::collections::HashSet<_> =
+            got.neighbors.iter().map(|(id, _)| *id).collect();
         for (id, _) in expected {
             assert!(got_ids.contains(&id), "true neighbour {id} missing");
         }
@@ -452,7 +460,12 @@ mod tests {
     #[test]
     fn query_dimension_is_validated() {
         let ds = dataset(100, 8, 6);
-        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config().with_partitions(2)).unwrap();
+        let index = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &config().with_partitions(2),
+        )
+        .unwrap();
         assert!(matches!(
             index.knn(&[1.0, 2.0], 3),
             Err(CoreError::QueryDimensionMismatch { expected: 8, actual: 2 })
@@ -462,7 +475,12 @@ mod tests {
     #[test]
     fn k_larger_than_dataset_returns_everything() {
         let ds = dataset(60, 12, 7);
-        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &ds, &config().with_partitions(3)).unwrap();
+        let index = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &ds,
+            &config().with_partitions(3),
+        )
+        .unwrap();
         let query = ds.row(0).to_vec();
         let got = index.knn(&query, 500).unwrap();
         assert_eq!(got.neighbors.len(), 60);

@@ -2,11 +2,10 @@
 
 use bbtree::SearchStats;
 use pagestore::IoStats;
-use serde::{Deserialize, Serialize};
 
 /// Cost breakdown of one BrePartition query, covering the three phases of
 /// the framework (bound computation, per-subspace filtering, refinement).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct QueryStats {
     /// Seconds spent transforming the query and determining the searching
     /// bounds (Algorithm 4).

@@ -12,12 +12,11 @@
 //! coordinates is needed during the filtering phase.
 
 use bregman::{DenseDataset, DivergenceKind};
-use serde::{Deserialize, Serialize};
 
 use crate::partition::Partitioning;
 
 /// Per-point, per-subspace tuples `P(x) = (α_x, γ_x)` for an entire dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformedDataset {
     n: usize,
     m: usize,
@@ -90,7 +89,7 @@ impl TransformedDataset {
 }
 
 /// Per-subspace triples `Q(y) = (α_y, β_yy, δ_y)` of one query point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransformedQuery {
     triples: Vec<[f64; 3]>,
 }
@@ -223,10 +222,8 @@ mod tests {
             for (s, dims) in p.subspaces().iter().enumerate() {
                 let (alpha_x, _) = t.components(i, s);
                 let (alpha_y, beta_yy, _) = q.components(s);
-                let beta_xy: f64 = dims
-                    .iter()
-                    .map(|&d| -ds.row(i)[d] * ItakuraSaito.phi_prime(query[d]))
-                    .sum();
+                let beta_xy: f64 =
+                    dims.iter().map(|&d| -ds.row(i)[d] * ItakuraSaito.phi_prime(query[d])).sum();
                 reconstructed += alpha_x + alpha_y + beta_yy + beta_xy;
             }
             let exact = ItakuraSaito.divergence(ds.row(i), query);

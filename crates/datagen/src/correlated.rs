@@ -12,12 +12,11 @@
 use bregman::DenseDataset;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::synthetic::BoxMuller;
 
 /// Parameters of the block-correlated generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorrelatedSpec {
     /// Number of points.
     pub n: usize,
@@ -55,8 +54,7 @@ impl CorrelatedSpec {
         let mut data = Vec::with_capacity(self.n * self.dim);
         for _ in 0..self.n {
             // One latent factor per block for this point.
-            let factors: Vec<f64> =
-                (0..self.blocks).map(|_| gauss.sample(&mut rng)).collect();
+            let factors: Vec<f64> = (0..self.blocks).map(|_| gauss.sample(&mut rng)).collect();
             for j in 0..self.dim {
                 let block = self.block_of(j);
                 let noise = gauss.sample(&mut rng);
@@ -128,7 +126,8 @@ mod tests {
 
     #[test]
     fn zero_correlation_gives_independent_columns() {
-        let spec = CorrelatedSpec { correlation: 0.0, n: 3000, dim: 6, blocks: 2, ..Default::default() };
+        let spec =
+            CorrelatedSpec { correlation: 0.0, n: 3000, dim: 6, blocks: 2, ..Default::default() };
         let ds = spec.generate();
         assert!(column_correlation(&ds, 0, 1).abs() < 0.1);
     }

@@ -1,10 +1,9 @@
 //! Brute-force ground truth, parallelized across queries.
 
 use bregman::{DenseDataset, DivergenceKind, PointId};
-use serde::{Deserialize, Serialize};
 
 /// Exact kNN results for a batch of queries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// `results[q]` holds the `k` nearest `(id, divergence)` pairs of query
     /// `q`, ordered by increasing divergence.
@@ -31,7 +30,7 @@ impl GroundTruth {
 }
 
 /// Compute exact kNN for every query by linear scan, fanning queries out over
-/// `threads` worker threads with `crossbeam`'s scoped threads.
+/// `threads` scoped worker threads.
 pub fn ground_truth_knn(
     divergence: DivergenceKind,
     dataset: &DenseDataset,
@@ -46,18 +45,17 @@ pub fn ground_truth_knn(
     }
     let threads = threads.max(1).min(q);
     let chunk = q.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (worker, slot) in results.chunks_mut(chunk).enumerate() {
             let start = worker * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (offset, out) in slot.iter_mut().enumerate() {
                     let query = queries.row(start + offset);
                     *out = single_query_knn(divergence, dataset, query, k);
                 }
             });
         }
-    })
-    .expect("ground-truth worker panicked");
+    });
     GroundTruth { results, k }
 }
 
@@ -68,10 +66,8 @@ pub fn single_query_knn(
     query: &[f64],
     k: usize,
 ) -> Vec<(PointId, f64)> {
-    let mut all: Vec<(PointId, f64)> = dataset
-        .iter()
-        .map(|(id, point)| (id, divergence.divergence(point, query)))
-        .collect();
+    let mut all: Vec<(PointId, f64)> =
+        dataset.iter().map(|(id, point)| (id, divergence.divergence(point, query))).collect();
     all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     all.truncate(k);
     all
@@ -86,8 +82,7 @@ mod tests {
     fn parallel_truth_matches_sequential_truth() {
         let ds = uniform(500, 8, 0.5, 5.0, 1);
         let queries = uniform(12, 8, 0.5, 5.0, 2);
-        let parallel =
-            ground_truth_knn(DivergenceKind::ItakuraSaito, &ds, &queries, 7, 4);
+        let parallel = ground_truth_knn(DivergenceKind::ItakuraSaito, &ds, &queries, 7, 4);
         assert_eq!(parallel.len(), 12);
         for qi in 0..queries.len() {
             let sequential =

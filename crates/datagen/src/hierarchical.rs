@@ -24,12 +24,11 @@ use bregman::DenseDataset;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::synthetic::BoxMuller;
 
 /// Parameters of the hierarchical multiplicative generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HierarchicalSpec {
     /// Number of points.
     pub n: usize,
@@ -92,32 +91,30 @@ impl HierarchicalSpec {
         let gauss = BoxMuller;
 
         // Per-dimension base scales within ±2% of the base scale.
-        let scales: Vec<f64> = (0..self.dim)
-            .map(|_| self.base_scale * rng.gen_range(0.98..1.02))
-            .collect();
+        let scales: Vec<f64> =
+            (0..self.dim).map(|_| self.base_scale * rng.gen_range(0.98..1.02)).collect();
         // Per-cluster global log-factors and per-(cluster, block) log-factors.
         let cluster_factors: Vec<f64> =
             (0..self.clusters).map(|_| self.cluster_log_sigma * gauss.sample(&mut rng)).collect();
         let block_factors: Vec<Vec<f64>> = (0..self.clusters)
             .map(|_| {
-                (0..self.blocks)
-                    .map(|_| self.block_log_sigma * gauss.sample(&mut rng))
-                    .collect()
+                (0..self.blocks).map(|_| self.block_log_sigma * gauss.sample(&mut rng)).collect()
             })
             .collect();
 
         let mut data = Vec::with_capacity(self.n * self.dim);
         for i in 0..self.n {
             let k = self.cluster_of(i);
-            for j in 0..self.dim {
+            for (j, &scale) in scales.iter().enumerate() {
                 let b = self.block_of(j);
                 let log_value = cluster_factors[k]
                     + block_factors[k][b]
                     + self.noise_log_sigma * gauss.sample(&mut rng);
-                data.push(scales[j] * log_value.exp());
+                data.push(scale * log_value.exp());
             }
         }
-        DenseDataset::from_flat(self.dim, data).expect("hierarchical generator produced ragged data")
+        DenseDataset::from_flat(self.dim, data)
+            .expect("hierarchical generator produced ragged data")
     }
 }
 

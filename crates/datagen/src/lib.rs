@@ -30,8 +30,8 @@ pub mod queries;
 pub mod synthetic;
 
 pub use correlated::CorrelatedSpec;
-pub use hierarchical::HierarchicalSpec;
 pub use ground_truth::{ground_truth_knn, GroundTruth};
+pub use hierarchical::HierarchicalSpec;
 pub use metrics::{overall_ratio, recall};
 pub use proxies::{DatasetSpec, PaperDataset};
 pub use queries::QueryWorkload;

@@ -16,13 +16,12 @@
 //! exponential generator stays well inside double-precision range.
 
 use bregman::{DenseDataset, DivergenceKind};
-use serde::{Deserialize, Serialize};
 
 use crate::hierarchical::HierarchicalSpec;
 use crate::synthetic::uniform;
 
 /// The six datasets used in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PaperDataset {
     /// Audio descriptors, 192 dimensions, exponential distance.
     Audio,
@@ -128,7 +127,7 @@ impl std::fmt::Display for PaperDataset {
 
 /// A concrete dataset specification: size, dimensionality, divergence and
 /// page size (Table 4 row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DatasetSpec {
     /// Which named dataset this spec describes.
     pub dataset: PaperDataset,
@@ -213,8 +212,7 @@ mod tests {
     #[test]
     fn scaled_specs_preserve_relative_order_of_sizes() {
         let max = 20_000;
-        let sizes: Vec<usize> =
-            PaperDataset::ALL.iter().map(|d| d.scaled_spec(max).n).collect();
+        let sizes: Vec<usize> = PaperDataset::ALL.iter().map(|d| d.scaled_spec(max).n).collect();
         // Sift is the largest, Audio/Normal/Uniform the smallest.
         let sift = PaperDataset::Sift.scaled_spec(max).n;
         assert_eq!(sift, max);
@@ -246,7 +244,9 @@ mod tests {
 
     #[test]
     fn ed_datasets_stay_in_exponential_safe_range() {
-        for dataset in [PaperDataset::Audio, PaperDataset::Deep, PaperDataset::Sift, PaperDataset::Normal] {
+        for dataset in
+            [PaperDataset::Audio, PaperDataset::Deep, PaperDataset::Sift, PaperDataset::Normal]
+        {
             let spec = dataset.scaled_spec(1000).with_points(400).with_dim(32);
             let ds = spec.generate(4);
             assert!(

@@ -10,11 +10,10 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// A batch of query points with the divergence they are meant to be used
 /// with.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryWorkload {
     /// Divergence the workload targets (used for domain checks).
     pub divergence: DivergenceKind,
@@ -128,9 +127,8 @@ mod tests {
         let w = QueryWorkload::perturbed_from(&ds, DivergenceKind::SquaredEuclidean, 5, 0.0, 11);
         // Every query must coincide with some data point.
         for q in w.iter() {
-            let found = (0..ds.len()).any(|i| {
-                ds.row(i).iter().zip(q.iter()).all(|(a, b)| (a - b).abs() < 1e-12)
-            });
+            let found = (0..ds.len())
+                .any(|i| ds.row(i).iter().zip(q.iter()).all(|(a, b)| (a - b).abs() < 1e-12));
             assert!(found);
         }
     }

@@ -25,7 +25,7 @@ pub fn normal(n: usize, dim: usize, mean: f64, std_dev: f64, seed: u64) -> Dense
     assert!(std_dev >= 0.0, "standard deviation must be non-negative");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(n * dim);
-    let gauss = BoxMuller::default();
+    let gauss = BoxMuller;
     for _ in 0..n * dim {
         data.push(mean + std_dev * gauss.sample(&mut rng));
     }
@@ -34,7 +34,14 @@ pub fn normal(n: usize, dim: usize, mean: f64, std_dev: f64, seed: u64) -> Dense
 
 /// Gaussian data clipped (reflected) into the strictly positive orthant, for
 /// divergences whose domain is `t > 0` (Itakura-Saito, generalized KL).
-pub fn positive_normal(n: usize, dim: usize, mean: f64, std_dev: f64, floor: f64, seed: u64) -> DenseDataset {
+pub fn positive_normal(
+    n: usize,
+    dim: usize,
+    mean: f64,
+    std_dev: f64,
+    floor: f64,
+    seed: u64,
+) -> DenseDataset {
     assert!(floor > 0.0, "floor must be strictly positive");
     let base = normal(n, dim, mean, std_dev, seed);
     let data: Vec<f64> = base.as_flat().iter().map(|&v| v.abs().max(floor)).collect();
@@ -59,12 +66,12 @@ pub fn clustered(
     let centers: Vec<Vec<f64>> = (0..clusters)
         .map(|_| (0..dim).map(|_| rng.gen_range(center_lo..center_hi)).collect())
         .collect();
-    let gauss = BoxMuller::default();
+    let gauss = BoxMuller;
     let mut data = Vec::with_capacity(n * dim);
     for i in 0..n {
         let center = &centers[i % clusters];
-        for j in 0..dim {
-            data.push(center[j] + spread * gauss.sample(&mut rng));
+        for &c in center.iter() {
+            data.push(c + spread * gauss.sample(&mut rng));
         }
     }
     DenseDataset::from_flat(dim, data).expect("clustered generator produced ragged data")

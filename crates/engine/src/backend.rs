@@ -1,0 +1,349 @@
+//! The [`SearchBackend`] abstraction: one trait over every index in the
+//! workspace, so the batch engine (and the experiment harness) can drive
+//! BrePartition, its approximate extension, the BB-tree baseline and the
+//! VA-file baseline through a single code path.
+
+use std::sync::Arc;
+
+use bbtree::{BBTreeConfig, DiskBBTree};
+use bregman::{
+    DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
+    PointId, SquaredEuclidean,
+};
+use brepartition_core::{ApproximateConfig, BrePartitionConfig, BrePartitionIndex};
+use pagestore::{BufferPool, IoStats, PageStoreConfig};
+use vafile::{VaFile, VaFileConfig};
+
+use crate::error::EngineError;
+
+/// Per-thread mutable state a backend needs while answering queries.
+///
+/// Every index in this workspace reads data pages through a [`BufferPool`]
+/// that carries the per-query I/O accounting; the engine gives each worker
+/// thread its own scratch so the shared index stays immutable (`&self`)
+/// during concurrent search.
+#[derive(Debug)]
+pub struct Scratch {
+    /// The buffer pool queries read through.
+    pub pool: BufferPool,
+}
+
+impl Scratch {
+    /// Scratch around an existing pool.
+    pub fn new(pool: BufferPool) -> Self {
+        Self { pool }
+    }
+}
+
+/// The answer to one kNN query, normalized across backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendAnswer {
+    /// Neighbours as `(id, divergence)`, ordered by increasing divergence.
+    pub neighbors: Vec<(PointId, f64)>,
+    /// Candidate points the backend examined after filtering (`0` for
+    /// backends without a filter/refine split).
+    pub candidates: usize,
+    /// Physical I/O performed for this query.
+    pub io: IoStats,
+}
+
+/// A kNN index that can serve concurrent batch queries.
+///
+/// Implementations must be immutable during search: `knn` takes `&self` and
+/// threads all mutable state through the caller-owned [`Scratch`]. That
+/// contract is what lets the engine share one index across worker threads
+/// without locks.
+pub trait SearchBackend: Send + Sync {
+    /// Short method label (e.g. `"BP"`, `"ABP(p=0.90)"`, `"BBT"`, `"VAF"`).
+    fn name(&self) -> &str;
+
+    /// Dimensionality of the indexed points.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fresh per-thread scratch state (a cold buffer pool).
+    fn new_scratch(&self) -> Scratch;
+
+    /// Answer one kNN query using the caller's scratch state.
+    fn knn(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<BackendAnswer, EngineError>;
+}
+
+/// How a [`BrePartitionBackend`] searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BrePartitionMode {
+    Exact,
+    Approximate(ApproximateConfig),
+}
+
+/// The BrePartition index behind the [`SearchBackend`] trait, in either
+/// exact (Algorithm 6) or approximate (ABP) mode.
+///
+/// The index is held behind an [`Arc`] so one build can serve several
+/// backends (typically an exact and an approximate one) without duplicating
+/// the transformed dataset and BB-forest; the `Into<Arc<_>>` constructors
+/// accept an owned index or an existing `Arc` alike.
+#[derive(Debug, Clone)]
+pub struct BrePartitionBackend {
+    index: Arc<BrePartitionIndex>,
+    mode: BrePartitionMode,
+    name: String,
+}
+
+impl BrePartitionBackend {
+    /// Wrap an index for exact search.
+    pub fn exact(index: impl Into<Arc<BrePartitionIndex>>) -> Self {
+        Self { index: index.into(), mode: BrePartitionMode::Exact, name: "BP".to_string() }
+    }
+
+    /// Wrap an index for approximate search at the configured probability.
+    pub fn approximate(
+        index: impl Into<Arc<BrePartitionIndex>>,
+        config: ApproximateConfig,
+    ) -> Self {
+        let name = format!("ABP(p={:.2})", config.probability);
+        Self { index: index.into(), mode: BrePartitionMode::Approximate(config), name }
+    }
+
+    /// Build an exact backend from a dataset.
+    pub fn build_exact(
+        kind: DivergenceKind,
+        dataset: &DenseDataset,
+        config: &BrePartitionConfig,
+    ) -> Result<Self, EngineError> {
+        let index = BrePartitionIndex::build(kind, dataset, config)
+            .map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(Self::exact(index))
+    }
+
+    /// Build an approximate backend from a dataset.
+    pub fn build_approximate(
+        kind: DivergenceKind,
+        dataset: &DenseDataset,
+        config: &BrePartitionConfig,
+        approx: ApproximateConfig,
+    ) -> Result<Self, EngineError> {
+        let index = BrePartitionIndex::build(kind, dataset, config)
+            .map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(Self::approximate(index, approx))
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &BrePartitionIndex {
+        &self.index
+    }
+}
+
+impl SearchBackend for BrePartitionBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn new_scratch(&self) -> Scratch {
+        Scratch::new(self.index.new_buffer_pool())
+    }
+
+    fn knn(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<BackendAnswer, EngineError> {
+        let before = scratch.pool.stats();
+        let result = match &self.mode {
+            BrePartitionMode::Exact => self.index.knn_with_pool(&mut scratch.pool, query, k),
+            BrePartitionMode::Approximate(config) => {
+                self.index.knn_approximate_with_pool(&mut scratch.pool, query, k, config)
+            }
+        }
+        .map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(BackendAnswer {
+            neighbors: result.neighbors,
+            candidates: result.stats.candidates,
+            io: scratch.pool.stats().since(&before),
+        })
+    }
+}
+
+/// The disk-resident BB-tree baseline ("BBT") behind the trait.
+#[derive(Debug, Clone)]
+pub struct BBTreeBackend<B: DecomposableBregman + Send + Sync> {
+    tree: DiskBBTree<B>,
+    dim: usize,
+    len: usize,
+}
+
+impl<B: DecomposableBregman + Send + Sync> BBTreeBackend<B> {
+    /// Build the tree over a dataset.
+    pub fn build(
+        divergence: B,
+        dataset: &DenseDataset,
+        tree_config: BBTreeConfig,
+        store_config: PageStoreConfig,
+    ) -> Self {
+        let tree = DiskBBTree::build(divergence, dataset, tree_config, store_config);
+        Self { tree, dim: dataset.dim(), len: dataset.len() }
+    }
+
+    /// The wrapped tree.
+    pub fn tree(&self) -> &DiskBBTree<B> {
+        &self.tree
+    }
+}
+
+impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
+    fn name(&self) -> &str {
+        "BBT"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn new_scratch(&self) -> Scratch {
+        Scratch::new(BufferPool::unbuffered())
+    }
+
+    fn knn(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<BackendAnswer, EngineError> {
+        check_dim(self.dim, query)?;
+        let result = self.tree.knn(&mut scratch.pool, query, k);
+        Ok(BackendAnswer {
+            neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
+            candidates: result.search.candidates_examined as usize,
+            io: result.io,
+        })
+    }
+}
+
+/// The VA-file baseline ("VAF") behind the trait.
+#[derive(Debug, Clone)]
+pub struct VaFileBackend<B: DecomposableBregman + Send + Sync> {
+    file: VaFile<B>,
+    dim: usize,
+}
+
+impl<B: DecomposableBregman + Send + Sync> VaFileBackend<B> {
+    /// Build the VA-file over a dataset.
+    pub fn build(divergence: B, dataset: &DenseDataset, config: VaFileConfig) -> Self {
+        Self { file: VaFile::build(divergence, dataset, config), dim: dataset.dim() }
+    }
+
+    /// The wrapped VA-file.
+    pub fn file(&self) -> &VaFile<B> {
+        &self.file
+    }
+}
+
+impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
+    fn name(&self) -> &str {
+        "VAF"
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.file.len()
+    }
+
+    fn new_scratch(&self) -> Scratch {
+        Scratch::new(BufferPool::unbuffered())
+    }
+
+    fn knn(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<BackendAnswer, EngineError> {
+        check_dim(self.dim, query)?;
+        let result = self.file.knn(&mut scratch.pool, query, k);
+        Ok(BackendAnswer {
+            neighbors: result.neighbors,
+            candidates: result.candidates,
+            io: result.io,
+        })
+    }
+}
+
+fn check_dim(expected: usize, query: &[f64]) -> Result<(), EngineError> {
+    if query.len() != expected {
+        return Err(EngineError::Backend(format!(
+            "query dimensionality {} does not match index dimensionality {expected}",
+            query.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Build a boxed BB-tree backend for a runtime-selected divergence.
+pub fn bbtree_backend_for_kind(
+    kind: DivergenceKind,
+    dataset: &DenseDataset,
+    tree_config: BBTreeConfig,
+    store_config: PageStoreConfig,
+) -> Box<dyn SearchBackend> {
+    match kind {
+        DivergenceKind::SquaredEuclidean => {
+            Box::new(BBTreeBackend::build(SquaredEuclidean, dataset, tree_config, store_config))
+        }
+        DivergenceKind::ItakuraSaito => {
+            Box::new(BBTreeBackend::build(ItakuraSaito, dataset, tree_config, store_config))
+        }
+        DivergenceKind::Exponential => {
+            Box::new(BBTreeBackend::build(Exponential, dataset, tree_config, store_config))
+        }
+        DivergenceKind::GeneralizedI => {
+            Box::new(BBTreeBackend::build(GeneralizedI, dataset, tree_config, store_config))
+        }
+    }
+}
+
+/// Build a boxed VA-file backend for a runtime-selected divergence.
+pub fn vafile_backend_for_kind(
+    kind: DivergenceKind,
+    dataset: &DenseDataset,
+    config: VaFileConfig,
+) -> Box<dyn SearchBackend> {
+    match kind {
+        DivergenceKind::SquaredEuclidean => {
+            Box::new(VaFileBackend::build(SquaredEuclidean, dataset, config))
+        }
+        DivergenceKind::ItakuraSaito => {
+            Box::new(VaFileBackend::build(ItakuraSaito, dataset, config))
+        }
+        DivergenceKind::Exponential => Box::new(VaFileBackend::build(Exponential, dataset, config)),
+        DivergenceKind::GeneralizedI => {
+            Box::new(VaFileBackend::build(GeneralizedI, dataset, config))
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Engine error type.
+
+/// Errors surfaced by the batch query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A backend failed while building or answering a query.
+    Backend(String),
+    /// A specific query in a batch failed; the batch is abandoned.
+    Query {
+        /// Index of the failing query within the batch.
+        index: usize,
+        /// The backend's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Backend(message) => write!(f, "backend error: {message}"),
+            EngineError::Query { index, message } => {
+                write!(f, "query {index} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_both_variants() {
+        assert_eq!(EngineError::Backend("boom".into()).to_string(), "backend error: boom");
+        let q = EngineError::Query { index: 3, message: "bad dim".into() };
+        assert_eq!(q.to_string(), "query 3 failed: bad dim");
+    }
+}

@@ -1,0 +1,218 @@
+//! Concurrent batch query engine for the BrePartition workspace.
+//!
+//! The paper's evaluation (and the seed of this repository) issues queries
+//! one at a time; real retrieval workloads — speech retrieval, image
+//! embedding search — arrive as *streams of query batches*. This crate adds
+//! the serving layer:
+//!
+//! * [`SearchBackend`] — one object-safe trait over every index in the
+//!   workspace: BrePartition exact ([`BrePartitionBackend::exact`]), the
+//!   approximate extension ([`BrePartitionBackend::approximate`]), the
+//!   BB-tree baseline ([`BBTreeBackend`]) and the VA-file baseline
+//!   ([`VaFileBackend`]). Backends are immutable during search; all mutable
+//!   per-query state lives in a caller-owned [`Scratch`].
+//! * [`QueryEngine`] — fans a batch out over a pool of worker threads. Each
+//!   worker owns its scratch (buffer pool), pulls query indices from an
+//!   atomic cursor and buffers outcomes locally; per-query results are
+//!   reassembled in submission order, so neighbor sets are bit-identical
+//!   for 1 thread and N threads.
+//! * [`ThroughputReport`] — QPS, latency percentiles (p50/p95/p99),
+//!   candidate counts and physical I/O aggregated over the batch, the
+//!   numbers a serving deployment is tuned against.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use bregman::{DenseDataset, DivergenceKind};
+//! use brepartition_core::BrePartitionConfig;
+//! use brepartition_engine::{BrePartitionBackend, EngineConfig, QueryEngine};
+//!
+//! let rows: Vec<Vec<f64>> = (0..500)
+//!     .map(|i| (0..16).map(|j| 1.0 + ((i * 7 + j * 3) % 23) as f64).collect())
+//!     .collect();
+//! let data = DenseDataset::from_rows(&rows).unwrap();
+//! let backend = BrePartitionBackend::build_exact(
+//!     DivergenceKind::ItakuraSaito,
+//!     &data,
+//!     &BrePartitionConfig::default().with_partitions(4),
+//! )
+//! .unwrap();
+//! let engine = QueryEngine::with_config(Arc::new(backend), EngineConfig::default().with_threads(4));
+//! let queries: Vec<Vec<f64>> = (0..64).map(|i| rows[i * 7 % rows.len()].clone()).collect();
+//! let batch = engine.run_batch(&queries, 10).unwrap();
+//! println!("{}", batch.report);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+#[allow(clippy::module_inception)]
+pub mod engine;
+pub mod error;
+pub mod report;
+
+pub use backend::{
+    bbtree_backend_for_kind, vafile_backend_for_kind, BBTreeBackend, BackendAnswer,
+    BrePartitionBackend, Scratch, SearchBackend, VaFileBackend,
+};
+pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
+pub use error::EngineError;
+pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use bbtree::BBTreeConfig;
+    use bregman::{DivergenceKind, ItakuraSaito};
+    use brepartition_core::{ApproximateConfig, BrePartitionConfig, BrePartitionIndex};
+    use datagen::HierarchicalSpec;
+    use pagestore::PageStoreConfig;
+    use vafile::VaFileConfig;
+
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn backends_are_shareable_across_threads() {
+        assert_send_sync::<BrePartitionIndex>();
+        assert_send_sync::<BrePartitionBackend>();
+        assert_send_sync::<BBTreeBackend<ItakuraSaito>>();
+        assert_send_sync::<VaFileBackend<ItakuraSaito>>();
+        assert_send_sync::<QueryEngine>();
+    }
+
+    fn workload() -> (bregman::DenseDataset, Vec<Vec<f64>>) {
+        let data =
+            HierarchicalSpec { n: 400, dim: 16, clusters: 8, blocks: 4, ..Default::default() }
+                .generate();
+        let queries: Vec<Vec<f64>> =
+            (0..32).map(|i| data.row(i * 11 % data.len()).to_vec()).collect();
+        (data, queries)
+    }
+
+    #[test]
+    fn engine_matches_sequential_search_for_every_backend() {
+        let (data, queries) = workload();
+        let kind = DivergenceKind::ItakuraSaito;
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(4096);
+        let index = Arc::new(BrePartitionIndex::build(kind, &data, &config).unwrap());
+
+        let backends: Vec<Box<dyn SearchBackend>> = vec![
+            Box::new(BrePartitionBackend::exact(index.clone())),
+            Box::new(BrePartitionBackend::approximate(
+                index.clone(),
+                ApproximateConfig::with_probability(0.95),
+            )),
+            bbtree_backend_for_kind(
+                kind,
+                &data,
+                BBTreeConfig::with_leaf_capacity(16),
+                PageStoreConfig::with_page_size(4096),
+            ),
+            vafile_backend_for_kind(kind, &data, VaFileConfig::default()),
+        ];
+        for backend in backends {
+            let name = backend.name().to_string();
+            let backend: Arc<dyn SearchBackend> = backend.into();
+            // Sequential reference: drive the backend directly, one query at
+            // a time on this thread.
+            let reference: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let mut scratch = backend.new_scratch();
+                    backend.knn(&mut scratch, q, 5).unwrap().neighbors
+                })
+                .collect();
+            let engine = QueryEngine::with_config(backend, EngineConfig::default().with_threads(4));
+            let batch = engine.run_batch(&queries, 5).unwrap();
+            assert_eq!(batch.outcomes.len(), queries.len());
+            for (outcome, expected) in batch.outcomes.iter().zip(reference.iter()) {
+                assert_eq!(&outcome.neighbors, expected, "backend {name}");
+            }
+            assert_eq!(batch.report.queries, queries.len());
+            assert!(batch.report.wall_seconds > 0.0);
+            assert!(batch.report.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn cold_scratch_makes_io_schedule_independent() {
+        let (data, queries) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let backend = Arc::new(BrePartitionBackend::exact(index));
+        let one =
+            QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
+        let four = QueryEngine::with_config(backend, EngineConfig::default().with_threads(4));
+        let a = one.run_batch(&queries, 8).unwrap();
+        let b = four.run_batch(&queries, 8).unwrap();
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.neighbors, y.neighbors);
+            assert_eq!(x.io, y.io, "cold-scratch I/O must not depend on scheduling");
+            assert_eq!(x.candidates, y.candidates);
+        }
+        assert_eq!(a.report.io, b.report.io);
+    }
+
+    #[test]
+    fn cumulative_io_tracks_batches() {
+        let (data, queries) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let engine = QueryEngine::over(BrePartitionBackend::exact(index));
+        assert_eq!(engine.cumulative_io(), pagestore::IoStats::default());
+        let batch = engine.run_batch(&queries, 3).unwrap();
+        assert_eq!(engine.cumulative_io(), batch.report.io);
+        let single = engine.knn(&queries[0], 3).unwrap();
+        assert_eq!(single.neighbors, batch.outcomes[0].neighbors);
+        assert!(engine.cumulative_io().pages_read > batch.report.io.pages_read);
+    }
+
+    #[test]
+    fn dimension_mismatch_surfaces_as_query_error() {
+        let (data, _) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let engine = QueryEngine::over(BrePartitionBackend::exact(index));
+        let bad = vec![vec![1.0, 2.0]];
+        match engine.run_batch(&bad, 3) {
+            Err(EngineError::Query { index: 0, .. }) => {}
+            other => panic!("expected query error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_batch_still_accounts_completed_queries_io() {
+        let (data, queries) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let engine = QueryEngine::with_config(
+            Arc::new(BrePartitionBackend::exact(index)),
+            EngineConfig::default().with_threads(1),
+        );
+        // Two valid queries run (and read pages) before the malformed third
+        // aborts the batch.
+        let mixed = vec![queries[0].clone(), queries[1].clone(), vec![1.0, 2.0]];
+        match engine.run_batch(&mixed, 5) {
+            Err(EngineError::Query { index: 2, .. }) => {}
+            other => panic!("expected query error, got {other:?}"),
+        }
+        assert!(engine.cumulative_io().pages_read > 0, "completed queries' I/O must count");
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let (data, _) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let engine = QueryEngine::over(BrePartitionBackend::exact(index));
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let batch = engine.run_batch(&empty, 3).unwrap();
+        assert!(batch.outcomes.is_empty());
+        assert_eq!(batch.report.queries, 0);
+    }
+}

@@ -121,7 +121,11 @@ impl BufferPool {
     /// Read a batch of points, visiting pages in first-seen order so that
     /// points co-located on a page cost a single physical read. Returns the
     /// decoded points in the same order as `points`.
-    pub fn read_points(&mut self, store: &PageStore, points: &[PointId]) -> Vec<(PointId, Vec<f64>)> {
+    pub fn read_points(
+        &mut self,
+        store: &PageStore,
+        points: &[PointId],
+    ) -> Vec<(PointId, Vec<f64>)> {
         let groups = store.layout().pages_for(points);
         let mut by_id: HashMap<PointId, Vec<f64>> = HashMap::with_capacity(points.len());
         for (page_id, members) in groups {
@@ -133,10 +137,7 @@ impl BufferPool {
                 }
             }
         }
-        points
-            .iter()
-            .filter_map(|pid| by_id.remove(pid).map(|coords| (*pid, coords)))
-            .collect()
+        points.iter().filter_map(|pid| by_id.remove(pid).map(|coords| (*pid, coords))).collect()
     }
 }
 

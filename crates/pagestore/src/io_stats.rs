@@ -1,6 +1,6 @@
 //! Per-query and cumulative I/O counters.
 
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing the physical I/O performed through a
 /// [`crate::BufferPool`].
@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// `pages_read` is the paper's "I/O cost": the number of page fetches that
 /// went to the (simulated) disk. Buffer-pool hits are tracked separately so
 /// experiments can also report cache effectiveness.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IoStats {
     /// Physical page reads (buffer-pool misses).
     pub pages_read: u64,
@@ -62,6 +62,50 @@ impl IoStats {
     }
 }
 
+/// Lock-free cumulative I/O counters shared between query threads.
+///
+/// Each worker accumulates per-query [`IoStats`] locally (through its own
+/// [`crate::BufferPool`]) and folds them into one `AtomicIoStats` with
+/// [`AtomicIoStats::record`]; readers take consistent-enough snapshots with
+/// [`AtomicIoStats::snapshot`] without stopping the workers. Relaxed ordering
+/// suffices: the counters are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    pages_read: AtomicU64,
+    cache_hits: AtomicU64,
+    pages_written: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one set of per-query counters into the running totals.
+    pub fn record(&self, stats: &IoStats) {
+        self.pages_read.fetch_add(stats.pages_read, Ordering::Relaxed);
+        self.cache_hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.pages_written.fetch_add(stats.pages_written, Ordering::Relaxed);
+    }
+
+    /// The current totals as a plain [`IoStats`] value.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.pages_written.store(0, Ordering::Relaxed);
+    }
+}
+
 impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -110,6 +154,25 @@ mod tests {
         assert_eq!(total, IoStats { pages_read: 5, cache_hits: 1, pages_written: 4 });
         total.reset();
         assert_eq!(total, IoStats::default());
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_across_threads() {
+        let shared = AtomicIoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        shared.record(&IoStats { pages_read: 2, cache_hits: 1, pages_written: 0 });
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap, IoStats { pages_read: 800, cache_hits: 400, pages_written: 0 });
+        shared.reset();
+        assert_eq!(shared.snapshot(), IoStats::default());
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! The point → page directory (`P.address` in the paper's BB-forest).
 
-use serde::{Deserialize, Serialize};
-
 use crate::page::PageId;
 use crate::PointId;
 
 /// Physical address of a point record: which page it lives in and which slot
 /// within that page.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PageAddress {
     /// Page holding the record.
     pub page: PageId,
@@ -19,7 +17,7 @@ pub struct PageAddress {
 ///
 /// The BB-forest records these addresses in the leaf nodes of every subspace
 /// tree, so a candidate produced by any subspace resolves to the same page.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DiskLayout {
     addresses: Vec<Option<PageAddress>>,
 }
@@ -56,10 +54,7 @@ impl DiskLayout {
 
     /// Iterate over `(point, address)` pairs in point-id order.
     pub fn iter(&self) -> impl Iterator<Item = (PointId, PageAddress)> + '_ {
-        self.addresses
-            .iter()
-            .enumerate()
-            .filter_map(|(i, a)| a.map(|addr| (i as PointId, addr)))
+        self.addresses.iter().enumerate().filter_map(|(i, a)| a.map(|addr| (i as PointId, addr)))
     }
 
     /// Group a set of points by the page they live on, preserving first-seen

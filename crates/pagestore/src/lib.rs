@@ -31,7 +31,7 @@ pub mod page;
 pub mod store;
 
 pub use buffer_pool::{BufferPool, SharedBufferPool};
-pub use io_stats::IoStats;
+pub use io_stats::{AtomicIoStats, IoStats};
 pub use layout::{DiskLayout, PageAddress};
 pub use page::{Page, PageId};
 pub use store::{PageStore, PageStoreConfig};

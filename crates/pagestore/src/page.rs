@@ -1,12 +1,11 @@
 //! Fixed-size pages holding serialized point records.
 
 use bytes::{Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 use crate::PointId;
 
 /// Identifier of a page within a [`crate::PageStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u32);
 
 impl PageId {
@@ -102,9 +101,7 @@ impl Page {
         let bytes = &self.payload[start..start + record];
         out.clear();
         out.extend(
-            bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
         );
     }
 

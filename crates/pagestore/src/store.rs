@@ -1,13 +1,11 @@
 //! The immutable page-organized copy of a dataset.
 
-use serde::{Deserialize, Serialize};
-
 use crate::layout::{DiskLayout, PageAddress};
 use crate::page::{Page, PageId};
 use crate::PointId;
 
 /// Configuration of a [`PageStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageStoreConfig {
     /// Nominal page size in bytes (the paper uses 32 KB–128 KB).
     pub page_size_bytes: usize,
@@ -198,8 +196,9 @@ mod tests {
     #[test]
     fn missing_page_and_point_return_none() {
         let data = dataset(2, 2);
-        let store =
-            PageStore::build_sequential(PageStoreConfig::default(), 2, 2, |pid| &data[pid as usize]);
+        let store = PageStore::build_sequential(PageStoreConfig::default(), 2, 2, |pid| {
+            &data[pid as usize]
+        });
         assert!(store.raw_page(PageId(7)).is_none());
         assert!(store.address_of(99).is_none());
     }

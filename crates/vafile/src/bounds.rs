@@ -58,14 +58,10 @@ impl QueryBoundTable {
                     hi = nudge_into_domain(divergence, hi, lo);
                 }
                 let closest = y.clamp(lo, hi);
-                let lower_bound = if closest == y {
-                    0.0
-                } else {
-                    divergence.scalar_divergence(closest, y)
-                };
-                let upper_bound = divergence
-                    .scalar_divergence(lo, y)
-                    .max(divergence.scalar_divergence(hi, y));
+                let lower_bound =
+                    if closest == y { 0.0 } else { divergence.scalar_divergence(closest, y) };
+                let upper_bound =
+                    divergence.scalar_divergence(lo, y).max(divergence.scalar_divergence(hi, y));
                 lower[d * cells + c] = lower_bound.max(0.0);
                 upper[d * cells + c] = upper_bound.max(lower[d * cells + c]);
             }

@@ -1,10 +1,9 @@
 //! Per-dimension scalar quantizer used to build vector approximations.
 
 use bregman::DenseDataset;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the scalar quantizer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuantizerConfig {
     /// Bits per dimension; each dimension is divided into `2^bits` cells.
     pub bits_per_dim: u8,
@@ -25,7 +24,7 @@ impl QuantizerConfig {
 
 /// A uniform per-dimension scalar quantizer trained on the data's
 /// per-dimension ranges.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Quantizer {
     config: QuantizerConfig,
     /// Per-dimension lower bound of the data range.
@@ -105,7 +104,7 @@ impl Quantizer {
     /// Size in bytes of one packed approximation record (`bits_per_dim` bits
     /// per dimension, rounded up to whole bytes per record).
     pub fn approximation_bytes_per_point(&self) -> usize {
-        ((self.dim() * self.config.bits_per_dim as usize) + 7) / 8
+        (self.dim() * self.config.bits_per_dim as usize).div_ceil(8)
     }
 }
 

@@ -2,13 +2,12 @@
 
 use bregman::{DecomposableBregman, DenseDataset, PointId};
 use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::bounds::QueryBoundTable;
 use crate::quantizer::{Quantizer, QuantizerConfig};
 
 /// Construction parameters of a [`VaFile`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VaFileConfig {
     /// Quantizer resolution.
     pub quantizer: QuantizerConfig,
@@ -142,11 +141,7 @@ impl<B: DecomposableBregman> VaFile<B> {
         let mut refined = 0usize;
         let mut buffer = Vec::new();
         for (pid, lower) in candidates {
-            let kth = if result.len() >= k {
-                result[k - 1].1
-            } else {
-                f64::INFINITY
-            };
+            let kth = if result.len() >= k { result[k - 1].1 } else { f64::INFINITY };
             if lower > kth {
                 break;
             }
@@ -222,10 +217,7 @@ mod tests {
         let index = VaFile::build(
             b.clone(),
             &ds,
-            VaFileConfig {
-                quantizer: QuantizerConfig { bits_per_dim: 5 },
-                page_size_bytes: 2048,
-            },
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 5 }, page_size_bytes: 2048 },
         );
         let mut pool = BufferPool::unbuffered();
         let mut rng = StdRng::seed_from_u64(seed + 1);

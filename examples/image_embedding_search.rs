@@ -30,14 +30,12 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::Exponential, query_count, 0.02, 3);
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::Exponential, query_count, 0.02, 3);
 
     let config = BrePartitionConfig::default().with_page_size(32 * 1024);
     let index = BrePartitionIndex::build(DivergenceKind::Exponential, &data, &config).unwrap();
-    println!(
-        "image index: {n} embeddings x {dim} dims, M = {} partitions\n",
-        index.partitions()
-    );
+    println!("image index: {n} embeddings x {dim} dims, M = {} partitions\n", index.partitions());
 
     // Ground truth for the accuracy metric.
     let truth = ground_truth_knn(DivergenceKind::Exponential, &data, &workload.queries, k, 4);

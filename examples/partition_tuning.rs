@@ -26,7 +26,8 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, query_count, 0.02, 21);
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, query_count, 0.02, 21);
 
     // The cost model's suggested optimum.
     let auto = BrePartitionIndex::build(
@@ -40,9 +41,7 @@ fn main() {
     // Sweep M around the optimum (the shape of Figs. 8 and 9).
     println!("{:>4} {:>14} {:>16} {:>14}", "M", "avg I/O", "avg candidates", "avg time (ms)");
     for m in [2usize, 4, 8, 12, 16, 24, 32] {
-        let config = BrePartitionConfig::default()
-            .with_partitions(m)
-            .with_page_size(16 * 1024);
+        let config = BrePartitionConfig::default().with_partitions(m).with_page_size(16 * 1024);
         let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
         let mut io = 0u64;
         let mut candidates = 0usize;

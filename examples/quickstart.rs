@@ -11,30 +11,21 @@ fn main() {
     //    dimensions) with the hierarchical generator used by the evaluation
     //    proxies. Real applications would load their own feature vectors
     //    into a `DenseDataset`.
-    let data = HierarchicalSpec {
-        n: 1_000,
-        dim: 64,
-        clusters: 20,
-        blocks: 8,
-        ..Default::default()
-    }
-    .generate();
+    let data =
+        HierarchicalSpec { n: 1_000, dim: 64, clusters: 20, blocks: 8, ..Default::default() }
+            .generate();
     println!("dataset: {} points x {} dimensions", data.len(), data.dim());
 
     // 2. Build the index for the Itakura-Saito divergence. `PartitionCount::Auto`
     //    (the default) picks the optimized number of partitions from the
     //    paper's cost model; PCCP assigns dimensions to partitions.
-    let config = BrePartitionConfig::default()
-        .with_page_size(16 * 1024)
-        .with_leaf_capacity(32);
+    let config = BrePartitionConfig::default().with_page_size(16 * 1024).with_leaf_capacity(32);
     let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config)
         .expect("index construction");
     let report = index.build_report();
     println!(
         "index built in {:.3}s: M = {} partitions, {} disk pages written",
-        report.total_seconds,
-        report.partitions,
-        report.pages_written
+        report.total_seconds, report.partitions, report.pages_written
     );
 
     // 3. Run a few exact kNN queries and report the paper's metrics:
@@ -63,10 +54,7 @@ fn main() {
         1,
     );
     let indexed = index.knn(query, 10).unwrap();
-    let same = indexed
-        .neighbors
-        .iter()
-        .zip(exact.neighbors_of(0))
-        .all(|(a, b)| (a.1 - b.1).abs() < 1e-9);
+    let same =
+        indexed.neighbors.iter().zip(exact.neighbors_of(0)).all(|(a, b)| (a.1 - b.1).abs() < 1e-9);
     println!("exactness check against linear scan: {}", if same { "OK" } else { "MISMATCH" });
 }

@@ -32,7 +32,8 @@ fn main() {
         ..Default::default()
     }
     .generate();
-    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 11);
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 11);
     println!("speech corpus: {n} spectra x {dim} bands, k = {k}, {queries} queries\n");
 
     // --- BrePartition ---
@@ -83,7 +84,10 @@ fn main() {
     }
     let vaf_time = vaf_query_started.elapsed().as_secs_f64();
 
-    println!("{:<14} {:>12} {:>16} {:>16}", "method", "build (s)", "avg I/O (pages)", "avg query (ms)");
+    println!(
+        "{:<14} {:>12} {:>16} {:>16}",
+        "method", "build (s)", "avg I/O (pages)", "avg query (ms)"
+    );
     for (name, build, io, time) in [
         ("BrePartition", bp_build, bp_io, bp_time),
         ("BB-tree", bbt_build, bbt_io, bbt_time),

@@ -12,7 +12,16 @@
 //! * [`vafile`] — the VA-file baseline,
 //! * [`pagestore`] — the simulated disk with I/O accounting,
 //! * [`datagen`] — dataset proxies, query workloads, ground truth and
-//!   accuracy metrics.
+//!   accuracy metrics,
+//! * [`engine`](brepartition_engine) — the concurrent batch query engine: a
+//!   [`SearchBackend`](brepartition_engine::SearchBackend) trait unifying
+//!   every index above, a thread-pooled
+//!   [`QueryEngine`](brepartition_engine::QueryEngine) executing query
+//!   batches with per-thread scratch state, and
+//!   [`ThroughputReport`](brepartition_engine::ThroughputReport) aggregates
+//!   (QPS, p50/p95/p99 latency, candidate and I/O counters). Batch results
+//!   are returned in submission order and are bit-identical for 1 and N
+//!   worker threads.
 //!
 //! # Quick start
 //!
@@ -38,6 +47,7 @@
 pub use bbtree;
 pub use bregman;
 pub use brepartition_core as core;
+pub use brepartition_engine as engine;
 pub use datagen;
 pub use pagestore;
 pub use vafile;
@@ -53,6 +63,10 @@ pub mod prelude {
         ApproximateConfig, BrePartitionConfig, BrePartitionIndex, PartitionCount,
         PartitionStrategy, QueryResult,
     };
+    pub use brepartition_engine::{
+        BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, EngineConfig, EngineError,
+        QueryEngine, QueryOutcome, Scratch, SearchBackend, ThroughputReport, VaFileBackend,
+    };
     pub use datagen::{
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,
         QueryWorkload,
@@ -67,8 +81,9 @@ mod tests {
 
     #[test]
     fn facade_reexports_are_usable_together() {
-        let data = HierarchicalSpec { n: 200, dim: 16, clusters: 8, blocks: 4, ..Default::default() }
-            .generate();
+        let data =
+            HierarchicalSpec { n: 200, dim: 16, clusters: 8, blocks: 4, ..Default::default() }
+                .generate();
         let index = BrePartitionIndex::build(
             DivergenceKind::ItakuraSaito,
             &data,

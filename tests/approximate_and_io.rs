@@ -4,14 +4,8 @@
 use brepartition::prelude::*;
 
 fn workload(n: usize, dim: usize) -> (DenseDataset, QueryWorkload) {
-    let data = HierarchicalSpec {
-        n,
-        dim,
-        clusters: 24,
-        blocks: 8,
-        ..Default::default()
-    }
-    .generate();
+    let data =
+        HierarchicalSpec { n, dim, clusters: 24, blocks: 8, ..Default::default() }.generate();
     let queries = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, 8, 0.02, 99);
     (data, queries)
 }
@@ -76,10 +70,7 @@ fn accuracy_improves_with_the_probability_guarantee() {
     let low = mean_ratio(0.6);
     let high = mean_ratio(0.95);
     // Higher guarantees must not be (meaningfully) less accurate.
-    assert!(
-        high <= low + 0.05,
-        "p = 0.95 gave ratio {high}, worse than p = 0.6 ratio {low}"
-    );
+    assert!(high <= low + 0.05, "p = 0.95 gave ratio {high}, worse than p = 0.6 ratio {low}");
 }
 
 #[test]

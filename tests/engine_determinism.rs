@@ -1,0 +1,136 @@
+//! Determinism of the concurrent batch query engine: a batch run must
+//! return, for every query, exactly the neighbors sequential search
+//! returns, and the outcome must not depend on the worker-thread count —
+//! for the exact backend and the approximate backend alike.
+
+use std::sync::Arc;
+
+use brepartition::prelude::*;
+
+fn hierarchical_workload(n: usize, queries: usize) -> (DenseDataset, Vec<Vec<f64>>) {
+    let data =
+        HierarchicalSpec { n, dim: 24, clusters: 12, blocks: 6, ..Default::default() }.generate();
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 0xE17);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+    (data, queries)
+}
+
+fn build_index(data: &DenseDataset) -> BrePartitionIndex {
+    BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        data,
+        &BrePartitionConfig::default()
+            .with_partitions(6)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+    )
+    .unwrap()
+}
+
+/// Acceptance criterion: `run_batch` over ≥ 256 queries on a hierarchical
+/// Itakura-Saito dataset returns results identical to sequential
+/// `index.knn` calls.
+#[test]
+fn batch_results_match_sequential_knn_over_256_queries() {
+    let (data, queries) = hierarchical_workload(2_000, 256);
+    assert!(queries.len() >= 256);
+    let index = build_index(&data);
+    let k = 10;
+
+    let sequential: Vec<Vec<(PointId, f64)>> =
+        queries.iter().map(|q| index.knn(q, k).unwrap().neighbors).collect();
+
+    let engine = QueryEngine::with_config(
+        Arc::new(BrePartitionBackend::exact(index)),
+        EngineConfig::default().with_threads(4),
+    );
+    let batch = engine.run_batch(&queries, k).unwrap();
+    assert_eq!(batch.outcomes.len(), queries.len());
+    for (qi, (outcome, expected)) in batch.outcomes.iter().zip(sequential.iter()).enumerate() {
+        assert_eq!(&outcome.neighbors, expected, "query {qi} diverged from sequential knn");
+    }
+    assert_eq!(batch.report.queries, 256);
+    assert_eq!(batch.report.k, k);
+    assert!(batch.report.qps > 0.0);
+    assert!(batch.report.latency.p50_ms <= batch.report.latency.p95_ms);
+    assert!(batch.report.latency.p95_ms <= batch.report.latency.p99_ms);
+    assert!(batch.report.latency.p99_ms <= batch.report.latency.max_ms);
+}
+
+/// One thread and N threads must return identical neighbor sets for every
+/// query — exact backend.
+#[test]
+fn exact_backend_is_thread_count_invariant() {
+    let (data, queries) = hierarchical_workload(1_200, 256);
+    let index = build_index(&data);
+    let backend = Arc::new(BrePartitionBackend::exact(index));
+
+    let single = QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
+    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8));
+    let a = single.run_batch(&queries, 12).unwrap();
+    let b = multi.run_batch(&queries, 12).unwrap();
+    assert_eq!(a.report.threads, 1);
+    assert_eq!(b.report.threads, 8);
+    for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+        assert_eq!(x.neighbors, y.neighbors, "query {qi} depends on thread count");
+        assert_eq!(x.io, y.io, "query {qi}: cold-scratch I/O depends on thread count");
+        assert_eq!(x.candidates, y.candidates);
+    }
+}
+
+/// One thread and N threads must return identical neighbor sets for every
+/// query — approximate backend (the shrink coefficient is a pure function
+/// of the query, so ABP is deterministic too).
+#[test]
+fn approximate_backend_is_thread_count_invariant() {
+    let (data, queries) = hierarchical_workload(1_200, 256);
+    let index = build_index(&data);
+    let backend =
+        Arc::new(BrePartitionBackend::approximate(index, ApproximateConfig::with_probability(0.9)));
+
+    let single = QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
+    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8));
+    let a = single.run_batch(&queries, 12).unwrap();
+    let b = multi.run_batch(&queries, 12).unwrap();
+    for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+        assert_eq!(x.neighbors, y.neighbors, "query {qi} depends on thread count");
+    }
+}
+
+/// The baseline backends go through the same engine and stay exact.
+#[test]
+fn baseline_backends_serve_batches_exactly() {
+    let (data, queries) = hierarchical_workload(800, 64);
+    let k = 8;
+    let kind = DivergenceKind::ItakuraSaito;
+    let truth = ground_truth_knn(kind, &data, &DenseDataset::from_rows(&queries).unwrap(), k, 4);
+
+    let backends: Vec<Box<dyn SearchBackend>> = vec![
+        brepartition::engine::bbtree_backend_for_kind(
+            kind,
+            &data,
+            BBTreeConfig::with_leaf_capacity(16),
+            pagestore::PageStoreConfig::with_page_size(4096),
+        ),
+        brepartition::engine::vafile_backend_for_kind(kind, &data, VaFileConfig::default()),
+    ];
+    for backend in backends {
+        let name = backend.name().to_string();
+        let engine =
+            QueryEngine::with_config(Arc::from(backend), EngineConfig::default().with_threads(4));
+        let batch = engine.run_batch(&queries, k).unwrap();
+        for (qi, outcome) in batch.outcomes.iter().enumerate() {
+            let expected = truth.neighbors_of(qi);
+            assert_eq!(outcome.neighbors.len(), expected.len(), "{name} query {qi}");
+            for (g, e) in outcome.neighbors.iter().zip(expected.iter()) {
+                assert!(
+                    (g.1 - e.1).abs() < 1e-9 * (1.0 + e.1.abs()),
+                    "{name} query {qi}: {} vs {}",
+                    g.1,
+                    e.1
+                );
+            }
+        }
+    }
+}

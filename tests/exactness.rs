@@ -8,11 +8,7 @@ fn proxy(dataset: PaperDataset, n: usize, dim: usize, seed: u64) -> (DenseDatase
     (spec.generate(seed), spec.divergence)
 }
 
-fn assert_distances_match(
-    label: &str,
-    got: &[(PointId, f64)],
-    expected: &[(PointId, f64)],
-) {
+fn assert_distances_match(label: &str, got: &[(PointId, f64)], expected: &[(PointId, f64)]) {
     assert_eq!(got.len(), expected.len(), "{label}: result size mismatch");
     for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
         assert!(
@@ -26,7 +22,9 @@ fn assert_distances_match(
 
 #[test]
 fn brepartition_is_exact_on_every_proxy_dataset() {
-    for dataset in [PaperDataset::Audio, PaperDataset::Fonts, PaperDataset::Deep, PaperDataset::Sift] {
+    for dataset in
+        [PaperDataset::Audio, PaperDataset::Fonts, PaperDataset::Deep, PaperDataset::Sift]
+    {
         let (data, kind) = proxy(dataset, 600, 48, 1);
         let workload = QueryWorkload::perturbed_from(&data, kind, 5, 0.02, 2);
         let truth = ground_truth_knn(kind, &data, &workload.queries, 10, 4);
@@ -149,7 +147,8 @@ fn squared_euclidean_round_trips_through_the_whole_stack() {
     // The squared Euclidean generator is the simplest decomposable
     // divergence; it exercises the pipeline with negative coordinates.
     let data = datagen::synthetic::normal(500, 24, 0.0, 1.0, 11);
-    let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::SquaredEuclidean, 3, 0.1, 12);
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::SquaredEuclidean, 3, 0.1, 12);
     let truth = ground_truth_knn(DivergenceKind::SquaredEuclidean, &data, &workload.queries, 8, 2);
     let index = BrePartitionIndex::build(
         DivergenceKind::SquaredEuclidean,

@@ -1,0 +1,209 @@
+//! Offline shim for the subset of the `criterion` benchmark API this
+//! workspace uses.
+//!
+//! Provides [`Criterion`], [`BenchmarkId`], [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery, each benchmark is warmed up briefly and then timed
+//! over an adaptive number of iterations; the mean wall-clock time per
+//! iteration is printed. Good enough to keep `cargo bench` meaningful
+//! without network access to the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark case: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+
+    /// An id from a bare function name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) command-line configuration, as upstream does.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_case(name, self.measurement, &mut f);
+        self
+    }
+
+    /// Print the final summary (a no-op in this shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmark cases sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accept (and ignore) criterion's statistical sample-size knob; this
+    /// shim sizes its measurement by wall-clock budget instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one parameterized case.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_case(&label, self.criterion.measurement, &mut |b| f(b, input));
+        self
+    }
+
+    /// Run one named case.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_case(&label, self.criterion.measurement, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `payload` over this measurement's iteration count.
+    pub fn iter<O>(&mut self, mut payload: impl FnMut() -> O) {
+        let started = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(payload());
+        }
+        self.elapsed = started.elapsed();
+    }
+}
+
+fn run_case(label: &str, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one run takes ≥ ~5 ms, so
+    // the measured run amortizes timer overhead.
+    let mut iterations = 1u64;
+    loop {
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || iterations >= 1 << 24 {
+            break;
+        }
+        iterations *= 4;
+    }
+    // Measure: repeat runs until the time budget is spent.
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    while total < measurement {
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        total += bencher.elapsed;
+        total_iters += iterations;
+    }
+    let nanos_per_iter = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench: {label:<50} {}", format_time(nanos_per_iter));
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:8.1} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:8.2} µs/iter", nanos / 1_000.0)
+    } else {
+        format!("{:8.3} ms/iter", nanos / 1_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("knn", 32).to_string(), "knn/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut c = Criterion { measurement: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("case", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}
