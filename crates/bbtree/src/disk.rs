@@ -7,7 +7,11 @@
 //! bundles the tree with its page store and exposes exact kNN, range search
 //! and the variational approximate search over that storage layout.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use bregman::{DecomposableBregman, DenseDataset, PointId};
+use pagestore::format::{PersistError, PersistResult};
 use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
 
 use crate::build::{BBTreeBuilder, BBTreeConfig};
@@ -15,6 +19,12 @@ use crate::knn::Neighbor;
 use crate::node::BBTree;
 use crate::stats::SearchStats;
 use crate::variational::VariationalConfig;
+
+/// File name of the serialized tree structure within an index directory.
+pub const TREE_FILE: &str = "tree.bbt";
+
+/// File name of the page file within an index directory.
+pub const PAGES_FILE: &str = "pages.bin";
 
 /// Result of one disk-resident query: neighbours plus CPU and I/O cost.
 #[derive(Debug, Clone)]
@@ -29,11 +39,14 @@ pub struct DiskQueryResult {
 
 /// A BB-tree whose data points are stored in a [`PageStore`], laid out in the
 /// tree's own leaf order so that each leaf is (close to) contiguous on disk.
+///
+/// The page store sits behind an `Arc`, so cloning shares the disk image
+/// instead of duplicating the dataset.
 #[derive(Debug, Clone)]
 pub struct DiskBBTree<B: DecomposableBregman> {
     divergence: B,
     tree: BBTree,
-    store: PageStore,
+    store: Arc<PageStore>,
 }
 
 impl<B: DecomposableBregman> DiskBBTree<B> {
@@ -50,7 +63,56 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         let store = PageStore::build_with_order(store_config, dataset.dim(), &order, |pid| {
             dataset.point(PointId(pid))
         });
-        Self { divergence, tree, store }
+        Self { divergence, tree, store: Arc::new(store) }
+    }
+
+    /// Persist the index to a directory: the tree structure as
+    /// [`TREE_FILE`] and the data pages as [`PAGES_FILE`].
+    pub fn save(&self, dir: &Path) -> PersistResult<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(TREE_FILE), self.tree.to_bytes())?;
+        self.store.save(&dir.join(PAGES_FILE))
+    }
+
+    /// Open an index saved with [`DiskBBTree::save`]. The tree structure is
+    /// loaded into memory; data pages are served from the page file on
+    /// demand. Fails if the directory was written for a different
+    /// divergence.
+    pub fn open(divergence: B, dir: &Path) -> PersistResult<Self> {
+        let tree = BBTree::from_bytes(&std::fs::read(dir.join(TREE_FILE))?)?;
+        if tree.divergence_name() != divergence.name() {
+            return Err(PersistError::Corrupt(format!(
+                "index was built for divergence {:?}, opened with {:?}",
+                tree.divergence_name(),
+                divergence.name()
+            )));
+        }
+        let store = PageStore::open(&dir.join(PAGES_FILE))?;
+        if store.point_count() != tree.len() {
+            return Err(PersistError::Corrupt(format!(
+                "page file holds {} points, tree indexes {}",
+                store.point_count(),
+                tree.len()
+            )));
+        }
+        if store.dim() != tree.dim() {
+            return Err(PersistError::Corrupt(format!(
+                "page file records are {}-dimensional, tree is {}-dimensional",
+                store.dim(),
+                tree.dim()
+            )));
+        }
+        // Every indexed point must resolve to a page address, otherwise a
+        // structurally valid tree over the wrong id space would silently
+        // drop candidates at query time.
+        if let Some(orphan) =
+            tree.points_in_leaf_order().iter().find(|p| store.address_of(p.0).is_none())
+        {
+            return Err(PersistError::Corrupt(format!(
+                "tree indexes point {orphan} which has no address in the page file"
+            )));
+        }
+        Ok(Self { divergence, tree, store: Arc::new(store) })
     }
 
     /// The in-memory tree structure.
@@ -58,9 +120,14 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         &self.tree
     }
 
-    /// The simulated disk image.
+    /// The disk image.
     pub fn store(&self) -> &PageStore {
         &self.store
+    }
+
+    /// The disk image as a shareable handle.
+    pub fn store_arc(&self) -> Arc<PageStore> {
+        Arc::clone(&self.store)
     }
 
     /// The divergence this index was built for.
@@ -231,6 +298,66 @@ mod tests {
                 assert!(pages.len() <= 2, "leaf spread over {} pages", pages.len());
             }
         }
+    }
+
+    #[test]
+    fn save_open_roundtrip_answers_identically_with_identical_io() {
+        let ds = random_dataset(300, 6, 21);
+        let built = DiskBBTree::build(
+            ItakuraSaito,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(12),
+            PageStoreConfig::with_page_size(1024),
+        );
+        let dir = std::env::temp_dir().join(format!("bbtree-disk-test-{}", std::process::id()));
+        built.save(&dir).unwrap();
+        let reopened = DiskBBTree::open(ItakuraSaito, &dir).unwrap();
+        assert_eq!(reopened.store().backend_kind(), "file");
+        assert_eq!(reopened.page_count(), built.page_count());
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..4 {
+            let query: Vec<f64> = (0..6).map(|_| rng.gen_range(0.5..8.0)).collect();
+            let mut pool_a = BufferPool::unbuffered();
+            let mut pool_b = BufferPool::unbuffered();
+            let a = built.knn(&mut pool_a, &query, 7);
+            let b = reopened.knn(&mut pool_b, &query, 7);
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.io, b.io, "cold-pool I/O must be identical after reopening");
+            assert_eq!(a.search, b.search);
+        }
+        // Opening with the wrong divergence is rejected.
+        assert!(DiskBBTree::open(SquaredEuclidean, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_page_file_dimensionality_is_rejected() {
+        // Equal point counts, different record widths: pairing the tree with
+        // the other index's page file must fail at open rather than letting
+        // release-mode searches zip-truncate divergences.
+        let root = std::env::temp_dir().join(format!("bbtree-swap-test-{}", std::process::id()));
+        let a = DiskBBTree::build(
+            SquaredEuclidean,
+            &random_dataset(80, 4, 50),
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(512),
+        );
+        let b = DiskBBTree::build(
+            SquaredEuclidean,
+            &random_dataset(80, 6, 51),
+            BBTreeConfig::with_leaf_capacity(8),
+            PageStoreConfig::with_page_size(512),
+        );
+        a.save(&root.join("a")).unwrap();
+        b.save(&root.join("b")).unwrap();
+        std::fs::copy(root.join("b").join(PAGES_FILE), root.join("a").join(PAGES_FILE)).unwrap();
+        match DiskBBTree::open(SquaredEuclidean, &root.join("a")) {
+            Err(PersistError::Corrupt(message)) => {
+                assert!(message.contains("dimensional"), "{message}")
+            }
+            other => panic!("expected dimensionality rejection, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

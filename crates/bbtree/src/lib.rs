@@ -29,6 +29,7 @@ pub mod disk;
 pub mod knn;
 pub mod node;
 pub mod range;
+pub mod serial;
 pub mod stats;
 pub mod variational;
 

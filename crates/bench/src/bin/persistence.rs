@@ -1,0 +1,16 @@
+//! Regenerate the "persistence" (index lifecycle) experiment and print its
+//! markdown tables.
+//!
+//! Scale is controlled by the `BREPARTITION_SCALE` environment variable
+//! (`quick` default, `paper`, `tiny`).
+
+use brepartition_bench::experiments::persistence;
+use brepartition_bench::{Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bench = Workbench::new(scale);
+    for table in persistence::run(&bench) {
+        print!("{table}");
+    }
+}

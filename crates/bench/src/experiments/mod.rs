@@ -10,6 +10,7 @@ pub mod fig14_datasize;
 pub mod fig15_approximate;
 pub mod fig7_construction;
 pub mod fig8_fig9_partitions;
+pub mod persistence;
 pub mod table4_datasets;
 pub mod throughput;
 
@@ -37,6 +38,7 @@ pub fn run_all(scale: Scale) -> String {
         ("Fig. 14 — impact of data size", fig14_datasize::run(&bench)),
         ("Fig. 15 — approximate solution", fig15_approximate::run(&bench)),
         ("Engine — batch-serving throughput (beyond the paper)", throughput::run(&bench)),
+        ("Storage — index lifecycle: build vs save vs cold open", persistence::run(&bench)),
     ];
     for (title, tables) in sections {
         out.push_str(&format!("## {title}\n\n"));

@@ -10,6 +10,8 @@
 //! by different subspaces tend to live on the same pages and the union of
 //! candidates costs few extra page reads — the effect Fig. 10 measures.
 
+use std::sync::Arc;
+
 use bbtree::{BBTree, BBTreeBuilder, BBTreeConfig, SearchStats};
 use bregman::{
     DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito, PointId,
@@ -47,11 +49,14 @@ macro_rules! with_divergence {
 
 /// One BB-tree per subspace plus the shared page store for the
 /// full-resolution points.
+///
+/// The page store sits behind an `Arc`, so cloning the forest (or the index
+/// that owns it) shares one disk image instead of duplicating the dataset.
 #[derive(Debug, Clone)]
 pub struct BBForest {
     kind: DivergenceKind,
     trees: Vec<BBTree>,
-    store: PageStore,
+    store: Arc<PageStore>,
     /// Seconds spent building the trees and laying out the pages (reported by
     /// the index-construction experiment, Fig. 7).
     build_seconds: f64,
@@ -88,7 +93,17 @@ impl BBForest {
             dataset.point(PointId(pid))
         });
         let build_seconds = started.elapsed().as_secs_f64();
-        Ok(BBForest { kind, trees, store, build_seconds })
+        Ok(BBForest { kind, trees, store: Arc::new(store), build_seconds })
+    }
+
+    /// Reassemble a forest from restored parts (the open-from-disk path).
+    pub(crate) fn from_parts(
+        kind: DivergenceKind,
+        trees: Vec<BBTree>,
+        store: Arc<PageStore>,
+        build_seconds: f64,
+    ) -> BBForest {
+        BBForest { kind, trees, store, build_seconds }
     }
 
     /// The divergence the forest was built for.
@@ -119,6 +134,11 @@ impl BBForest {
     /// The shared page store holding the full-resolution points.
     pub fn store(&self) -> &PageStore {
         &self.store
+    }
+
+    /// The shared page store as a shareable handle.
+    pub fn store_arc(&self) -> Arc<PageStore> {
+        Arc::clone(&self.store)
     }
 
     /// Wall-clock seconds spent building the forest.

@@ -35,6 +35,10 @@ pub enum CoreError {
     /// An invalid probability guarantee was supplied to the approximate
     /// search (must be in `(0, 1]`).
     InvalidProbability(f64),
+    /// Saving or opening a persistent index failed (I/O error, bad magic or
+    /// version, checksum mismatch, or a corrupt artifact). The message
+    /// carries the underlying [`pagestore::PersistError`] rendering.
+    Persist(String),
     /// A lower-level Bregman primitive failed.
     Bregman(BregmanError),
 }
@@ -56,6 +60,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidProbability(p) => {
                 write!(f, "probability guarantee must be in (0, 1], got {p}")
             }
+            CoreError::Persist(message) => write!(f, "persistence error: {message}"),
             CoreError::Bregman(e) => write!(f, "bregman error: {e}"),
         }
     }
@@ -73,6 +78,12 @@ impl std::error::Error for CoreError {
 impl From<BregmanError> for CoreError {
     fn from(e: BregmanError) -> Self {
         CoreError::Bregman(e)
+    }
+}
+
+impl From<pagestore::PersistError> for CoreError {
+    fn from(e: pagestore::PersistError) -> Self {
+        CoreError::Persist(e.to_string())
     }
 }
 

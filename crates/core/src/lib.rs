@@ -54,6 +54,7 @@ pub mod bound;
 pub mod config;
 pub mod error;
 pub mod partition;
+pub mod persist;
 pub mod search;
 pub mod stats;
 pub mod transform;

@@ -45,6 +45,13 @@ pub struct BuildReport {
 }
 
 /// The disk-resident BrePartition index.
+///
+/// The page store inside the BB-forest sits behind an `Arc`, so cloning the
+/// index (or sharing it via `Arc<BrePartitionIndex>`, as the query engine
+/// does) never duplicates the disk image. The index supports a
+/// build-once/open-many lifecycle: [`BrePartitionIndex::save`] persists
+/// everything the search needs, [`BrePartitionIndex::open`] restores it with
+/// data pages served from the page file (see [`crate::persist`]).
 #[derive(Debug, Clone)]
 pub struct BrePartitionIndex {
     kind: DivergenceKind,
@@ -136,6 +143,32 @@ impl BrePartitionIndex {
             dim_vars,
             build,
         })
+    }
+
+    /// Reassemble an index from restored parts (the open-from-disk path;
+    /// the cost model is not persisted, so a reopened index reports `None`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        kind: DivergenceKind,
+        config: BrePartitionConfig,
+        partitioning: Partitioning,
+        transformed: TransformedDataset,
+        forest: BBForest,
+        dim_means: Vec<f64>,
+        dim_vars: Vec<f64>,
+        build: BuildReport,
+    ) -> BrePartitionIndex {
+        BrePartitionIndex {
+            kind,
+            config,
+            partitioning,
+            transformed,
+            forest,
+            cost_model: None,
+            dim_means,
+            dim_vars,
+            build,
+        }
     }
 
     /// The divergence the index answers queries for.

@@ -86,6 +86,25 @@ impl TransformedDataset {
     pub fn size_bytes(&self) -> usize {
         self.tuples.len() * std::mem::size_of::<[f64; 2]>()
     }
+
+    /// The raw tuple storage, `tuples[point * m + subspace] = [α_x, γ_x]`
+    /// (used by the persistence layer).
+    pub(crate) fn raw_tuples(&self) -> &[[f64; 2]] {
+        &self.tuples
+    }
+
+    /// Reassemble a transformed dataset from restored raw storage. Returns
+    /// `None` when the tuple count does not equal `n × m`.
+    pub(crate) fn from_raw(
+        n: usize,
+        m: usize,
+        tuples: Vec<[f64; 2]>,
+    ) -> Option<TransformedDataset> {
+        if n.checked_mul(m)? != tuples.len() {
+            return None;
+        }
+        Some(TransformedDataset { n, m, tuples })
+    }
 }
 
 /// Per-subspace triples `Q(y) = (α_y, β_yy, δ_y)` of one query point.

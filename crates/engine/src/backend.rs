@@ -2,7 +2,15 @@
 //! workspace, so the batch engine (and the experiment harness) can drive
 //! BrePartition, its approximate extension, the BB-tree baseline and the
 //! VA-file baseline through a single code path.
+//!
+//! Every backend supports two lifecycles: *build* from a dataset (the
+//! `build_*`/`*_for_kind` constructors) or *open* a previously saved index
+//! directory (the `open_*`/`*_open_for_kind` constructors), so a serving
+//! process can come up without re-running index construction. Saved
+//! directories are produced by each backend's `save` method (which defers
+//! to the underlying index's persistence format).
 
+use std::path::Path;
 use std::sync::Arc;
 
 use bbtree::{BBTreeConfig, DiskBBTree};
@@ -139,6 +147,28 @@ impl BrePartitionBackend {
         Ok(Self::approximate(index, approx))
     }
 
+    /// Open an exact backend from an index directory written by
+    /// [`BrePartitionIndex::save`] (or [`BrePartitionBackend::save`]).
+    pub fn open_exact(dir: &Path) -> Result<Self, EngineError> {
+        let index =
+            BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(Self::exact(index))
+    }
+
+    /// Open an approximate backend from an index directory. The shrink
+    /// coefficient is derived from the persisted per-dimension moments, so a
+    /// reopened ABP backend answers exactly like the freshly built one.
+    pub fn open_approximate(dir: &Path, approx: ApproximateConfig) -> Result<Self, EngineError> {
+        let index =
+            BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(Self::approximate(index, approx))
+    }
+
+    /// Persist the wrapped index to an index directory.
+    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.index.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
+
     /// The wrapped index.
     pub fn index(&self) -> &BrePartitionIndex {
         &self.index
@@ -204,6 +234,21 @@ impl<B: DecomposableBregman + Send + Sync> BBTreeBackend<B> {
         Self { tree, dim: dataset.dim(), len: dataset.len() }
     }
 
+    /// Open a tree saved with [`BBTreeBackend::save`] (or
+    /// [`DiskBBTree::save`]).
+    pub fn open(divergence: B, dir: &Path) -> Result<Self, EngineError> {
+        let tree =
+            DiskBBTree::open(divergence, dir).map_err(|e| EngineError::Backend(e.to_string()))?;
+        let dim = tree.tree().dim();
+        let len = tree.tree().len();
+        Ok(Self { tree, dim, len })
+    }
+
+    /// Persist the wrapped tree to an index directory.
+    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.tree.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
+
     /// The wrapped tree.
     pub fn tree(&self) -> &DiskBBTree<B> {
         &self.tree
@@ -254,6 +299,20 @@ impl<B: DecomposableBregman + Send + Sync> VaFileBackend<B> {
     /// Build the VA-file over a dataset.
     pub fn build(divergence: B, dataset: &DenseDataset, config: VaFileConfig) -> Self {
         Self { file: VaFile::build(divergence, dataset, config), dim: dataset.dim() }
+    }
+
+    /// Open a VA-file saved with [`VaFileBackend::save`] (or
+    /// [`VaFile::save`]).
+    pub fn open(divergence: B, dir: &Path) -> Result<Self, EngineError> {
+        let file =
+            VaFile::open(divergence, dir).map_err(|e| EngineError::Backend(e.to_string()))?;
+        let dim = file.quantizer().dim();
+        Ok(Self { file, dim })
+    }
+
+    /// Persist the wrapped VA-file to an index directory.
+    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.file.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
     }
 
     /// The wrapped VA-file.
@@ -346,4 +405,32 @@ pub fn vafile_backend_for_kind(
             Box::new(VaFileBackend::build(GeneralizedI, dataset, config))
         }
     }
+}
+
+/// Open a boxed BB-tree backend from an index directory for a
+/// runtime-selected divergence.
+pub fn bbtree_backend_open_for_kind(
+    kind: DivergenceKind,
+    dir: &Path,
+) -> Result<Box<dyn SearchBackend>, EngineError> {
+    Ok(match kind {
+        DivergenceKind::SquaredEuclidean => Box::new(BBTreeBackend::open(SquaredEuclidean, dir)?),
+        DivergenceKind::ItakuraSaito => Box::new(BBTreeBackend::open(ItakuraSaito, dir)?),
+        DivergenceKind::Exponential => Box::new(BBTreeBackend::open(Exponential, dir)?),
+        DivergenceKind::GeneralizedI => Box::new(BBTreeBackend::open(GeneralizedI, dir)?),
+    })
+}
+
+/// Open a boxed VA-file backend from an index directory for a
+/// runtime-selected divergence.
+pub fn vafile_backend_open_for_kind(
+    kind: DivergenceKind,
+    dir: &Path,
+) -> Result<Box<dyn SearchBackend>, EngineError> {
+    Ok(match kind {
+        DivergenceKind::SquaredEuclidean => Box::new(VaFileBackend::open(SquaredEuclidean, dir)?),
+        DivergenceKind::ItakuraSaito => Box::new(VaFileBackend::open(ItakuraSaito, dir)?),
+        DivergenceKind::Exponential => Box::new(VaFileBackend::open(Exponential, dir)?),
+        DivergenceKind::GeneralizedI => Box::new(VaFileBackend::open(GeneralizedI, dir)?),
+    })
 }

@@ -54,8 +54,9 @@ pub mod error;
 pub mod report;
 
 pub use backend::{
-    bbtree_backend_for_kind, vafile_backend_for_kind, BBTreeBackend, BackendAnswer,
-    BrePartitionBackend, Scratch, SearchBackend, VaFileBackend,
+    bbtree_backend_for_kind, bbtree_backend_open_for_kind, vafile_backend_for_kind,
+    vafile_backend_open_for_kind, BBTreeBackend, BackendAnswer, BrePartitionBackend, Scratch,
+    SearchBackend, VaFileBackend,
 };
 pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
 pub use error::EngineError;
@@ -202,6 +203,89 @@ mod tests {
             other => panic!("expected query error, got {other:?}"),
         }
         assert!(engine.cumulative_io().pages_read > 0, "completed queries' I/O must count");
+    }
+
+    #[test]
+    fn backends_opened_from_disk_serve_identical_batches() {
+        let (data, queries) = workload();
+        let kind = DivergenceKind::ItakuraSaito;
+        let root =
+            std::env::temp_dir().join(format!("brepartition-engine-test-{}", std::process::id()));
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
+        let index = Arc::new(BrePartitionIndex::build(kind, &data, &config).unwrap());
+
+        // Save each index once…
+        BrePartitionBackend::exact(index.clone()).save(&root.join("bp")).unwrap();
+        let bbt_built = bbtree_backend_for_kind(
+            kind,
+            &data,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(2048),
+        );
+        let bbt_concrete = BBTreeBackend::build(
+            ItakuraSaito,
+            &data,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(2048),
+        );
+        bbt_concrete.save(&root.join("bbt")).unwrap();
+        let vaf_concrete = VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default());
+        vaf_concrete.save(&root.join("vaf")).unwrap();
+
+        // …and pair every built backend with its reopened twin.
+        let pairs: Vec<(Arc<dyn SearchBackend>, Arc<dyn SearchBackend>)> = vec![
+            (
+                Arc::new(BrePartitionBackend::exact(index.clone())),
+                Arc::new(BrePartitionBackend::open_exact(&root.join("bp")).unwrap()),
+            ),
+            (
+                Arc::new(BrePartitionBackend::approximate(
+                    index,
+                    ApproximateConfig::with_probability(0.9),
+                )),
+                Arc::new(
+                    BrePartitionBackend::open_approximate(
+                        &root.join("bp"),
+                        ApproximateConfig::with_probability(0.9),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                bbt_built.into(),
+                bbtree_backend_open_for_kind(kind, &root.join("bbt")).unwrap().into(),
+            ),
+            (
+                Arc::new(vaf_concrete),
+                vafile_backend_open_for_kind(kind, &root.join("vaf")).unwrap().into(),
+            ),
+        ];
+        for (built, reopened) in pairs {
+            let name = built.name().to_string();
+            assert_eq!(built.len(), reopened.len(), "{name}");
+            assert_eq!(built.dim(), reopened.dim(), "{name}");
+            let a = QueryEngine::with_config(built, EngineConfig::default().with_threads(2))
+                .run_batch(&queries, 6)
+                .unwrap();
+            let b = QueryEngine::with_config(reopened, EngineConfig::default().with_threads(2))
+                .run_batch(&queries, 6)
+                .unwrap();
+            for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+                assert_eq!(x.neighbors, y.neighbors, "{name} query {qi}");
+                assert_eq!(x.io, y.io, "{name} query {qi}: I/O must survive reopening");
+                assert_eq!(x.candidates, y.candidates, "{name} query {qi}");
+            }
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn opening_a_missing_directory_is_a_backend_error() {
+        let missing = std::env::temp_dir()
+            .join(format!("brepartition-engine-missing-{}", std::process::id()));
+        assert!(matches!(BrePartitionBackend::open_exact(&missing), Err(EngineError::Backend(_))));
+        assert!(bbtree_backend_open_for_kind(DivergenceKind::ItakuraSaito, &missing).is_err());
+        assert!(vafile_backend_open_for_kind(DivergenceKind::ItakuraSaito, &missing).is_err());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The [`StorageBackend`] abstraction: where page images physically live.
+//!
+//! A [`crate::PageStore`] owns the page *directory* (point → page/slot
+//! layout, configuration) but delegates page-image storage to a backend:
+//!
+//! * [`MemoryBackend`] — the deterministic in-memory simulation the paper's
+//!   experiments run against. Every page is resident; a "physical read" is a
+//!   cheap clone of the shared page (the I/O counters in
+//!   [`crate::BufferPool`] still model a disk).
+//! * [`crate::FileBackend`] — a real file with a versioned, checksummed
+//!   header; every physical read seeks into the page region and
+//!   materializes the page from disk (see [`crate::file`] for the format).
+//!
+//! Both are served through the same [`crate::BufferPool`]/[`crate::IoStats`]
+//! path, so per-query I/O accounting is identical no matter where the bytes
+//! come from.
+
+use crate::page::{Page, PageId};
+
+/// Physical storage of page images behind a [`crate::PageStore`].
+///
+/// Implementations must be `Send + Sync`: one store is shared (via `Arc`)
+/// across the query-engine worker threads.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Short backend tag (`"memory"` or `"file"`), used in diagnostics.
+    fn kind(&self) -> &'static str;
+
+    /// Number of pages stored.
+    fn page_count(&self) -> usize;
+
+    /// Materialize one page, or `None` for an unknown id. This is a
+    /// *physical* access with no accounting — indexes must go through a
+    /// [`crate::BufferPool`].
+    fn read_page(&self, id: PageId) -> Option<Page>;
+
+    /// Total size of the stored page images in bytes (payloads including
+    /// padding, excluding directory metadata).
+    fn size_bytes(&self) -> usize;
+}
+
+/// The in-memory backend: all pages resident, reads are clone-outs.
+#[derive(Debug)]
+pub struct MemoryBackend {
+    pages: Vec<Page>,
+}
+
+impl MemoryBackend {
+    /// A backend over the given pages (page `i` must have id `i`).
+    pub fn new(pages: Vec<Page>) -> Self {
+        debug_assert!(pages.iter().enumerate().all(|(i, p)| p.id().index() == i));
+        Self { pages }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+
+    fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn read_page(&self, id: PageId) -> Option<Page> {
+        self.pages.get(id.index()).cloned()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.pages.iter().map(Page::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_backend_reads_by_id() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let pages = vec![
+            Page::encode(PageId(0), 2, &[(0, &a)], 64),
+            Page::encode(PageId(1), 2, &[(1, &b)], 64),
+        ];
+        let backend = MemoryBackend::new(pages);
+        assert_eq!(backend.kind(), "memory");
+        assert_eq!(backend.page_count(), 2);
+        assert_eq!(backend.size_bytes(), 128);
+        assert_eq!(backend.read_page(PageId(1)).unwrap().decode_slot(0), b);
+        assert!(backend.read_page(PageId(9)).is_none());
+    }
+}

@@ -15,19 +15,28 @@ use crate::PointId;
 /// in the attached [`IoStats`]; cached accesses count as hits. The pool is
 /// the *only* sanctioned read path for indexes, which is how every index in
 /// this repository reports the paper's I/O-cost metric.
+///
+/// Cached pages are held by value (pages are cheap to clone — their payload
+/// and id list are reference-counted), so the pool works identically over
+/// the in-memory backend and the file backend: a miss asks the store for a
+/// physical page, a hit serves the pool's own copy without touching the
+/// store at all.
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    /// Pages currently resident, mapping to their position generation.
-    resident: HashMap<PageId, ()>,
+    /// Pages currently resident.
+    resident: HashMap<PageId, crate::page::Page>,
     /// LRU order: front = least recently used.
     lru: VecDeque<PageId>,
     stats: IoStats,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` pages. A capacity of zero disables
-    /// caching entirely (every access is a physical read), which is how the
+    /// A pool holding at most `capacity` pages.
+    ///
+    /// A capacity of zero is the *unbuffered* pool: nothing is ever cached,
+    /// every access is counted as a physical page read, and
+    /// [`BufferPool::resident_pages`] stays at zero. This is how the
     /// per-query I/O numbers in the paper's figures are measured.
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -41,6 +50,16 @@ impl BufferPool {
     /// A pool that never caches (each access is a physical page read).
     pub fn unbuffered() -> Self {
         Self::new(0)
+    }
+
+    /// The configured capacity in pages (zero = unbuffered).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether this pool caches nothing (capacity zero).
+    pub fn is_unbuffered(&self) -> bool {
+        self.capacity == 0
     }
 
     /// Current I/O counters.
@@ -65,30 +84,34 @@ impl BufferPool {
     }
 
     /// Touch a page: record the access, updating LRU state and counters, and
-    /// return a reference to the page. Returns `None` for an unknown page id.
-    pub fn fetch<'s>(&mut self, store: &'s PageStore, id: PageId) -> Option<&'s crate::page::Page> {
-        let page = store.raw_page(id)?;
+    /// return the page. Returns `None` for an unknown page id.
+    pub fn fetch(&mut self, store: &PageStore, id: PageId) -> Option<crate::page::Page> {
+        // Unbuffered mode: every access is a counted physical read and the
+        // pool never retains a page.
         if self.capacity == 0 {
+            let page = store.raw_page(id)?;
             self.stats.pages_read += 1;
             return Some(page);
         }
-        if self.resident.contains_key(&id) {
+        if let Some(page) = self.resident.get(&id) {
+            let page = page.clone();
             self.stats.cache_hits += 1;
             // Move to the back of the LRU queue.
             if let Some(pos) = self.lru.iter().position(|&p| p == id) {
                 self.lru.remove(pos);
             }
             self.lru.push_back(id);
-        } else {
-            self.stats.pages_read += 1;
-            if self.resident.len() >= self.capacity {
-                if let Some(evicted) = self.lru.pop_front() {
-                    self.resident.remove(&evicted);
-                }
-            }
-            self.resident.insert(id, ());
-            self.lru.push_back(id);
+            return Some(page);
         }
+        let page = store.raw_page(id)?;
+        self.stats.pages_read += 1;
+        if self.resident.len() >= self.capacity {
+            if let Some(evicted) = self.lru.pop_front() {
+                self.resident.remove(&evicted);
+            }
+        }
+        self.resident.insert(id, page.clone());
+        self.lru.push_back(id);
         Some(page)
     }
 
@@ -187,11 +210,33 @@ mod tests {
     fn unbuffered_counts_every_access_as_physical_read() {
         let (s, data) = store(6, 2, 2);
         let mut pool = BufferPool::unbuffered();
+        assert!(pool.is_unbuffered());
+        assert_eq!(pool.capacity(), 0);
         for pid in 0..6u32 {
             assert_eq!(pool.read_point(&s, pid).unwrap(), data[pid as usize]);
         }
         assert_eq!(pool.stats().pages_read, 6);
         assert_eq!(pool.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn capacity_zero_never_retains_pages() {
+        // The unbuffered pool is not a degenerate LRU: repeated access to
+        // the same page stays a counted miss and nothing becomes resident.
+        let (s, _) = store(6, 2, 2);
+        let mut pool = BufferPool::new(0);
+        for _ in 0..3 {
+            pool.read_point(&s, 0);
+        }
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.stats().pages_read, 3);
+        assert_eq!(pool.stats().cache_hits, 0);
+        // Batched reads still coalesce points within one visit of a page…
+        let result = pool.read_points(&s, &[0, 1, 4]);
+        assert_eq!(result.len(), 3);
+        assert_eq!(pool.stats().pages_read, 5); // pages {0,1} and {4,5}
+                                                // …but the pool stays empty afterwards.
+        assert_eq!(pool.resident_pages(), 0);
     }
 
     #[test]

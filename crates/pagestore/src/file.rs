@@ -1,0 +1,528 @@
+//! The file-backed storage backend: a real on-disk page file.
+//!
+//! # On-disk format (`BREPPGS1`, version 1)
+//!
+//! A page file is a sealed envelope (see [`crate::format`]) whose payload
+//! holds a metadata block followed by the raw page region:
+//!
+//! ```text
+//! offset            size        field
+//! 0                 8           magic   b"BREPPGS1"
+//! 8                 4           version u32 (= 1)
+//! 12                8           payload_len u64
+//! 20                8           checksum u64 — FNV-1a 64 over the payload
+//! ── payload ──────────────────────────────────────────────────────────────
+//! 28                8           meta_len u64
+//! 36                meta_len    metadata block (see below)
+//! 36 + meta_len     …           page region: the page payloads back to back
+//! ```
+//!
+//! The metadata block ([`crate::format::ByteWriter`] encoding, all integers
+//! little-endian, sequences length-prefixed):
+//!
+//! ```text
+//! page_size    u64   nominal page size in bytes
+//! dim          u64   record dimensionality
+//! build_writes u64   pages written while building the original store
+//! point_count  u64   number of point records (for validation)
+//! page_count   u64   number of pages, then per page:
+//!   offset     u64   byte offset of the page payload within the page region
+//!   length     u64   byte length of the page payload
+//!   point_ids  u32 sequence — resident point ids in slot order
+//! ```
+//!
+//! Page payloads are usually exactly `page_size` bytes; a page holding a
+//! single record wider than the nominal page size is stored at its true
+//! length, which is why per-page offsets are explicit.
+//!
+//! Opening a file verifies magic, version, payload length and checksum (the
+//! checksum pass streams the payload in chunks, so the page region is never
+//! resident in memory); afterwards only the metadata block is kept in memory
+//! and every [`StorageBackend::read_page`] seeks into the page region.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::backend::StorageBackend;
+use crate::format::{
+    read_envelope_header, ByteReader, ByteWriter, Fnv1a64, PersistError, PersistResult,
+    ENVELOPE_HEADER_BYTES,
+};
+use crate::layout::{DiskLayout, PageAddress};
+use crate::page::{Page, PageId};
+use crate::store::PageStoreConfig;
+use crate::PointId;
+
+/// Magic tag of a page file.
+pub const PAGE_FILE_MAGIC: [u8; 8] = *b"BREPPGS1";
+
+/// Format version this build writes and reads.
+pub const PAGE_FILE_VERSION: u32 = 1;
+
+/// Per-page directory entry kept in memory by a [`FileBackend`].
+#[derive(Debug, Clone)]
+struct PageEntry {
+    /// Byte offset of the payload within the page region.
+    offset: u64,
+    /// Byte length of the payload.
+    length: u64,
+    /// Resident point ids in slot order (shared with materialized pages).
+    point_ids: Arc<[PointId]>,
+}
+
+/// Everything the metadata block describes, parsed once at open time.
+#[derive(Debug)]
+pub(crate) struct PageFileMeta {
+    pub(crate) config: PageStoreConfig,
+    pub(crate) dim: usize,
+    pub(crate) build_writes: u64,
+    pub(crate) point_count: usize,
+    entries: Vec<PageEntry>,
+}
+
+impl PageFileMeta {
+    /// Reconstruct the point → (page, slot) directory from the per-page id
+    /// lists.
+    pub(crate) fn layout(&self) -> DiskLayout {
+        let mut layout = DiskLayout::with_capacity(self.point_count);
+        for (page_index, entry) in self.entries.iter().enumerate() {
+            for (slot, &pid) in entry.point_ids.iter().enumerate() {
+                layout.set(pid, PageAddress { page: PageId(page_index as u32), slot: slot as u32 });
+            }
+        }
+        layout
+    }
+}
+
+/// The file-backed storage backend.
+///
+/// Holds the page directory in memory and an open handle on the page file;
+/// every physical page read seeks into the page region. The handle sits
+/// behind a mutex so one backend can be shared across query threads (each
+/// read is one short critical section).
+pub struct FileBackend {
+    path: PathBuf,
+    file: Mutex<BufReader<File>>,
+    page_region_offset: u64,
+    dim: usize,
+    entries: Vec<PageEntry>,
+}
+
+impl std::fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("path", &self.path)
+            .field("pages", &self.entries.len())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+impl FileBackend {
+    /// Open a page file, validating its envelope (magic, version, checksum)
+    /// and parsing the metadata block. Returns the backend plus the parsed
+    /// metadata so [`crate::PageStore::open`] can rebuild its directory.
+    pub(crate) fn open(path: &Path) -> PersistResult<(FileBackend, PageFileMeta)> {
+        let mut file = File::open(path)?;
+
+        // Envelope header.
+        let mut header = [0u8; ENVELOPE_HEADER_BYTES];
+        read_exact_or_corrupt(&mut file, &mut header, "envelope header")?;
+        let (payload_len, checksum) =
+            read_envelope_header(&PAGE_FILE_MAGIC, PAGE_FILE_VERSION, &header)?;
+        let actual_len = file.metadata()?.len();
+        let expected_len = ENVELOPE_HEADER_BYTES as u64 + payload_len;
+        if actual_len != expected_len {
+            return Err(PersistError::Corrupt(format!(
+                "file is {actual_len} bytes but the header describes {expected_len}"
+            )));
+        }
+
+        // Stream the payload once to verify the checksum without holding the
+        // page region in memory.
+        let found = streaming_fnv1a64(&mut file, ENVELOPE_HEADER_BYTES as u64, payload_len)?;
+        if found != checksum {
+            return Err(PersistError::ChecksumMismatch { expected: checksum, found });
+        }
+
+        // Metadata block.
+        file.seek(SeekFrom::Start(ENVELOPE_HEADER_BYTES as u64))?;
+        let mut meta_len_bytes = [0u8; 8];
+        read_exact_or_corrupt(&mut file, &mut meta_len_bytes, "metadata length")?;
+        let meta_len = u64::from_le_bytes(meta_len_bytes);
+        if meta_len.saturating_add(8) > payload_len {
+            return Err(PersistError::Corrupt(format!(
+                "metadata block of {meta_len} bytes exceeds the {payload_len}-byte payload"
+            )));
+        }
+        let mut meta_bytes = vec![0u8; meta_len as usize];
+        read_exact_or_corrupt(&mut file, &mut meta_bytes, "metadata block")?;
+        let meta = parse_meta(&meta_bytes)?;
+
+        let page_region_offset = ENVELOPE_HEADER_BYTES as u64 + 8 + meta_len;
+        let page_region_len = expected_len - page_region_offset;
+        if let Some(last) = meta.entries.last() {
+            if last.offset + last.length > page_region_len {
+                return Err(PersistError::Corrupt(format!(
+                    "page directory points {} bytes into a {page_region_len}-byte page region",
+                    last.offset + last.length
+                )));
+            }
+        }
+
+        let backend = FileBackend {
+            path: path.to_path_buf(),
+            file: Mutex::new(BufReader::new(file)),
+            page_region_offset,
+            dim: meta.dim,
+            entries: meta.entries.clone(),
+        };
+        Ok((backend, meta))
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
+    fn page_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the page file fails a read *after* a successful open (it
+    /// was truncated, deleted or hit a device error underneath us). The
+    /// alternative — treating the failure as "unknown page id" — would make
+    /// queries silently drop candidates and return wrong neighbors, which
+    /// is strictly worse than failing loudly.
+    fn read_page(&self, id: PageId) -> Option<Page> {
+        let entry = self.entries.get(id.index())?;
+        let mut buf = vec![0u8; entry.length as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(self.page_region_offset + entry.offset))
+                .and_then(|_| file.read_exact(&mut buf))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "page file {} failed while reading {id}: {e} \
+                         (file changed or device error since open)",
+                        self.path.display()
+                    )
+                });
+        }
+        Some(Page::from_parts(id, self.dim, entry.point_ids.clone(), Bytes::from(buf)))
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.length as usize).sum()
+    }
+}
+
+/// Write a backend's pages to `path` as the page-file image described in
+/// the module docs.
+///
+/// The page region is *streamed*: pages are read from the backend one at a
+/// time and written straight to the file while an incremental FNV-1a hash
+/// accumulates the checksum, which is then patched into the header. Peak
+/// memory is one page plus the metadata block, regardless of dataset size —
+/// the save path never materializes a second copy of the disk image.
+pub(crate) fn write_page_file(
+    path: &Path,
+    config: PageStoreConfig,
+    dim: usize,
+    build_writes: u64,
+    point_count: usize,
+    backend: &dyn StorageBackend,
+) -> PersistResult<()> {
+    use std::io::{BufWriter, Write};
+
+    // Pass 1: build the metadata block. Only ids and lengths are kept; page
+    // payloads are re-read during the streaming pass (cheap clones on the
+    // memory backend, sequential re-reads when copying a file-backed store).
+    let page_count = backend.page_count();
+    let mut meta = ByteWriter::new();
+    meta.put_u64(config.page_size_bytes as u64);
+    meta.put_u64(dim as u64);
+    meta.put_u64(build_writes);
+    meta.put_u64(point_count as u64);
+    meta.put_u64(page_count as u64);
+    let mut region_len = 0u64;
+    for i in 0..page_count {
+        let page = backend.read_page(PageId(i as u32)).expect("page within count");
+        meta.put_u64(region_len);
+        meta.put_u64(page.payload().len() as u64);
+        meta.put_u32_seq(page.point_ids());
+        region_len += page.payload().len() as u64;
+    }
+    let meta = meta.into_vec();
+    let payload_len = 8 + meta.len() as u64 + region_len;
+
+    // Header with a placeholder checksum, then the payload, streamed.
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(&PAGE_FILE_MAGIC)?;
+    out.write_all(&PAGE_FILE_VERSION.to_le_bytes())?;
+    out.write_all(&payload_len.to_le_bytes())?;
+    out.write_all(&0u64.to_le_bytes())?; // checksum, patched below
+
+    let mut hash = Fnv1a64::new();
+    let meta_len_bytes = (meta.len() as u64).to_le_bytes();
+    hash.update(&meta_len_bytes);
+    out.write_all(&meta_len_bytes)?;
+    hash.update(&meta);
+    out.write_all(&meta)?;
+    for i in 0..page_count {
+        let page = backend.read_page(PageId(i as u32)).expect("page within count");
+        hash.update(page.payload());
+        out.write_all(page.payload())?;
+    }
+
+    // Patch the checksum into the header.
+    let mut file = out.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
+    file.seek(SeekFrom::Start(20))?;
+    file.write_all(&hash.finish().to_le_bytes())?;
+    file.sync_all()?;
+    Ok(())
+}
+
+fn parse_meta(bytes: &[u8]) -> PersistResult<PageFileMeta> {
+    let mut r = ByteReader::new(bytes);
+    let page_size = r.take_usize()?;
+    let dim = r.take_usize()?;
+    let build_writes = r.take_u64()?;
+    let point_count = r.take_usize()?;
+    let page_count = r.take_usize()?;
+    let mut entries = Vec::with_capacity(page_count.min(1 << 20));
+    let mut expected_offset = 0u64;
+    for page in 0..page_count {
+        let offset = r.take_u64()?;
+        let length = r.take_u64()?;
+        if offset != expected_offset {
+            return Err(PersistError::Corrupt(format!(
+                "page {page} starts at offset {offset}, expected {expected_offset}"
+            )));
+        }
+        expected_offset = offset
+            .checked_add(length)
+            .ok_or_else(|| PersistError::Corrupt("page offsets overflow u64".into()))?;
+        let point_ids: Arc<[PointId]> = r.take_u32_seq()?.into();
+        entries.push(PageEntry { offset, length, point_ids });
+    }
+    r.expect_end()?;
+    let recorded: usize = entries.iter().map(|e| e.point_ids.len()).sum();
+    if recorded != point_count {
+        return Err(PersistError::Corrupt(format!(
+            "directory lists {recorded} point records, header says {point_count}"
+        )));
+    }
+    // Every point id must be unique and within `0..point_count` — otherwise
+    // a checksum-valid but malformed directory could force the layout to
+    // allocate for a huge sparse id space, or leave points address-less.
+    let mut seen = vec![false; point_count];
+    for entry in &entries {
+        for &pid in entry.point_ids.iter() {
+            match seen.get_mut(pid as usize) {
+                Some(slot) if !*slot => *slot = true,
+                Some(_) => {
+                    return Err(PersistError::Corrupt(format!(
+                        "point id {pid} appears in the directory more than once"
+                    )))
+                }
+                None => {
+                    return Err(PersistError::Corrupt(format!(
+                        "point id {pid} out of range for {point_count} points"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(PageFileMeta {
+        config: PageStoreConfig::with_page_size(page_size),
+        dim,
+        build_writes,
+        point_count,
+        entries,
+    })
+}
+
+fn read_exact_or_corrupt(file: &mut File, buf: &mut [u8], what: &str) -> PersistResult<()> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Corrupt(format!("file truncated while reading the {what}"))
+        } else {
+            PersistError::Io(e)
+        }
+    })
+}
+
+/// FNV-1a 64 over `len` bytes starting at `offset`, streamed in chunks.
+fn streaming_fnv1a64(file: &mut File, offset: u64, len: u64) -> PersistResult<u64> {
+    file.seek(SeekFrom::Start(offset))?;
+    let mut hash = Fnv1a64::new();
+    let mut remaining = len;
+    let mut chunk = vec![0u8; 64 * 1024];
+    while remaining > 0 {
+        let take = (remaining as usize).min(chunk.len());
+        read_exact_or_corrupt(file, &mut chunk[..take], "payload")?;
+        hash.update(&chunk[..take]);
+        remaining -= take as u64;
+    }
+    Ok(hash.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PageStore;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pagestore-file-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_store() -> (PageStore, Vec<Vec<f64>>) {
+        let data: Vec<Vec<f64>> =
+            (0..10).map(|i| (0..3).map(|j| (i * 3 + j) as f64).collect()).collect();
+        let config = PageStoreConfig::with_page_size(3 * 8 * 4); // 4 records/page
+        let store = PageStore::build_sequential(config, 3, 10, |pid| &data[pid as usize]);
+        (store, data)
+    }
+
+    #[test]
+    fn save_open_roundtrip_serves_identical_pages() {
+        let (store, data) = sample_store();
+        let path = temp_path("roundtrip");
+        store.save(&path).unwrap();
+        let reopened = PageStore::open(&path).unwrap();
+        assert_eq!(reopened.backend_kind(), "file");
+        assert_eq!(reopened.page_count(), store.page_count());
+        assert_eq!(reopened.point_count(), store.point_count());
+        assert_eq!(reopened.dim(), store.dim());
+        assert_eq!(reopened.size_bytes(), store.size_bytes());
+        assert_eq!(reopened.build_writes(), store.build_writes());
+        assert_eq!(reopened.config(), store.config());
+        for pid in 0..10u32 {
+            let addr = reopened.address_of(pid).unwrap();
+            assert_eq!(addr, store.address_of(pid).unwrap());
+            let page = reopened.raw_page(addr.page).unwrap();
+            assert_eq!(page.decode_slot(addr.slot as usize), data[pid as usize]);
+        }
+        assert!(reopened.raw_page(PageId(99)).is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_page_bytes_fail_the_checksum() {
+        let (store, _) = sample_store();
+        let path = temp_path("corrupt");
+        store.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PageStore::open(&path), Err(PersistError::ChecksumMismatch { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let (store, _) = sample_store();
+        let path = temp_path("truncated");
+        store.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(PageStore::open(&path), Err(PersistError::Corrupt(_))));
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(PageStore::open(&path), Err(PersistError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let (store, _) = sample_store();
+        let path = temp_path("magic");
+        store.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pristine = bytes.clone();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PageStore::open(&path), Err(PersistError::BadMagic { .. })));
+        bytes = pristine;
+        bytes[8] = 0xFF; // version LSB
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(PageStore::open(&path), Err(PersistError::UnsupportedVersion { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_valid_but_malformed_directory_is_rejected() {
+        // Duplicate a point id in the directory and re-seal the checksum:
+        // open must fail on directory validation, not serve a broken layout.
+        let (store, _) = sample_store();
+        let path = temp_path("malformed");
+        store.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Layout: header (28) + meta_len (8) + fixed meta fields (5 × u64),
+        // then page 0's entry: offset u64, length u64, id-seq len u64, ids.
+        let first_id_at = ENVELOPE_HEADER_BYTES + 8 + 40 + 24;
+        let second_id = bytes[first_id_at + 4..first_id_at + 8].to_vec();
+        bytes[first_id_at..first_id_at + 4].copy_from_slice(&second_id);
+        let checksum = crate::format::fnv1a64(&bytes[ENVELOPE_HEADER_BYTES..]);
+        bytes[20..28].copy_from_slice(&checksum.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match PageStore::open(&path) {
+            Err(PersistError::Corrupt(message)) => {
+                assert!(message.contains("more than once"), "{message}");
+            }
+            other => panic!("expected corrupt-directory error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backed_store_counts_io_like_the_memory_store() {
+        use crate::buffer_pool::BufferPool;
+        let (store, data) = sample_store();
+        let path = temp_path("io");
+        store.save(&path).unwrap();
+        let reopened = PageStore::open(&path).unwrap();
+
+        let mut mem_pool = BufferPool::unbuffered();
+        let mut file_pool = BufferPool::unbuffered();
+        let points: Vec<u32> = (0..10).collect();
+        let from_mem = mem_pool.read_points(&store, &points);
+        let from_file = file_pool.read_points(&reopened, &points);
+        assert_eq!(from_mem.len(), from_file.len());
+        for ((mp, mc), (fp, fc)) in from_mem.iter().zip(from_file.iter()) {
+            assert_eq!(mp, fp);
+            assert_eq!(mc, fc);
+            assert_eq!(mc, &data[*mp as usize]);
+        }
+        assert_eq!(mem_pool.stats(), file_pool.stats());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resaving_a_file_backed_store_preserves_the_image() {
+        let (store, _) = sample_store();
+        let path_a = temp_path("resave-a");
+        let path_b = temp_path("resave-b");
+        store.save(&path_a).unwrap();
+        let reopened = PageStore::open(&path_a).unwrap();
+        reopened.save(&path_b).unwrap();
+        assert_eq!(std::fs::read(&path_a).unwrap(), std::fs::read(&path_b).unwrap());
+        std::fs::remove_file(&path_a).unwrap();
+        std::fs::remove_file(&path_b).unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! A simulated disk-resident page store with I/O accounting.
+//! A disk-resident page store with I/O accounting and pluggable storage.
 //!
 //! The BrePartition paper evaluates every index by its *I/O cost*: the number
 //! of disk pages fetched per query on an SSD with a configurable page size
@@ -9,28 +9,66 @@
 //!   are serialized into fixed-size pages in a caller-supplied order (the
 //!   BB-forest lays points out in the leaf order of one of its trees so that
 //!   all subspaces touch the same pages).
+//! * [`StorageBackend`] — where the page images physically live:
+//!   [`MemoryBackend`] (the deterministic in-memory simulation, the default
+//!   when building) or [`FileBackend`] (a real page file with a versioned,
+//!   checksummed header, opened with [`PageStore::open`]). See [`file`] for
+//!   the on-disk format.
 //! * [`DiskLayout`] — the point → (page, slot) directory, i.e. the
 //!   `P.address` stored in BB-forest leaf nodes.
 //! * [`BufferPool`] — an LRU cache in front of the store. Every miss counts
 //!   as one physical page read in [`IoStats`]; hits are counted separately.
+//!   Capacity zero is the *unbuffered* pool: nothing is retained and every
+//!   access is a counted physical read.
 //! * [`SharedBufferPool`] — a mutex-wrapped pool for multi-threaded
 //!   experiment harnesses.
+//! * [`format`] — the little-endian encoding primitives and the sealed
+//!   envelope (magic, version, FNV-1a checksum) shared by every persistent
+//!   artifact in the workspace (page files, BB-trees, index metadata).
 //!
-//! The store is "simulated" in the sense that pages live in memory, but the
-//! byte-level layout (little-endian `f64` records packed into fixed-size
-//! pages) and the access-path accounting match what a real disk-resident
-//! implementation would do, which is what the paper's I/O metric measures.
+//! With the memory backend the store is "simulated": pages live in memory,
+//! but the byte-level layout (little-endian `f64` records packed into
+//! fixed-size pages) and the access-path accounting match what a real
+//! disk-resident implementation does. [`PageStore::save`] serializes exactly
+//! that image to a file; [`PageStore::open`] serves the same pages — same
+//! ids, same layout, same I/O counts — from disk.
+//!
+//! ```
+//! use pagestore::{BufferPool, PageStore, PageStoreConfig};
+//!
+//! let data: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+//! let store = PageStore::build_sequential(
+//!     PageStoreConfig::with_page_size(256),
+//!     2,
+//!     data.len(),
+//!     |pid| &data[pid as usize],
+//! );
+//! let path = std::env::temp_dir().join("pagestore-doc-example.pages");
+//! store.save(&path).unwrap();
+//!
+//! let reopened = PageStore::open(&path).unwrap();
+//! let mut pool = BufferPool::unbuffered();
+//! assert_eq!(pool.read_point(&reopened, 17).unwrap(), data[17]);
+//! assert_eq!(pool.stats().pages_read, 1);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buffer_pool;
+pub mod file;
+pub mod format;
 pub mod io_stats;
 pub mod layout;
 pub mod page;
 pub mod store;
 
+pub use backend::{MemoryBackend, StorageBackend};
 pub use buffer_pool::{BufferPool, SharedBufferPool};
+pub use file::FileBackend;
+pub use format::{PersistError, PersistResult};
 pub use io_stats::{AtomicIoStats, IoStats};
 pub use layout::{DiskLayout, PageAddress};
 pub use page::{Page, PageId};

@@ -1,5 +1,7 @@
 //! Fixed-size pages holding serialized point records.
 
+use std::sync::Arc;
+
 use bytes::{Bytes, BytesMut};
 
 use crate::PointId;
@@ -24,11 +26,17 @@ impl std::fmt::Display for PageId {
 
 /// One fixed-size disk page: a header with the resident point ids followed by
 /// their little-endian `f64` coordinates, padded to the configured page size.
+///
+/// Both the payload and the id list sit behind shared ownership, so cloning a
+/// page is cheap (two reference-count bumps). That is what lets a
+/// [`crate::BufferPool`] hand out owned pages regardless of whether the
+/// backing [`crate::StorageBackend`] keeps them in memory or reads them from
+/// a file.
 #[derive(Debug, Clone)]
 pub struct Page {
     id: PageId,
     dim: usize,
-    point_ids: Vec<PointId>,
+    point_ids: Arc<[PointId]>,
     payload: Bytes,
 }
 
@@ -56,6 +64,17 @@ impl Page {
             point_ids: points.iter().map(|(pid, _)| *pid).collect(),
             payload: buf.freeze(),
         }
+    }
+
+    /// Reassemble a page from its stored parts (used by storage backends
+    /// when materializing a page read from a file image).
+    pub fn from_parts(id: PageId, dim: usize, point_ids: Arc<[PointId]>, payload: Bytes) -> Page {
+        Page { id, dim, point_ids, payload }
+    }
+
+    /// The raw serialized payload (record bytes plus padding).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
     }
 
     /// The page identifier.

@@ -1,5 +1,11 @@
 //! The immutable page-organized copy of a dataset.
 
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::backend::{MemoryBackend, StorageBackend};
+use crate::file::{write_page_file, FileBackend};
+use crate::format::PersistResult;
 use crate::layout::{DiskLayout, PageAddress};
 use crate::page::{Page, PageId};
 use crate::PointId;
@@ -33,15 +39,23 @@ impl Default for PageStoreConfig {
 
 /// An immutable, page-organized copy of a set of `f64` records.
 ///
-/// Built once from a dataset and a point order; read through a
-/// [`crate::BufferPool`] so that physical page fetches are counted.
-#[derive(Debug, Clone)]
+/// The store owns the page *directory* (the point → page/slot layout and the
+/// configuration) and delegates page-image storage to a
+/// [`StorageBackend`]: the in-memory simulation used while building, or a
+/// real file opened with [`PageStore::open`]. All reads go through a
+/// [`crate::BufferPool`] so physical page fetches are counted identically
+/// for both backends.
+///
+/// A `PageStore` is deliberately **not** `Clone`: cloning would duplicate
+/// the whole (simulated) disk image. Index structures share one store via
+/// `Arc<PageStore>`.
+#[derive(Debug)]
 pub struct PageStore {
     config: PageStoreConfig,
     dim: usize,
-    pages: Vec<Page>,
     layout: DiskLayout,
     build_writes: u64,
+    backend: Arc<dyn StorageBackend>,
 }
 
 impl PageStore {
@@ -73,7 +87,13 @@ impl PageStore {
             pages.push(Page::encode(page_id, dim, &records, config.page_size_bytes));
         }
         let build_writes = pages.len() as u64;
-        PageStore { config, dim, pages, layout, build_writes }
+        PageStore {
+            config,
+            dim,
+            layout,
+            build_writes,
+            backend: Arc::new(MemoryBackend::new(pages)),
+        }
     }
 
     /// Lay out points `0..n` in their natural order.
@@ -90,6 +110,41 @@ impl PageStore {
         Self::build_with_order(config, dim, &order, point)
     }
 
+    /// Write the store to `path` as a page file (versioned, checksummed; see
+    /// [`crate::file`] for the exact format). Works for any backend, so a
+    /// file-backed store can be copied by saving it elsewhere. Pages are
+    /// streamed to the file one at a time — saving never materializes a
+    /// second copy of the disk image.
+    pub fn save(&self, path: &Path) -> PersistResult<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        write_page_file(
+            path,
+            self.config,
+            self.dim,
+            self.build_writes,
+            self.point_count(),
+            self.backend.as_ref(),
+        )
+    }
+
+    /// Open a page file written by [`PageStore::save`] as a file-backed
+    /// store: the directory is loaded into memory, the envelope checksum is
+    /// verified, and page images are read from the file on demand.
+    pub fn open(path: &Path) -> PersistResult<PageStore> {
+        let (backend, meta) = FileBackend::open(path)?;
+        Ok(PageStore {
+            config: meta.config,
+            dim: meta.dim,
+            layout: meta.layout(),
+            build_writes: meta.build_writes,
+            backend: Arc::new(backend),
+        })
+    }
+
     /// The store configuration.
     pub fn config(&self) -> PageStoreConfig {
         self.config
@@ -102,7 +157,7 @@ impl PageStore {
 
     /// Number of pages in the store.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.backend.page_count()
     }
 
     /// Number of point records in the store.
@@ -116,11 +171,17 @@ impl PageStore {
         self.build_writes
     }
 
+    /// Which storage backend serves this store (`"memory"` or `"file"`).
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
     /// Raw page access *without* I/O accounting. Index implementations must
     /// go through a [`crate::BufferPool`]; this accessor exists for the pool
-    /// itself and for tests.
-    pub fn raw_page(&self, id: PageId) -> Option<&Page> {
-        self.pages.get(id.index())
+    /// itself, for [`PageStore::save`] and for tests. On a file-backed store
+    /// every call performs a real file read.
+    pub fn raw_page(&self, id: PageId) -> Option<Page> {
+        self.backend.read_page(id)
     }
 
     /// The point → page directory.
@@ -133,9 +194,10 @@ impl PageStore {
         self.layout.get(point)
     }
 
-    /// Total size of the simulated disk image in bytes.
+    /// Total size of the disk image in bytes (page payloads including
+    /// padding, excluding directory metadata).
     pub fn size_bytes(&self) -> usize {
-        self.pages.iter().map(Page::size_bytes).sum()
+        self.backend.size_bytes()
     }
 }
 
@@ -163,6 +225,7 @@ mod tests {
         assert_eq!(store.point_count(), 10);
         assert_eq!(store.page_count(), 4); // ceil(10/3)
         assert_eq!(store.build_writes(), 4);
+        assert_eq!(store.backend_kind(), "memory");
         for pid in 0..10u32 {
             let addr = store.address_of(pid).unwrap();
             let page = store.raw_page(addr.page).unwrap();

@@ -1,6 +1,7 @@
 //! Per-dimension scalar quantizer used to build vector approximations.
 
 use bregman::DenseDataset;
+use pagestore::format::{ByteReader, ByteWriter, PersistError, PersistResult};
 
 /// Configuration of the scalar quantizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,35 @@ impl Quantizer {
     pub fn approximation_bytes_per_point(&self) -> usize {
         (self.dim() * self.config.bits_per_dim as usize).div_ceil(8)
     }
+
+    /// Append the trained quantizer state to a serialization payload.
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        w.put_u8(self.config.bits_per_dim);
+        w.put_f64_seq(&self.lo);
+        w.put_f64_seq(&self.width);
+    }
+
+    /// Read quantizer state written by [`Quantizer::write_to`].
+    pub fn read_from(r: &mut ByteReader<'_>) -> PersistResult<Quantizer> {
+        let bits_per_dim = r.take_u8()?;
+        if !(1..=16).contains(&bits_per_dim) {
+            // An unvalidated resolution would make `cells()` explode the
+            // per-query bound tables (dim × 2^bits entries).
+            return Err(PersistError::Corrupt(format!(
+                "quantizer resolution of {bits_per_dim} bits per dimension is outside 1..=16"
+            )));
+        }
+        let lo = r.take_f64_seq()?;
+        let width = r.take_f64_seq()?;
+        if lo.len() != width.len() {
+            return Err(PersistError::Corrupt(format!(
+                "quantizer bounds cover {} dimensions, widths cover {}",
+                lo.len(),
+                width.len()
+            )));
+        }
+        Ok(Quantizer { config: QuantizerConfig { bits_per_dim }, lo, width })
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +205,37 @@ mod tests {
         assert_eq!(q.approximation_bytes_per_point(), 3);
         let q8 = Quantizer::train(QuantizerConfig { bits_per_dim: 8 }, &dataset());
         assert_eq!(q8.approximation_bytes_per_point(), 3);
+    }
+
+    #[test]
+    fn serialization_roundtrips_and_rejects_bad_resolutions() {
+        let q = Quantizer::train(QuantizerConfig { bits_per_dim: 5 }, &dataset());
+        let mut w = ByteWriter::new();
+        q.write_to(&mut w);
+        let bytes = w.into_vec();
+        let restored = Quantizer::read_from(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(restored.config(), q.config());
+        assert_eq!(restored.dim(), q.dim());
+        for &value in &[0.0, 1.7, 3.2, 25.0] {
+            assert_eq!(restored.cell(0, value), q.cell(0, value));
+        }
+
+        // Resolutions outside 1..=16 bits would explode the per-query bound
+        // tables; they must be rejected at decode time.
+        for bad_bits in [0u8, 17, 255] {
+            let mut w = ByteWriter::new();
+            w.put_u8(bad_bits);
+            w.put_f64_seq(&[0.0]);
+            w.put_f64_seq(&[1.0]);
+            let bytes = w.into_vec();
+            assert!(
+                matches!(
+                    Quantizer::read_from(&mut ByteReader::new(&bytes)),
+                    Err(PersistError::Corrupt(_))
+                ),
+                "bits_per_dim = {bad_bits} must be rejected"
+            );
+        }
     }
 
     #[test]

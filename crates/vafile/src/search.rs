@@ -1,10 +1,26 @@
 //! The VA-file index: filter on approximations, refine on disk pages.
 
+use std::path::Path;
+use std::sync::Arc;
+
 use bregman::{DecomposableBregman, DenseDataset, PointId};
+use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
 use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
 
 use crate::bounds::QueryBoundTable;
 use crate::quantizer::{Quantizer, QuantizerConfig};
+
+/// Magic tag of the VA-file metadata artifact.
+pub const VAFILE_MAGIC: [u8; 8] = *b"BREPVAF1";
+
+/// Format version this build writes and reads.
+pub const VAFILE_VERSION: u32 = 1;
+
+/// File name of the VA-file metadata within an index directory.
+pub const META_FILE: &str = "vafile.meta";
+
+/// File name of the page file within an index directory.
+pub const PAGES_FILE: &str = "pages.bin";
 
 /// Construction parameters of a [`VaFile`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +51,9 @@ pub struct VaQueryResult {
 }
 
 /// A VA-file over a dataset for a fixed decomposable divergence.
+///
+/// The page store sits behind an `Arc`, so cloning shares the disk image
+/// instead of duplicating the dataset.
 #[derive(Debug, Clone)]
 pub struct VaFile<B: DecomposableBregman> {
     divergence: B,
@@ -42,7 +61,7 @@ pub struct VaFile<B: DecomposableBregman> {
     /// One approximation (cell index per dimension) per point.
     approximations: Vec<Vec<u16>>,
     /// Full-resolution data pages.
-    store: PageStore,
+    store: Arc<PageStore>,
     /// Pages occupied by the (packed) approximation file; scanned on every
     /// query.
     approximation_pages: u64,
@@ -63,7 +82,98 @@ impl<B: DecomposableBregman> VaFile<B> {
         );
         let approx_bytes = quantizer.approximation_bytes_per_point() * dataset.len();
         let approximation_pages = (approx_bytes as u64).div_ceil(config.page_size_bytes as u64);
-        Self { divergence, quantizer, approximations, store, approximation_pages }
+        Self { divergence, quantizer, approximations, store: Arc::new(store), approximation_pages }
+    }
+
+    /// Persist the VA-file to a directory: quantizer + approximations as
+    /// [`META_FILE`], the full-resolution pages as [`PAGES_FILE`].
+    pub fn save(&self, dir: &Path) -> PersistResult<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut w = ByteWriter::new();
+        w.put_str(self.divergence.name());
+        self.quantizer.write_to(&mut w);
+        w.put_u64(self.approximation_pages);
+        w.put_usize(self.approximations.len());
+        for approx in &self.approximations {
+            w.put_u16_seq(approx);
+        }
+        std::fs::write(dir.join(META_FILE), seal(&VAFILE_MAGIC, VAFILE_VERSION, &w.into_vec()))?;
+        self.store.save(&dir.join(PAGES_FILE))
+    }
+
+    /// Open a VA-file saved with [`VaFile::save`]. The quantizer and the
+    /// approximation table are loaded into memory (they are scanned on every
+    /// query anyway); the full-resolution pages are served from the page
+    /// file on demand. Fails if the directory was written for a different
+    /// divergence.
+    pub fn open(divergence: B, dir: &Path) -> PersistResult<Self> {
+        let meta = std::fs::read(dir.join(META_FILE))?;
+        let payload = unseal(&VAFILE_MAGIC, VAFILE_VERSION, &meta)?;
+        let mut r = ByteReader::new(payload);
+        let name = r.take_str()?;
+        if name != divergence.name() {
+            return Err(PersistError::Corrupt(format!(
+                "VA-file was built for divergence {name:?}, opened with {:?}",
+                divergence.name()
+            )));
+        }
+        let quantizer = Quantizer::read_from(&mut r)?;
+        let approximation_pages = r.take_u64()?;
+        let n = r.take_usize()?;
+        let cells = quantizer.cells();
+        let mut approximations = Vec::with_capacity(n.min(1 << 24));
+        for i in 0..n {
+            let approx = r.take_u16_seq()?;
+            if approx.len() != quantizer.dim() {
+                return Err(PersistError::Corrupt(format!(
+                    "approximation {i} covers {} dimensions, quantizer is {}-dimensional",
+                    approx.len(),
+                    quantizer.dim()
+                )));
+            }
+            // A cell index beyond the quantizer's resolution would read out
+            // of the per-query bound tables during search.
+            if let Some(&cell) = approx.iter().find(|&&c| c as usize >= cells) {
+                return Err(PersistError::Corrupt(format!(
+                    "approximation {i} holds cell {cell}, quantizer has {cells} cells"
+                )));
+            }
+            approximations.push(approx);
+        }
+        r.expect_end()?;
+        let store = PageStore::open(&dir.join(PAGES_FILE))?;
+        if store.point_count() != approximations.len() {
+            return Err(PersistError::Corrupt(format!(
+                "page file holds {} points, approximation table holds {}",
+                store.point_count(),
+                approximations.len()
+            )));
+        }
+        if store.dim() != quantizer.dim() {
+            return Err(PersistError::Corrupt(format!(
+                "page file records are {}-dimensional, quantizer is {}-dimensional",
+                store.dim(),
+                quantizer.dim()
+            )));
+        }
+        // `approximation_pages` enters every query's I/O count; re-derive it
+        // from the quantizer and the page size rather than trusting the
+        // persisted value.
+        let approx_bytes = quantizer.approximation_bytes_per_point() * approximations.len();
+        let expected_pages = (approx_bytes as u64).div_ceil(store.config().page_size_bytes as u64);
+        if approximation_pages != expected_pages {
+            return Err(PersistError::Corrupt(format!(
+                "metadata claims {approximation_pages} approximation pages, \
+                 quantizer and page size imply {expected_pages}"
+            )));
+        }
+        Ok(Self {
+            divergence,
+            quantizer,
+            approximations,
+            store: Arc::new(store),
+            approximation_pages,
+        })
     }
 
     /// The divergence the index was built for.
@@ -79,6 +189,11 @@ impl<B: DecomposableBregman> VaFile<B> {
     /// The full-resolution page store.
     pub fn store(&self) -> &PageStore {
         &self.store
+    }
+
+    /// The full-resolution page store as a shareable handle.
+    pub fn store_arc(&self) -> Arc<PageStore> {
+        Arc::clone(&self.store)
     }
 
     /// Number of indexed points.
@@ -302,6 +417,57 @@ mod tests {
         for pair in result.neighbors.windows(2) {
             assert!(pair[0].1 <= pair[1].1);
         }
+    }
+
+    #[test]
+    fn save_open_roundtrip_answers_identically_with_identical_io() {
+        let ds = dataset(250, 5, 33, true);
+        let built = VaFile::build(
+            ItakuraSaito,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 5 }, page_size_bytes: 1024 },
+        );
+        let dir = std::env::temp_dir().join(format!("vafile-test-{}", std::process::id()));
+        built.save(&dir).unwrap();
+        let reopened = VaFile::open(ItakuraSaito, &dir).unwrap();
+        assert_eq!(reopened.store().backend_kind(), "file");
+        assert_eq!(reopened.len(), built.len());
+        assert_eq!(reopened.approximation_pages(), built.approximation_pages());
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..4 {
+            let query: Vec<f64> = (0..5).map(|_| rng.gen_range(0.2..10.0)).collect();
+            let mut pool_a = BufferPool::unbuffered();
+            let mut pool_b = BufferPool::unbuffered();
+            let a = built.knn(&mut pool_a, &query, 6);
+            let b = reopened.knn(&mut pool_b, &query, 6);
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.candidates, b.candidates);
+            assert_eq!(a.refined, b.refined);
+            assert_eq!(a.io, b.io, "cold-pool I/O must be identical after reopening");
+        }
+        // Opening with the wrong divergence is rejected.
+        assert!(VaFile::open(SquaredEuclidean, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_page_file_dimensionality_is_rejected() {
+        // Two directories with equal point counts but different record
+        // dimensionality; swapping the page files must fail at open, not
+        // silently truncate refinement distances at query time.
+        let root = std::env::temp_dir().join(format!("vafile-swap-test-{}", std::process::id()));
+        let a = VaFile::build(ItakuraSaito, &dataset(100, 4, 40, true), VaFileConfig::default());
+        let b = VaFile::build(ItakuraSaito, &dataset(100, 6, 41, true), VaFileConfig::default());
+        a.save(&root.join("a")).unwrap();
+        b.save(&root.join("b")).unwrap();
+        std::fs::copy(root.join("b").join(PAGES_FILE), root.join("a").join(PAGES_FILE)).unwrap();
+        match VaFile::open(ItakuraSaito, &root.join("a")) {
+            Err(PersistError::Corrupt(message)) => {
+                assert!(message.contains("dimensional"), "{message}")
+            }
+            other => panic!("expected dimensionality rejection, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

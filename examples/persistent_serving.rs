@@ -1,0 +1,147 @@
+//! Build once, serve many: the persistent index lifecycle.
+//!
+//! A serving deployment cannot afford to rebuild its indexes from raw
+//! vectors on every process start — index construction is an offline phase,
+//! amortized over many queries. This example walks the full lifecycle:
+//!
+//! 1. **Build** a BrePartition index (plus the BB-tree and VA-file
+//!    baselines) over an Itakura-Saito corpus.
+//! 2. **Save** every index to its own directory (versioned, checksummed
+//!    files; see the `pagestore` crate docs for the on-disk format).
+//! 3. **Cold-open** the directories as a fresh serving process would — the
+//!    metadata loads into memory, the data pages stay on disk and are
+//!    fetched through the buffer pool on demand.
+//! 4. **Serve** a query batch through the engine on both copies and verify
+//!    the reopened indexes return identical neighbors with identical
+//!    physical I/O.
+//!
+//! ```bash
+//! cargo run --release --example persistent_serving
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use brepartition::prelude::*;
+
+fn main() {
+    let kind = DivergenceKind::ItakuraSaito;
+    let k = 10;
+
+    // An Itakura-Saito corpus of spectral-envelope-like vectors.
+    let corpus = HierarchicalSpec {
+        n: 4_000,
+        dim: 48,
+        clusters: 20,
+        blocks: 8,
+        base_scale: 3.0,
+        ..Default::default()
+    }
+    .generate();
+    let queries: Vec<Vec<f64>> = QueryWorkload::perturbed_from(&corpus, kind, 128, 0.02, 77)
+        .iter()
+        .map(|q| q.to_vec())
+        .collect();
+    let root = std::env::temp_dir()
+        .join(format!("brepartition-persistent-serving-{}", std::process::id()));
+
+    println!("# Persistent serving: build once, open many\n");
+    println!(
+        "corpus: {} points x {} dims under {kind}, {} queries, k={k}\n",
+        corpus.len(),
+        corpus.dim(),
+        queries.len()
+    );
+
+    // ── 1. Offline phase: build and save. ───────────────────────────────
+    let started = Instant::now();
+    let config = BrePartitionConfig::default().with_partitions(8).with_page_size(16 * 1024);
+    let bp = BrePartitionIndex::build(kind, &corpus, &config).expect("build BrePartition");
+    let bp_build = started.elapsed();
+
+    let started = Instant::now();
+    bp.save(&root.join("bp")).expect("save BrePartition");
+    let bp_save = started.elapsed();
+    println!(
+        "offline: built BP in {:.2?} ({} partitions, {} pages), saved in {:.2?}",
+        bp_build,
+        bp.partitions(),
+        bp.forest().page_count(),
+        bp_save
+    );
+
+    let bbt = BBTreeBackend::build(
+        ItakuraSaito,
+        &corpus,
+        BBTreeConfig::with_leaf_capacity(32),
+        PageStoreConfig::with_page_size(16 * 1024),
+    );
+    bbt.save(&root.join("bbt")).expect("save BB-tree");
+    let vaf = VaFileBackend::build(
+        ItakuraSaito,
+        &corpus,
+        VaFileConfig { page_size_bytes: 16 * 1024, ..VaFileConfig::default() },
+    );
+    vaf.save(&root.join("vaf")).expect("save VA-file");
+    println!("offline: saved BBT and VAF baselines next to it\n");
+
+    // ── 2. Serving phase: cold-open all four backends from disk. ────────
+    let started = Instant::now();
+    let bp_opened = Arc::new(BrePartitionBackend::open_exact(&root.join("bp")).expect("open BP"));
+    let abp_opened = Arc::new(
+        BrePartitionBackend::open_approximate(
+            &root.join("bp"),
+            ApproximateConfig::with_probability(0.9),
+        )
+        .expect("open ABP"),
+    );
+    let bbt_opened: Arc<dyn SearchBackend> =
+        brepartition::engine::bbtree_backend_open_for_kind(kind, &root.join("bbt"))
+            .expect("open BBT")
+            .into();
+    let vaf_opened: Arc<dyn SearchBackend> =
+        brepartition::engine::vafile_backend_open_for_kind(kind, &root.join("vaf"))
+            .expect("open VAF")
+            .into();
+    println!(
+        "serving: cold-opened all four backends in {:.2?} (vs {:.2?} to rebuild BP alone)\n",
+        started.elapsed(),
+        bp_build
+    );
+
+    // ── 3. Drive batches and check the reopened copies answer verbatim. ──
+    let built_backends: Vec<Arc<dyn SearchBackend>> =
+        vec![Arc::new(BrePartitionBackend::exact(bp)), Arc::new(bbt), Arc::new(vaf)];
+    let opened_backends: Vec<Arc<dyn SearchBackend>> =
+        vec![bp_opened.clone(), bbt_opened.clone(), vaf_opened.clone()];
+    for (built, opened) in built_backends.into_iter().zip(opened_backends) {
+        let name = opened.name().to_string();
+        let engine_config = EngineConfig::default().with_threads(4);
+        let a = QueryEngine::with_config(built, engine_config)
+            .run_batch(&queries, k)
+            .expect("batch on built index");
+        let b = QueryEngine::with_config(opened, engine_config)
+            .run_batch(&queries, k)
+            .expect("batch on reopened index");
+        let identical = a
+            .outcomes
+            .iter()
+            .zip(b.outcomes.iter())
+            .all(|(x, y)| x.neighbors == y.neighbors && x.io == y.io);
+        println!(
+            "  {name:>3}: reopened index identical to built index: {} — {}",
+            if identical { "yes" } else { "NO" },
+            b.report
+        );
+        assert!(identical, "{name}: reopened index diverged from the built index");
+    }
+
+    // The approximate backend serves from the same reopened index directory.
+    let abp_batch = QueryEngine::with_config(abp_opened, EngineConfig::default().with_threads(4))
+        .run_batch(&queries, k)
+        .expect("batch on reopened ABP");
+    println!("  {:>3}: served from the same index directory — {}", "ABP", abp_batch.report);
+
+    std::fs::remove_dir_all(&root).expect("clean up index directories");
+    println!("\ndone; removed {}", root.display());
+}

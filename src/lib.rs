@@ -23,6 +23,15 @@
 //!   are returned in submission order and are bit-identical for 1 and N
 //!   worker threads.
 //!
+//! Every index supports a build-once/open-many lifecycle: `save(dir)`
+//! persists it (versioned, checksummed artifacts; see
+//! [`pagestore::format`] and [`brepartition_core::persist`]),
+//! `open(dir)` restores it with data pages served from a real file through
+//! the same buffer-pool/I/O-accounting path, answering queries with
+//! identical neighbors and identical per-query I/O counters. The engine's
+//! `open_*` constructors build all four backends from saved index
+//! directories without touching the raw vectors.
+//!
 //! # Quick start
 //!
 //! ```
@@ -71,7 +80,7 @@ pub mod prelude {
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,
         QueryWorkload,
     };
-    pub use pagestore::{BufferPool, IoStats, PageStoreConfig};
+    pub use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig, PersistError};
     pub use vafile::{VaFile, VaFileConfig};
 }
 

@@ -1,0 +1,168 @@
+//! Persistence round-trips: for all four backends, save → open must
+//! reproduce *identical* kNN neighbor sets and identical cold-pool I/O
+//! counters over a seeded 256-query workload — the acceptance criterion of
+//! the pluggable-storage refactor. Extends the seeded harness style of
+//! `tests/engine_determinism.rs`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use brepartition::prelude::*;
+
+fn hierarchical_workload(n: usize, queries: usize) -> (DenseDataset, Vec<Vec<f64>>) {
+    let data =
+        HierarchicalSpec { n, dim: 24, clusters: 12, blocks: 6, ..Default::default() }.generate();
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 0xD15C);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+    (data, queries)
+}
+
+fn build_index(data: &DenseDataset) -> BrePartitionIndex {
+    BrePartitionIndex::build(
+        DivergenceKind::ItakuraSaito,
+        data,
+        &BrePartitionConfig::default()
+            .with_partitions(6)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+    )
+    .unwrap()
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("brepartition-roundtrip-{}-{name}", std::process::id()))
+}
+
+/// Run the batch on both backends and demand bit-identical neighbors,
+/// candidates and per-query cold-pool I/O.
+fn assert_identical_serving(
+    name: &str,
+    built: Arc<dyn SearchBackend>,
+    reopened: Arc<dyn SearchBackend>,
+    queries: &[Vec<f64>],
+    k: usize,
+) {
+    assert_eq!(built.len(), reopened.len(), "{name}: point count");
+    assert_eq!(built.dim(), reopened.dim(), "{name}: dimensionality");
+    let config = EngineConfig::default().with_threads(4);
+    let a = QueryEngine::with_config(built, config).run_batch(queries, k).unwrap();
+    let b = QueryEngine::with_config(reopened, config).run_batch(queries, k).unwrap();
+    for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
+        assert_eq!(x.neighbors, y.neighbors, "{name} query {qi}: neighbors diverged");
+        assert_eq!(x.candidates, y.candidates, "{name} query {qi}: candidate count diverged");
+        assert_eq!(x.io, y.io, "{name} query {qi}: cold-pool I/O diverged");
+    }
+    assert_eq!(a.report.io, b.report.io, "{name}: aggregate I/O diverged");
+}
+
+/// Acceptance criterion: a BrePartition index saved to a file-backed store
+/// and reopened answers the 256-query determinism suite with neighbor sets
+/// and I/O counts identical to the freshly built in-memory index.
+#[test]
+fn brepartition_save_open_roundtrip_over_256_queries() {
+    let (data, queries) = hierarchical_workload(2_000, 256);
+    assert!(queries.len() >= 256);
+    let index = build_index(&data);
+    let dir = temp_root("bp");
+    index.save(&dir).unwrap();
+
+    let reopened = BrePartitionIndex::open(&dir).unwrap();
+    assert_eq!(reopened.forest().store().backend_kind(), "file");
+    assert_eq!(index.forest().store().backend_kind(), "memory");
+
+    assert_identical_serving(
+        "BP",
+        Arc::new(BrePartitionBackend::exact(index)),
+        Arc::new(BrePartitionBackend::exact(reopened)),
+        &queries,
+        10,
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The approximate backend reads the same persisted state (transforms and
+/// per-dimension moments), so ABP must round-trip identically too.
+#[test]
+fn approximate_backend_roundtrips_over_256_queries() {
+    let (data, queries) = hierarchical_workload(1_200, 256);
+    let index = build_index(&data);
+    let dir = temp_root("abp");
+    index.save(&dir).unwrap();
+    let approx = ApproximateConfig::with_probability(0.9);
+
+    assert_identical_serving(
+        "ABP",
+        Arc::new(BrePartitionBackend::approximate(index, approx)),
+        Arc::new(BrePartitionBackend::open_approximate(&dir, approx).unwrap()),
+        &queries,
+        10,
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Both baselines round-trip through their own index directories.
+#[test]
+fn baseline_backends_roundtrip() {
+    let (data, queries) = hierarchical_workload(800, 64);
+    let kind = DivergenceKind::ItakuraSaito;
+    let root = temp_root("baselines");
+
+    let bbt = BBTreeBackend::build(
+        ItakuraSaito,
+        &data,
+        BBTreeConfig::with_leaf_capacity(16),
+        PageStoreConfig::with_page_size(4096),
+    );
+    bbt.save(&root.join("bbt")).unwrap();
+    let bbt_reopened =
+        brepartition::engine::bbtree_backend_open_for_kind(kind, &root.join("bbt")).unwrap();
+    assert_identical_serving("BBT", Arc::new(bbt), bbt_reopened.into(), &queries, 8);
+
+    let vaf = VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default());
+    vaf.save(&root.join("vaf")).unwrap();
+    let vaf_reopened =
+        brepartition::engine::vafile_backend_open_for_kind(kind, &root.join("vaf")).unwrap();
+    assert_identical_serving("VAF", Arc::new(vaf), vaf_reopened.into(), &queries, 8);
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A reopened index must keep answering exactly after a save → open → save →
+/// open chain (the file backend can serialize itself).
+#[test]
+fn double_roundtrip_is_stable() {
+    let (data, queries) = hierarchical_workload(600, 32);
+    let index = build_index(&data);
+    let root = temp_root("double");
+    index.save(&root.join("first")).unwrap();
+    let once = BrePartitionIndex::open(&root.join("first")).unwrap();
+    once.save(&root.join("second")).unwrap();
+    let twice = BrePartitionIndex::open(&root.join("second")).unwrap();
+
+    assert_identical_serving(
+        "BP²",
+        Arc::new(BrePartitionBackend::exact(once)),
+        Arc::new(BrePartitionBackend::exact(twice)),
+        &queries,
+        10,
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Sanity: the persisted artifacts detect corruption instead of serving
+/// wrong answers.
+#[test]
+fn corrupted_index_directory_is_rejected() {
+    let (data, _) = hierarchical_workload(400, 8);
+    let index = build_index(&data);
+    let dir = temp_root("corrupt");
+    index.save(&dir).unwrap();
+    let pages = dir.join("pages.bin");
+    let mut bytes = std::fs::read(&pages).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    std::fs::write(&pages, &bytes).unwrap();
+    assert!(BrePartitionIndex::open(&dir).is_err(), "flipped page byte must fail the checksum");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
