@@ -154,6 +154,30 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
     }
 
+    /// Approximate kNN visiting at most `max_leaves` leaves (in best-first
+    /// order). A budget of at least [`BBTree::leaf_count`] degenerates to the
+    /// exact search; smaller budgets bound the candidates examined (and the
+    /// I/O performed) at the cost of exactness.
+    pub fn knn_with_leaf_budget(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+        max_leaves: usize,
+    ) -> DiskQueryResult {
+        let before = pool.stats();
+        let mut stats = SearchStats::new();
+        let mut loader = |leaf_points: &[PointId], out: &mut Vec<(PointId, Vec<f64>)>| {
+            let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
+            for (pid, coords) in pool.read_points(&self.store, &ids) {
+                out.push((PointId(pid), coords));
+            }
+        };
+        let neighbors =
+            self.tree.knn_bounded(&self.divergence, query, k, &mut stats, max_leaves, &mut loader);
+        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+    }
+
     /// Approximate kNN using the variational early-termination rule.
     pub fn knn_variational(
         &self,

@@ -1,4 +1,7 @@
-//! Regenerate the "throughput" experiment and print its markdown tables.
+//! Regenerate the "throughput" experiment, print its markdown tables and
+//! write the machine-diffable report to `BENCH_throughput.json` (override
+//! the path with the `BREPARTITION_BENCH_JSON` environment variable), so
+//! bench runs can be diffed across PRs.
 //!
 //! Scale is controlled by the `BREPARTITION_SCALE` environment variable
 //! (`quick` default, `paper`, `tiny`).
@@ -9,7 +12,14 @@ use brepartition_bench::{Scale, Workbench};
 fn main() {
     let scale = Scale::from_env();
     let bench = Workbench::new(scale);
-    for table in throughput::run(&bench) {
+    let (tables, json) = throughput::run_with_json(&bench);
+    for table in tables {
         print!("{table}");
+    }
+    let path = std::env::var("BREPARTITION_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

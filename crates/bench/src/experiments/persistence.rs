@@ -3,26 +3,20 @@
 //! Not a figure of the paper: the paper treats index construction as an
 //! offline phase amortized over many queries, which presumes the index can
 //! be *reopened* rather than rebuilt on every process start. This experiment
-//! measures, per backend, the cost of the three lifecycle phases — build
-//! from raw vectors, save to an index directory, cold-open from that
-//! directory — and verifies that the reopened index answers a query batch
-//! with exactly the neighbors and per-query physical I/O of the freshly
-//! built one (the acceptance criterion of the storage-layer refactor).
+//! drives **all four methods through the identical spec-driven lifecycle**
+//! (`IndexSpec` → `Index::build` → `save` → `Index::open`) and measures the
+//! cost of each phase — build from raw vectors, save to a self-describing
+//! index directory, cold-open from that directory — verifying that the
+//! reopened index answers a query batch with exactly the neighbors and
+//! per-query physical I/O of the freshly built one.
 
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Instant;
 
-use bbtree::BBTreeConfig;
 use bregman::DivergenceKind;
-use brepartition_core::{BrePartitionConfig, BrePartitionIndex};
-use brepartition_engine::{
-    bbtree_backend_open_for_kind, vafile_backend_open_for_kind, BrePartitionBackend, EngineConfig,
-    QueryEngine, SearchBackend,
-};
+use brepartition::{Index, IndexSpec, Method, Request};
+use brepartition_engine::EngineConfig;
 use datagen::{HierarchicalSpec, QueryWorkload};
-use pagestore::PageStoreConfig;
-use vafile::VaFileConfig;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::Workbench;
@@ -30,7 +24,7 @@ use crate::runner::Workbench;
 const PAGE_SIZE: usize = 16 * 1024;
 const K: usize = 10;
 
-/// One backend's lifecycle measurements.
+/// One method's lifecycle measurements.
 struct LifecycleRow {
     method: &'static str,
     build_seconds: f64,
@@ -40,8 +34,8 @@ struct LifecycleRow {
     identical: bool,
 }
 
-/// Run the persistence experiment: build, save, cold-open and re-serve for
-/// BrePartition, the BB-tree baseline and the VA-file baseline.
+/// Run the persistence experiment: build, save, cold-open and re-serve
+/// every method through the façade.
 pub fn run(bench: &Workbench) -> Vec<Table> {
     let kind = DivergenceKind::ItakuraSaito;
     let n = bench.scale.max_points.max(600);
@@ -62,88 +56,33 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
         .join(format!("brepartition-persistence-experiment-{}", std::process::id()));
     let mut rows: Vec<LifecycleRow> = Vec::new();
 
-    // BrePartition.
-    {
-        let config = BrePartitionConfig::default()
+    for method in Method::ALL {
+        let spec = IndexSpec::new(method, kind)
             .with_partitions(bench.paper_m(dim))
-            .with_page_size(PAGE_SIZE);
-        let started = Instant::now();
-        let index = BrePartitionIndex::build(kind, &dataset, &config).expect("BP build");
-        let build_seconds = started.elapsed().as_secs_f64();
-        let dir = root.join("bp");
-        let started = Instant::now();
-        index.save(&dir).expect("BP save");
-        let save_seconds = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let reopened = BrePartitionIndex::open(&dir).expect("BP open");
-        let open_seconds = started.elapsed().as_secs_f64();
-        let identical = batches_identical(
-            Arc::new(BrePartitionBackend::exact(index)),
-            Arc::new(BrePartitionBackend::exact(reopened)),
-            &queries,
-        );
-        rows.push(LifecycleRow {
-            method: "BP",
-            build_seconds,
-            save_seconds,
-            open_seconds,
-            index_bytes: dir_bytes(&dir),
-            identical,
-        });
-    }
+            .with_leaf_capacity(32)
+            .with_page_size(PAGE_SIZE)
+            .with_probability(0.9);
 
-    // BB-tree baseline.
-    {
-        let tree_config = BBTreeConfig::with_leaf_capacity(32);
-        let store_config = PageStoreConfig::with_page_size(PAGE_SIZE);
         let started = Instant::now();
-        let built = brepartition_engine::BBTreeBackend::build(
-            bregman::ItakuraSaito,
-            &dataset,
-            tree_config,
-            store_config,
-        );
+        let built = Index::build(&spec, &dataset).expect("index build");
         let build_seconds = started.elapsed().as_secs_f64();
-        let dir = root.join("bbt");
-        let started = Instant::now();
-        built.save(&dir).expect("BBT save");
-        let save_seconds = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        let reopened = bbtree_backend_open_for_kind(kind, &dir).expect("BBT open");
-        let open_seconds = started.elapsed().as_secs_f64();
-        let identical = batches_identical(Arc::new(built), reopened.into(), &queries);
-        rows.push(LifecycleRow {
-            method: "BBT",
-            build_seconds,
-            save_seconds,
-            open_seconds,
-            index_bytes: dir_bytes(&dir),
-            identical,
-        });
-    }
 
-    // VA-file baseline.
-    {
-        let config = VaFileConfig { page_size_bytes: PAGE_SIZE, ..VaFileConfig::default() };
+        let dir = root.join(method.short_name());
         let started = Instant::now();
-        let built =
-            brepartition_engine::VaFileBackend::build(bregman::ItakuraSaito, &dataset, config);
-        let build_seconds = started.elapsed().as_secs_f64();
-        let dir = root.join("vaf");
-        let started = Instant::now();
-        built.save(&dir).expect("VAF save");
+        built.save(&dir).expect("index save");
         let save_seconds = started.elapsed().as_secs_f64();
+
         let started = Instant::now();
-        let reopened = vafile_backend_open_for_kind(kind, &dir).expect("VAF open");
+        let reopened = Index::open(&dir).expect("index cold open");
         let open_seconds = started.elapsed().as_secs_f64();
-        let identical = batches_identical(Arc::new(built), reopened.into(), &queries);
+
         rows.push(LifecycleRow {
-            method: "VAF",
+            method: method.short_name(),
             build_seconds,
             save_seconds,
             open_seconds,
             index_bytes: dir_bytes(&dir),
-            identical,
+            identical: batches_identical(&built, &reopened, &queries),
         });
     }
 
@@ -180,17 +119,13 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
     vec![table]
 }
 
-/// Run the same batch on both backends and compare neighbors, candidates and
-/// per-query physical I/O.
-fn batches_identical(
-    built: Arc<dyn SearchBackend>,
-    reopened: Arc<dyn SearchBackend>,
-    queries: &[Vec<f64>],
-) -> bool {
+/// Run the same batch on the built and the reopened index and compare
+/// neighbors, candidates and per-query physical I/O.
+fn batches_identical(built: &Index, reopened: &Index, queries: &[Vec<f64>]) -> bool {
+    let request = Request::uniform(queries, K);
     let config = EngineConfig::default().with_threads(2);
-    let a = QueryEngine::with_config(built, config).run_batch(queries, K).expect("built batch");
-    let b =
-        QueryEngine::with_config(reopened, config).run_batch(queries, K).expect("reopened batch");
+    let a = built.run_with(&request, config).expect("built batch");
+    let b = reopened.run_with(&request, config).expect("reopened batch");
     a.outcomes
         .iter()
         .zip(b.outcomes.iter())
@@ -212,11 +147,11 @@ mod tests {
     use crate::scale::Scale;
 
     #[test]
-    fn lifecycle_rows_cover_all_backends_and_roundtrips_are_identical() {
+    fn lifecycle_rows_cover_all_methods_and_roundtrips_are_identical() {
         let bench = Workbench::new(Scale::tiny());
         let tables = run(&bench);
         assert_eq!(tables.len(), 1);
-        assert_eq!(tables[0].len(), 3); // BP, BBT, VAF
+        assert_eq!(tables[0].len(), 4); // BP, ABP, BBT, VAF
         let rendered = tables[0].to_markdown();
         assert!(!rendered.contains("| NO |"), "a reopened index diverged:\n{rendered}");
     }

@@ -6,19 +6,18 @@
 //! clustered Itakura-Saito workload and reports, per backend and thread
 //! count, the numbers a deployment is tuned against — QPS, latency
 //! percentiles, candidate-set sizes and per-query physical I/O.
+//!
+//! All four backends are built through the identical spec-driven façade
+//! (`IndexSpec` → `Index::build`); besides the markdown table,
+//! [`run_with_json`] emits one stable-format JSON object per
+//! (backend, thread-count) pair (see `ThroughputReport::to_json`), which
+//! the `throughput` bin writes to `BENCH_throughput.json` so runs can be
+//! diffed across PRs.
 
-use std::sync::Arc;
-
-use bbtree::BBTreeConfig;
 use bregman::DivergenceKind;
-use brepartition_core::{ApproximateConfig, BrePartitionConfig, BrePartitionIndex};
-use brepartition_engine::{
-    bbtree_backend_for_kind, vafile_backend_for_kind, BrePartitionBackend, EngineConfig,
-    QueryEngine, SearchBackend, ThroughputReport,
-};
+use brepartition::{Index, IndexSpec, Method};
+use brepartition_engine::{EngineConfig, ThroughputReport};
 use datagen::{HierarchicalSpec, QueryWorkload};
-use pagestore::PageStoreConfig;
-use vafile::VaFileConfig;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::Workbench;
@@ -26,8 +25,14 @@ use crate::runner::Workbench;
 const PAGE_SIZE: usize = 32 * 1024;
 const K: usize = 10;
 
-/// Run the throughput experiment: all four backends, 1 thread vs all cores.
+/// Run the throughput experiment: all four methods, 1 thread vs all cores.
 pub fn run(bench: &Workbench) -> Vec<Table> {
+    run_with_json(bench).0
+}
+
+/// Run the experiment and also return the collected reports as one JSON
+/// array (stable key order, machine-diffable).
+pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
     let kind = DivergenceKind::ItakuraSaito;
     let n = bench.scale.max_points.max(600);
     let dim = 32.min(bench.scale.max_dim);
@@ -45,25 +50,21 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
     let workload = QueryWorkload::perturbed_from(&dataset, kind, batch_size, 0.02, 0x7B);
     let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
 
-    let bp_config =
-        BrePartitionConfig::default().with_partitions(bench.paper_m(dim)).with_page_size(PAGE_SIZE);
-    let index = Arc::new(BrePartitionIndex::build(kind, &dataset, &bp_config).expect("BP build"));
-
-    let backends: Vec<Arc<dyn SearchBackend>> = vec![
-        Arc::new(BrePartitionBackend::exact(index.clone())),
-        Arc::new(BrePartitionBackend::approximate(index, ApproximateConfig::with_probability(0.9))),
-        Arc::from(bbtree_backend_for_kind(
-            kind,
-            &dataset,
-            BBTreeConfig::with_leaf_capacity(32),
-            PageStoreConfig::with_page_size(PAGE_SIZE),
-        )),
-        Arc::from(vafile_backend_for_kind(
-            kind,
-            &dataset,
-            VaFileConfig { page_size_bytes: PAGE_SIZE, ..VaFileConfig::default() },
-        )),
-    ];
+    // Each method builds its own self-contained Index (BP and ABP no longer
+    // share one construction as the pre-façade code did): the experiment
+    // deliberately exercises the uniform spec-driven path, at the cost of
+    // one extra BrePartition build per run.
+    let indexes: Vec<Index> = Method::ALL
+        .iter()
+        .map(|&method| {
+            let spec = IndexSpec::new(method, kind)
+                .with_partitions(bench.paper_m(dim))
+                .with_page_size(PAGE_SIZE)
+                .with_leaf_capacity(32)
+                .with_probability(0.9);
+            Index::build(&spec, &dataset).expect("index build")
+        })
+        .collect();
 
     let pool_threads = brepartition_engine::recommended_pool_threads();
     let mut table = Table::new(
@@ -82,17 +83,18 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
             "IO pages/q",
         ],
     );
-    for backend in backends {
+    let mut jsons: Vec<String> = Vec::new();
+    for index in &indexes {
         for threads in [1, pool_threads] {
-            let engine = QueryEngine::with_config(
-                backend.clone(),
-                EngineConfig::default().with_threads(threads),
-            );
+            let engine = index
+                .engine(EngineConfig::default().with_threads(threads))
+                .expect("engine construction");
             let batch = engine.run_batch(&queries, K).expect("batch run");
             table.row(report_row(&batch.report));
+            jsons.push(batch.report.to_json());
         }
     }
-    vec![table]
+    (vec![table], format!("[\n{}\n]\n", jsons.join(",\n")))
 }
 
 fn report_row(report: &ThroughputReport) -> Vec<String> {
@@ -117,9 +119,14 @@ mod tests {
     #[test]
     fn throughput_rows_cover_all_backends_and_thread_counts() {
         let bench = Workbench::new(Scale::tiny());
-        let tables = run(&bench);
+        let (tables, json) = run_with_json(&bench);
         assert_eq!(tables.len(), 1);
         // 4 backends × 2 thread counts.
         assert_eq!(tables[0].len(), 8);
+        // The JSON artifact holds one object per row, with stable keys.
+        assert_eq!(json.matches("\"backend\":").count(), 8);
+        assert_eq!(json.matches("\"qps\":").count(), 8);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
     }
 }

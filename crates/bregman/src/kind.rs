@@ -3,7 +3,7 @@
 //! The experiment harness and the examples choose divergences by name (the
 //! paper's Table 4 associates each dataset with either the exponential
 //! distance "ED" or the Itakura-Saito distance "ISD"). [`DivergenceKind`]
-//! is the cheap, copyable selector; [`DivergenceKind::for_each_decomposable`]
+//! is the cheap, copyable selector; [`DivergenceKind::with_decomposable`]
 //! lets generic call sites monomorphize over the concrete generator without
 //! dynamic dispatch in the hot path.
 

@@ -93,6 +93,22 @@ impl BrePartitionIndex {
         Ok(())
     }
 
+    /// Read just the divergence kind from an index directory written by
+    /// [`BrePartitionIndex::save`], without restoring trees or transforms.
+    ///
+    /// The divergence is the first field of the metadata envelope, so a
+    /// self-describing caller (the `brepartition` façade) can cross-check a
+    /// directory against its expectation — and produce a descriptive
+    /// mismatch error — before paying for the full open.
+    pub fn peek_kind(dir: &Path) -> Result<DivergenceKind> {
+        let meta = std::fs::read(dir.join(META_FILE)).map_err(PersistError::from)?;
+        let payload = unseal(&INDEX_MAGIC, INDEX_VERSION, &meta)?;
+        let mut r = ByteReader::new(payload);
+        let kind_name = r.take_str()?;
+        DivergenceKind::parse(&kind_name)
+            .map_err(|_| corrupt(format!("unknown divergence kind {kind_name:?}")))
+    }
+
     /// Open an index directory written by [`BrePartitionIndex::save`].
     ///
     /// The metadata (partitioning, transforms, tree structures) is loaded
@@ -326,6 +342,11 @@ mod tests {
         let dir = temp_dir("roundtrip");
         built.save(&dir).unwrap();
 
+        assert_eq!(
+            BrePartitionIndex::peek_kind(&dir).unwrap(),
+            DivergenceKind::ItakuraSaito,
+            "peek must read the kind without a full open"
+        );
         let reopened = BrePartitionIndex::open(&dir).unwrap();
         assert_eq!(reopened.kind(), built.kind());
         assert_eq!(reopened.len(), built.len());

@@ -3,17 +3,21 @@
 //! BrePartition, its approximate extension, the BB-tree baseline and the
 //! VA-file baseline through a single code path.
 //!
-//! Every backend supports two lifecycles: *build* from a dataset (the
-//! `build_*`/`*_for_kind` constructors) or *open* a previously saved index
-//! directory (the `open_*`/`*_open_for_kind` constructors), so a serving
-//! process can come up without re-running index construction. Saved
-//! directories are produced by each backend's `save` method (which defers
-//! to the underlying index's persistence format).
+//! Every backend supports two lifecycles: *build* from a dataset or *open* a
+//! previously saved index directory, so a serving process can come up
+//! without re-running index construction. Saved directories are produced by
+//! [`SearchBackend::save`] (which defers to the underlying index's
+//! persistence format). The preferred way to construct backends is the
+//! spec-driven façade in the root `brepartition` crate (`IndexSpec` →
+//! `Index::build`/`Index::open`); the per-method constructors in this module
+//! remain for callers wiring concrete index types by hand, and the old
+//! `*_for_kind`/`build_*`/`open_*` kind-dispatch helpers are deprecated
+//! shims over the same code.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use bbtree::{BBTreeConfig, DiskBBTree};
+use bbtree::{BBTreeConfig, DiskBBTree, NodeKind};
 use bregman::{
     DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
     PointId, SquaredEuclidean,
@@ -23,6 +27,7 @@ use pagestore::{BufferPool, IoStats, PageStoreConfig};
 use vafile::{VaFile, VaFileConfig};
 
 use crate::error::EngineError;
+use crate::request::QueryOptions;
 
 /// Per-thread mutable state a backend needs while answering queries.
 ///
@@ -86,6 +91,54 @@ pub trait SearchBackend: Send + Sync {
         query: &[f64],
         k: usize,
     ) -> Result<BackendAnswer, EngineError>;
+
+    /// Answer one kNN query honoring per-query [`QueryOptions`].
+    ///
+    /// Options are typed requests: an option the backend cannot honor is
+    /// rejected with [`EngineError::UnsupportedOption`] rather than silently
+    /// ignored. The default implementation supports only the empty option
+    /// set; backends override it for the knobs they expose.
+    fn knn_with_options(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<BackendAnswer, EngineError> {
+        reject_unsupported(self.name(), options, false, false)?;
+        self.knn(scratch, query, k)
+    }
+
+    /// Persist the backend's index to a directory, in the format its
+    /// `open` constructor (and the `brepartition` façade's `Index::open`)
+    /// reads back. The default implementation reports the backend as
+    /// non-persistent.
+    fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        let _ = dir;
+        Err(EngineError::Backend(format!("backend {} does not support persistence", self.name())))
+    }
+}
+
+/// Reject every option the calling backend does not support.
+fn reject_unsupported(
+    name: &str,
+    options: &QueryOptions,
+    supports_probability: bool,
+    supports_budget: bool,
+) -> Result<(), EngineError> {
+    if options.probability.is_some() && !supports_probability {
+        return Err(EngineError::UnsupportedOption {
+            backend: name.to_string(),
+            option: "a per-query approximation-probability override".to_string(),
+        });
+    }
+    if options.candidate_budget.is_some() && !supports_budget {
+        return Err(EngineError::UnsupportedOption {
+            backend: name.to_string(),
+            option: "a per-query candidate budget".to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// How a [`BrePartitionBackend`] searches.
@@ -125,6 +178,8 @@ impl BrePartitionBackend {
     }
 
     /// Build an exact backend from a dataset.
+    #[deprecated(note = "use `IndexSpec::brepartition(kind)` with `Index::build` in the \
+                `brepartition` façade crate instead")]
     pub fn build_exact(
         kind: DivergenceKind,
         dataset: &DenseDataset,
@@ -136,6 +191,8 @@ impl BrePartitionBackend {
     }
 
     /// Build an approximate backend from a dataset.
+    #[deprecated(note = "use `IndexSpec::approximate(kind)` with `Index::build` in the \
+                `brepartition` façade crate instead")]
     pub fn build_approximate(
         kind: DivergenceKind,
         dataset: &DenseDataset,
@@ -148,7 +205,9 @@ impl BrePartitionBackend {
     }
 
     /// Open an exact backend from an index directory written by
-    /// [`BrePartitionIndex::save`] (or [`BrePartitionBackend::save`]).
+    /// [`BrePartitionIndex::save`] (or [`SearchBackend::save`]).
+    #[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved \
+                spec envelope selects the method) instead")]
     pub fn open_exact(dir: &Path) -> Result<Self, EngineError> {
         let index =
             BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
@@ -158,15 +217,12 @@ impl BrePartitionBackend {
     /// Open an approximate backend from an index directory. The shrink
     /// coefficient is derived from the persisted per-dimension moments, so a
     /// reopened ABP backend answers exactly like the freshly built one.
+    #[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved \
+                spec envelope selects the method and probability) instead")]
     pub fn open_approximate(dir: &Path, approx: ApproximateConfig) -> Result<Self, EngineError> {
         let index =
             BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
         Ok(Self::approximate(index, approx))
-    }
-
-    /// Persist the wrapped index to an index directory.
-    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
-        self.index.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
     }
 
     /// The wrapped index.
@@ -212,6 +268,36 @@ impl SearchBackend for BrePartitionBackend {
             io: scratch.pool.stats().since(&before),
         })
     }
+
+    fn knn_with_options(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<BackendAnswer, EngineError> {
+        reject_unsupported(self.name(), options, true, false)?;
+        let Some(p) = options.probability else {
+            return self.knn(scratch, query, k);
+        };
+        // A probability override runs this query through the approximate
+        // search at guarantee `p`, whatever the backend's default mode.
+        let before = scratch.pool.stats();
+        let config = ApproximateConfig::with_probability(p);
+        let result = self
+            .index
+            .knn_approximate_with_pool(&mut scratch.pool, query, k, &config)
+            .map_err(|e| EngineError::Backend(e.to_string()))?;
+        Ok(BackendAnswer {
+            neighbors: result.neighbors,
+            candidates: result.stats.candidates,
+            io: scratch.pool.stats().since(&before),
+        })
+    }
+
+    fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.index.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
 }
 
 /// The disk-resident BB-tree baseline ("BBT") behind the trait.
@@ -220,6 +306,12 @@ pub struct BBTreeBackend<B: DecomposableBregman + Send + Sync> {
     tree: DiskBBTree<B>,
     dim: usize,
     len: usize,
+    /// Points in the fullest leaf; converts a per-query candidate budget
+    /// into a whole-leaf visit budget.
+    max_leaf_points: usize,
+    /// Capacity of the buffer pools handed out by `new_scratch` (0 =
+    /// unbuffered, the paper's per-query I/O accounting).
+    scratch_pool_pages: usize,
 }
 
 impl<B: DecomposableBregman + Send + Sync> BBTreeBackend<B> {
@@ -231,28 +323,51 @@ impl<B: DecomposableBregman + Send + Sync> BBTreeBackend<B> {
         store_config: PageStoreConfig,
     ) -> Self {
         let tree = DiskBBTree::build(divergence, dataset, tree_config, store_config);
-        Self { tree, dim: dataset.dim(), len: dataset.len() }
+        let max_leaf_points = max_leaf_points(&tree);
+        Self {
+            tree,
+            dim: dataset.dim(),
+            len: dataset.len(),
+            max_leaf_points,
+            scratch_pool_pages: 0,
+        }
     }
 
-    /// Open a tree saved with [`BBTreeBackend::save`] (or
+    /// Open a tree saved with [`SearchBackend::save`] (or
     /// [`DiskBBTree::save`]).
     pub fn open(divergence: B, dir: &Path) -> Result<Self, EngineError> {
         let tree =
             DiskBBTree::open(divergence, dir).map_err(|e| EngineError::Backend(e.to_string()))?;
         let dim = tree.tree().dim();
         let len = tree.tree().len();
-        Ok(Self { tree, dim, len })
+        let max_leaf_points = max_leaf_points(&tree);
+        Ok(Self { tree, dim, len, max_leaf_points, scratch_pool_pages: 0 })
     }
 
-    /// Persist the wrapped tree to an index directory.
-    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
-        self.tree.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    /// Hand out buffered scratch pools of `pages` pages (0 = unbuffered).
+    pub fn with_scratch_pool_pages(mut self, pages: usize) -> Self {
+        self.scratch_pool_pages = pages;
+        self
     }
 
     /// The wrapped tree.
     pub fn tree(&self) -> &DiskBBTree<B> {
         &self.tree
     }
+}
+
+/// Size of the fullest leaf of a disk tree (at least 1).
+fn max_leaf_points<B: DecomposableBregman>(tree: &DiskBBTree<B>) -> usize {
+    tree.tree()
+        .leaves_in_order()
+        .into_iter()
+        .map(|leaf| match &tree.tree().node(leaf).kind {
+            NodeKind::Leaf { points } => points.len(),
+            NodeKind::Internal { .. } => 0,
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
 }
 
 impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
@@ -269,7 +384,7 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
     }
 
     fn new_scratch(&self) -> Scratch {
-        Scratch::new(BufferPool::unbuffered())
+        Scratch::new(BufferPool::new(self.scratch_pool_pages))
     }
 
     fn knn(
@@ -286,6 +401,33 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
             io: result.io,
         })
     }
+
+    fn knn_with_options(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<BackendAnswer, EngineError> {
+        reject_unsupported(self.name(), options, false, true)?;
+        let Some(budget) = options.candidate_budget else {
+            return self.knn(scratch, query, k);
+        };
+        check_dim(self.dim, query)?;
+        // Round the candidate budget up to whole leaves: the tree loads
+        // leaves atomically, so the budget bounds leaf visits.
+        let max_leaves = budget.div_ceil(self.max_leaf_points).max(1);
+        let result = self.tree.knn_with_leaf_budget(&mut scratch.pool, query, k, max_leaves);
+        Ok(BackendAnswer {
+            neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
+            candidates: result.search.candidates_examined as usize,
+            io: result.io,
+        })
+    }
+
+    fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.tree.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
 }
 
 /// The VA-file baseline ("VAF") behind the trait.
@@ -293,26 +435,34 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
 pub struct VaFileBackend<B: DecomposableBregman + Send + Sync> {
     file: VaFile<B>,
     dim: usize,
+    /// Capacity of the buffer pools handed out by `new_scratch` (0 =
+    /// unbuffered, the paper's per-query I/O accounting).
+    scratch_pool_pages: usize,
 }
 
 impl<B: DecomposableBregman + Send + Sync> VaFileBackend<B> {
     /// Build the VA-file over a dataset.
     pub fn build(divergence: B, dataset: &DenseDataset, config: VaFileConfig) -> Self {
-        Self { file: VaFile::build(divergence, dataset, config), dim: dataset.dim() }
+        Self {
+            file: VaFile::build(divergence, dataset, config),
+            dim: dataset.dim(),
+            scratch_pool_pages: 0,
+        }
     }
 
-    /// Open a VA-file saved with [`VaFileBackend::save`] (or
+    /// Open a VA-file saved with [`SearchBackend::save`] (or
     /// [`VaFile::save`]).
     pub fn open(divergence: B, dir: &Path) -> Result<Self, EngineError> {
         let file =
             VaFile::open(divergence, dir).map_err(|e| EngineError::Backend(e.to_string()))?;
         let dim = file.quantizer().dim();
-        Ok(Self { file, dim })
+        Ok(Self { file, dim, scratch_pool_pages: 0 })
     }
 
-    /// Persist the wrapped VA-file to an index directory.
-    pub fn save(&self, dir: &Path) -> Result<(), EngineError> {
-        self.file.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    /// Hand out buffered scratch pools of `pages` pages (0 = unbuffered).
+    pub fn with_scratch_pool_pages(mut self, pages: usize) -> Self {
+        self.scratch_pool_pages = pages;
+        self
     }
 
     /// The wrapped VA-file.
@@ -335,7 +485,7 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
     }
 
     fn new_scratch(&self) -> Scratch {
-        Scratch::new(BufferPool::unbuffered())
+        Scratch::new(BufferPool::new(self.scratch_pool_pages))
     }
 
     fn knn(
@@ -352,6 +502,28 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
             io: result.io,
         })
     }
+
+    fn knn_with_options(
+        &self,
+        scratch: &mut Scratch,
+        query: &[f64],
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<BackendAnswer, EngineError> {
+        reject_unsupported(self.name(), options, false, true)?;
+        check_dim(self.dim, query)?;
+        let result =
+            self.file.knn_with_budget(&mut scratch.pool, query, k, options.candidate_budget);
+        Ok(BackendAnswer {
+            neighbors: result.neighbors,
+            candidates: result.candidates,
+            io: result.io,
+        })
+    }
+
+    fn save(&self, dir: &Path) -> Result<(), EngineError> {
+        self.file.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
 }
 
 fn check_dim(expected: usize, query: &[f64]) -> Result<(), EngineError> {
@@ -365,6 +537,8 @@ fn check_dim(expected: usize, query: &[f64]) -> Result<(), EngineError> {
 }
 
 /// Build a boxed BB-tree backend for a runtime-selected divergence.
+#[deprecated(note = "use `IndexSpec::bbtree(kind)` with `Index::build` in the `brepartition` \
+            façade crate instead")]
 pub fn bbtree_backend_for_kind(
     kind: DivergenceKind,
     dataset: &DenseDataset,
@@ -388,6 +562,8 @@ pub fn bbtree_backend_for_kind(
 }
 
 /// Build a boxed VA-file backend for a runtime-selected divergence.
+#[deprecated(note = "use `IndexSpec::vafile(kind)` with `Index::build` in the `brepartition` \
+            façade crate instead")]
 pub fn vafile_backend_for_kind(
     kind: DivergenceKind,
     dataset: &DenseDataset,
@@ -409,6 +585,8 @@ pub fn vafile_backend_for_kind(
 
 /// Open a boxed BB-tree backend from an index directory for a
 /// runtime-selected divergence.
+#[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved spec \
+            envelope selects method and divergence) instead")]
 pub fn bbtree_backend_open_for_kind(
     kind: DivergenceKind,
     dir: &Path,
@@ -423,6 +601,8 @@ pub fn bbtree_backend_open_for_kind(
 
 /// Open a boxed VA-file backend from an index directory for a
 /// runtime-selected divergence.
+#[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved spec \
+            envelope selects method and divergence) instead")]
 pub fn vafile_backend_open_for_kind(
     kind: DivergenceKind,
     dir: &Path,

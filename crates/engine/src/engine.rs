@@ -9,12 +9,15 @@ use pagestore::{AtomicIoStats, IoStats};
 use crate::backend::SearchBackend;
 use crate::error::EngineError;
 use crate::report::{QueryOutcome, ThroughputReport};
+use crate::request::EngineRequest;
 
 /// Engine tuning knobs.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker threads; `0` resolves to the machine's available parallelism.
-    pub threads: usize,
+    /// Worker threads; `None` (the default) resolves to the machine's
+    /// available parallelism. An explicit `Some(0)` is a misconfiguration
+    /// rejected at engine construction.
+    pub threads: Option<usize>,
     /// Reuse each worker's buffer pool across the queries it serves (warm
     /// cache). When `false` (the default) every query starts from a cold
     /// pool, which makes the per-query I/O counters — not just the neighbor
@@ -24,9 +27,12 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// Use exactly `threads` workers.
+    /// Use exactly `threads` workers. Passing `0` produces a configuration
+    /// that [`QueryEngine::with_config`] rejects with
+    /// [`EngineError::Config`] — use the default (auto) to size the pool
+    /// from the machine instead.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.threads = Some(threads);
         self
     }
 
@@ -34,6 +40,19 @@ impl EngineConfig {
     pub fn with_warm_scratch(mut self) -> Self {
         self.reuse_scratch = true;
         self
+    }
+
+    /// Check the configuration for contradictions that would otherwise
+    /// panic or silently degrade at query time.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.threads == Some(0) {
+            return Err(EngineError::Config(
+                "worker thread count must be at least 1 (omit with_threads to size \
+                 the pool from the machine's parallelism)"
+                    .to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -81,14 +100,34 @@ impl std::fmt::Debug for QueryEngine {
 }
 
 impl QueryEngine {
-    /// An engine over `backend` with the default configuration.
+    /// An engine over `backend` with the default configuration (which is
+    /// always valid).
     pub fn new(backend: Arc<dyn SearchBackend>) -> Self {
         Self::with_config(backend, EngineConfig::default())
+            .expect("the default engine configuration is valid")
     }
 
     /// An engine with explicit configuration.
-    pub fn with_config(backend: Arc<dyn SearchBackend>, config: EngineConfig) -> Self {
-        Self { backend, config, cumulative_io: Arc::new(AtomicIoStats::new()) }
+    ///
+    /// The configuration is validated here, before any query runs: an
+    /// explicit zero worker-thread count, or a warm-scratch request against
+    /// a backend whose scratch pools cannot cache anything (capacity 0),
+    /// returns [`EngineError::Config`] instead of panicking or silently
+    /// serving with a degraded setup.
+    pub fn with_config(
+        backend: Arc<dyn SearchBackend>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        config.validate()?;
+        if config.reuse_scratch && backend.new_scratch().pool.capacity() == 0 {
+            return Err(EngineError::Config(format!(
+                "warm scratch requested but backend {} serves zero-capacity (unbuffered) \
+                 pools; a warm pool with no capacity caches nothing — configure the \
+                 index with a non-zero buffer-pool size or drop with_warm_scratch",
+                backend.name()
+            )));
+        }
+        Ok(Self { backend, config, cumulative_io: Arc::new(AtomicIoStats::new()) })
     }
 
     /// Convenience constructor boxing a concrete backend.
@@ -108,10 +147,9 @@ impl QueryEngine {
 
     /// The resolved worker-thread count.
     pub fn threads(&self) -> usize {
-        if self.config.threads > 0 {
-            self.config.threads
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        match self.config.threads {
+            Some(threads) => threads,
+            None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         }
     }
 
@@ -135,17 +173,29 @@ impl QueryEngine {
         })
     }
 
-    /// Execute a batch of queries across the worker pool.
-    ///
-    /// Returns per-query outcomes in submission order plus a
-    /// [`ThroughputReport`]. If any query fails, the whole batch is
-    /// abandoned and the first error (by scheduling order) is returned.
+    /// Execute a batch of uniform queries (same `k`, no per-query options)
+    /// across the worker pool. Convenience wrapper over
+    /// [`QueryEngine::run_requests`].
     pub fn run_batch<Q: AsRef<[f64]> + Sync>(
         &self,
         queries: &[Q],
         k: usize,
     ) -> Result<BatchResult, EngineError> {
-        let n = queries.len();
+        let requests: Vec<EngineRequest<'_>> =
+            queries.iter().map(|q| EngineRequest::new(q.as_ref(), k)).collect();
+        self.run_requests(&requests)
+    }
+
+    /// Execute a batch of per-query [`EngineRequest`]s across the worker
+    /// pool. Each request carries its own `k` and
+    /// [`QueryOptions`](crate::QueryOptions); rows are borrowed, not cloned.
+    ///
+    /// Returns per-query outcomes in submission order plus a
+    /// [`ThroughputReport`] (whose `k` is the largest `k` in the batch). If
+    /// any query fails, the whole batch is abandoned and the first error
+    /// (by scheduling order) is returned.
+    pub fn run_requests(&self, requests: &[EngineRequest<'_>]) -> Result<BatchResult, EngineError> {
+        let n = requests.len();
         let threads = self.threads().max(1).min(n.max(1));
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
@@ -175,8 +225,14 @@ impl QueryEngine {
                                 scratch = backend.new_scratch();
                             }
                             scratch_used = true;
+                            let request = &requests[index];
                             let query_started = Instant::now();
-                            match backend.knn(&mut scratch, queries[index].as_ref(), k) {
+                            match backend.knn_with_options(
+                                &mut scratch,
+                                request.query,
+                                request.k,
+                                &request.options,
+                            ) {
                                 Ok(answer) => {
                                     let latency_seconds = query_started.elapsed().as_secs_f64();
                                     local.push((
@@ -216,6 +272,9 @@ impl QueryEngine {
                 self.cumulative_io.record(&outcome.io);
             }
         }
+        // Backend failures gain the failing query's index; typed errors
+        // (unsupported options, config) pass through unchanged so callers
+        // can match on them identically in the single-query and batch paths.
         if let Some((index, error)) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
             return Err(match error {
                 EngineError::Backend(message) => EngineError::Query { index, message },
@@ -231,8 +290,14 @@ impl QueryEngine {
         }
         let outcomes: Vec<QueryOutcome> =
             slots.into_iter().map(|s| s.expect("every query produced an outcome")).collect();
-        let report =
-            ThroughputReport::from_outcomes(backend.name(), k, threads, wall_seconds, &outcomes);
+        let report_k = requests.iter().map(|r| r.k).max().unwrap_or(0);
+        let report = ThroughputReport::from_outcomes(
+            backend.name(),
+            report_k,
+            threads,
+            wall_seconds,
+            &outcomes,
+        );
         Ok(BatchResult { outcomes, report })
     }
 }

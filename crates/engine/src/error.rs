@@ -2,6 +2,7 @@
 
 /// Errors surfaced by the batch query engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A backend failed while building or answering a query.
     Backend(String),
@@ -12,6 +13,17 @@ pub enum EngineError {
         /// The backend's error message.
         message: String,
     },
+    /// The engine configuration is invalid (caught at construction, before
+    /// any query runs).
+    Config(String),
+    /// A per-query option was set that the serving backend cannot honor
+    /// (e.g. an approximation-probability override on the VA-file).
+    UnsupportedOption {
+        /// Backend label the option was sent to.
+        backend: String,
+        /// Human-readable description of the rejected option.
+        option: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -20,6 +32,10 @@ impl std::fmt::Display for EngineError {
             EngineError::Backend(message) => write!(f, "backend error: {message}"),
             EngineError::Query { index, message } => {
                 write!(f, "query {index} failed: {message}")
+            }
+            EngineError::Config(message) => write!(f, "invalid engine configuration: {message}"),
+            EngineError::UnsupportedOption { backend, option } => {
+                write!(f, "backend {backend} does not support {option}")
             }
         }
     }
@@ -32,9 +48,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_formats_both_variants() {
+    fn display_formats_every_variant() {
         assert_eq!(EngineError::Backend("boom".into()).to_string(), "backend error: boom");
         let q = EngineError::Query { index: 3, message: "bad dim".into() };
         assert_eq!(q.to_string(), "query 3 failed: bad dim");
+        let c = EngineError::Config("zero worker threads".into());
+        assert!(c.to_string().contains("zero worker threads"));
+        let u = EngineError::UnsupportedOption { backend: "VAF".into(), option: "p=0.9".into() };
+        assert!(u.to_string().contains("VAF"));
+        assert!(u.to_string().contains("p=0.9"));
     }
 }

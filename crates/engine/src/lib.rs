@@ -15,33 +15,45 @@
 //!   worker owns its scratch (buffer pool), pulls query indices from an
 //!   atomic cursor and buffers outcomes locally; per-query results are
 //!   reassembled in submission order, so neighbor sets are bit-identical
-//!   for 1 thread and N threads.
+//!   for 1 thread and N threads. Batches are submitted either as uniform
+//!   `(queries, k)` pairs ([`QueryEngine::run_batch`]) or as per-query
+//!   [`EngineRequest`]s carrying their own `k` and [`QueryOptions`]
+//!   ([`QueryEngine::run_requests`]) over borrowed rows.
 //! * [`ThroughputReport`] — QPS, latency percentiles (p50/p95/p99),
 //!   candidate counts and physical I/O aggregated over the batch, the
-//!   numbers a serving deployment is tuned against.
+//!   numbers a serving deployment is tuned against; serializable to stable
+//!   JSON ([`ThroughputReport::to_json`]) for cross-PR diffing.
+//!
+//! Applications normally construct backends through the spec-driven façade
+//! in the root `brepartition` crate (`IndexSpec` → `Index::build` /
+//! `Index::open`) rather than the per-method constructors here.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use std::sync::Arc;
 //! use bregman::{DenseDataset, DivergenceKind};
-//! use brepartition_core::BrePartitionConfig;
+//! use brepartition_core::{BrePartitionConfig, BrePartitionIndex};
 //! use brepartition_engine::{BrePartitionBackend, EngineConfig, QueryEngine};
 //!
 //! let rows: Vec<Vec<f64>> = (0..500)
 //!     .map(|i| (0..16).map(|j| 1.0 + ((i * 7 + j * 3) % 23) as f64).collect())
 //!     .collect();
 //! let data = DenseDataset::from_rows(&rows).unwrap();
-//! let backend = BrePartitionBackend::build_exact(
+//! let index = BrePartitionIndex::build(
 //!     DivergenceKind::ItakuraSaito,
 //!     &data,
 //!     &BrePartitionConfig::default().with_partitions(4),
 //! )
 //! .unwrap();
-//! let engine = QueryEngine::with_config(Arc::new(backend), EngineConfig::default().with_threads(4));
+//! let engine = QueryEngine::with_config(
+//!     Arc::new(BrePartitionBackend::exact(index)),
+//!     EngineConfig::default().with_threads(4),
+//! )
+//! .unwrap();
 //! let queries: Vec<Vec<f64>> = (0..64).map(|i| rows[i * 7 % rows.len()].clone()).collect();
 //! let batch = engine.run_batch(&queries, 10).unwrap();
-//! println!("{}", batch.report);
+//! println!("{}", batch.report.to_json());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,15 +64,20 @@ pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod report;
+pub mod request;
 
+#[allow(deprecated)]
 pub use backend::{
     bbtree_backend_for_kind, bbtree_backend_open_for_kind, vafile_backend_for_kind,
-    vafile_backend_open_for_kind, BBTreeBackend, BackendAnswer, BrePartitionBackend, Scratch,
-    SearchBackend, VaFileBackend,
+    vafile_backend_open_for_kind,
+};
+pub use backend::{
+    BBTreeBackend, BackendAnswer, BrePartitionBackend, Scratch, SearchBackend, VaFileBackend,
 };
 pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
 pub use error::EngineError;
 pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
+pub use request::{EngineRequest, QueryOptions};
 
 #[cfg(test)]
 mod tests {
@@ -108,13 +125,13 @@ mod tests {
                 index.clone(),
                 ApproximateConfig::with_probability(0.95),
             )),
-            bbtree_backend_for_kind(
-                kind,
+            Box::new(BBTreeBackend::build(
+                ItakuraSaito,
                 &data,
                 BBTreeConfig::with_leaf_capacity(16),
                 PageStoreConfig::with_page_size(4096),
-            ),
-            vafile_backend_for_kind(kind, &data, VaFileConfig::default()),
+            )),
+            Box::new(VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default())),
         ];
         for backend in backends {
             let name = backend.name().to_string();
@@ -128,7 +145,8 @@ mod tests {
                     backend.knn(&mut scratch, q, 5).unwrap().neighbors
                 })
                 .collect();
-            let engine = QueryEngine::with_config(backend, EngineConfig::default().with_threads(4));
+            let engine =
+                QueryEngine::with_config(backend, EngineConfig::default().with_threads(4)).unwrap();
             let batch = engine.run_batch(&queries, 5).unwrap();
             assert_eq!(batch.outcomes.len(), queries.len());
             for (outcome, expected) in batch.outcomes.iter().zip(reference.iter()) {
@@ -141,14 +159,154 @@ mod tests {
     }
 
     #[test]
+    fn per_query_k_and_options_are_honored() {
+        let (data, queries) = workload();
+        let kind = DivergenceKind::ItakuraSaito;
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(4096);
+        let index = Arc::new(BrePartitionIndex::build(kind, &data, &config).unwrap());
+        let backend = Arc::new(BrePartitionBackend::exact(index.clone()));
+        let engine =
+            QueryEngine::with_config(backend, EngineConfig::default().with_threads(4)).unwrap();
+
+        // Heterogeneous ks: query i asks for (i % 7) + 1 neighbors.
+        let requests: Vec<EngineRequest<'_>> =
+            queries.iter().enumerate().map(|(i, q)| EngineRequest::new(q, (i % 7) + 1)).collect();
+        let batch = engine.run_requests(&requests).unwrap();
+        for (i, outcome) in batch.outcomes.iter().enumerate() {
+            assert_eq!(outcome.neighbors.len(), (i % 7) + 1, "query {i} ignored its own k");
+            let expected = index.knn(requests[i].query, requests[i].k).unwrap().neighbors;
+            assert_eq!(outcome.neighbors, expected, "query {i}");
+        }
+        assert_eq!(batch.report.k, 7, "report pins the largest k of the batch");
+
+        // A probability override on the exact backend runs that query
+        // through the approximate search.
+        let approx = ApproximateConfig::with_probability(0.9);
+        let override_req = EngineRequest::new(&queries[0], 10)
+            .with_options(QueryOptions::none().with_probability(0.9));
+        let overridden = engine.run_requests(&[override_req]).unwrap();
+        let expected = index.knn_approximate(&queries[0], 10, &approx).unwrap();
+        assert_eq!(overridden.outcomes[0].neighbors, expected.neighbors);
+    }
+
+    #[test]
+    fn unsupported_options_are_typed_errors_not_silent() {
+        let (data, queries) = workload();
+        let kind = DivergenceKind::ItakuraSaito;
+        let config = BrePartitionConfig::default().with_partitions(4);
+        let index = BrePartitionIndex::build(kind, &data, &config).unwrap();
+
+        // Candidate budgets are not supported by BrePartition backends; the
+        // batch path surfaces the same typed error as a single query would.
+        let bp = QueryEngine::over(BrePartitionBackend::exact(index));
+        let req = EngineRequest::new(&queries[0], 5)
+            .with_options(QueryOptions::none().with_candidate_budget(10));
+        match bp.run_requests(&[req]) {
+            Err(EngineError::UnsupportedOption { backend, option }) => {
+                assert_eq!(backend, "BP");
+                assert!(option.contains("candidate budget"), "{option}");
+            }
+            other => panic!("expected unsupported-option error, got {other:?}"),
+        }
+
+        // Probability overrides are not supported by the VA-file.
+        let vaf =
+            QueryEngine::over(VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default()));
+        let req = EngineRequest::new(&queries[0], 5)
+            .with_options(QueryOptions::none().with_probability(0.9));
+        match vaf.run_requests(&[req]) {
+            Err(EngineError::UnsupportedOption { backend, option }) => {
+                assert_eq!(backend, "VAF");
+                assert!(option.contains("probability"), "{option}");
+            }
+            other => panic!("expected unsupported-option error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn candidate_budget_bounds_baseline_backends() {
+        let (data, queries) = workload();
+        let bbt = BBTreeBackend::build(
+            ItakuraSaito,
+            &data,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(2048),
+        );
+        let vaf = VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default());
+        for backend in
+            [Arc::new(bbt) as Arc<dyn SearchBackend>, Arc::new(vaf) as Arc<dyn SearchBackend>]
+        {
+            let name = backend.name().to_string();
+            let mut scratch = backend.new_scratch();
+            let unbounded = backend.knn(&mut scratch, &queries[0], 8).unwrap();
+            let mut scratch = backend.new_scratch();
+            let bounded = backend
+                .knn_with_options(
+                    &mut scratch,
+                    &queries[0],
+                    8,
+                    &QueryOptions::none().with_candidate_budget(16),
+                )
+                .unwrap();
+            assert!(
+                bounded.io.pages_read <= unbounded.io.pages_read,
+                "{name}: a budget must not read more pages than the exact search"
+            );
+            assert!(bounded.neighbors.len() <= 8, "{name}");
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_at_construction() {
+        let (data, _) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let backend: Arc<dyn SearchBackend> = Arc::new(BrePartitionBackend::exact(index));
+
+        // Explicit zero worker threads.
+        match QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(0)) {
+            Err(EngineError::Config(message)) => assert!(message.contains("at least 1")),
+            other => panic!("expected config error, got {other:?}"),
+        }
+        assert!(EngineConfig::default().with_threads(0).validate().is_err());
+        assert!(EngineConfig::default().validate().is_ok());
+
+        // Warm scratch over a backend serving zero-capacity pools (the
+        // default BrePartitionConfig has buffer_pool_pages = 0) silently
+        // caches nothing — reject it.
+        match QueryEngine::with_config(
+            backend.clone(),
+            EngineConfig::default().with_threads(2).with_warm_scratch(),
+        ) {
+            Err(EngineError::Config(message)) => assert!(message.contains("warm"), "{message}"),
+            other => panic!("expected config error, got {other:?}"),
+        }
+
+        // The same warm-scratch request over a buffered pool is fine.
+        let buffered = BrePartitionIndex::build(
+            DivergenceKind::ItakuraSaito,
+            &data,
+            &config.with_buffer_pool_pages(32),
+        )
+        .unwrap();
+        assert!(QueryEngine::with_config(
+            Arc::new(BrePartitionBackend::exact(buffered)),
+            EngineConfig::default().with_threads(2).with_warm_scratch(),
+        )
+        .is_ok());
+    }
+
+    #[test]
     fn cold_scratch_makes_io_schedule_independent() {
         let (data, queries) = workload();
         let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
         let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
         let backend = Arc::new(BrePartitionBackend::exact(index));
         let one =
-            QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
-        let four = QueryEngine::with_config(backend, EngineConfig::default().with_threads(4));
+            QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1))
+                .unwrap();
+        let four =
+            QueryEngine::with_config(backend, EngineConfig::default().with_threads(4)).unwrap();
         let a = one.run_batch(&queries, 8).unwrap();
         let b = four.run_batch(&queries, 8).unwrap();
         for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
@@ -194,7 +352,8 @@ mod tests {
         let engine = QueryEngine::with_config(
             Arc::new(BrePartitionBackend::exact(index)),
             EngineConfig::default().with_threads(1),
-        );
+        )
+        .unwrap();
         // Two valid queries run (and read pages) before the malformed third
         // aborts the batch.
         let mixed = vec![queries[0].clone(), queries[1].clone(), vec![1.0, 2.0]];
@@ -214,14 +373,8 @@ mod tests {
         let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
         let index = Arc::new(BrePartitionIndex::build(kind, &data, &config).unwrap());
 
-        // Save each index once…
+        // Save each index once (through the trait, as the façade does)…
         BrePartitionBackend::exact(index.clone()).save(&root.join("bp")).unwrap();
-        let bbt_built = bbtree_backend_for_kind(
-            kind,
-            &data,
-            BBTreeConfig::with_leaf_capacity(16),
-            PageStoreConfig::with_page_size(2048),
-        );
         let bbt_concrete = BBTreeBackend::build(
             ItakuraSaito,
             &data,
@@ -233,31 +386,29 @@ mod tests {
         vaf_concrete.save(&root.join("vaf")).unwrap();
 
         // …and pair every built backend with its reopened twin.
+        let reopened_bp = Arc::new(BrePartitionIndex::open(&root.join("bp")).unwrap());
         let pairs: Vec<(Arc<dyn SearchBackend>, Arc<dyn SearchBackend>)> = vec![
             (
                 Arc::new(BrePartitionBackend::exact(index.clone())),
-                Arc::new(BrePartitionBackend::open_exact(&root.join("bp")).unwrap()),
+                Arc::new(BrePartitionBackend::exact(reopened_bp.clone())),
             ),
             (
                 Arc::new(BrePartitionBackend::approximate(
                     index,
                     ApproximateConfig::with_probability(0.9),
                 )),
-                Arc::new(
-                    BrePartitionBackend::open_approximate(
-                        &root.join("bp"),
-                        ApproximateConfig::with_probability(0.9),
-                    )
-                    .unwrap(),
-                ),
+                Arc::new(BrePartitionBackend::approximate(
+                    reopened_bp,
+                    ApproximateConfig::with_probability(0.9),
+                )),
             ),
             (
-                bbt_built.into(),
-                bbtree_backend_open_for_kind(kind, &root.join("bbt")).unwrap().into(),
+                Arc::new(bbt_concrete),
+                Arc::new(BBTreeBackend::open(ItakuraSaito, &root.join("bbt")).unwrap()),
             ),
             (
                 Arc::new(vaf_concrete),
-                vafile_backend_open_for_kind(kind, &root.join("vaf")).unwrap().into(),
+                Arc::new(VaFileBackend::open(ItakuraSaito, &root.join("vaf")).unwrap()),
             ),
         ];
         for (built, reopened) in pairs {
@@ -265,9 +416,11 @@ mod tests {
             assert_eq!(built.len(), reopened.len(), "{name}");
             assert_eq!(built.dim(), reopened.dim(), "{name}");
             let a = QueryEngine::with_config(built, EngineConfig::default().with_threads(2))
+                .unwrap()
                 .run_batch(&queries, 6)
                 .unwrap();
             let b = QueryEngine::with_config(reopened, EngineConfig::default().with_threads(2))
+                .unwrap()
                 .run_batch(&queries, 6)
                 .unwrap();
             for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
@@ -279,13 +432,39 @@ mod tests {
         std::fs::remove_dir_all(&root).unwrap();
     }
 
+    /// The deprecated kind-dispatch shims keep working for one release.
     #[test]
-    fn opening_a_missing_directory_is_a_backend_error() {
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer_like_their_replacements() {
+        let (data, queries) = workload();
+        let kind = DivergenceKind::ItakuraSaito;
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
+
+        let via_shim = BrePartitionBackend::build_exact(kind, &data, &config).unwrap();
+        let index = BrePartitionIndex::build(kind, &data, &config).unwrap();
+        let direct = BrePartitionBackend::exact(index);
+        let mut a = via_shim.new_scratch();
+        let mut b = direct.new_scratch();
+        assert_eq!(
+            via_shim.knn(&mut a, &queries[0], 5).unwrap().neighbors,
+            direct.knn(&mut b, &queries[0], 5).unwrap().neighbors,
+        );
+
+        let boxed = bbtree_backend_for_kind(
+            kind,
+            &data,
+            BBTreeConfig::with_leaf_capacity(16),
+            PageStoreConfig::with_page_size(2048),
+        );
+        assert_eq!(boxed.name(), "BBT");
+        let boxed = vafile_backend_for_kind(kind, &data, VaFileConfig::default());
+        assert_eq!(boxed.name(), "VAF");
+
         let missing = std::env::temp_dir()
             .join(format!("brepartition-engine-missing-{}", std::process::id()));
         assert!(matches!(BrePartitionBackend::open_exact(&missing), Err(EngineError::Backend(_))));
-        assert!(bbtree_backend_open_for_kind(DivergenceKind::ItakuraSaito, &missing).is_err());
-        assert!(vafile_backend_open_for_kind(DivergenceKind::ItakuraSaito, &missing).is_err());
+        assert!(bbtree_backend_open_for_kind(kind, &missing).is_err());
+        assert!(vafile_backend_open_for_kind(kind, &missing).is_err());
     }
 
     #[test]

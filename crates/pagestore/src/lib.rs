@@ -12,7 +12,7 @@
 //! * [`StorageBackend`] — where the page images physically live:
 //!   [`MemoryBackend`] (the deterministic in-memory simulation, the default
 //!   when building) or [`FileBackend`] (a real page file with a versioned,
-//!   checksummed header, opened with [`PageStore::open`]). See [`file`] for
+//!   checksummed header, opened with [`PageStore::open`]). See [`file`](mod@file) for
 //!   the on-disk format.
 //! * [`DiskLayout`] — the point → (page, slot) directory, i.e. the
 //!   `P.address` stored in BB-forest leaf nodes.
@@ -22,7 +22,7 @@
 //!   access is a counted physical read.
 //! * [`SharedBufferPool`] — a mutex-wrapped pool for multi-threaded
 //!   experiment harnesses.
-//! * [`format`] — the little-endian encoding primitives and the sealed
+//! * [`format`](mod@format) — the little-endian encoding primitives and the sealed
 //!   envelope (magic, version, FNV-1a checksum) shared by every persistent
 //!   artifact in the workspace (page files, BB-trees, index metadata).
 //!

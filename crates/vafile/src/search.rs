@@ -213,6 +213,22 @@ impl<B: DecomposableBregman> VaFile<B> {
 
     /// Exact kNN search.
     pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> VaQueryResult {
+        self.knn_with_budget(pool, query, k, None)
+    }
+
+    /// kNN search with an optional cap on refined candidates.
+    ///
+    /// With `budget: None` this is the exact search. With `Some(b)` the
+    /// refine phase evaluates at most `b` candidates (in ascending
+    /// lower-bound order) before terminating, bounding per-query work and
+    /// data-page I/O at the cost of exactness.
+    pub fn knn_with_budget(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+        budget: Option<usize>,
+    ) -> VaQueryResult {
         let io_before = pool.stats();
         if k == 0 || self.is_empty() {
             return VaQueryResult {
@@ -256,6 +272,9 @@ impl<B: DecomposableBregman> VaFile<B> {
         let mut refined = 0usize;
         let mut buffer = Vec::new();
         for (pid, lower) in candidates {
+            if budget.is_some_and(|b| refined >= b) {
+                break;
+            }
             let kth = if result.len() >= k { result[k - 1].1 } else { f64::INFINITY };
             if lower > kth {
                 break;
@@ -468,6 +487,26 @@ mod tests {
             other => panic!("expected dimensionality rejection, got {other:?}"),
         }
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn refinement_budget_caps_examined_candidates() {
+        let ds = dataset(400, 5, 12, true);
+        let index = VaFile::build(
+            SquaredEuclidean,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 3 }, page_size_bytes: 1024 },
+        );
+        let query = ds.point(PointId(7)).to_vec();
+        let mut pool = BufferPool::unbuffered();
+        let unbounded = index.knn_with_budget(&mut pool, &query, 10, None);
+        let exact = index.knn(&mut pool, &query, 10);
+        assert_eq!(unbounded.neighbors, exact.neighbors, "None budget is the exact search");
+        let bounded = index.knn_with_budget(&mut pool, &query, 10, Some(5));
+        assert!(bounded.refined <= 5, "budget exceeded: refined {}", bounded.refined);
+        assert!(bounded.neighbors.len() <= 10);
+        // Budgeted data-page I/O never exceeds the exact search's.
+        assert!(bounded.io.pages_read <= unbounded.io.pages_read);
     }
 
     #[test]

@@ -4,46 +4,64 @@
 //! as batches, often against several corpora with different divergences.
 //! This example stands up two corpora — spectral envelopes under the
 //! Itakura-Saito distance and embedding-style vectors under the exponential
-//! distance — wraps each index in a [`SearchBackend`], and drives query
-//! batches through [`QueryEngine`] on one thread and on all cores,
-//! printing the throughput report (QPS, latency percentiles, I/O) each time.
+//! distance — through the identical spec-driven façade, and drives query
+//! batches on one thread and on all cores, printing the throughput report
+//! (QPS, latency percentiles, I/O) each time. The batch itself mixes
+//! per-query `k`s: real request streams are not uniform.
 //!
 //! ```bash
 //! cargo run --release --example batch_serving
 //! ```
 
-use std::sync::Arc;
-
 use brepartition::prelude::*;
 
 fn serve(corpus: &str, kind: DivergenceKind, data: &DenseDataset, queries: &[Vec<f64>], k: usize) {
-    let config = BrePartitionConfig::default()
-        .with_partitions((data.dim() / 7).clamp(2, 16))
-        .with_page_size(16 * 1024);
-    let index = Arc::new(BrePartitionIndex::build(kind, data, &config).unwrap());
     let cores = brepartition::engine::recommended_pool_threads();
-
     println!(
         "## {corpus}: {} points x {} dims, divergence {kind}, batch of {} queries, k={k}",
         data.len(),
         data.dim(),
         queries.len()
     );
-    // Exact and approximate BrePartition behind the same trait.
-    let backends: Vec<Arc<dyn SearchBackend>> = vec![
-        Arc::new(BrePartitionBackend::exact(index.clone())),
-        Arc::new(BrePartitionBackend::approximate(index, ApproximateConfig::with_probability(0.9))),
-    ];
-    for backend in backends {
+    // Exact and approximate BrePartition through the same spec API. The
+    // exact index also serves the mixed-k batch below — build it once.
+    let mut exact_index = None;
+    for method in [Method::BrePartition, Method::Approximate] {
+        let spec = IndexSpec::new(method, kind)
+            .with_partitions((data.dim() / 7).clamp(2, 16))
+            .with_page_size(16 * 1024)
+            .with_probability(0.9);
+        let index = Index::build(&spec, data).unwrap();
         for threads in [1, cores] {
-            let engine = QueryEngine::with_config(
-                backend.clone(),
-                EngineConfig::default().with_threads(threads),
-            );
-            let batch = engine.run_batch(queries, k).unwrap();
+            let batch = index
+                .run_with(
+                    &Request::uniform(queries, k),
+                    EngineConfig::default().with_threads(threads),
+                )
+                .unwrap();
             println!("  {}", batch.report);
         }
+        if method == Method::BrePartition {
+            exact_index = Some(index);
+        }
     }
+
+    // Heterogeneous batch: every fourth query wants a deeper result list.
+    let index = exact_index.expect("exact index built above");
+    let mixed = Request::batch(
+        queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| QueryRequest::new(q, if i % 4 == 0 { 3 * k } else { k })),
+    );
+    let batch = index.run(&mixed).unwrap();
+    println!(
+        "  mixed-k batch: {} queries, deepest k={}, {:.0} QPS — as JSON: {}",
+        batch.outcomes.len(),
+        batch.report.k,
+        batch.report.qps,
+        batch.report.to_json()
+    );
     println!();
 }
 

@@ -1,11 +1,13 @@
 //! Image-embedding retrieval with the exponential distance, exact vs
 //! approximate.
 //!
-//! Deep image embeddings (the paper's Deep/Sift workloads) are searched with
-//! the exponential distance. This example builds one BrePartition index and
-//! contrasts the exact search with the approximate extension (ABP) at
-//! several probability guarantees, reporting the paper's accuracy metric
-//! (overall ratio) next to the candidate-set and I/O savings.
+//! Deep image embeddings (the paper's Deep/Sift workloads) are searched
+//! with the exponential distance. This example builds **one exact
+//! BrePartition index** and contrasts exact queries with per-query
+//! approximation overrides (`QueryRequest::with_probability`) at several
+//! guarantees — the same index serves every trade-off point, no rebuild,
+//! no second backend — reporting the paper's accuracy metric (overall
+//! ratio) next to the candidate-set and I/O savings.
 //!
 //! ```bash
 //! cargo run --release --example image_embedding_search
@@ -33,9 +35,9 @@ fn main() {
     let workload =
         QueryWorkload::perturbed_from(&data, DivergenceKind::Exponential, query_count, 0.02, 3);
 
-    let config = BrePartitionConfig::default().with_page_size(32 * 1024);
-    let index = BrePartitionIndex::build(DivergenceKind::Exponential, &data, &config).unwrap();
-    println!("image index: {n} embeddings x {dim} dims, M = {} partitions\n", index.partitions());
+    let spec = IndexSpec::brepartition(DivergenceKind::Exponential).with_page_size(32 * 1024);
+    let index = Index::build(&spec, &data).unwrap();
+    println!("image index: {n} embeddings x {dim} dims, method {}\n", index.method());
 
     // Ground truth for the accuracy metric.
     let truth = ground_truth_knn(DivergenceKind::Exponential, &data, &workload.queries, k, 4);
@@ -44,9 +46,9 @@ fn main() {
     let mut exact_io = 0u64;
     let mut exact_candidates = 0usize;
     for query in workload.iter() {
-        let result = index.knn(query, k).unwrap();
-        exact_io += result.stats.io.pages_read;
-        exact_candidates += result.stats.candidates;
+        let result = index.query(&QueryRequest::new(query, k)).unwrap();
+        exact_io += result.io.pages_read;
+        exact_candidates += result.candidates;
     }
     println!(
         "{:<16} {:>14} {:>14} {:>14}",
@@ -60,16 +62,16 @@ fn main() {
         exact_io as f64 / query_count as f64
     );
 
-    // Approximate search at several probability guarantees.
+    // Approximate search at several probability guarantees — the same
+    // exact index, overridden per query.
     for p in [0.9, 0.8, 0.7] {
-        let approx_config = ApproximateConfig::with_probability(p);
         let mut io = 0u64;
         let mut candidates = 0usize;
         let mut ratios = Vec::new();
         for (qi, query) in workload.iter().enumerate() {
-            let result = index.knn_approximate(query, k, &approx_config).unwrap();
-            io += result.stats.io.pages_read;
-            candidates += result.stats.candidates;
+            let result = index.query(&QueryRequest::new(query, k).with_probability(p)).unwrap();
+            io += result.io.pages_read;
+            candidates += result.candidates;
             ratios.push(overall_ratio(&result.neighbors, truth.neighbors_of(qi)));
         }
         let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;

@@ -1,25 +1,25 @@
-//! Build once, serve many: the persistent index lifecycle.
+//! Build once, serve many: the persistent index lifecycle through the
+//! spec-driven façade.
 //!
 //! A serving deployment cannot afford to rebuild its indexes from raw
 //! vectors on every process start — index construction is an offline phase,
-//! amortized over many queries. This example walks the full lifecycle:
+//! amortized over many queries. This example walks the full lifecycle for
+//! **all four methods through the identical code path**:
 //!
-//! 1. **Build** a BrePartition index (plus the BB-tree and VA-file
-//!    baselines) over an Itakura-Saito corpus.
-//! 2. **Save** every index to its own directory (versioned, checksummed
-//!    files; see the `pagestore` crate docs for the on-disk format).
-//! 3. **Cold-open** the directories as a fresh serving process would — the
-//!    metadata loads into memory, the data pages stay on disk and are
-//!    fetched through the buffer pool on demand.
-//! 4. **Serve** a query batch through the engine on both copies and verify
-//!    the reopened indexes return identical neighbors with identical
-//!    physical I/O.
+//! 1. **Build** each index from the same `IndexSpec` template (only the
+//!    `Method` varies).
+//! 2. **Save** every index to its own directory: backend artifacts plus a
+//!    sealed spec envelope recording method + divergence + knobs.
+//! 3. **Cold-open** the directories as a fresh serving process would — with
+//!    `Index::open(dir)` alone; the envelope says what each directory
+//!    holds, so there is no caller-side method or divergence dispatch.
+//! 4. **Serve** a query batch on both copies and verify the reopened
+//!    indexes return identical neighbors with identical physical I/O.
 //!
 //! ```bash
 //! cargo run --release --example persistent_serving
 //! ```
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use brepartition::prelude::*;
@@ -53,94 +53,62 @@ fn main() {
         queries.len()
     );
 
-    // ── 1. Offline phase: build and save. ───────────────────────────────
-    let started = Instant::now();
-    let config = BrePartitionConfig::default().with_partitions(8).with_page_size(16 * 1024);
-    let bp = BrePartitionIndex::build(kind, &corpus, &config).expect("build BrePartition");
-    let bp_build = started.elapsed();
+    // ── 1+2. Offline phase: one loop builds and saves all four methods. ──
+    let mut built: Vec<Index> = Vec::new();
+    for method in Method::ALL {
+        let spec = IndexSpec::new(method, kind)
+            .with_partitions(8)
+            .with_leaf_capacity(32)
+            .with_page_size(16 * 1024)
+            .with_probability(0.9);
+        let started = Instant::now();
+        let index = Index::build(&spec, &corpus).expect("build index");
+        let build_time = started.elapsed();
+        let dir = root.join(method.short_name());
+        let started = Instant::now();
+        index.save(&dir).expect("save index");
+        println!(
+            "offline: built {:<3} in {:>8.2?}, saved to {} in {:.2?}",
+            method.short_name(),
+            build_time,
+            dir.display(),
+            started.elapsed()
+        );
+        built.push(index);
+    }
 
+    // ── 3. Serving phase: cold-open every directory, no dispatch. ───────
     let started = Instant::now();
-    bp.save(&root.join("bp")).expect("save BrePartition");
-    let bp_save = started.elapsed();
+    let reopened: Vec<Index> = Method::ALL
+        .iter()
+        .map(|method| Index::open(&root.join(method.short_name())).expect("cold open"))
+        .collect();
     println!(
-        "offline: built BP in {:.2?} ({} partitions, {} pages), saved in {:.2?}",
-        bp_build,
-        bp.partitions(),
-        bp.forest().page_count(),
-        bp_save
+        "\nserving: cold-opened all four directories in {:.2?}; each envelope \
+         self-describes its method and divergence\n",
+        started.elapsed()
     );
 
-    let bbt = BBTreeBackend::build(
-        ItakuraSaito,
-        &corpus,
-        BBTreeConfig::with_leaf_capacity(32),
-        PageStoreConfig::with_page_size(16 * 1024),
-    );
-    bbt.save(&root.join("bbt")).expect("save BB-tree");
-    let vaf = VaFileBackend::build(
-        ItakuraSaito,
-        &corpus,
-        VaFileConfig { page_size_bytes: 16 * 1024, ..VaFileConfig::default() },
-    );
-    vaf.save(&root.join("vaf")).expect("save VA-file");
-    println!("offline: saved BBT and VAF baselines next to it\n");
-
-    // ── 2. Serving phase: cold-open all four backends from disk. ────────
-    let started = Instant::now();
-    let bp_opened = Arc::new(BrePartitionBackend::open_exact(&root.join("bp")).expect("open BP"));
-    let abp_opened = Arc::new(
-        BrePartitionBackend::open_approximate(
-            &root.join("bp"),
-            ApproximateConfig::with_probability(0.9),
-        )
-        .expect("open ABP"),
-    );
-    let bbt_opened: Arc<dyn SearchBackend> =
-        brepartition::engine::bbtree_backend_open_for_kind(kind, &root.join("bbt"))
-            .expect("open BBT")
-            .into();
-    let vaf_opened: Arc<dyn SearchBackend> =
-        brepartition::engine::vafile_backend_open_for_kind(kind, &root.join("vaf"))
-            .expect("open VAF")
-            .into();
-    println!(
-        "serving: cold-opened all four backends in {:.2?} (vs {:.2?} to rebuild BP alone)\n",
-        started.elapsed(),
-        bp_build
-    );
-
-    // ── 3. Drive batches and check the reopened copies answer verbatim. ──
-    let built_backends: Vec<Arc<dyn SearchBackend>> =
-        vec![Arc::new(BrePartitionBackend::exact(bp)), Arc::new(bbt), Arc::new(vaf)];
-    let opened_backends: Vec<Arc<dyn SearchBackend>> =
-        vec![bp_opened.clone(), bbt_opened.clone(), vaf_opened.clone()];
-    for (built, opened) in built_backends.into_iter().zip(opened_backends) {
-        let name = opened.name().to_string();
+    // ── 4. Drive batches and check the reopened copies answer verbatim. ──
+    for (built_index, reopened_index) in built.iter().zip(reopened.iter()) {
+        assert_eq!(built_index.spec(), reopened_index.spec(), "envelope restored the spec");
+        let request = Request::uniform(&queries, k);
         let engine_config = EngineConfig::default().with_threads(4);
-        let a = QueryEngine::with_config(built, engine_config)
-            .run_batch(&queries, k)
-            .expect("batch on built index");
-        let b = QueryEngine::with_config(opened, engine_config)
-            .run_batch(&queries, k)
-            .expect("batch on reopened index");
+        let a = built_index.run_with(&request, engine_config).expect("batch on built index");
+        let b = reopened_index.run_with(&request, engine_config).expect("batch on reopened index");
         let identical = a
             .outcomes
             .iter()
             .zip(b.outcomes.iter())
             .all(|(x, y)| x.neighbors == y.neighbors && x.io == y.io);
         println!(
-            "  {name:>3}: reopened index identical to built index: {} — {}",
+            "  {:>3}: reopened index identical to built index: {} — {}",
+            reopened_index.method().short_name(),
             if identical { "yes" } else { "NO" },
             b.report
         );
-        assert!(identical, "{name}: reopened index diverged from the built index");
+        assert!(identical, "reopened index diverged from the built index");
     }
-
-    // The approximate backend serves from the same reopened index directory.
-    let abp_batch = QueryEngine::with_config(abp_opened, EngineConfig::default().with_threads(4))
-        .run_batch(&queries, k)
-        .expect("batch on reopened ABP");
-    println!("  {:>3}: served from the same index directory — {}", "ABP", abp_batch.report);
 
     std::fs::remove_dir_all(&root).expect("clean up index directories");
     println!("\ndone; removed {}", root.display());

@@ -1,4 +1,5 @@
-//! Quickstart: build a BrePartition index and run exact kNN queries.
+//! Quickstart: describe an index with a spec, build it, query it, persist
+//! it.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -16,35 +17,54 @@ fn main() {
             .generate();
     println!("dataset: {} points x {} dimensions", data.len(), data.dim());
 
-    // 2. Build the index for the Itakura-Saito divergence. `PartitionCount::Auto`
-    //    (the default) picks the optimized number of partitions from the
-    //    paper's cost model; PCCP assigns dimensions to partitions.
-    let config = BrePartitionConfig::default().with_page_size(16 * 1024).with_leaf_capacity(32);
-    let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config)
-        .expect("index construction");
-    let report = index.build_report();
+    // 2. Describe the index: the BrePartition method under the
+    //    Itakura-Saito divergence. `PartitionCount::Auto` (the default)
+    //    picks the optimized number of partitions from the paper's cost
+    //    model; PCCP assigns dimensions to partitions. Swapping
+    //    `Method::BBTree` or `Method::VaFile` into the same spec builds a
+    //    baseline instead — nothing else changes.
+    let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+        .with_page_size(16 * 1024)
+        .with_leaf_capacity(32);
+    let index = Index::build(&spec, &data).expect("index construction");
     println!(
-        "index built in {:.3}s: M = {} partitions, {} disk pages written",
-        report.total_seconds, report.partitions, report.pages_written
+        "index built: method {}, divergence {}, {} points x {} dims",
+        index.method(),
+        index.divergence(),
+        index.len(),
+        index.dim()
     );
 
     // 3. Run a few exact kNN queries and report the paper's metrics:
-    //    candidate-set size, I/O cost (page reads) and per-phase time.
+    //    candidate-set size, I/O cost (page reads) and latency.
     let workload = QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, 5, 0.02, 7);
     for (qi, query) in workload.iter().enumerate() {
-        let result = index.knn(query, 10).expect("query");
+        let result = index.query(&QueryRequest::new(query, 10)).expect("query");
         let best = result.neighbors.first().expect("at least one neighbour");
         println!(
             "query {qi}: 1-NN = {} (divergence {:.4}) | {} candidates, {} page reads, {:.3} ms",
             best.0,
             best.1,
-            result.stats.candidates,
-            result.stats.io.pages_read,
-            result.stats.total_seconds() * 1e3,
+            result.candidates,
+            result.io.pages_read,
+            result.latency_seconds * 1e3,
         );
     }
 
-    // 4. Verify one query against brute force to demonstrate exactness.
+    // 4. Persist and reopen: the directory is self-describing (the spec
+    //    envelope records method + divergence), so `Index::open` needs no
+    //    caller-side dispatch.
+    let dir = std::env::temp_dir().join(format!("brepartition-quickstart-{}", std::process::id()));
+    index.save(&dir).expect("save index");
+    let reopened = Index::open(&dir).expect("open index");
+    println!(
+        "\nreopened from {}: method {} under {} (read from the envelope)",
+        dir.display(),
+        reopened.method(),
+        reopened.divergence()
+    );
+
+    // 5. Verify one query against brute force to demonstrate exactness.
     let query = data.row(123);
     let exact = ground_truth_knn(
         DivergenceKind::ItakuraSaito,
@@ -53,8 +73,9 @@ fn main() {
         10,
         1,
     );
-    let indexed = index.knn(query, 10).unwrap();
+    let indexed = reopened.query(&QueryRequest::new(query, 10)).unwrap();
     let same =
         indexed.neighbors.iter().zip(exact.neighbors_of(0)).all(|(a, b)| (a.1 - b.1).abs() < 1e-9);
     println!("exactness check against linear scan: {}", if same { "OK" } else { "MISMATCH" });
+    std::fs::remove_dir_all(&dir).expect("clean up");
 }

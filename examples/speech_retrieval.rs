@@ -3,9 +3,10 @@
 //! The Itakura-Saito divergence is the classic dissimilarity between power
 //! spectra in speech processing. This example simulates a library of
 //! spectral-envelope descriptors (the Audio/Fonts-style workload of the
-//! paper), builds all three exact disk-resident indexes — BrePartition,
-//! a disk BB-tree (BBT) and a VA-file (VAF) — and compares their per-query
-//! I/O cost and running time on the same workload.
+//! paper) and compares all three exact disk-resident indexes —
+//! BrePartition, the disk BB-tree (BBT) and the VA-file (VAF) — on the same
+//! workload, **through one identical spec-driven loop**: only the `Method`
+//! in the spec changes between contenders.
 //!
 //! ```bash
 //! cargo run --release --example speech_retrieval
@@ -36,70 +37,39 @@ fn main() {
         QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 11);
     println!("speech corpus: {n} spectra x {dim} bands, k = {k}, {queries} queries\n");
 
-    // --- BrePartition ---
-    let bp_config = BrePartitionConfig::default().with_page_size(16 * 1024);
-    let bp_started = Instant::now();
-    let bp = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &bp_config).unwrap();
-    let bp_build = bp_started.elapsed().as_secs_f64();
-    let mut bp_io = 0u64;
-    let bp_query_started = Instant::now();
-    for query in workload.iter() {
-        let result = bp.knn(query, k).unwrap();
-        bp_io += result.stats.io.pages_read;
-    }
-    let bp_time = bp_query_started.elapsed().as_secs_f64();
-
-    // --- Disk-resident BB-tree (BBT baseline) ---
-    let bbt_started = Instant::now();
-    let bbt = DiskBBTree::build(
-        ItakuraSaito,
-        &data,
-        BBTreeConfig::with_leaf_capacity(32),
-        PageStoreConfig::with_page_size(16 * 1024),
-    );
-    let bbt_build = bbt_started.elapsed().as_secs_f64();
-    let mut bbt_io = 0u64;
-    let bbt_query_started = Instant::now();
-    for query in workload.iter() {
-        let mut pool = BufferPool::unbuffered();
-        let result = bbt.knn(&mut pool, query, k);
-        bbt_io += result.io.pages_read;
-    }
-    let bbt_time = bbt_query_started.elapsed().as_secs_f64();
-
-    // --- VA-file (VAF baseline) ---
-    let vaf_started = Instant::now();
-    let vaf = VaFile::build(
-        ItakuraSaito,
-        &data,
-        VaFileConfig { page_size_bytes: 16 * 1024, ..VaFileConfig::default() },
-    );
-    let vaf_build = vaf_started.elapsed().as_secs_f64();
-    let mut vaf_io = 0u64;
-    let vaf_query_started = Instant::now();
-    for query in workload.iter() {
-        let mut pool = BufferPool::unbuffered();
-        let result = vaf.knn(&mut pool, query, k);
-        vaf_io += result.io.pages_read;
-    }
-    let vaf_time = vaf_query_started.elapsed().as_secs_f64();
+    // One spec template; the method is the only thing that varies.
+    let template = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+        .with_leaf_capacity(32)
+        .with_page_size(16 * 1024);
 
     println!(
         "{:<14} {:>12} {:>16} {:>16}",
         "method", "build (s)", "avg I/O (pages)", "avg query (ms)"
     );
-    for (name, build, io, time) in [
-        ("BrePartition", bp_build, bp_io, bp_time),
-        ("BB-tree", bbt_build, bbt_io, bbt_time),
-        ("VA-file", vaf_build, vaf_io, vaf_time),
-    ] {
+    let mut first_results: Vec<(Method, Vec<(PointId, f64)>)> = Vec::new();
+    for method in [Method::BrePartition, Method::BBTree, Method::VaFile] {
+        let spec = IndexSpec { method, ..template };
+        let build_started = Instant::now();
+        let index = Index::build(&spec, &data).unwrap();
+        let build_seconds = build_started.elapsed().as_secs_f64();
+
+        let mut io = 0u64;
+        let query_started = Instant::now();
+        for query in workload.iter() {
+            let result = index.query(&QueryRequest::new(query, k)).unwrap();
+            io += result.io.pages_read;
+        }
+        let query_seconds = query_started.elapsed().as_secs_f64();
         println!(
             "{:<14} {:>12.3} {:>16.1} {:>16.3}",
-            name,
-            build,
+            method.short_name(),
+            build_seconds,
             io as f64 / queries as f64,
-            time * 1e3 / queries as f64
+            query_seconds * 1e3 / queries as f64
         );
+
+        let first = workload.iter().next().unwrap();
+        first_results.push((method, index.query(&QueryRequest::new(first, k)).unwrap().neighbors));
     }
 
     // Sanity: all three must agree with brute force on the first query.
@@ -111,11 +81,16 @@ fn main() {
         k,
         1,
     );
-    let bp_result = bp.knn(query, k).unwrap();
-    let agree = bp_result
-        .neighbors
-        .iter()
-        .zip(truth.neighbors_of(0))
-        .all(|(a, b)| (a.1 - b.1).abs() < 1e-9);
-    println!("\nexactness check: {}", if agree { "OK" } else { "MISMATCH" });
+    println!();
+    for (method, neighbors) in &first_results {
+        let agree = neighbors
+            .iter()
+            .zip(truth.neighbors_of(0))
+            .all(|(a, b)| (a.1 - b.1).abs() < 1e-9 * (1.0 + b.1.abs()));
+        println!(
+            "exactness check ({:>3}): {}",
+            method.short_name(),
+            if agree { "OK" } else { "MISMATCH" }
+        );
+    }
 }

@@ -1,0 +1,114 @@
+//! The unified error type of the façade API.
+//!
+//! Every layer of the workspace has its own error enum — [`CoreError`] for
+//! index construction and search, [`EngineError`] for the batch engine,
+//! [`PersistError`] for the storage format. The façade folds them into one
+//! top-level [`Error`] with `#[non_exhaustive]` variants and full
+//! source-chaining, so applications match on one type and `?` works across
+//! every entry point.
+
+use std::fmt;
+
+use brepartition_core::CoreError;
+use brepartition_engine::EngineError;
+use pagestore::format::PersistError;
+
+/// Convenience alias for results produced by the façade API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any failure surfaced by the [`Index`](crate::Index) façade.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The [`IndexSpec`](crate::IndexSpec) (or a query request built on it)
+    /// is invalid; nothing was built or opened.
+    Spec(String),
+    /// Index construction or search failed in the BrePartition core.
+    Core(CoreError),
+    /// The batch query engine rejected a configuration or a query.
+    Engine(EngineError),
+    /// Reading or writing persistent index artifacts failed (I/O error, bad
+    /// magic or version, checksum mismatch, corrupt artifact).
+    Persist(PersistError),
+    /// A persisted index directory does not match what the caller (or its
+    /// own spec envelope) says it holds — e.g. a directory saved for one
+    /// method or divergence opened as another.
+    Mismatch {
+        /// What the spec envelope (or the caller) expected.
+        expected: String,
+        /// What the directory actually holds.
+        found: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Spec(message) => write!(f, "invalid index spec: {message}"),
+            Error::Core(e) => write!(f, "index error: {e}"),
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::Persist(e) => write!(f, "persistence error: {e}"),
+            Error::Mismatch { expected, found } => {
+                write!(f, "index directory mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Persist(e) => Some(e),
+            Error::Spec(_) | Error::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_sources_chain_through_every_layer() {
+        let core: Error = CoreError::EmptyDataset.into();
+        assert!(core.to_string().contains("empty"));
+        assert!(core.source().is_some());
+
+        let engine: Error = EngineError::Config("zero threads".into()).into();
+        assert!(engine.to_string().contains("zero threads"));
+        assert!(engine.source().is_some());
+
+        let persist: Error = PersistError::Corrupt("bad byte".into()).into();
+        assert!(persist.to_string().contains("bad byte"));
+        assert!(persist.source().is_some());
+
+        let spec = Error::Spec("probability 1.5 out of range".into());
+        assert!(spec.to_string().contains("1.5"));
+        assert!(spec.source().is_none());
+
+        let mismatch = Error::Mismatch { expected: "BBTree/ISD".into(), found: "VaFile".into() };
+        assert!(mismatch.to_string().contains("BBTree/ISD"));
+        assert!(mismatch.to_string().contains("VaFile"));
+    }
+}

@@ -1,0 +1,380 @@
+//! The [`Index`] façade: one spec-driven build/open/query API over all four
+//! methods.
+//!
+//! # The registry
+//!
+//! Internally, every `(Method, DivergenceKind)` pair maps to one
+//! `RegistryEntry` holding monomorphized `build` and `open` function
+//! pointers. The entry is the *only* place that knows which concrete
+//! backend type serves the pair; everything above it — [`Index::build`],
+//! [`Index::open`], the engine, the bench harness — works with
+//! `Arc<dyn SearchBackend>`. This replaces the per-method constructor
+//! sprawl (`build_exact`, `bbtree_backend_for_kind`, …) with a single
+//! lookup.
+//!
+//! # The spec envelope (self-describing directories)
+//!
+//! [`Index::save`] writes the backend's own artifacts plus [`SPEC_FILE`]: a
+//! sealed envelope (magic [`SPEC_MAGIC`], FNV-1a checksummed, see
+//! [`pagestore::format`]) holding the full [`IndexSpec`]. [`Index::open`]
+//! reads that envelope first, so the caller never names a method or
+//! divergence — the directory says what it holds — and a directory whose
+//! artifacts disagree with its envelope (or that has no envelope at all)
+//! fails with a descriptive [`Error`] instead of a decode panic.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use bregman::{
+    DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
+    SquaredEuclidean,
+};
+use brepartition_core::BrePartitionIndex;
+use brepartition_engine::{
+    BBTreeBackend, BatchResult, BrePartitionBackend, EngineConfig, QueryEngine, QueryOutcome,
+    SearchBackend, VaFileBackend,
+};
+use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError};
+
+use crate::error::{Error, Result};
+use crate::request::{QueryRequest, Request};
+use crate::spec::{IndexSpec, Method};
+
+/// Magic tag of the spec envelope ([`SPEC_FILE`]).
+pub const SPEC_MAGIC: [u8; 8] = *b"BREPSPC1";
+
+/// Format version of the spec envelope this build writes and reads.
+pub const SPEC_VERSION: u32 = 1;
+
+/// File name of the spec envelope within an index directory.
+pub const SPEC_FILE: &str = "spec.meta";
+
+type BuildFn = fn(&IndexSpec, &DenseDataset) -> Result<Arc<dyn SearchBackend>>;
+type OpenFn = fn(&IndexSpec, &Path) -> Result<Arc<dyn SearchBackend>>;
+
+/// One `(Method, DivergenceKind)` pair's constructors.
+struct RegistryEntry {
+    method: Method,
+    divergence: DivergenceKind,
+    build: BuildFn,
+    open: OpenFn,
+}
+
+/// Build a BrePartition-family backend (exact or approximate per the spec).
+fn build_bre(spec: &IndexSpec, data: &DenseDataset) -> Result<Arc<dyn SearchBackend>> {
+    let index = BrePartitionIndex::build(spec.divergence, data, &spec.brepartition_config())?;
+    Ok(wrap_bre(spec, index))
+}
+
+/// Open a BrePartition-family backend, cross-checking the index envelope's
+/// divergence against the spec envelope before the full restore.
+fn open_bre(spec: &IndexSpec, dir: &Path) -> Result<Arc<dyn SearchBackend>> {
+    let found = BrePartitionIndex::peek_kind(dir)?;
+    if found != spec.divergence {
+        return Err(Error::Mismatch {
+            expected: format!(
+                "a {} index under divergence {}",
+                spec.method.name(),
+                spec.divergence.short_name()
+            ),
+            found: format!("BrePartition artifacts under divergence {}", found.short_name()),
+        });
+    }
+    Ok(wrap_bre(spec, BrePartitionIndex::open(dir)?))
+}
+
+fn wrap_bre(spec: &IndexSpec, index: BrePartitionIndex) -> Arc<dyn SearchBackend> {
+    match spec.method {
+        Method::Approximate => {
+            Arc::new(BrePartitionBackend::approximate(index, spec.approximate_config()))
+        }
+        _ => Arc::new(BrePartitionBackend::exact(index)),
+    }
+}
+
+/// Build a BBT baseline backend for divergence `B`.
+fn build_bbt<B: DecomposableBregman + Default + Send + Sync + 'static>(
+    spec: &IndexSpec,
+    data: &DenseDataset,
+) -> Result<Arc<dyn SearchBackend>> {
+    Ok(Arc::new(
+        BBTreeBackend::build(B::default(), data, spec.bbtree_config(), spec.store_config())
+            .with_scratch_pool_pages(spec.storage.buffer_pool_pages),
+    ))
+}
+
+/// Open a BBT baseline backend for divergence `B`.
+fn open_bbt<B: DecomposableBregman + Default + Send + Sync + 'static>(
+    spec: &IndexSpec,
+    dir: &Path,
+) -> Result<Arc<dyn SearchBackend>> {
+    // DiskBBTree::open verifies the persisted divergence name itself.
+    Ok(Arc::new(
+        BBTreeBackend::open(B::default(), dir)
+            .map_err(|e| backend_open_error("BBTree", e))?
+            .with_scratch_pool_pages(spec.storage.buffer_pool_pages),
+    ))
+}
+
+/// Build a VA-file baseline backend for divergence `B`.
+fn build_vaf<B: DecomposableBregman + Default + Send + Sync + 'static>(
+    spec: &IndexSpec,
+    data: &DenseDataset,
+) -> Result<Arc<dyn SearchBackend>> {
+    Ok(Arc::new(
+        VaFileBackend::build(B::default(), data, spec.vafile_config())
+            .with_scratch_pool_pages(spec.storage.buffer_pool_pages),
+    ))
+}
+
+/// Open a VA-file baseline backend for divergence `B`.
+fn open_vaf<B: DecomposableBregman + Default + Send + Sync + 'static>(
+    spec: &IndexSpec,
+    dir: &Path,
+) -> Result<Arc<dyn SearchBackend>> {
+    // VaFile::open verifies the persisted divergence name itself.
+    Ok(Arc::new(
+        VaFileBackend::open(B::default(), dir)
+            .map_err(|e| backend_open_error("VaFile", e))?
+            .with_scratch_pool_pages(spec.storage.buffer_pool_pages),
+    ))
+}
+
+fn backend_open_error(method: &str, e: brepartition_engine::EngineError) -> Error {
+    Error::Persist(PersistError::Corrupt(format!("opening {method} artifacts failed: {e}")))
+}
+
+/// One registry row per divergence for a divergence-generic method.
+macro_rules! per_divergence {
+    ($method:expr, $build:ident, $open:ident) => {
+        [
+            RegistryEntry {
+                method: $method,
+                divergence: DivergenceKind::SquaredEuclidean,
+                build: $build::<SquaredEuclidean>,
+                open: $open::<SquaredEuclidean>,
+            },
+            RegistryEntry {
+                method: $method,
+                divergence: DivergenceKind::ItakuraSaito,
+                build: $build::<ItakuraSaito>,
+                open: $open::<ItakuraSaito>,
+            },
+            RegistryEntry {
+                method: $method,
+                divergence: DivergenceKind::Exponential,
+                build: $build::<Exponential>,
+                open: $open::<Exponential>,
+            },
+            RegistryEntry {
+                method: $method,
+                divergence: DivergenceKind::GeneralizedI,
+                build: $build::<GeneralizedI>,
+                open: $open::<GeneralizedI>,
+            },
+        ]
+    };
+}
+
+/// The registry. BrePartition methods dispatch on `DivergenceKind` inside
+/// the core (one entry per divergence keeps the key uniform); the baselines
+/// monomorphize per divergence here.
+fn registry() -> [RegistryEntry; 16] {
+    let bre = |method: Method| {
+        DivergenceKind::ALL.map(|divergence| RegistryEntry {
+            method,
+            divergence,
+            build: build_bre,
+            open: open_bre,
+        })
+    };
+    let [a0, a1, a2, a3] = bre(Method::BrePartition);
+    let [b0, b1, b2, b3] = bre(Method::Approximate);
+    let [c0, c1, c2, c3] = per_divergence!(Method::BBTree, build_bbt, open_bbt);
+    let [d0, d1, d2, d3] = per_divergence!(Method::VaFile, build_vaf, open_vaf);
+    [a0, a1, a2, a3, b0, b1, b2, b3, c0, c1, c2, c3, d0, d1, d2, d3]
+}
+
+/// Look up the registry entry for a `(Method, DivergenceKind)` key.
+fn registry_entry(method: Method, divergence: DivergenceKind) -> Result<RegistryEntry> {
+    registry().into_iter().find(|e| e.method == method && e.divergence == divergence).ok_or_else(
+        || {
+            Error::Spec(format!(
+                "no registered backend for method {} over divergence {}",
+                method.name(),
+                divergence.short_name()
+            ))
+        },
+    )
+}
+
+/// A ready-to-query kNN index: any [`Method`] over any [`DivergenceKind`],
+/// behind one type.
+///
+/// ```no_run
+/// use brepartition::{Index, IndexSpec, QueryRequest, Request};
+/// use brepartition::bregman::{DenseDataset, DivergenceKind};
+///
+/// # fn main() -> brepartition::Result<()> {
+/// let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+/// let data = DenseDataset::from_rows(&rows).unwrap();
+/// let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito);
+/// let index = Index::build(&spec, &data)?;
+/// index.save("idx".as_ref())?;
+///
+/// let reopened = Index::open("idx".as_ref())?; // method + divergence from the envelope
+/// let result = reopened.query(&QueryRequest::new(&rows[0], 1))?;
+/// assert_eq!(result.neighbors.len(), 1);
+/// let batch = reopened.run(&Request::uniform(&rows, 2))?;
+/// assert_eq!(batch.outcomes.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Index {
+    spec: IndexSpec,
+    backend: Arc<dyn SearchBackend>,
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index")
+            .field("spec", &self.spec)
+            .field("backend", &self.backend.name())
+            .field("len", &self.backend.len())
+            .field("dim", &self.backend.dim())
+            .finish()
+    }
+}
+
+impl Index {
+    /// Build an index over `data` as the spec describes.
+    ///
+    /// The spec is validated first; an invalid knob returns
+    /// [`Error::Spec`] before any work happens.
+    pub fn build(spec: &IndexSpec, data: &DenseDataset) -> Result<Index> {
+        spec.validate()?;
+        let entry = registry_entry(spec.method, spec.divergence)?;
+        let backend = (entry.build)(spec, data)?;
+        Ok(Index { spec: *spec, backend })
+    }
+
+    /// Open an index directory written by [`Index::save`].
+    ///
+    /// The directory is self-describing: the spec envelope ([`SPEC_FILE`])
+    /// names the method and divergence, so no caller-side dispatch is
+    /// needed. A directory without an envelope (e.g. one written by the
+    /// deprecated per-backend `save` calls), or whose artifacts disagree
+    /// with its envelope, fails with a descriptive error.
+    pub fn open(dir: &Path) -> Result<Index> {
+        let spec = read_spec(dir)?;
+        // The envelope itself round-trips through the same validation as a
+        // caller-constructed spec.
+        spec.validate()?;
+        let entry = registry_entry(spec.method, spec.divergence)?;
+        let backend = (entry.open)(&spec, dir)?;
+        Ok(Index { spec, backend })
+    }
+
+    /// Persist the index (backend artifacts + spec envelope) to `dir`,
+    /// creating it if needed.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(PersistError::from)?;
+        self.backend.save(dir)?;
+        let mut w = ByteWriter::new();
+        self.spec.write_to(&mut w);
+        std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, SPEC_VERSION, &w.into_vec()))
+            .map_err(PersistError::from)?;
+        Ok(())
+    }
+
+    /// The spec this index was built (or reopened) with.
+    pub fn spec(&self) -> &IndexSpec {
+        &self.spec
+    }
+
+    /// The search method.
+    pub fn method(&self) -> Method {
+        self.spec.method
+    }
+
+    /// The divergence queries are answered under.
+    pub fn divergence(&self) -> DivergenceKind {
+        self.spec.divergence
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.backend.dim()
+    }
+
+    /// The backend as an engine-ready handle (for callers composing their
+    /// own [`QueryEngine`]).
+    pub fn backend(&self) -> Arc<dyn SearchBackend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// A batch engine over this index with explicit configuration.
+    pub fn engine(&self, config: EngineConfig) -> Result<QueryEngine> {
+        Ok(QueryEngine::with_config(self.backend(), config)?)
+    }
+
+    /// Answer one query (fresh scratch state, no worker pool).
+    pub fn query(&self, request: &QueryRequest<'_>) -> Result<QueryOutcome> {
+        let mut scratch = self.backend.new_scratch();
+        let lowered = request.as_engine_request();
+        let started = std::time::Instant::now();
+        let answer = self.backend.knn_with_options(
+            &mut scratch,
+            lowered.query,
+            lowered.k,
+            &lowered.options,
+        )?;
+        Ok(QueryOutcome {
+            neighbors: answer.neighbors,
+            candidates: answer.candidates,
+            io: answer.io,
+            latency_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Execute a batch across a default worker pool (machine parallelism,
+    /// cold scratch). Use [`Index::engine`] for explicit control.
+    pub fn run(&self, request: &Request<'_>) -> Result<BatchResult> {
+        self.run_with(request, EngineConfig::default())
+    }
+
+    /// Execute a batch with explicit engine configuration.
+    pub fn run_with(&self, request: &Request<'_>, config: EngineConfig) -> Result<BatchResult> {
+        let engine = self.engine(config)?;
+        Ok(engine.run_requests(&request.as_engine_requests())?)
+    }
+}
+
+/// Read and unseal the spec envelope of an index directory.
+fn read_spec(dir: &Path) -> Result<IndexSpec> {
+    let path = dir.join(SPEC_FILE);
+    let bytes = std::fs::read(&path).map_err(|e| {
+        Error::Persist(PersistError::Corrupt(format!(
+            "index directory {} has no readable spec envelope ({SPEC_FILE}): {e}; \
+             directories saved by the deprecated per-backend save calls predate the \
+             envelope — re-save them through Index::save",
+            dir.display()
+        )))
+    })?;
+    let payload = unseal(&SPEC_MAGIC, SPEC_VERSION, &bytes)?;
+    let mut r = ByteReader::new(payload);
+    let spec = IndexSpec::read_from(&mut r)?;
+    r.expect_end()?;
+    Ok(spec)
+}

@@ -1,54 +1,99 @@
 //! BrePartition — optimized high-dimensional kNN search with Bregman
 //! distances.
 //!
-//! This is the façade crate of the workspace: it re-exports the public API
-//! of every component so applications can depend on a single crate.
+//! This is the façade crate of the workspace. Applications program against
+//! **one spec-driven API** — [`IndexSpec`] → [`Index`] → [`QueryRequest`] —
+//! that covers all four methods of the paper's evaluation (BP, ABP, BBT,
+//! VAF) over every supported divergence:
 //!
-//! * [`core`](brepartition_core) — the BrePartition index (bounds, optimal
-//!   partitioning, PCCP, BB-forest, exact and approximate search),
-//! * [`bregman`] — Bregman divergences and the dense dataset container,
-//! * [`bbtree`] — Bregman ball trees (the BBT baseline and the per-subspace
-//!   index),
-//! * [`vafile`] — the VA-file baseline,
-//! * [`pagestore`] — the simulated disk with I/O accounting,
-//! * [`datagen`] — dataset proxies, query workloads, ground truth and
-//!   accuracy metrics,
-//! * [`engine`](brepartition_engine) — the concurrent batch query engine: a
-//!   [`SearchBackend`](brepartition_engine::SearchBackend) trait unifying
-//!   every index above, a thread-pooled
-//!   [`QueryEngine`](brepartition_engine::QueryEngine) executing query
-//!   batches with per-thread scratch state, and
-//!   [`ThroughputReport`](brepartition_engine::ThroughputReport) aggregates
-//!   (QPS, p50/p95/p99 latency, candidate and I/O counters). Batch results
-//!   are returned in submission order and are bit-identical for 1 and N
-//!   worker threads.
-//!
-//! Every index supports a build-once/open-many lifecycle: `save(dir)`
-//! persists it (versioned, checksummed artifacts; see
-//! [`pagestore::format`] and [`brepartition_core::persist`]),
-//! `open(dir)` restores it with data pages served from a real file through
-//! the same buffer-pool/I/O-accounting path, answering queries with
-//! identical neighbors and identical per-query I/O counters. The engine's
-//! `open_*` constructors build all four backends from saved index
-//! directories without touching the raw vectors.
+//! * [`IndexSpec`] describes *what to build*: a [`Method`], a
+//!   [`DivergenceKind`](bregman::DivergenceKind), and every tuning knob,
+//!   assembled with a fluent builder and validated before any work happens.
+//! * [`Index::build`] constructs the index, [`Index::save`] persists it
+//!   (backend artifacts plus a sealed spec envelope), and [`Index::open`]
+//!   restores it **self-describingly** — the directory's envelope names the
+//!   method and divergence, so callers never dispatch on kind.
+//! * [`QueryRequest`] / [`Request`] carry per-query options — each query's
+//!   own `k`, an approximation-probability override, a candidate budget —
+//!   over borrowed `&[f64]` rows, executed by [`Index::query`] /
+//!   [`Index::run`] (or an explicit [`QueryEngine`](engine::QueryEngine)).
+//! * [`Error`] unifies the per-layer error enums (core, engine, storage)
+//!   behind `#[non_exhaustive]` variants with full source-chaining.
 //!
 //! # Quick start
 //!
 //! ```
 //! use brepartition::prelude::*;
 //!
-//! // Generate a small Itakura-Saito workload.
+//! // A small Itakura-Saito workload.
 //! let data = HierarchicalSpec { n: 500, dim: 32, clusters: 10, blocks: 8, ..Default::default() }
 //!     .generate();
-//! let config = BrePartitionConfig::default().with_partitions(8).with_page_size(8 * 1024);
-//! let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
 //!
-//! let query = data.row(42).to_vec();
-//! let result = index.knn(&query, 10).unwrap();
+//! // Describe the index, build it, query it.
+//! let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+//!     .with_partitions(8)
+//!     .with_page_size(8 * 1024);
+//! let index = Index::build(&spec, &data).unwrap();
+//!
+//! let query = data.row(42);
+//! let result = index.query(&QueryRequest::new(query, 10)).unwrap();
 //! assert_eq!(result.neighbors.len(), 10);
 //! assert_eq!(result.neighbors[0].0.index(), 42); // the query is its own 1-NN
-//! println!("{} candidate points, {} page reads", result.stats.candidates, result.stats.io.pages_read);
+//! println!("{} candidate points, {} page reads", result.candidates, result.io.pages_read);
+//!
+//! // Batches carry per-query ks and options over borrowed rows.
+//! let rows: Vec<&[f64]> = (0..4).map(|i| data.row(i)).collect();
+//! let batch = index
+//!     .run(&Request::batch(rows.iter().enumerate().map(|(i, row)| {
+//!         QueryRequest::new(row, i + 1)
+//!     })))
+//!     .unwrap();
+//! assert_eq!(batch.outcomes[3].neighbors.len(), 4);
 //! ```
+//!
+//! # Migrating from the per-method constructors
+//!
+//! The pre-façade constructors remain for one release as `#[deprecated]`
+//! shims. Replace them as follows:
+//!
+//! | old constructor | new spec-driven call |
+//! |---|---|
+//! | `BrePartitionBackend::build_exact(kind, &data, &config)` | `Index::build(&IndexSpec::brepartition(kind), &data)` |
+//! | `BrePartitionBackend::build_approximate(kind, &data, &config, approx)` | `Index::build(&IndexSpec::approximate(kind).with_probability(p), &data)` |
+//! | `bbtree_backend_for_kind(kind, &data, tree_config, store_config)` | `Index::build(&IndexSpec::bbtree(kind), &data)` |
+//! | `vafile_backend_for_kind(kind, &data, config)` | `Index::build(&IndexSpec::vafile(kind), &data)` |
+//! | `BrePartitionBackend::open_exact(dir)` | `Index::open(dir)` |
+//! | `BrePartitionBackend::open_approximate(dir, approx)` | `Index::open(dir)` (the envelope records the probability) |
+//! | `bbtree_backend_open_for_kind(kind, dir)` | `Index::open(dir)` |
+//! | `vafile_backend_open_for_kind(kind, dir)` | `Index::open(dir)` |
+//! | `backend.save(dir)` + caller-side kind bookkeeping | `index.save(dir)` (spec envelope written alongside) |
+//! | `engine.run_batch(&owned_queries, k)` | `index.run(&Request::uniform(&rows, k))` or per-query [`QueryRequest`]s |
+//!
+//! `BrePartitionConfig`, `BBTreeConfig`, `VaFileConfig` knobs map onto
+//! [`IndexSpec`] builders (`with_partitions`, `with_page_size`,
+//! `with_leaf_capacity`, `with_bits_per_dim`, …); [`IndexSpec`] validates
+//! the combination at construction.
+//!
+//! # Layers
+//!
+//! The component crates remain available for advanced use:
+//!
+//! * [`core`] — the BrePartition index (bounds, optimal
+//!   partitioning, PCCP, BB-forest, exact and approximate search),
+//! * [`bregman`] — Bregman divergences and the dense dataset container,
+//! * [`bbtree`] — Bregman ball trees (the BBT baseline and the per-subspace
+//!   index),
+//! * [`vafile`] — the VA-file baseline,
+//! * [`pagestore`] — the storage layer: paged disk images (memory or file
+//!   backed), buffer pools, I/O accounting, sealed-envelope format,
+//! * [`datagen`] — dataset proxies, query workloads, ground truth and
+//!   accuracy metrics,
+//! * [`engine`] — the concurrent batch query engine
+//!   the façade drives: [`SearchBackend`](brepartition_engine::SearchBackend),
+//!   [`QueryEngine`](brepartition_engine::QueryEngine), per-query
+//!   [`EngineRequest`](brepartition_engine::EngineRequest)s and
+//!   [`ThroughputReport`](brepartition_engine::ThroughputReport) (with
+//!   stable JSON serialization for cross-PR diffing).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,8 +106,22 @@ pub use datagen;
 pub use pagestore;
 pub use vafile;
 
+pub mod error;
+pub mod index;
+pub mod request;
+pub mod spec;
+
+pub use error::{Error, Result};
+pub use index::{Index, SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
+pub use request::{QueryRequest, Request};
+pub use spec::{IndexSpec, Method, StorageSpec};
+
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
+    pub use crate::error::{Error, Result};
+    pub use crate::index::Index;
+    pub use crate::request::{QueryRequest, Request};
+    pub use crate::spec::{IndexSpec, Method, StorageSpec};
     pub use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
     pub use bregman::{
         DecomposableBregman, DenseDataset, Divergence, DivergenceKind, Exponential, ItakuraSaito,
@@ -74,7 +133,8 @@ pub mod prelude {
     };
     pub use brepartition_engine::{
         BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, EngineConfig, EngineError,
-        QueryEngine, QueryOutcome, Scratch, SearchBackend, ThroughputReport, VaFileBackend,
+        EngineRequest, QueryEngine, QueryOptions, QueryOutcome, Scratch, SearchBackend,
+        ThroughputReport, VaFileBackend,
     };
     pub use datagen::{
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,
@@ -89,17 +149,34 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn facade_reexports_are_usable_together() {
+    fn facade_builds_and_queries_through_the_spec_api() {
         let data =
             HierarchicalSpec { n: 200, dim: 16, clusters: 8, blocks: 4, ..Default::default() }
                 .generate();
-        let index = BrePartitionIndex::build(
-            DivergenceKind::ItakuraSaito,
-            &data,
-            &BrePartitionConfig::default().with_partitions(4).with_page_size(4096),
-        )
-        .unwrap();
-        let result = index.knn(data.row(0), 3).unwrap();
+        let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+            .with_partitions(4)
+            .with_page_size(4096);
+        let index = Index::build(&spec, &data).unwrap();
+        assert_eq!(index.len(), 200);
+        assert_eq!(index.dim(), 16);
+        assert_eq!(index.method(), Method::BrePartition);
+        let result = index.query(&QueryRequest::new(data.row(0), 3)).unwrap();
         assert_eq!(result.neighbors.len(), 3);
+    }
+
+    #[test]
+    fn every_method_builds_through_the_identical_call() {
+        let data =
+            HierarchicalSpec { n: 150, dim: 12, clusters: 6, blocks: 3, ..Default::default() }
+                .generate();
+        for method in Method::ALL {
+            let spec = IndexSpec::new(method, DivergenceKind::ItakuraSaito)
+                .with_partitions(3)
+                .with_page_size(2048);
+            let index = Index::build(&spec, &data).unwrap();
+            let outcome = index.query(&QueryRequest::new(data.row(5), 4)).unwrap();
+            assert_eq!(outcome.neighbors.len(), 4, "method {method}");
+            assert_eq!(outcome.neighbors[0].0.index(), 5, "method {method}");
+        }
     }
 }

@@ -44,7 +44,8 @@ fn batch_results_match_sequential_knn_over_256_queries() {
     let engine = QueryEngine::with_config(
         Arc::new(BrePartitionBackend::exact(index)),
         EngineConfig::default().with_threads(4),
-    );
+    )
+    .unwrap();
     let batch = engine.run_batch(&queries, k).unwrap();
     assert_eq!(batch.outcomes.len(), queries.len());
     for (qi, (outcome, expected)) in batch.outcomes.iter().zip(sequential.iter()).enumerate() {
@@ -66,8 +67,9 @@ fn exact_backend_is_thread_count_invariant() {
     let index = build_index(&data);
     let backend = Arc::new(BrePartitionBackend::exact(index));
 
-    let single = QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
-    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8));
+    let single =
+        QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1)).unwrap();
+    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8)).unwrap();
     let a = single.run_batch(&queries, 12).unwrap();
     let b = multi.run_batch(&queries, 12).unwrap();
     assert_eq!(a.report.threads, 1);
@@ -89,8 +91,9 @@ fn approximate_backend_is_thread_count_invariant() {
     let backend =
         Arc::new(BrePartitionBackend::approximate(index, ApproximateConfig::with_probability(0.9)));
 
-    let single = QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1));
-    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8));
+    let single =
+        QueryEngine::with_config(backend.clone(), EngineConfig::default().with_threads(1)).unwrap();
+    let multi = QueryEngine::with_config(backend, EngineConfig::default().with_threads(8)).unwrap();
     let a = single.run_batch(&queries, 12).unwrap();
     let b = multi.run_batch(&queries, 12).unwrap();
     for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
@@ -98,7 +101,8 @@ fn approximate_backend_is_thread_count_invariant() {
     }
 }
 
-/// The baseline backends go through the same engine and stay exact.
+/// The baseline backends go through the same engine and stay exact
+/// (constructed through the spec-driven façade).
 #[test]
 fn baseline_backends_serve_batches_exactly() {
     let (data, queries) = hierarchical_workload(800, 64);
@@ -106,19 +110,16 @@ fn baseline_backends_serve_batches_exactly() {
     let kind = DivergenceKind::ItakuraSaito;
     let truth = ground_truth_knn(kind, &data, &DenseDataset::from_rows(&queries).unwrap(), k, 4);
 
-    let backends: Vec<Box<dyn SearchBackend>> = vec![
-        brepartition::engine::bbtree_backend_for_kind(
-            kind,
-            &data,
-            BBTreeConfig::with_leaf_capacity(16),
-            pagestore::PageStoreConfig::with_page_size(4096),
-        ),
-        brepartition::engine::vafile_backend_for_kind(kind, &data, VaFileConfig::default()),
+    let backends: Vec<Arc<dyn SearchBackend>> = vec![
+        Index::build(&IndexSpec::bbtree(kind).with_leaf_capacity(16).with_page_size(4096), &data)
+            .unwrap()
+            .backend(),
+        Index::build(&IndexSpec::vafile(kind), &data).unwrap().backend(),
     ];
     for backend in backends {
         let name = backend.name().to_string();
         let engine =
-            QueryEngine::with_config(Arc::from(backend), EngineConfig::default().with_threads(4));
+            QueryEngine::with_config(backend, EngineConfig::default().with_threads(4)).unwrap();
         let batch = engine.run_batch(&queries, k).unwrap();
         for (qi, outcome) in batch.outcomes.iter().enumerate() {
             let expected = truth.neighbors_of(qi);

@@ -1,0 +1,326 @@
+//! The acceptance test of the unified-façade redesign: all four methods
+//! driven through the *identical* `IndexSpec` → `Index::build` → `save` →
+//! `Index::open` → `QueryRequest` path, with neighbor sets pinned
+//! bit-identical to the pre-redesign constructors — including a batch with
+//! heterogeneous per-query `k` — plus the persistence error paths: opening
+//! a directory saved by a different method or divergence must fail with a
+//! descriptive error, never a decode panic.
+
+#![allow(deprecated)] // pins the new façade against the deprecated constructors
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use brepartition::prelude::*;
+
+const PAGE: usize = 4096;
+const LEAF: usize = 16;
+const M: usize = 6;
+const PROBABILITY: f64 = 0.9;
+
+fn workload(n: usize, queries: usize) -> (DenseDataset, Vec<Vec<f64>>) {
+    let data =
+        HierarchicalSpec { n, dim: 24, clusters: 12, blocks: 6, ..Default::default() }.generate();
+    let workload =
+        QueryWorkload::perturbed_from(&data, DivergenceKind::ItakuraSaito, queries, 0.02, 0xFACADE);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+    (data, queries)
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("brepartition-facade-{}-{name}", std::process::id()))
+}
+
+/// The identical spec every method is driven through (method swapped in).
+fn spec_for(method: Method) -> IndexSpec {
+    IndexSpec::new(method, DivergenceKind::ItakuraSaito)
+        .with_partitions(M)
+        .with_leaf_capacity(LEAF)
+        .with_page_size(PAGE)
+        .with_probability(PROBABILITY)
+}
+
+/// The pre-redesign constructor for the same method and knobs.
+fn pre_redesign_backend(method: Method, data: &DenseDataset) -> Arc<dyn SearchBackend> {
+    let kind = DivergenceKind::ItakuraSaito;
+    let config = BrePartitionConfig::default()
+        .with_partitions(M)
+        .with_leaf_capacity(LEAF)
+        .with_page_size(PAGE);
+    match method {
+        Method::BrePartition => {
+            Arc::new(BrePartitionBackend::build_exact(kind, data, &config).unwrap())
+        }
+        Method::Approximate => Arc::new(
+            BrePartitionBackend::build_approximate(
+                kind,
+                data,
+                &config,
+                ApproximateConfig::with_probability(PROBABILITY),
+            )
+            .unwrap(),
+        ),
+        Method::BBTree => Arc::from(brepartition::engine::bbtree_backend_for_kind(
+            kind,
+            data,
+            BBTreeConfig::with_leaf_capacity(LEAF),
+            PageStoreConfig::with_page_size(PAGE),
+        )),
+        Method::VaFile => Arc::from(brepartition::engine::vafile_backend_for_kind(
+            kind,
+            data,
+            VaFileConfig { page_size_bytes: PAGE, ..VaFileConfig::default() },
+        )),
+        other => panic!("unknown method {other:?}"),
+    }
+}
+
+/// Acceptance criterion: one loop, four methods, the identical spec-driven
+/// path, neighbors bit-identical to the pre-redesign constructors.
+#[test]
+fn all_four_methods_roundtrip_identically_through_the_facade() {
+    let (data, queries) = workload(1_200, 96);
+    let root = temp_root("all-methods");
+
+    for method in Method::ALL {
+        let spec = spec_for(method);
+
+        // The identical path: IndexSpec → Index::build → save → Index::open.
+        let built = Index::build(&spec, &data).unwrap();
+        let dir = root.join(method.short_name());
+        built.save(&dir).unwrap();
+        let reopened = Index::open(&dir).unwrap();
+        assert_eq!(reopened.spec(), &spec, "{method}: the envelope restores the full spec");
+        assert_eq!(reopened.method(), method);
+        assert_eq!(reopened.divergence(), DivergenceKind::ItakuraSaito);
+        assert_eq!(reopened.len(), data.len(), "{method}");
+        assert_eq!(reopened.dim(), data.dim(), "{method}");
+
+        // Uniform batch: built façade, reopened façade and the
+        // pre-redesign constructor must agree bit-for-bit.
+        let k = 10;
+        let uniform = Request::uniform(&queries, k);
+        let config = EngineConfig::default().with_threads(4);
+        let a = built.run_with(&uniform, config).unwrap();
+        let b = reopened.run_with(&uniform, config).unwrap();
+        let old = QueryEngine::with_config(pre_redesign_backend(method, &data), config)
+            .unwrap()
+            .run_batch(&queries, k)
+            .unwrap();
+        for (qi, ((x, y), z)) in
+            a.outcomes.iter().zip(b.outcomes.iter()).zip(old.outcomes.iter()).enumerate()
+        {
+            assert_eq!(x.neighbors, z.neighbors, "{method} query {qi}: façade vs pre-redesign");
+            assert_eq!(y.neighbors, z.neighbors, "{method} query {qi}: reopened vs pre-redesign");
+            assert_eq!(x.io, y.io, "{method} query {qi}: cold-pool I/O must survive reopening");
+            assert_eq!(x.candidates, z.candidates, "{method} query {qi}");
+        }
+
+        // Heterogeneous per-query k through the same reopened index: query
+        // i asks for (i % 7) + 1 neighbors; the pre-redesign reference is a
+        // direct per-query drive of the old backend.
+        let hetero = Request::batch(
+            queries.iter().enumerate().map(|(i, q)| QueryRequest::new(q, (i % 7) + 1)),
+        );
+        let batch = reopened.run_with(&hetero, config).unwrap();
+        let old_backend = pre_redesign_backend(method, &data);
+        for (i, outcome) in batch.outcomes.iter().enumerate() {
+            let k = (i % 7) + 1;
+            assert_eq!(outcome.neighbors.len(), k, "{method} query {i} ignored its own k");
+            let mut scratch = old_backend.new_scratch();
+            let expected = old_backend.knn(&mut scratch, &queries[i], k).unwrap();
+            assert_eq!(
+                outcome.neighbors, expected.neighbors,
+                "{method} query {i} (k={k}): heterogeneous batch diverged from pre-redesign"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Per-query options through the façade: probability overrides match the
+/// dedicated approximate method; unsupported options are typed errors.
+#[test]
+fn per_query_options_route_through_the_facade() {
+    let (data, queries) = workload(600, 16);
+    let exact = Index::build(&spec_for(Method::BrePartition), &data).unwrap();
+    let approx = Index::build(&spec_for(Method::Approximate), &data).unwrap();
+
+    for (i, q) in queries.iter().enumerate() {
+        let overridden =
+            exact.query(&QueryRequest::new(q, 8).with_probability(PROBABILITY)).unwrap();
+        let dedicated = approx.query(&QueryRequest::new(q, 8)).unwrap();
+        assert_eq!(
+            overridden.neighbors, dedicated.neighbors,
+            "query {i}: probability override must equal the dedicated ABP method"
+        );
+    }
+
+    // Candidate budgets are unsupported on BrePartition: typed error.
+    match exact.query(&QueryRequest::new(&queries[0], 8).with_candidate_budget(32)) {
+        Err(Error::Engine(EngineError::UnsupportedOption { backend, option })) => {
+            assert_eq!(backend, "BP");
+            assert!(option.contains("candidate budget"));
+        }
+        other => panic!("expected a typed unsupported-option error, got {other:?}"),
+    }
+
+    // …but the baselines honor them.
+    let vaf = Index::build(&spec_for(Method::VaFile), &data).unwrap();
+    let bounded = vaf.query(&QueryRequest::new(&queries[0], 8).with_candidate_budget(4)).unwrap();
+    let unbounded = vaf.query(&QueryRequest::new(&queries[0], 8)).unwrap();
+    assert!(bounded.io.pages_read <= unbounded.io.pages_read);
+}
+
+/// Satellite: `Index::open` on a directory saved by a *different*
+/// method/divergence fails with a descriptive error, not a decode panic.
+#[test]
+fn open_rejects_foreign_and_mismatched_directories_descriptively() {
+    let (data, _) = workload(300, 4);
+    let root = temp_root("mismatch");
+
+    // A directory with no spec envelope at all (the pre-façade layout).
+    let bare = root.join("bare");
+    let index = Index::build(&spec_for(Method::BrePartition), &data).unwrap();
+    index.backend().save(&bare).unwrap(); // deprecated-era save: artifacts only
+    match Index::open(&bare) {
+        Err(e) => {
+            let message = e.to_string();
+            assert!(message.contains("spec envelope"), "undescriptive error: {message}");
+        }
+        Ok(_) => panic!("a directory without a spec envelope must not open"),
+    }
+
+    // A BBT directory whose envelope claims it is a VA-file: the VA-file
+    // artifacts are missing, and the error says so.
+    let bbt_dir = root.join("bbt");
+    Index::build(&spec_for(Method::BBTree), &data).unwrap().save(&bbt_dir).unwrap();
+    let vaf_dir = root.join("vaf");
+    Index::build(&spec_for(Method::VaFile), &data).unwrap().save(&vaf_dir).unwrap();
+    std::fs::copy(vaf_dir.join(brepartition::SPEC_FILE), bbt_dir.join(brepartition::SPEC_FILE))
+        .unwrap();
+    match Index::open(&bbt_dir) {
+        Err(e) => {
+            let message = e.to_string();
+            assert!(message.contains("VaFile"), "undescriptive error: {message}");
+        }
+        Ok(_) => panic!("mismatched method must not open"),
+    }
+
+    // A BP/ISD directory whose envelope claims Squared Euclidean: caught by
+    // the divergence cross-check with both kinds named.
+    let bp_dir = root.join("bp");
+    Index::build(&spec_for(Method::BrePartition), &data).unwrap().save(&bp_dir).unwrap();
+    let se_data =
+        HierarchicalSpec { n: 120, dim: 24, clusters: 4, blocks: 4, ..Default::default() }
+            .generate();
+    let se_dir = root.join("bp-se");
+    Index::build(
+        &IndexSpec::brepartition(DivergenceKind::SquaredEuclidean)
+            .with_partitions(M)
+            .with_leaf_capacity(LEAF)
+            .with_page_size(PAGE),
+        &se_data,
+    )
+    .unwrap()
+    .save(&se_dir)
+    .unwrap();
+    std::fs::copy(se_dir.join(brepartition::SPEC_FILE), bp_dir.join(brepartition::SPEC_FILE))
+        .unwrap();
+    match Index::open(&bp_dir) {
+        Err(Error::Mismatch { expected, found }) => {
+            assert!(expected.contains("SE"), "{expected}");
+            assert!(found.contains("ISD"), "{found}");
+        }
+        other => panic!("expected a divergence mismatch, got {other:?}"),
+    }
+
+    // A corrupted spec envelope fails the checksum, not the decoder.
+    let corrupt_dir = root.join("corrupt");
+    index.save(&corrupt_dir).unwrap();
+    let spec_path = corrupt_dir.join(brepartition::SPEC_FILE);
+    let mut bytes = std::fs::read(&spec_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&spec_path, &bytes).unwrap();
+    match Index::open(&corrupt_dir) {
+        Err(Error::Persist(_)) => {}
+        other => panic!("expected a persist error, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The spec envelope survives a save → open → save → open chain.
+#[test]
+fn double_roundtrip_keeps_the_envelope_and_answers() {
+    let (data, queries) = workload(400, 16);
+    let root = temp_root("double");
+    let spec = spec_for(Method::Approximate);
+    let built = Index::build(&spec, &data).unwrap();
+    built.save(&root.join("first")).unwrap();
+    let once = Index::open(&root.join("first")).unwrap();
+    once.save(&root.join("second")).unwrap();
+    let twice = Index::open(&root.join("second")).unwrap();
+    assert_eq!(twice.spec(), &spec);
+
+    let request = Request::uniform(&queries, 9);
+    let a = built.run(&request).unwrap();
+    let b = twice.run(&request).unwrap();
+    for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(x.neighbors, y.neighbors);
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// `StorageSpec::buffer_pool_pages` takes effect for every method: a
+/// buffered spec yields cacheable scratch pools (so warm-scratch engines
+/// construct), an unbuffered one is rejected for warm serving.
+#[test]
+fn buffer_pool_pages_is_honored_by_every_method() {
+    let (data, queries) = workload(300, 4);
+    for method in Method::ALL {
+        let unbuffered = Index::build(&spec_for(method), &data).unwrap();
+        match unbuffered.engine(EngineConfig::default().with_threads(2).with_warm_scratch()) {
+            Err(Error::Engine(EngineError::Config(message))) => {
+                assert!(message.contains("warm"), "{method}: {message}")
+            }
+            other => panic!("{method}: expected warm-scratch rejection, got {other:?}"),
+        }
+
+        let buffered = Index::build(&spec_for(method).with_buffer_pool_pages(32), &data).unwrap();
+        let engine = buffered
+            .engine(EngineConfig::default().with_threads(2).with_warm_scratch())
+            .unwrap_or_else(|e| panic!("{method}: buffered pools must allow warm scratch: {e}"));
+        let batch = engine.run_batch(&queries, 5).unwrap();
+        assert_eq!(batch.outcomes.len(), queries.len(), "{method}");
+    }
+}
+
+/// Invalid specs and engine configs surface as typed errors through the
+/// façade, before any index work happens.
+#[test]
+fn invalid_specs_and_configs_are_typed_errors() {
+    let (data, queries) = workload(200, 4);
+
+    match Index::build(&spec_for(Method::Approximate).with_probability(1.5), &data) {
+        Err(Error::Spec(message)) => assert!(message.contains("1.5"), "{message}"),
+        other => panic!("expected spec error, got {other:?}"),
+    }
+    match Index::build(&IndexSpec::brepartition(DivergenceKind::GeneralizedI), &data) {
+        Err(Error::Spec(message)) => assert!(message.contains("GI"), "{message}"),
+        other => panic!("expected spec error, got {other:?}"),
+    }
+
+    let index = Index::build(&spec_for(Method::BrePartition), &data).unwrap();
+    match index.engine(EngineConfig::default().with_threads(0)) {
+        Err(Error::Engine(EngineError::Config(message))) => {
+            assert!(message.contains("at least 1"), "{message}");
+        }
+        other => panic!("expected engine config error, got {other:?}"),
+    }
+    match index.run_with(&Request::uniform(&queries, 3), EngineConfig::default().with_threads(0)) {
+        Err(Error::Engine(EngineError::Config(_))) => {}
+        other => panic!("expected engine config error, got {other:?}"),
+    }
+}

@@ -46,8 +46,8 @@ fn assert_identical_serving(
     assert_eq!(built.len(), reopened.len(), "{name}: point count");
     assert_eq!(built.dim(), reopened.dim(), "{name}: dimensionality");
     let config = EngineConfig::default().with_threads(4);
-    let a = QueryEngine::with_config(built, config).run_batch(queries, k).unwrap();
-    let b = QueryEngine::with_config(reopened, config).run_batch(queries, k).unwrap();
+    let a = QueryEngine::with_config(built, config).unwrap().run_batch(queries, k).unwrap();
+    let b = QueryEngine::with_config(reopened, config).unwrap().run_batch(queries, k).unwrap();
     for (qi, (x, y)) in a.outcomes.iter().zip(b.outcomes.iter()).enumerate() {
         assert_eq!(x.neighbors, y.neighbors, "{name} query {qi}: neighbors diverged");
         assert_eq!(x.candidates, y.candidates, "{name} query {qi}: candidate count diverged");
@@ -90,40 +90,37 @@ fn approximate_backend_roundtrips_over_256_queries() {
     let dir = temp_root("abp");
     index.save(&dir).unwrap();
     let approx = ApproximateConfig::with_probability(0.9);
+    let reopened = BrePartitionIndex::open(&dir).unwrap();
 
     assert_identical_serving(
         "ABP",
         Arc::new(BrePartitionBackend::approximate(index, approx)),
-        Arc::new(BrePartitionBackend::open_approximate(&dir, approx).unwrap()),
+        Arc::new(BrePartitionBackend::approximate(reopened, approx)),
         &queries,
         10,
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Both baselines round-trip through their own index directories.
+/// Both baselines round-trip through their own index directories (saved
+/// through the [`SearchBackend`] trait, reopened through the façade).
 #[test]
 fn baseline_backends_roundtrip() {
     let (data, queries) = hierarchical_workload(800, 64);
     let kind = DivergenceKind::ItakuraSaito;
     let root = temp_root("baselines");
 
-    let bbt = BBTreeBackend::build(
-        ItakuraSaito,
-        &data,
-        BBTreeConfig::with_leaf_capacity(16),
-        PageStoreConfig::with_page_size(4096),
-    );
+    let bbt =
+        Index::build(&IndexSpec::bbtree(kind).with_leaf_capacity(16).with_page_size(4096), &data)
+            .unwrap();
     bbt.save(&root.join("bbt")).unwrap();
-    let bbt_reopened =
-        brepartition::engine::bbtree_backend_open_for_kind(kind, &root.join("bbt")).unwrap();
-    assert_identical_serving("BBT", Arc::new(bbt), bbt_reopened.into(), &queries, 8);
+    let bbt_reopened = Index::open(&root.join("bbt")).unwrap();
+    assert_identical_serving("BBT", bbt.backend(), bbt_reopened.backend(), &queries, 8);
 
-    let vaf = VaFileBackend::build(ItakuraSaito, &data, VaFileConfig::default());
+    let vaf = Index::build(&IndexSpec::vafile(kind), &data).unwrap();
     vaf.save(&root.join("vaf")).unwrap();
-    let vaf_reopened =
-        brepartition::engine::vafile_backend_open_for_kind(kind, &root.join("vaf")).unwrap();
-    assert_identical_serving("VAF", Arc::new(vaf), vaf_reopened.into(), &queries, 8);
+    let vaf_reopened = Index::open(&root.join("vaf")).unwrap();
+    assert_identical_serving("VAF", vaf.backend(), vaf_reopened.backend(), &queries, 8);
 
     std::fs::remove_dir_all(&root).unwrap();
 }
