@@ -10,8 +10,9 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use bregman::kernel::{phi_table, KernelScratch};
 use bregman::{DecomposableBregman, DenseDataset, PointId};
-use pagestore::format::{PersistError, PersistResult};
+use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
 use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
 
 use crate::build::{BBTreeBuilder, BBTreeConfig};
@@ -25,6 +26,15 @@ pub const TREE_FILE: &str = "tree.bbt";
 
 /// File name of the page file within an index directory.
 pub const PAGES_FILE: &str = "pages.bin";
+
+/// File name of the per-point `Φ(x)` column within an index directory.
+pub const PHI_FILE: &str = "phi.tbl";
+
+/// Magic tag of the `Φ` column artifact.
+pub const PHI_MAGIC: [u8; 8] = *b"BREPPHI1";
+
+/// Format version of the `Φ` column this build writes and reads.
+pub const PHI_VERSION: u32 = 1;
 
 /// Result of one disk-resident query: neighbours plus CPU and I/O cost.
 #[derive(Debug, Clone)]
@@ -47,6 +57,10 @@ pub struct DiskBBTree<B: DecomposableBregman> {
     divergence: B,
     tree: BBTree,
     store: Arc<PageStore>,
+    /// Per-point generator sums `Φ(x) = Σ_j φ(x_j)`, indexed by point id —
+    /// the data side of the prepared-query kernel, computed once at build
+    /// time and persisted as [`PHI_FILE`].
+    phi: Arc<Vec<f64>>,
 }
 
 impl<B: DecomposableBregman> DiskBBTree<B> {
@@ -63,14 +77,19 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         let store = PageStore::build_with_order(store_config, dataset.dim(), &order, |pid| {
             dataset.point(PointId(pid))
         });
-        Self { divergence, tree, store: Arc::new(store) }
+        let phi = Arc::new(phi_table(&divergence, dataset));
+        Self { divergence, tree, store: Arc::new(store), phi }
     }
 
     /// Persist the index to a directory: the tree structure as
-    /// [`TREE_FILE`] and the data pages as [`PAGES_FILE`].
+    /// [`TREE_FILE`], the data pages as [`PAGES_FILE`] and the per-point
+    /// `Φ(x)` column as [`PHI_FILE`].
     pub fn save(&self, dir: &Path) -> PersistResult<()> {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(TREE_FILE), self.tree.to_bytes())?;
+        let mut w = ByteWriter::new();
+        w.put_f64_seq(&self.phi);
+        std::fs::write(dir.join(PHI_FILE), seal(&PHI_MAGIC, PHI_VERSION, &w.into_vec()))?;
         self.store.save(&dir.join(PAGES_FILE))
     }
 
@@ -78,6 +97,10 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
     /// loaded into memory; data pages are served from the page file on
     /// demand. Fails if the directory was written for a different
     /// divergence.
+    ///
+    /// Directories written before the `Φ` column existed (no [`PHI_FILE`])
+    /// are migrated on open: the column is recomputed with one pass over
+    /// the page file. A *present but invalid* column is rejected.
     pub fn open(divergence: B, dir: &Path) -> PersistResult<Self> {
         let tree = BBTree::from_bytes(&std::fs::read(dir.join(TREE_FILE))?)?;
         if tree.divergence_name() != divergence.name() {
@@ -112,7 +135,8 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
                 "tree indexes point {orphan} which has no address in the page file"
             )));
         }
-        Ok(Self { divergence, tree, store: Arc::new(store) })
+        let phi = read_or_rebuild_phi(&divergence, dir, &store, tree.len())?;
+        Ok(Self { divergence, tree, store: Arc::new(store), phi: Arc::new(phi) })
     }
 
     /// The in-memory tree structure.
@@ -135,23 +159,28 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         &self.divergence
     }
 
+    /// The per-point `Φ(x)` column (indexed by point id).
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
     /// Exact kNN with per-query I/O accounting through `pool`.
     pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> DiskQueryResult {
-        let before = pool.stats();
-        let mut stats = SearchStats::new();
-        let neighbors = self.tree.knn_with_leaf_loader(
-            &self.divergence,
-            query,
-            k,
-            &mut stats,
-            |leaf_points, out| {
-                let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
-                for (pid, coords) in pool.read_points(&self.store, &ids) {
-                    out.push((PointId(pid), coords));
-                }
-            },
-        );
-        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+        let mut kernel = KernelScratch::default();
+        self.knn_with_scratch(pool, &mut kernel, query, k)
+    }
+
+    /// Exact kNN reusing the caller's [`KernelScratch`] (the batch-serving
+    /// hot path: the prepared-query gradient buffer and the candidate
+    /// decode buffers are reused across a whole batch).
+    pub fn knn_with_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
+        query: &[f64],
+        k: usize,
+    ) -> DiskQueryResult {
+        self.knn_bounded_with_scratch(pool, kernel, query, k, usize::MAX)
     }
 
     /// Approximate kNN visiting at most `max_leaves` leaves (in best-first
@@ -165,17 +194,20 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         k: usize,
         max_leaves: usize,
     ) -> DiskQueryResult {
-        let before = pool.stats();
-        let mut stats = SearchStats::new();
-        let mut loader = |leaf_points: &[PointId], out: &mut Vec<(PointId, Vec<f64>)>| {
-            let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
-            for (pid, coords) in pool.read_points(&self.store, &ids) {
-                out.push((PointId(pid), coords));
-            }
-        };
-        let neighbors =
-            self.tree.knn_bounded(&self.divergence, query, k, &mut stats, max_leaves, &mut loader);
-        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+        let mut kernel = KernelScratch::default();
+        self.knn_bounded_with_scratch(pool, &mut kernel, query, k, max_leaves)
+    }
+
+    /// [`DiskBBTree::knn_with_leaf_budget`] reusing the caller's scratch.
+    pub fn knn_with_leaf_budget_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
+        query: &[f64],
+        k: usize,
+        max_leaves: usize,
+    ) -> DiskQueryResult {
+        self.knn_bounded_with_scratch(pool, kernel, query, k, max_leaves)
     }
 
     /// Approximate kNN using the variational early-termination rule.
@@ -186,23 +218,49 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         k: usize,
         config: &VariationalConfig,
     ) -> DiskQueryResult {
+        let max_leaves = config.leaf_budget(self.tree.leaf_count());
+        self.knn_with_leaf_budget(pool, query, k, max_leaves)
+    }
+
+    /// The shared disk search: best-first traversal with the prepared-query
+    /// kernel — query-side transcendentals hoisted once, per-candidate
+    /// distance `Φ(x) + c_q − ⟨∇φ(q), x⟩` over the tabulated `Φ` column,
+    /// leaf points decoded page-grouped into a reused buffer.
+    fn knn_bounded_with_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
+        query: &[f64],
+        k: usize,
+        max_leaves: usize,
+    ) -> DiskQueryResult {
         let before = pool.stats();
         let mut stats = SearchStats::new();
-        let max_leaves = config.leaf_budget(self.tree.leaf_count());
-        let mut loader = |leaf_points: &[PointId], out: &mut Vec<(PointId, Vec<f64>)>| {
-            let ids: Vec<u32> = leaf_points.iter().map(|p| p.0).collect();
-            for (pid, coords) in pool.read_points(&self.store, &ids) {
-                out.push((PointId(pid), coords));
-            }
-        };
-        let neighbors =
-            self.tree.knn_bounded(&self.divergence, query, k, &mut stats, max_leaves, &mut loader);
+        let KernelScratch { prepared, coords, ids } = kernel;
+        prepared.decompose_into(&self.divergence, query);
+        let phi = &self.phi;
+        let store = &self.store;
+        let neighbors = self.tree.knn_bounded(
+            &self.divergence,
+            query,
+            k,
+            &mut stats,
+            max_leaves,
+            prepared,
+            &mut |leaf_points, offer| {
+                ids.clear();
+                ids.extend(leaf_points.iter().map(|p| p.0));
+                pool.read_points_with(store, ids, coords, &mut |pid, c| {
+                    offer(PointId(pid), phi[pid as usize], c)
+                });
+            },
+        );
         DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
     }
 
     /// Range query: load every candidate leaf's points from disk and refine
-    /// them against the exact divergence. Returns `(id, divergence)` pairs
-    /// with divergence ≤ `radius`.
+    /// them against the exact divergence (through the prepared kernel).
+    /// Returns `(id, divergence)` pairs with divergence ≤ `radius`.
     pub fn range(
         &self,
         pool: &mut BufferPool,
@@ -211,17 +269,19 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
     ) -> (Vec<(PointId, f64)>, SearchStats, IoStats) {
         let before = pool.stats();
         let mut stats = SearchStats::new();
+        let prepared = self.divergence.prepare_query(query);
         let candidates = self.tree.range_candidates(&self.divergence, query, radius, &mut stats);
         let ids: Vec<u32> = candidates.iter().map(|p| p.0).collect();
+        let mut coords = Vec::new();
         let mut out = Vec::new();
-        for (pid, coords) in pool.read_points(&self.store, &ids) {
+        pool.read_points_with(&self.store, &ids, &mut coords, &mut |pid, c| {
             stats.candidates_examined += 1;
             stats.distance_computations += 1;
-            let d = self.divergence.divergence(&coords, query);
+            let d = prepared.distance(self.phi[pid as usize], c);
             if d <= radius {
                 out.push((PointId(pid), d));
             }
-        }
+        });
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         (out, stats, pool.stats().since(&before))
     }
@@ -230,6 +290,33 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
     pub fn page_count(&self) -> usize {
         self.store.page_count()
     }
+}
+
+/// Load the persisted `Φ` column, or migrate a pre-`Φ` directory by
+/// recomputing it from the page file (one sequential pass; the migration
+/// pool's I/O is not attributed to any query).
+fn read_or_rebuild_phi<B: DecomposableBregman>(
+    divergence: &B,
+    dir: &Path,
+    store: &PageStore,
+    expected_len: usize,
+) -> PersistResult<Vec<f64>> {
+    let path = dir.join(PHI_FILE);
+    if !path.exists() {
+        return store.derive_point_column(&mut |coords| divergence.f(coords));
+    }
+    let bytes = std::fs::read(&path)?;
+    let payload = unseal(&PHI_MAGIC, PHI_VERSION, &bytes)?;
+    let mut r = ByteReader::new(payload);
+    let phi = r.take_f64_seq()?;
+    r.expect_end()?;
+    if phi.len() != expected_len {
+        return Err(PersistError::Corrupt(format!(
+            "Φ column holds {} entries, index holds {expected_len} points",
+            phi.len()
+        )));
+    }
+    Ok(phi)
 }
 
 #[cfg(test)]
@@ -351,6 +438,44 @@ mod tests {
         }
         // Opening with the wrong divergence is rejected.
         assert!(DiskBBTree::open(SquaredEuclidean, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_phi_directories_are_migrated_on_open() {
+        // A directory saved before the Φ column existed (simulated by
+        // deleting phi.tbl) must open by recomputing the column from the
+        // page file and answer identically to the freshly built index.
+        let ds = random_dataset(220, 5, 61);
+        let built = DiskBBTree::build(
+            ItakuraSaito,
+            &ds,
+            BBTreeConfig::with_leaf_capacity(10),
+            PageStoreConfig::with_page_size(1024),
+        );
+        let dir = std::env::temp_dir().join(format!("bbtree-phi-mig-{}", std::process::id()));
+        built.save(&dir).unwrap();
+        std::fs::remove_file(dir.join(PHI_FILE)).unwrap();
+        let migrated = DiskBBTree::open(ItakuraSaito, &dir).unwrap();
+        assert_eq!(migrated.phi().len(), built.phi().len());
+        for (a, b) in migrated.phi().iter().zip(built.phi().iter()) {
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        let mut pool_a = BufferPool::unbuffered();
+        let mut pool_b = BufferPool::unbuffered();
+        let query = ds.point(bregman::PointId(3)).to_vec();
+        let a = built.knn(&mut pool_a, &query, 9);
+        let b = migrated.knn(&mut pool_b, &query, 9);
+        assert_eq!(a.neighbors, b.neighbors);
+
+        // A present-but-truncated Φ column is rejected, not silently used.
+        let mut w = ByteWriter::new();
+        w.put_f64_seq(&built.phi()[..10]);
+        std::fs::write(dir.join(PHI_FILE), seal(&PHI_MAGIC, PHI_VERSION, &w.into_vec())).unwrap();
+        match DiskBBTree::open(ItakuraSaito, &dir) {
+            Err(PersistError::Corrupt(message)) => assert!(message.contains("Φ"), "{message}"),
+            other => panic!("expected Φ length rejection, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

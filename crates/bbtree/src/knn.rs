@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use bregman::kernel::PreparedQuery;
 use bregman::{DecomposableBregman, DenseDataset, PointId};
 
 use crate::node::{BBTree, NodeId, NodeKind};
@@ -120,33 +121,38 @@ impl BBTree {
         k: usize,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
-        self.knn_with_leaf_loader(divergence, query, k, stats, |leaf_points, out| {
-            for &pid in leaf_points {
-                out.push((pid, dataset.point(pid).to_vec()));
-            }
-        })
-    }
-
-    /// Best-first kNN where leaf contents are produced by `load_leaf`; this is
-    /// the shared skeleton of the in-memory, disk-resident and variational
-    /// searches.
-    pub(crate) fn knn_with_leaf_loader<B, F>(
-        &self,
-        divergence: &B,
-        query: &[f64],
-        k: usize,
-        stats: &mut SearchStats,
-        mut load_leaf: F,
-    ) -> Vec<Neighbor>
-    where
-        B: DecomposableBregman,
-        F: FnMut(&[PointId], &mut Vec<(PointId, Vec<f64>)>),
-    {
-        self.knn_bounded(divergence, query, k, stats, usize::MAX, &mut load_leaf)
+        // Hoist the query-side transcendentals out of the candidate loop;
+        // per-candidate work is then `Φ(x)` (data-side `φ` only) plus one
+        // dot product. Disk-resident callers go further and tabulate `Φ`.
+        let prepared = divergence.prepare_query(query);
+        self.knn_bounded(
+            divergence,
+            query,
+            k,
+            stats,
+            usize::MAX,
+            &prepared,
+            &mut |points, offer| {
+                for &pid in points {
+                    let coords = dataset.point(pid);
+                    offer(pid, divergence.f(coords), coords);
+                }
+            },
+        )
     }
 
     /// Best-first kNN visiting at most `max_leaves` leaves (exact when
-    /// `max_leaves` is `usize::MAX`, approximate otherwise).
+    /// `max_leaves` is `usize::MAX`, approximate otherwise); the shared
+    /// skeleton of the in-memory, disk-resident and variational searches.
+    ///
+    /// `visit_leaf` is called with a leaf's point ids and an *offer*
+    /// callback; for every candidate it can produce it calls
+    /// `offer(id, Φ(x), coords)`, and the divergence is evaluated through
+    /// the caller-built [`PreparedQuery`] — borrowed coordinate slices in,
+    /// no per-candidate allocation.
+    // One parameter per search knob; bundling them would just move the
+    // argument list into a one-use struct at the three internal call sites.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn knn_bounded<B, F>(
         &self,
         divergence: &B,
@@ -154,11 +160,12 @@ impl BBTree {
         k: usize,
         stats: &mut SearchStats,
         max_leaves: usize,
-        load_leaf: &mut F,
+        prepared: &PreparedQuery,
+        visit_leaf: &mut F,
     ) -> Vec<Neighbor>
     where
         B: DecomposableBregman,
-        F: FnMut(&[PointId], &mut Vec<(PointId, Vec<f64>)>),
+        F: FnMut(&[PointId], &mut dyn FnMut(PointId, f64, &[f64])),
     {
         let mut top = TopK::new(k);
         if self.is_empty() || k == 0 {
@@ -166,7 +173,6 @@ impl BBTree {
         }
         let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
         frontier.push(FrontierEntry { bound: 0.0, node: self.root });
-        let mut leaf_buffer: Vec<(PointId, Vec<f64>)> = Vec::new();
         let mut leaves_visited = 0usize;
 
         while let Some(entry) = frontier.pop() {
@@ -178,13 +184,10 @@ impl BBTree {
                 NodeKind::Leaf { points } => {
                     stats.leaves_visited += 1;
                     leaves_visited += 1;
-                    leaf_buffer.clear();
-                    load_leaf(points, &mut leaf_buffer);
-                    for (pid, coords) in leaf_buffer.drain(..) {
+                    visit_leaf(points, &mut |pid, phi_x, coords| {
                         stats.distance_computations += 1;
-                        let d = divergence.divergence(&coords, query);
-                        top.offer(pid, d);
-                    }
+                        top.offer(pid, prepared.distance(phi_x, coords));
+                    });
                     if leaves_visited >= max_leaves {
                         break;
                     }

@@ -1,0 +1,16 @@
+//! `cargo bench` target regenerating the "kernels" experiment.
+//!
+//! Runs at the `tiny` scale by default so the whole bench suite finishes
+//! quickly; set `BREPARTITION_SCALE=quick` or `paper` for larger runs.
+
+use brepartition_bench::experiments::kernels;
+use brepartition_bench::{Scale, Workbench};
+
+fn main() {
+    let scale =
+        if std::env::var("BREPARTITION_SCALE").is_ok() { Scale::from_env() } else { Scale::tiny() };
+    let bench = Workbench::new(scale);
+    for table in kernels::run(&bench) {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate the "kernels" experiment (naive vs prepared-query refinement
+//! distances), print its markdown table and write the machine-diffable
+//! report to `BENCH_kernels.json` (override the path with the
+//! `BREPARTITION_BENCH_JSON_KERNELS` environment variable — deliberately
+//! not the `throughput` bin's variable, so overriding both bins cannot
+//! make one report clobber the other), so the refine-kernel perf
+//! trajectory can be diffed across PRs.
+//!
+//! Scale is controlled by the `BREPARTITION_SCALE` environment variable
+//! (`quick` default, `paper`, `tiny`); it only changes how many
+//! evaluations each measurement averages over — the (kind, dim) grid is
+//! fixed.
+
+use brepartition_bench::experiments::kernels;
+use brepartition_bench::{Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bench = Workbench::new(scale);
+    let (tables, json) = kernels::run_with_json(&bench);
+    for table in tables {
+        print!("{table}");
+    }
+    let path = std::env::var("BREPARTITION_BENCH_JSON_KERNELS")
+        .unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,188 @@
+//! Refinement-kernel microbenchmark: naive vs prepared-query distances.
+//!
+//! Not a figure of the paper: this experiment measures the repository's own
+//! hottest loop — the refine-phase divergence evaluation — in isolation.
+//! For every divergence kind × dimensionality it times
+//!
+//! * **naive** — `DivergenceKind::divergence(x, q)`, which re-evaluates the
+//!   generator (`ln`/`exp` transcendentals) over both arguments for every
+//!   candidate (the pre-kernel refine path), and
+//! * **prepared** — `PreparedQuery::distance(Φ(x), x)` over a precomputed
+//!   `Φ` column, which is one chunked dot product with zero
+//!   transcendentals (the current refine path),
+//!
+//! and reports ns/distance plus the speedup. Besides the markdown table,
+//! [`run_with_json`] emits one stable-format JSON object per (kind, dim)
+//! pair, which the `kernels` bin writes to `BENCH_kernels.json` so the perf
+//! trajectory can be diffed across PRs.
+//!
+//! Dimensionalities are fixed (not scale-clamped): the cost of one distance
+//! does not depend on dataset size, and the cross-PR artifact must always
+//! contain the `d ≥ 50` rows the acceptance gates watch. The scale preset
+//! only controls how many evaluations each measurement averages over.
+
+use std::time::Instant;
+
+use bregman::DivergenceKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::Workbench;
+
+/// Dimensionalities measured for every divergence kind.
+pub const DIMS: [usize; 4] = [2, 16, 50, 100];
+
+/// One measured cell of the experiment.
+#[derive(Debug, Clone)]
+pub struct KernelMeasurement {
+    /// Divergence short name ("SE", "ISD", "ED", "GI").
+    pub kind: String,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Distance evaluations per timed loop.
+    pub evals: usize,
+    /// Naive path, nanoseconds per distance.
+    pub naive_ns: f64,
+    /// Prepared path, nanoseconds per distance.
+    pub prepared_ns: f64,
+    /// `naive_ns / prepared_ns`.
+    pub speedup: f64,
+    /// Largest |naive − prepared| observed (sanity: the paths agree).
+    pub max_abs_delta: f64,
+}
+
+impl KernelMeasurement {
+    /// Stable-key JSON object (manual rendering, no deps — same convention
+    /// as `ThroughputReport::to_json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"kernels\",\"kind\":\"{}\",\"dim\":{},\"evals\":{},\
+             \"naive_ns_per_eval\":{:.3},\"prepared_ns_per_eval\":{:.3},\
+             \"speedup\":{:.3},\"max_abs_delta\":{:e}}}",
+            self.kind,
+            self.dim,
+            self.evals,
+            self.naive_ns,
+            self.prepared_ns,
+            self.speedup,
+            self.max_abs_delta
+        )
+    }
+}
+
+/// Measure one (kind, dim) cell.
+fn measure(kind: DivergenceKind, dim: usize, points: usize, reps: usize) -> KernelMeasurement {
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ (dim as u64) << 16 ^ points as u64);
+    // 0.1..6.1 is inside every kind's domain (ISD/GI need positivity).
+    let mut coord = move || rng.gen_range(0.1..6.1);
+    let rows: Vec<f64> = (0..points * dim).map(|_| coord()).collect();
+    let query: Vec<f64> = (0..dim).map(|_| coord()).collect();
+    let phi: Vec<f64> = rows.chunks_exact(dim).map(|row| kind.phi_sum(row)).collect();
+    let prepared = kind.prepare_query(&query);
+
+    // Warm-up + agreement check (also keeps both loops observable so the
+    // optimizer cannot discard them).
+    let mut max_abs_delta = 0.0f64;
+    for (i, row) in rows.chunks_exact(dim).enumerate() {
+        let delta = (kind.divergence(row, &query) - prepared.distance(phi[i], row)).abs();
+        max_abs_delta = max_abs_delta.max(delta);
+    }
+
+    let mut naive_sum = 0.0;
+    let naive_started = Instant::now();
+    for _ in 0..reps {
+        for row in rows.chunks_exact(dim) {
+            naive_sum += kind.divergence(row, &query);
+        }
+    }
+    let naive_seconds = naive_started.elapsed().as_secs_f64();
+
+    let mut prepared_sum = 0.0;
+    let prepared_started = Instant::now();
+    for _ in 0..reps {
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            prepared_sum += prepared.distance(phi[i], row);
+        }
+    }
+    let prepared_seconds = prepared_started.elapsed().as_secs_f64();
+    assert!(
+        naive_sum.is_finite() && prepared_sum.is_finite(),
+        "kernel benchmark produced non-finite sums"
+    );
+
+    let evals = points * reps;
+    let naive_ns = naive_seconds * 1e9 / evals as f64;
+    let prepared_ns = prepared_seconds * 1e9 / evals as f64;
+    KernelMeasurement {
+        kind: kind.short_name().to_string(),
+        dim,
+        evals,
+        naive_ns,
+        prepared_ns,
+        speedup: if prepared_ns > 0.0 { naive_ns / prepared_ns } else { f64::INFINITY },
+        max_abs_delta,
+    }
+}
+
+/// Run the kernel microbenchmark over every kind × dimensionality.
+pub fn run(bench: &Workbench) -> Vec<Table> {
+    run_with_json(bench).0
+}
+
+/// Run the experiment and also return the measurements as one JSON array
+/// (stable key order, machine-diffable).
+pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
+    let points = bench.scale.max_points.clamp(512, 4096);
+    let mut table = Table::new(
+        format!("Refinement kernels — naive vs prepared, {points} candidates per measurement"),
+        &["divergence", "dim", "naive ns/dist", "prepared ns/dist", "speedup", "max |Δ|"],
+    );
+    let mut jsons = Vec::new();
+    for kind in DivergenceKind::ALL {
+        for dim in DIMS {
+            // Keep total distance evaluations roughly constant across dims
+            // so every cell averages over comparable work.
+            let reps = (200_000 / points).max(4);
+            let m = measure(kind, dim, points, reps);
+            table.row(vec![
+                m.kind.clone(),
+                m.dim.to_string(),
+                fmt_f64(m.naive_ns),
+                fmt_f64(m.prepared_ns),
+                fmt_f64(m.speedup),
+                format!("{:.1e}", m.max_abs_delta),
+            ]);
+            jsons.push(m.to_json());
+        }
+    }
+    (vec![table], format!("[\n{}\n]\n", jsons.join(",\n")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn kernel_rows_cover_every_kind_and_dim() {
+        let bench = Workbench::new(Scale::tiny());
+        let (tables, json) = run_with_json(&bench);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), DivergenceKind::ALL.len() * DIMS.len());
+        assert_eq!(json.matches("\"kind\":").count(), tables[0].len());
+        assert_eq!(json.matches("\"speedup\":").count(), tables[0].len());
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn measured_paths_agree_numerically() {
+        let m = measure(DivergenceKind::ItakuraSaito, 50, 256, 2);
+        // Distances in this workload are O(d); 1e-8 absolute is far below
+        // any neighbor gap and far above reassociation noise.
+        assert!(m.max_abs_delta < 1e-8, "paths diverge: {}", m.max_abs_delta);
+        assert_eq!(m.kind, "ISD");
+        assert_eq!(m.dim, 50);
+    }
+}

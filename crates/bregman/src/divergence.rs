@@ -140,6 +140,18 @@ pub trait DecomposableBregman: Divergence + Clone {
         (alpha, beta_yy, delta)
     }
 
+    /// Hoist the query-side work of the decomposition
+    /// `D_φ(x, q) = Φ(x) + c_q − ⟨∇φ(q), x⟩` into a
+    /// [`PreparedQuery`](crate::kernel::PreparedQuery): `φ`/`φ'` are
+    /// evaluated over `query` once, and every subsequent candidate distance
+    /// is a single dot product (see [`crate::kernel`]).
+    fn prepare_query(&self, query: &[f64]) -> crate::kernel::PreparedQuery
+    where
+        Self: Sized,
+    {
+        crate::kernel::PreparedQuery::decompose(self, query)
+    }
+
     /// Whether this divergence is *cumulative across partitions*, i.e. the
     /// divergence of a concatenation equals the sum of the partition
     /// divergences. True for every decomposable divergence whose generator

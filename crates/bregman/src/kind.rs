@@ -131,6 +131,38 @@ impl DivergenceKind {
         }
     }
 
+    /// Hoist the query-side work of the decomposed divergence into a
+    /// [`PreparedQuery`](crate::kernel::PreparedQuery) (see
+    /// [`crate::kernel`]). All four kinds are decomposable, so this always
+    /// produces the transcendental-free fast path.
+    pub fn prepare_query(&self, query: &[f64]) -> crate::kernel::PreparedQuery {
+        let mut out = crate::kernel::PreparedQuery::default();
+        self.prepare_query_into(&mut out, query);
+        out
+    }
+
+    /// Re-prepare an existing [`PreparedQuery`](crate::kernel::PreparedQuery)
+    /// in place, reusing its buffers (the batch-serving hot path).
+    pub fn prepare_query_into(&self, out: &mut crate::kernel::PreparedQuery, query: &[f64]) {
+        match self {
+            DivergenceKind::SquaredEuclidean => out.decompose_into(&SquaredEuclidean, query),
+            DivergenceKind::ItakuraSaito => out.decompose_into(&ItakuraSaito, query),
+            DivergenceKind::Exponential => out.decompose_into(&Exponential, query),
+            DivergenceKind::GeneralizedI => out.decompose_into(&GeneralizedI, query),
+        }
+    }
+
+    /// The generator sum `Φ(x) = Σ_i φ(x_i)` of one point — the per-point
+    /// side of the decomposed kernel, tabulated at index-build time.
+    pub fn phi_sum(&self, x: &[f64]) -> f64 {
+        match self {
+            DivergenceKind::SquaredEuclidean => SquaredEuclidean.f(x),
+            DivergenceKind::ItakuraSaito => ItakuraSaito.f(x),
+            DivergenceKind::Exponential => Exponential.f(x),
+            DivergenceKind::GeneralizedI => GeneralizedI.f(x),
+        }
+    }
+
     /// Whether every coordinate of `x` lies in the divergence's domain.
     pub fn in_domain_vec(&self, x: &[f64]) -> bool {
         match self {

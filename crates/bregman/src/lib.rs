@@ -25,6 +25,9 @@
 //!   and the non-decomposable [`SquaredMahalanobis`],
 //! * [`DivergenceKind`] — a plain-enum selector that maps names used in the
 //!   paper ("ED", "ISD", …) to boxed divergences,
+//! * [`kernel`] — prepared-query decomposed divergence kernels: hoist
+//!   `φ(q)`, `φ'(q)` out of the candidate loop once per query so each
+//!   refinement collapses to one transcendental-free dot product,
 //! * [`vector`] — a flat, cache-friendly dense dataset container and small
 //!   vector helpers shared by the index crates.
 //!
@@ -50,6 +53,7 @@ pub mod error;
 pub mod exponential;
 pub mod generalized_i;
 pub mod itakura_saito;
+pub mod kernel;
 pub mod kind;
 pub mod mahalanobis;
 pub mod squared_euclidean;
@@ -61,6 +65,7 @@ pub use error::{BregmanError, Result};
 pub use exponential::Exponential;
 pub use generalized_i::GeneralizedI;
 pub use itakura_saito::ItakuraSaito;
+pub use kernel::{KernelScratch, PreparedQuery};
 pub use kind::DivergenceKind;
 pub use mahalanobis::SquaredMahalanobis;
 pub use squared_euclidean::SquaredEuclidean;

@@ -103,6 +103,16 @@ impl SquaredMahalanobis {
         Some(weights)
     }
 
+    /// The naive prepared-query fallback: because `Q` couples dimensions,
+    /// the divergence does not decompose per coordinate, so the returned
+    /// [`PreparedQuery`](crate::kernel::PreparedQuery) re-evaluates the full
+    /// quadratic form per candidate (and ignores any tabulated `Φ(x)`).
+    /// Exists so Mahalanobis call sites share the prepared-kernel code path
+    /// used by the decomposable divergences.
+    pub fn prepare_query(&self, query: &[f64]) -> crate::kernel::PreparedQuery {
+        crate::kernel::PreparedQuery::naive(Box::new(self.clone()), query)
+    }
+
     /// Gradient `∇f(y) = Q y`.
     pub fn gradient(&self, y: &[f64]) -> Vec<f64> {
         debug_assert_eq!(y.len(), self.dim);

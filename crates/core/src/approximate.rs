@@ -137,6 +137,21 @@ impl BrePartitionIndex {
         k: usize,
         config: &ApproximateConfig,
     ) -> Result<QueryResult> {
+        let mut kernel = bregman::kernel::KernelScratch::default();
+        self.knn_approximate_with_scratch(pool, &mut kernel, query, k, config)
+    }
+
+    /// Approximate kNN search reusing a caller-supplied buffer pool *and*
+    /// [`KernelScratch`](bregman::kernel::KernelScratch) (the batch-serving
+    /// hot path).
+    pub fn knn_approximate_with_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut bregman::kernel::KernelScratch,
+        query: &[f64],
+        k: usize,
+        config: &ApproximateConfig,
+    ) -> Result<QueryResult> {
         if !(config.probability > 0.0 && config.probability <= 1.0) {
             return Err(CoreError::InvalidProbability(config.probability));
         }
@@ -175,7 +190,7 @@ impl BrePartitionIndex {
             .collect();
         let bound_seconds = bound_started.elapsed().as_secs_f64();
 
-        let (neighbors, mut stats) = self.filter_and_refine(pool, query, k, &radii);
+        let (neighbors, mut stats) = self.filter_and_refine(pool, kernel, query, k, &radii);
         stats.bound_seconds = bound_seconds;
         let approx_bounds = QueryBounds {
             pivot_point: pivot,

@@ -20,6 +20,14 @@
 //! freshly built one. The only part not persisted is the fitted cost model
 //! (a build-time artifact used to choose `M`);
 //! [`BrePartitionIndex::cost_model`] returns `None` after open.
+//!
+//! The per-point `Φ(x) = Σ_j φ(x_j)` column consumed by the prepared-query
+//! refine kernel needs no dedicated field in this envelope: the persisted
+//! per-subspace `α_x` column *is* `Φ` split across disjoint, exhaustive
+//! partitions, so `open` reassembles `Φ(x) = Σ_s α_x(s)` — every
+//! pre-existing `BREPIDX1` envelope migrates transparently. (The flat
+//! baselines, which have no transform table, persist an explicit column:
+//! see `bbtree::disk::PHI_FILE` and the version-2 VA-file metadata.)
 
 use std::path::Path;
 use std::sync::Arc;

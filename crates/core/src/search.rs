@@ -2,6 +2,7 @@
 //! (Algorithm 6).
 
 use bbtree::{BBTreeConfig, SearchStats};
+use bregman::kernel::KernelScratch;
 use bregman::{DenseDataset, DivergenceKind, PointId};
 use pagestore::{BufferPool, PageStoreConfig};
 use std::time::Instant;
@@ -65,6 +66,12 @@ pub struct BrePartitionIndex {
     dim_means: Vec<f64>,
     /// Per-dimension variances of the data.
     dim_vars: Vec<f64>,
+    /// Per-point full-space generator sums `Φ(x) = Σ_j φ(x_j)`, indexed by
+    /// point id — the data side of the prepared-query refine kernel.
+    /// Reassembled from the persisted per-subspace `α_x` column (the
+    /// partitions are disjoint and exhaustive, so `Φ(x) = Σ_s α_x(s)`),
+    /// which is why the index envelope needs no extra table.
+    phi: Vec<f64>,
     build: BuildReport,
 }
 
@@ -132,6 +139,7 @@ impl BrePartitionIndex {
             forest_seconds: forest.build_seconds(),
             pages_written: forest.store().build_writes(),
         };
+        let phi = phi_from_transforms(&transformed);
         Ok(BrePartitionIndex {
             kind,
             config: *config,
@@ -141,6 +149,7 @@ impl BrePartitionIndex {
             cost_model,
             dim_means,
             dim_vars,
+            phi,
             build,
         })
     }
@@ -158,6 +167,9 @@ impl BrePartitionIndex {
         dim_vars: Vec<f64>,
         build: BuildReport,
     ) -> BrePartitionIndex {
+        // The Φ column is reassembled from the restored per-subspace α
+        // column, so pre-existing envelopes migrate transparently on open.
+        let phi = phi_from_transforms(&transformed);
         BrePartitionIndex {
             kind,
             config,
@@ -167,6 +179,7 @@ impl BrePartitionIndex {
             cost_model: None,
             dim_means,
             dim_vars,
+            phi,
             build,
         }
     }
@@ -242,6 +255,11 @@ impl BrePartitionIndex {
         BufferPool::new(self.config.buffer_pool_pages)
     }
 
+    /// The per-point `Φ(x)` column (indexed by point id).
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
     /// Algorithm 6 (`BrePartitionSearch`): exact kNN with a fresh,
     /// configuration-sized buffer pool (per-query I/O accounting, as in the
     /// paper's figures).
@@ -257,6 +275,20 @@ impl BrePartitionIndex {
         query: &[f64],
         k: usize,
     ) -> Result<QueryResult> {
+        let mut kernel = KernelScratch::default();
+        self.knn_with_scratch(pool, &mut kernel, query, k)
+    }
+
+    /// Exact kNN reusing a caller-supplied buffer pool *and*
+    /// [`KernelScratch`] (the batch-serving hot path: the prepared-query
+    /// and decode buffers are reused across a whole batch).
+    pub fn knn_with_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
+        query: &[f64],
+        k: usize,
+    ) -> Result<QueryResult> {
         self.validate_query(query)?;
         let bound_started = Instant::now();
         let transformed_query = TransformedQuery::build(self.kind, query, &self.partitioning);
@@ -269,7 +301,8 @@ impl BrePartitionIndex {
             });
         };
         let bound_seconds = bound_started.elapsed().as_secs_f64();
-        let (neighbors, mut stats) = self.filter_and_refine(pool, query, k, &bounds.per_subspace);
+        let (neighbors, mut stats) =
+            self.filter_and_refine(pool, kernel, query, k, &bounds.per_subspace);
         stats.bound_seconds = bound_seconds;
         Ok(QueryResult { neighbors, stats, bounds, coefficient: None })
     }
@@ -280,6 +313,7 @@ impl BrePartitionIndex {
     pub(crate) fn filter_and_refine(
         &self,
         pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
         query: &[f64],
         k: usize,
         radii: &[f64],
@@ -311,17 +345,31 @@ impl BrePartitionIndex {
         stats.candidates = union.len();
 
         // Refine: load candidates page by page and keep the k best exact
-        // divergences.
+        // divergences, evaluated through the prepared kernel — the
+        // query-side transcendentals were hoisted once above, the data-side
+        // generator sums come from the precomputed Φ column, so each
+        // candidate costs one dot product.
         let refine_started = Instant::now();
+        let KernelScratch { prepared, coords, .. } = kernel;
+        self.kind.prepare_query_into(prepared, query);
         let mut neighbors: Vec<(PointId, f64)> = Vec::with_capacity(union.len().min(k * 4));
-        for (pid, coords) in pool.read_points(self.forest.store(), &union) {
+        pool.read_points_with(self.forest.store(), &union, coords, &mut |pid, c| {
             search_stats.candidates_examined += 1;
             search_stats.distance_computations += 1;
-            let d = self.kind.divergence(&coords, query);
+            let d = prepared.distance(self.phi[pid as usize], c);
             neighbors.push((PointId(pid), d));
+        });
+        // Partial selection: only the k best need ordering, so candidates
+        // beyond k cost O(c) instead of the O(c log c) of a full sort. The
+        // (distance, id) total order makes the selection deterministic and
+        // identical to sort-then-truncate.
+        if k == 0 {
+            neighbors.clear();
+        } else if neighbors.len() > k {
+            neighbors.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            neighbors.truncate(k);
         }
         neighbors.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        neighbors.truncate(k);
         stats.refine_seconds = refine_started.elapsed().as_secs_f64();
         stats.search = search_stats;
         stats.io = pool.stats().since(&io_before);
@@ -337,6 +385,13 @@ impl BrePartitionIndex {
         }
         Ok(())
     }
+}
+
+/// The full-space `Φ(x) = Σ_j φ(x_j)` column, reassembled from the
+/// per-subspace transform tuples (`Φ(x) = Σ_s α_x(s)` because the
+/// partitions are disjoint and exhaustive).
+fn phi_from_transforms(transformed: &TransformedDataset) -> Vec<f64> {
+    (0..transformed.len()).map(|i| transformed.total_alpha(i)).collect()
 }
 
 /// Per-column means and variances of a dataset.

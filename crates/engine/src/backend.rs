@@ -10,19 +10,15 @@
 //! persistence format). The preferred way to construct backends is the
 //! spec-driven façade in the root `brepartition` crate (`IndexSpec` →
 //! `Index::build`/`Index::open`); the per-method constructors in this module
-//! remain for callers wiring concrete index types by hand, and the old
-//! `*_for_kind`/`build_*`/`open_*` kind-dispatch helpers are deprecated
-//! shims over the same code.
+//! remain for callers wiring concrete index types by hand.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use bbtree::{BBTreeConfig, DiskBBTree, NodeKind};
-use bregman::{
-    DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
-    PointId, SquaredEuclidean,
-};
-use brepartition_core::{ApproximateConfig, BrePartitionConfig, BrePartitionIndex};
+use bregman::kernel::KernelScratch;
+use bregman::{DecomposableBregman, DenseDataset, PointId};
+use brepartition_core::{ApproximateConfig, BrePartitionIndex};
 use pagestore::{BufferPool, IoStats, PageStoreConfig};
 use vafile::{VaFile, VaFileConfig};
 
@@ -32,19 +28,25 @@ use crate::request::QueryOptions;
 /// Per-thread mutable state a backend needs while answering queries.
 ///
 /// Every index in this workspace reads data pages through a [`BufferPool`]
-/// that carries the per-query I/O accounting; the engine gives each worker
-/// thread its own scratch so the shared index stays immutable (`&self`)
-/// during concurrent search.
+/// that carries the per-query I/O accounting, and evaluates refinement
+/// distances through the prepared-query kernel buffers in
+/// [`KernelScratch`]; the engine gives each worker thread its own scratch
+/// so the shared index stays immutable (`&self`) during concurrent search.
+/// The kernel buffers are deliberately reused across every query a worker
+/// serves — steady-state serving performs no per-query allocation for
+/// gradients or decoded candidates.
 #[derive(Debug)]
 pub struct Scratch {
     /// The buffer pool queries read through.
     pub pool: BufferPool,
+    /// Prepared-query kernel buffers (gradient, decode, id staging).
+    pub kernel: KernelScratch,
 }
 
 impl Scratch {
-    /// Scratch around an existing pool.
+    /// Scratch around an existing pool (fresh kernel buffers).
     pub fn new(pool: BufferPool) -> Self {
-        Self { pool }
+        Self { pool, kernel: KernelScratch::default() }
     }
 }
 
@@ -177,54 +179,6 @@ impl BrePartitionBackend {
         Self { index: index.into(), mode: BrePartitionMode::Approximate(config), name }
     }
 
-    /// Build an exact backend from a dataset.
-    #[deprecated(note = "use `IndexSpec::brepartition(kind)` with `Index::build` in the \
-                `brepartition` façade crate instead")]
-    pub fn build_exact(
-        kind: DivergenceKind,
-        dataset: &DenseDataset,
-        config: &BrePartitionConfig,
-    ) -> Result<Self, EngineError> {
-        let index = BrePartitionIndex::build(kind, dataset, config)
-            .map_err(|e| EngineError::Backend(e.to_string()))?;
-        Ok(Self::exact(index))
-    }
-
-    /// Build an approximate backend from a dataset.
-    #[deprecated(note = "use `IndexSpec::approximate(kind)` with `Index::build` in the \
-                `brepartition` façade crate instead")]
-    pub fn build_approximate(
-        kind: DivergenceKind,
-        dataset: &DenseDataset,
-        config: &BrePartitionConfig,
-        approx: ApproximateConfig,
-    ) -> Result<Self, EngineError> {
-        let index = BrePartitionIndex::build(kind, dataset, config)
-            .map_err(|e| EngineError::Backend(e.to_string()))?;
-        Ok(Self::approximate(index, approx))
-    }
-
-    /// Open an exact backend from an index directory written by
-    /// [`BrePartitionIndex::save`] (or [`SearchBackend::save`]).
-    #[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved \
-                spec envelope selects the method) instead")]
-    pub fn open_exact(dir: &Path) -> Result<Self, EngineError> {
-        let index =
-            BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
-        Ok(Self::exact(index))
-    }
-
-    /// Open an approximate backend from an index directory. The shrink
-    /// coefficient is derived from the persisted per-dimension moments, so a
-    /// reopened ABP backend answers exactly like the freshly built one.
-    #[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved \
-                spec envelope selects the method and probability) instead")]
-    pub fn open_approximate(dir: &Path, approx: ApproximateConfig) -> Result<Self, EngineError> {
-        let index =
-            BrePartitionIndex::open(dir).map_err(|e| EngineError::Backend(e.to_string()))?;
-        Ok(Self::approximate(index, approx))
-    }
-
     /// The wrapped index.
     pub fn index(&self) -> &BrePartitionIndex {
         &self.index
@@ -256,10 +210,16 @@ impl SearchBackend for BrePartitionBackend {
     ) -> Result<BackendAnswer, EngineError> {
         let before = scratch.pool.stats();
         let result = match &self.mode {
-            BrePartitionMode::Exact => self.index.knn_with_pool(&mut scratch.pool, query, k),
-            BrePartitionMode::Approximate(config) => {
-                self.index.knn_approximate_with_pool(&mut scratch.pool, query, k, config)
+            BrePartitionMode::Exact => {
+                self.index.knn_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k)
             }
+            BrePartitionMode::Approximate(config) => self.index.knn_approximate_with_scratch(
+                &mut scratch.pool,
+                &mut scratch.kernel,
+                query,
+                k,
+                config,
+            ),
         }
         .map_err(|e| EngineError::Backend(e.to_string()))?;
         Ok(BackendAnswer {
@@ -286,7 +246,7 @@ impl SearchBackend for BrePartitionBackend {
         let config = ApproximateConfig::with_probability(p);
         let result = self
             .index
-            .knn_approximate_with_pool(&mut scratch.pool, query, k, &config)
+            .knn_approximate_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k, &config)
             .map_err(|e| EngineError::Backend(e.to_string()))?;
         Ok(BackendAnswer {
             neighbors: result.neighbors,
@@ -394,7 +354,7 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
         k: usize,
     ) -> Result<BackendAnswer, EngineError> {
         check_dim(self.dim, query)?;
-        let result = self.tree.knn(&mut scratch.pool, query, k);
+        let result = self.tree.knn_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k);
         Ok(BackendAnswer {
             neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
             candidates: result.search.candidates_examined as usize,
@@ -417,7 +377,13 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
         // Round the candidate budget up to whole leaves: the tree loads
         // leaves atomically, so the budget bounds leaf visits.
         let max_leaves = budget.div_ceil(self.max_leaf_points).max(1);
-        let result = self.tree.knn_with_leaf_budget(&mut scratch.pool, query, k, max_leaves);
+        let result = self.tree.knn_with_leaf_budget_scratch(
+            &mut scratch.pool,
+            &mut scratch.kernel,
+            query,
+            k,
+            max_leaves,
+        );
         Ok(BackendAnswer {
             neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
             candidates: result.search.candidates_examined as usize,
@@ -495,7 +461,8 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
         k: usize,
     ) -> Result<BackendAnswer, EngineError> {
         check_dim(self.dim, query)?;
-        let result = self.file.knn(&mut scratch.pool, query, k);
+        let result =
+            self.file.knn_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k, None);
         Ok(BackendAnswer {
             neighbors: result.neighbors,
             candidates: result.candidates,
@@ -512,8 +479,13 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
     ) -> Result<BackendAnswer, EngineError> {
         reject_unsupported(self.name(), options, false, true)?;
         check_dim(self.dim, query)?;
-        let result =
-            self.file.knn_with_budget(&mut scratch.pool, query, k, options.candidate_budget);
+        let result = self.file.knn_with_scratch(
+            &mut scratch.pool,
+            &mut scratch.kernel,
+            query,
+            k,
+            options.candidate_budget,
+        );
         Ok(BackendAnswer {
             neighbors: result.neighbors,
             candidates: result.candidates,
@@ -534,83 +506,4 @@ fn check_dim(expected: usize, query: &[f64]) -> Result<(), EngineError> {
         )));
     }
     Ok(())
-}
-
-/// Build a boxed BB-tree backend for a runtime-selected divergence.
-#[deprecated(note = "use `IndexSpec::bbtree(kind)` with `Index::build` in the `brepartition` \
-            façade crate instead")]
-pub fn bbtree_backend_for_kind(
-    kind: DivergenceKind,
-    dataset: &DenseDataset,
-    tree_config: BBTreeConfig,
-    store_config: PageStoreConfig,
-) -> Box<dyn SearchBackend> {
-    match kind {
-        DivergenceKind::SquaredEuclidean => {
-            Box::new(BBTreeBackend::build(SquaredEuclidean, dataset, tree_config, store_config))
-        }
-        DivergenceKind::ItakuraSaito => {
-            Box::new(BBTreeBackend::build(ItakuraSaito, dataset, tree_config, store_config))
-        }
-        DivergenceKind::Exponential => {
-            Box::new(BBTreeBackend::build(Exponential, dataset, tree_config, store_config))
-        }
-        DivergenceKind::GeneralizedI => {
-            Box::new(BBTreeBackend::build(GeneralizedI, dataset, tree_config, store_config))
-        }
-    }
-}
-
-/// Build a boxed VA-file backend for a runtime-selected divergence.
-#[deprecated(note = "use `IndexSpec::vafile(kind)` with `Index::build` in the `brepartition` \
-            façade crate instead")]
-pub fn vafile_backend_for_kind(
-    kind: DivergenceKind,
-    dataset: &DenseDataset,
-    config: VaFileConfig,
-) -> Box<dyn SearchBackend> {
-    match kind {
-        DivergenceKind::SquaredEuclidean => {
-            Box::new(VaFileBackend::build(SquaredEuclidean, dataset, config))
-        }
-        DivergenceKind::ItakuraSaito => {
-            Box::new(VaFileBackend::build(ItakuraSaito, dataset, config))
-        }
-        DivergenceKind::Exponential => Box::new(VaFileBackend::build(Exponential, dataset, config)),
-        DivergenceKind::GeneralizedI => {
-            Box::new(VaFileBackend::build(GeneralizedI, dataset, config))
-        }
-    }
-}
-
-/// Open a boxed BB-tree backend from an index directory for a
-/// runtime-selected divergence.
-#[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved spec \
-            envelope selects method and divergence) instead")]
-pub fn bbtree_backend_open_for_kind(
-    kind: DivergenceKind,
-    dir: &Path,
-) -> Result<Box<dyn SearchBackend>, EngineError> {
-    Ok(match kind {
-        DivergenceKind::SquaredEuclidean => Box::new(BBTreeBackend::open(SquaredEuclidean, dir)?),
-        DivergenceKind::ItakuraSaito => Box::new(BBTreeBackend::open(ItakuraSaito, dir)?),
-        DivergenceKind::Exponential => Box::new(BBTreeBackend::open(Exponential, dir)?),
-        DivergenceKind::GeneralizedI => Box::new(BBTreeBackend::open(GeneralizedI, dir)?),
-    })
-}
-
-/// Open a boxed VA-file backend from an index directory for a
-/// runtime-selected divergence.
-#[deprecated(note = "use `Index::open` in the `brepartition` façade crate (the saved spec \
-            envelope selects method and divergence) instead")]
-pub fn vafile_backend_open_for_kind(
-    kind: DivergenceKind,
-    dir: &Path,
-) -> Result<Box<dyn SearchBackend>, EngineError> {
-    Ok(match kind {
-        DivergenceKind::SquaredEuclidean => Box::new(VaFileBackend::open(SquaredEuclidean, dir)?),
-        DivergenceKind::ItakuraSaito => Box::new(VaFileBackend::open(ItakuraSaito, dir)?),
-        DivergenceKind::Exponential => Box::new(VaFileBackend::open(Exponential, dir)?),
-        DivergenceKind::GeneralizedI => Box::new(VaFileBackend::open(GeneralizedI, dir)?),
-    })
 }

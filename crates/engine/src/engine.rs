@@ -219,10 +219,15 @@ impl QueryEngine {
                             if index >= n || abort.load(Ordering::Relaxed) {
                                 break;
                             }
-                            // Cold mode: every query starts from a fresh pool
-                            // so its IoStats cannot depend on scheduling.
+                            // Cold mode: every query starts from a fresh
+                            // pool so its IoStats cannot depend on
+                            // scheduling. Only the pool is replaced — the
+                            // prepared-query kernel buffers carry no
+                            // observable state, so they stay warm and the
+                            // worker performs no per-query allocation for
+                            // gradients or decoded candidates.
                             if !reuse_scratch && scratch_used {
-                                scratch = backend.new_scratch();
+                                scratch.pool = backend.new_scratch().pool;
                             }
                             scratch_used = true;
                             let request = &requests[index];

@@ -66,11 +66,6 @@ pub mod error;
 pub mod report;
 pub mod request;
 
-#[allow(deprecated)]
-pub use backend::{
-    bbtree_backend_for_kind, bbtree_backend_open_for_kind, vafile_backend_for_kind,
-    vafile_backend_open_for_kind,
-};
 pub use backend::{
     BBTreeBackend, BackendAnswer, BrePartitionBackend, Scratch, SearchBackend, VaFileBackend,
 };
@@ -430,41 +425,6 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&root).unwrap();
-    }
-
-    /// The deprecated kind-dispatch shims keep working for one release.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer_like_their_replacements() {
-        let (data, queries) = workload();
-        let kind = DivergenceKind::ItakuraSaito;
-        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(2048);
-
-        let via_shim = BrePartitionBackend::build_exact(kind, &data, &config).unwrap();
-        let index = BrePartitionIndex::build(kind, &data, &config).unwrap();
-        let direct = BrePartitionBackend::exact(index);
-        let mut a = via_shim.new_scratch();
-        let mut b = direct.new_scratch();
-        assert_eq!(
-            via_shim.knn(&mut a, &queries[0], 5).unwrap().neighbors,
-            direct.knn(&mut b, &queries[0], 5).unwrap().neighbors,
-        );
-
-        let boxed = bbtree_backend_for_kind(
-            kind,
-            &data,
-            BBTreeConfig::with_leaf_capacity(16),
-            PageStoreConfig::with_page_size(2048),
-        );
-        assert_eq!(boxed.name(), "BBT");
-        let boxed = vafile_backend_for_kind(kind, &data, VaFileConfig::default());
-        assert_eq!(boxed.name(), "VAF");
-
-        let missing = std::env::temp_dir()
-            .join(format!("brepartition-engine-missing-{}", std::process::id()));
-        assert!(matches!(BrePartitionBackend::open_exact(&missing), Err(EngineError::Backend(_))));
-        assert!(bbtree_backend_open_for_kind(kind, &missing).is_err());
-        assert!(vafile_backend_open_for_kind(kind, &missing).is_err());
     }
 
     #[test]

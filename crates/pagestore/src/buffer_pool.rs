@@ -162,6 +162,38 @@ impl BufferPool {
         }
         points.iter().filter_map(|pid| by_id.remove(pid).map(|coords| (*pid, coords))).collect()
     }
+
+    /// Visit a batch of points with the same first-seen page-grouped I/O
+    /// pattern as [`BufferPool::read_points`], but without allocating per
+    /// point: each point is decoded into the caller-provided `coords`
+    /// buffer and handed to `f` as a borrowed slice. Points are therefore
+    /// visited in page-major order, not in `points` order; unknown ids are
+    /// skipped. Unlike `read_points` (which returns each requested id at
+    /// most once), a duplicated id in `points` is visited once per
+    /// occurrence — callers pass deduplicated candidate lists. This is the
+    /// refine-phase hot path of every index in the workspace.
+    pub fn read_points_with(
+        &mut self,
+        store: &PageStore,
+        points: &[PointId],
+        coords: &mut Vec<f64>,
+        f: &mut dyn FnMut(PointId, &[f64]),
+    ) {
+        for (page_id, members) in store.layout().pages_for(points) {
+            if let Some(page) = self.fetch(store, page_id) {
+                for pid in members {
+                    // `pages_for` resolved every member through the layout,
+                    // so the address exists; re-reading it yields the slot
+                    // in O(1) where `Page::slot_of` would scan the page's
+                    // id list per candidate.
+                    if let Some(addr) = store.address_of(pid) {
+                        page.decode_slot_into(addr.slot as usize, coords);
+                        f(pid, coords);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A [`BufferPool`] behind a mutex, for experiment harnesses that issue
@@ -286,6 +318,32 @@ mod tests {
         for (pid, coords) in result {
             assert_eq!(coords, data[pid as usize]);
         }
+    }
+
+    #[test]
+    fn read_points_with_matches_read_points_and_io() {
+        let (s, data) = store(10, 3, 5); // pages: {0..4},{5..9}
+        let ids = [7u32, 0, 1, 8, 2, 99];
+        let mut pool_a = BufferPool::unbuffered();
+        let expected = pool_a.read_points(&s, &ids);
+        let mut pool_b = BufferPool::unbuffered();
+        let mut coords = Vec::new();
+        let mut seen: Vec<(u32, Vec<f64>)> = Vec::new();
+        pool_b.read_points_with(&s, &ids, &mut coords, &mut |pid, c| {
+            seen.push((pid, c.to_vec()));
+        });
+        // Identical I/O pattern (first-seen page grouping) and identical
+        // point set; the visit order is page-major.
+        assert_eq!(pool_a.stats(), pool_b.stats());
+        assert_eq!(seen.len(), expected.len());
+        assert_eq!(
+            seen.iter().map(|(p, _)| *p).collect::<std::collections::HashSet<_>>(),
+            expected.iter().map(|(p, _)| *p).collect::<std::collections::HashSet<_>>()
+        );
+        for (pid, c) in &seen {
+            assert_eq!(c, &data[*pid as usize]);
+        }
+        assert_eq!(seen[0].0, 7, "page of the first-seen point is visited first");
     }
 
     #[test]

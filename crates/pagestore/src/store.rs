@@ -199,6 +199,47 @@ impl PageStore {
     pub fn size_bytes(&self) -> usize {
         self.backend.size_bytes()
     }
+
+    /// Visit every stored point in id order (`0..point_count`), decoding
+    /// each into a reused buffer. The page fetched last is cached, so a
+    /// layout with runs of co-located ids costs one physical read per page
+    /// run. Maintenance/migration helper (e.g. rebuilding a derived
+    /// per-point column on open) — no [`crate::BufferPool`] accounting is
+    /// performed. Returns the first point id that resolves to no page, if
+    /// any.
+    pub fn for_each_point(&self, f: &mut dyn FnMut(PointId, &[f64])) -> Result<(), PointId> {
+        let mut coords = Vec::new();
+        let mut cached: Option<(PageId, Page)> = None;
+        for pid in 0..self.point_count() as u32 {
+            let addr = self.address_of(pid).ok_or(pid)?;
+            let hit = matches!(&cached, Some((id, _)) if *id == addr.page);
+            if !hit {
+                cached = Some((addr.page, self.raw_page(addr.page).ok_or(pid)?));
+            }
+            let (_, page) = cached.as_ref().expect("page fetched above");
+            page.decode_slot_into(addr.slot as usize, &mut coords);
+            f(pid, &coords);
+        }
+        Ok(())
+    }
+
+    /// Derive one scalar per stored point (in id order) from its
+    /// full-resolution coordinates — the migration path indexes use to
+    /// rebuild a persisted per-point column (e.g. the prepared-kernel `Φ`
+    /// table) from a directory that predates it. A point with no page
+    /// address is a corruption error, not a silent gap.
+    pub fn derive_point_column(
+        &self,
+        f: &mut dyn FnMut(&[f64]) -> f64,
+    ) -> crate::format::PersistResult<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.point_count());
+        self.for_each_point(&mut |_, coords| out.push(f(coords))).map_err(|pid| {
+            crate::format::PersistError::Corrupt(format!(
+                "cannot derive per-point column: point {pid} has no address in the page file"
+            ))
+        })?;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +284,23 @@ mod tests {
         assert_eq!(store.address_of(5).unwrap().page, PageId(0));
         assert_eq!(store.address_of(3).unwrap().page, PageId(0));
         assert_eq!(store.address_of(4).unwrap().page, PageId(2));
+    }
+
+    #[test]
+    fn for_each_point_visits_every_point_in_id_order() {
+        let data = dataset(7, 3);
+        // Scattered layout: id order is not page order.
+        let order = vec![6u32, 0, 3, 5, 1, 4, 2];
+        let config = PageStoreConfig::with_page_size(3 * 8 * 2); // 2 records per page
+        let store = PageStore::build_with_order(config, 3, &order, |pid| &data[pid as usize]);
+        let mut seen = Vec::new();
+        store
+            .for_each_point(&mut |pid, coords| {
+                assert_eq!(coords, &data[pid as usize][..]);
+                seen.push(pid);
+            })
+            .unwrap();
+        assert_eq!(seen, (0..7u32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use bregman::kernel::{phi_table, KernelScratch};
 use bregman::{DecomposableBregman, DenseDataset, PointId};
 use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
 use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
@@ -13,8 +14,15 @@ use crate::quantizer::{Quantizer, QuantizerConfig};
 /// Magic tag of the VA-file metadata artifact.
 pub const VAFILE_MAGIC: [u8; 8] = *b"BREPVAF1";
 
-/// Format version this build writes and reads.
-pub const VAFILE_VERSION: u32 = 1;
+/// Format version this build writes and reads. Version 2 appends the
+/// per-point `Φ(x) = Σ_j φ(x_j)` column consumed by the prepared-query
+/// refine kernel; version-1 files (no column) are still opened, with the
+/// column recomputed from the page file ([`LEGACY_VAFILE_VERSION`]).
+pub const VAFILE_VERSION: u32 = 2;
+
+/// The pre-`Φ`-column format version this build can still open (migrating
+/// the missing column on the fly).
+pub const LEGACY_VAFILE_VERSION: u32 = 1;
 
 /// File name of the VA-file metadata within an index directory.
 pub const META_FILE: &str = "vafile.meta";
@@ -65,6 +73,10 @@ pub struct VaFile<B: DecomposableBregman> {
     /// Pages occupied by the (packed) approximation file; scanned on every
     /// query.
     approximation_pages: u64,
+    /// Per-point generator sums `Φ(x)`, indexed by point id — the data side
+    /// of the prepared-query refine kernel, persisted in [`META_FILE`]
+    /// since format version 2.
+    phi: Vec<f64>,
 }
 
 impl<B: DecomposableBregman> VaFile<B> {
@@ -82,11 +94,20 @@ impl<B: DecomposableBregman> VaFile<B> {
         );
         let approx_bytes = quantizer.approximation_bytes_per_point() * dataset.len();
         let approximation_pages = (approx_bytes as u64).div_ceil(config.page_size_bytes as u64);
-        Self { divergence, quantizer, approximations, store: Arc::new(store), approximation_pages }
+        let phi = phi_table(&divergence, dataset);
+        Self {
+            divergence,
+            quantizer,
+            approximations,
+            store: Arc::new(store),
+            approximation_pages,
+            phi,
+        }
     }
 
-    /// Persist the VA-file to a directory: quantizer + approximations as
-    /// [`META_FILE`], the full-resolution pages as [`PAGES_FILE`].
+    /// Persist the VA-file to a directory: quantizer + approximations +
+    /// `Φ` column as [`META_FILE`], the full-resolution pages as
+    /// [`PAGES_FILE`].
     pub fn save(&self, dir: &Path) -> PersistResult<()> {
         std::fs::create_dir_all(dir)?;
         let mut w = ByteWriter::new();
@@ -97,6 +118,7 @@ impl<B: DecomposableBregman> VaFile<B> {
         for approx in &self.approximations {
             w.put_u16_seq(approx);
         }
+        w.put_f64_seq(&self.phi);
         std::fs::write(dir.join(META_FILE), seal(&VAFILE_MAGIC, VAFILE_VERSION, &w.into_vec()))?;
         self.store.save(&dir.join(PAGES_FILE))
     }
@@ -106,9 +128,20 @@ impl<B: DecomposableBregman> VaFile<B> {
     /// query anyway); the full-resolution pages are served from the page
     /// file on demand. Fails if the directory was written for a different
     /// divergence.
+    ///
+    /// Version-1 metadata (written before the `Φ` column existed) is
+    /// migrated on open: the column is recomputed with one pass over the
+    /// page file. Any other version mismatch is rejected with the usual
+    /// descriptive [`PersistError::UnsupportedVersion`].
     pub fn open(divergence: B, dir: &Path) -> PersistResult<Self> {
         let meta = std::fs::read(dir.join(META_FILE))?;
-        let payload = unseal(&VAFILE_MAGIC, VAFILE_VERSION, &meta)?;
+        let (payload, version) = match unseal(&VAFILE_MAGIC, VAFILE_VERSION, &meta) {
+            Ok(payload) => (payload, VAFILE_VERSION),
+            Err(PersistError::UnsupportedVersion { found: LEGACY_VAFILE_VERSION, .. }) => {
+                (unseal(&VAFILE_MAGIC, LEGACY_VAFILE_VERSION, &meta)?, LEGACY_VAFILE_VERSION)
+            }
+            Err(e) => return Err(e),
+        };
         let mut r = ByteReader::new(payload);
         let name = r.take_str()?;
         if name != divergence.name() {
@@ -140,6 +173,7 @@ impl<B: DecomposableBregman> VaFile<B> {
             }
             approximations.push(approx);
         }
+        let persisted_phi = if version >= VAFILE_VERSION { Some(r.take_f64_seq()?) } else { None };
         r.expect_end()?;
         let store = PageStore::open(&dir.join(PAGES_FILE))?;
         if store.point_count() != approximations.len() {
@@ -167,12 +201,28 @@ impl<B: DecomposableBregman> VaFile<B> {
                  quantizer and page size imply {expected_pages}"
             )));
         }
+        let phi = match persisted_phi {
+            Some(phi) => {
+                if phi.len() != approximations.len() {
+                    return Err(PersistError::Corrupt(format!(
+                        "Φ column holds {} entries, approximation table holds {}",
+                        phi.len(),
+                        approximations.len()
+                    )));
+                }
+                phi
+            }
+            // Version-1 migration: rebuild the column from the page file
+            // (one sequential pass; not attributed to any query's I/O).
+            None => store.derive_point_column(&mut |coords| divergence.f(coords))?,
+        };
         Ok(Self {
             divergence,
             quantizer,
             approximations,
             store: Arc::new(store),
             approximation_pages,
+            phi,
         })
     }
 
@@ -211,6 +261,11 @@ impl<B: DecomposableBregman> VaFile<B> {
         self.approximation_pages
     }
 
+    /// The per-point `Φ(x)` column (indexed by point id).
+    pub fn phi(&self) -> &[f64] {
+        &self.phi
+    }
+
     /// Exact kNN search.
     pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> VaQueryResult {
         self.knn_with_budget(pool, query, k, None)
@@ -229,6 +284,21 @@ impl<B: DecomposableBregman> VaFile<B> {
         k: usize,
         budget: Option<usize>,
     ) -> VaQueryResult {
+        let mut kernel = KernelScratch::default();
+        self.knn_with_scratch(pool, &mut kernel, query, k, budget)
+    }
+
+    /// [`VaFile::knn_with_budget`] reusing the caller's [`KernelScratch`]
+    /// (the batch-serving hot path: prepared-query and decode buffers are
+    /// reused across a whole batch).
+    pub fn knn_with_scratch(
+        &self,
+        pool: &mut BufferPool,
+        kernel: &mut KernelScratch,
+        query: &[f64],
+        k: usize,
+        budget: Option<usize>,
+    ) -> VaQueryResult {
         let io_before = pool.stats();
         if k == 0 || self.is_empty() {
             return VaQueryResult {
@@ -238,6 +308,8 @@ impl<B: DecomposableBregman> VaFile<B> {
                 io: IoStats::default(),
             };
         }
+        let KernelScratch { prepared, coords, .. } = kernel;
+        prepared.decompose_into(&self.divergence, query);
         let table = QueryBoundTable::build(&self.divergence, &self.quantizer, query);
 
         // Phase 1: scan approximations, tracking the k-th smallest upper
@@ -257,21 +329,26 @@ impl<B: DecomposableBregman> VaFile<B> {
         }
         let threshold = upper_heap.peek().map(|v| v.0).unwrap_or(f64::INFINITY);
 
-        // Candidates: lower bound within the k-th smallest upper bound.
-        let mut candidates: Vec<(PointId, f64)> = bounds
+        // Candidates: lower bound within the k-th smallest upper bound,
+        // arranged as a lazy min-heap rather than fully sorted — heapify is
+        // O(c), and only the candidates the termination rule actually
+        // refines pay a log. The pop order (ascending lower bound, ties by
+        // id) is identical to the full sort it replaces, so the refinement
+        // sequence, results and I/O are unchanged while the filter-output
+        // size no longer costs O(c log c).
+        let mut candidates: std::collections::BinaryHeap<LowerBoundEntry> = bounds
             .into_iter()
             .filter(|(_, lo, _)| *lo <= threshold)
-            .map(|(pid, lo, _)| (pid, lo))
+            .map(|(pid, lo, _)| LowerBoundEntry { lower: lo, pid })
             .collect();
-        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         let candidate_count = candidates.len();
 
         // Phase 2: refine in ascending lower-bound order with the standard
-        // VA-file termination rule.
+        // VA-file termination rule; exact distances via the prepared
+        // kernel over the tabulated Φ column — no transcendentals.
         let mut result: Vec<(PointId, f64)> = Vec::with_capacity(k + 1);
         let mut refined = 0usize;
-        let mut buffer = Vec::new();
-        for (pid, lower) in candidates {
+        while let Some(LowerBoundEntry { lower, pid }) = candidates.pop() {
             if budget.is_some_and(|b| refined >= b) {
                 break;
             }
@@ -279,11 +356,11 @@ impl<B: DecomposableBregman> VaFile<B> {
             if lower > kth {
                 break;
             }
-            if !pool.read_point_into(&self.store, pid.0, &mut buffer) {
+            if !pool.read_point_into(&self.store, pid.0, coords) {
                 continue;
             }
             refined += 1;
-            let d = self.divergence.divergence(&buffer, query);
+            let d = prepared.distance(self.phi[pid.index()], coords);
             let pos = result.partition_point(|(_, existing)| *existing <= d);
             result.insert(pos, (pid, d));
             if result.len() > k {
@@ -299,6 +376,27 @@ impl<B: DecomposableBregman> VaFile<B> {
     /// Number of pages occupied by the full-resolution data.
     pub fn data_pages(&self) -> usize {
         self.store.page_count()
+    }
+}
+
+/// Candidate entry ordered so that `BinaryHeap` (a max-heap) pops the
+/// *smallest* lower bound first, ties broken by ascending point id — the
+/// same total order as the full sort the lazy heap replaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LowerBoundEntry {
+    lower: f64,
+    pid: PointId,
+}
+
+impl Eq for LowerBoundEntry {}
+impl PartialOrd for LowerBoundEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LowerBoundEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.lower.total_cmp(&self.lower).then_with(|| other.pid.cmp(&self.pid))
     }
 }
 
@@ -466,6 +564,59 @@ mod tests {
         }
         // Opening with the wrong divergence is rejected.
         assert!(VaFile::open(SquaredEuclidean, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_one_metadata_is_migrated_on_open() {
+        // Re-seal the metadata as a version-1 body (no Φ column): open must
+        // rebuild the column from the page file and answer identically.
+        let ds = dataset(180, 4, 55, true);
+        let built = VaFile::build(
+            ItakuraSaito,
+            &ds,
+            VaFileConfig { quantizer: QuantizerConfig { bits_per_dim: 4 }, page_size_bytes: 1024 },
+        );
+        let dir = std::env::temp_dir().join(format!("vafile-v1-mig-{}", std::process::id()));
+        built.save(&dir).unwrap();
+        let mut w = ByteWriter::new();
+        w.put_str(bregman::Divergence::name(&built.divergence));
+        built.quantizer.write_to(&mut w);
+        w.put_u64(built.approximation_pages);
+        w.put_usize(built.approximations.len());
+        for approx in &built.approximations {
+            w.put_u16_seq(approx);
+        }
+        std::fs::write(
+            dir.join(META_FILE),
+            seal(&VAFILE_MAGIC, LEGACY_VAFILE_VERSION, &w.into_vec()),
+        )
+        .unwrap();
+        let migrated = VaFile::open(ItakuraSaito, &dir).unwrap();
+        assert_eq!(migrated.phi().len(), built.phi().len());
+        for (a, b) in migrated.phi().iter().zip(built.phi().iter()) {
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        let mut pool_a = BufferPool::unbuffered();
+        let mut pool_b = BufferPool::unbuffered();
+        let query = ds.point(PointId(11)).to_vec();
+        let a = built.knn(&mut pool_a, &query, 7);
+        let b = migrated.knn(&mut pool_b, &query, 7);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.io, b.io);
+
+        // A version this build has never written is still rejected with the
+        // descriptive versioned error.
+        let meta = std::fs::read(dir.join(META_FILE)).unwrap();
+        let mut bad = meta.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(dir.join(META_FILE), &bad).unwrap();
+        match VaFile::open(ItakuraSaito, &dir) {
+            Err(PersistError::UnsupportedVersion { found: 99, supported }) => {
+                assert_eq!(supported, VAFILE_VERSION);
+            }
+            other => panic!("expected version rejection, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -263,9 +263,9 @@ impl Index {
     ///
     /// The directory is self-describing: the spec envelope ([`SPEC_FILE`])
     /// names the method and divergence, so no caller-side dispatch is
-    /// needed. A directory without an envelope (e.g. one written by the
-    /// deprecated per-backend `save` calls), or whose artifacts disagree
-    /// with its envelope, fails with a descriptive error.
+    /// needed. A directory without an envelope (e.g. one written by a
+    /// backend-level `save` call), or whose artifacts disagree with its
+    /// envelope, fails with a descriptive error.
     pub fn open(dir: &Path) -> Result<Index> {
         let spec = read_spec(dir)?;
         // The envelope itself round-trips through the same validation as a
@@ -367,7 +367,7 @@ fn read_spec(dir: &Path) -> Result<IndexSpec> {
     let bytes = std::fs::read(&path).map_err(|e| {
         Error::Persist(PersistError::Corrupt(format!(
             "index directory {} has no readable spec envelope ({SPEC_FILE}): {e}; \
-             directories saved by the deprecated per-backend save calls predate the \
+             directories saved by backend-level save calls predate the \
              envelope — re-save them through Index::save",
             dir.display()
         )))

@@ -53,10 +53,13 @@
 //!
 //! # Migrating from the per-method constructors
 //!
-//! The pre-façade constructors remain for one release as `#[deprecated]`
-//! shims. Replace them as follows:
+//! The pre-façade kind-dispatch constructors (`build_exact`,
+//! `build_approximate`, `open_exact`, `open_approximate`,
+//! `*_backend_for_kind`, `*_backend_open_for_kind`) shipped as
+//! `#[deprecated]` shims for one release and have now been **removed**.
+//! Replace them as follows:
 //!
-//! | old constructor | new spec-driven call |
+//! | removed constructor | spec-driven call |
 //! |---|---|
 //! | `BrePartitionBackend::build_exact(kind, &data, &config)` | `Index::build(&IndexSpec::brepartition(kind), &data)` |
 //! | `BrePartitionBackend::build_approximate(kind, &data, &config, approx)` | `Index::build(&IndexSpec::approximate(kind).with_probability(p), &data)` |
@@ -68,6 +71,11 @@
 //! | `vafile_backend_open_for_kind(kind, dir)` | `Index::open(dir)` |
 //! | `backend.save(dir)` + caller-side kind bookkeeping | `index.save(dir)` (spec envelope written alongside) |
 //! | `engine.run_batch(&owned_queries, k)` | `index.run(&Request::uniform(&rows, k))` or per-query [`QueryRequest`]s |
+//!
+//! Callers wiring a *concrete* index type by hand (a specific divergence
+//! known at compile time) keep the non-dispatching constructors:
+//! `BrePartitionBackend::exact`/`approximate`, `BBTreeBackend::build`/`open`
+//! and `VaFileBackend::build`/`open`.
 //!
 //! `BrePartitionConfig`, `BBTreeConfig`, `VaFileConfig` knobs map onto
 //! [`IndexSpec`] builders (`with_partitions`, `with_page_size`,

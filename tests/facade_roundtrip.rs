@@ -1,12 +1,11 @@
 //! The acceptance test of the unified-façade redesign: all four methods
 //! driven through the *identical* `IndexSpec` → `Index::build` → `save` →
 //! `Index::open` → `QueryRequest` path, with neighbor sets pinned
-//! bit-identical to the pre-redesign constructors — including a batch with
+//! bit-identical to hand-wired concrete backends (the constructors a
+//! pre-façade caller would have dispatched to) — including a batch with
 //! heterogeneous per-query `k` — plus the persistence error paths: opening
 //! a directory saved by a different method or divergence must fail with a
 //! descriptive error, never a decode panic.
-
-#![allow(deprecated)] // pins the new façade against the deprecated constructors
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -40,7 +39,8 @@ fn spec_for(method: Method) -> IndexSpec {
         .with_probability(PROBABILITY)
 }
 
-/// The pre-redesign constructor for the same method and knobs.
+/// A hand-wired concrete backend for the same method and knobs — the
+/// reference the spec-driven path is pinned bit-identical against.
 fn pre_redesign_backend(method: Method, data: &DenseDataset) -> Arc<dyn SearchBackend> {
     let kind = DivergenceKind::ItakuraSaito;
     let config = BrePartitionConfig::default()
@@ -48,26 +48,21 @@ fn pre_redesign_backend(method: Method, data: &DenseDataset) -> Arc<dyn SearchBa
         .with_leaf_capacity(LEAF)
         .with_page_size(PAGE);
     match method {
-        Method::BrePartition => {
-            Arc::new(BrePartitionBackend::build_exact(kind, data, &config).unwrap())
-        }
-        Method::Approximate => Arc::new(
-            BrePartitionBackend::build_approximate(
-                kind,
-                data,
-                &config,
-                ApproximateConfig::with_probability(PROBABILITY),
-            )
-            .unwrap(),
-        ),
-        Method::BBTree => Arc::from(brepartition::engine::bbtree_backend_for_kind(
-            kind,
+        Method::BrePartition => Arc::new(BrePartitionBackend::exact(
+            BrePartitionIndex::build(kind, data, &config).unwrap(),
+        )),
+        Method::Approximate => Arc::new(BrePartitionBackend::approximate(
+            BrePartitionIndex::build(kind, data, &config).unwrap(),
+            ApproximateConfig::with_probability(PROBABILITY),
+        )),
+        Method::BBTree => Arc::new(BBTreeBackend::build(
+            ItakuraSaito,
             data,
             BBTreeConfig::with_leaf_capacity(LEAF),
             PageStoreConfig::with_page_size(PAGE),
         )),
-        Method::VaFile => Arc::from(brepartition::engine::vafile_backend_for_kind(
-            kind,
+        Method::VaFile => Arc::new(VaFileBackend::build(
+            ItakuraSaito,
             data,
             VaFileConfig { page_size_bytes: PAGE, ..VaFileConfig::default() },
         )),
@@ -182,7 +177,7 @@ fn open_rejects_foreign_and_mismatched_directories_descriptively() {
     // A directory with no spec envelope at all (the pre-façade layout).
     let bare = root.join("bare");
     let index = Index::build(&spec_for(Method::BrePartition), &data).unwrap();
-    index.backend().save(&bare).unwrap(); // deprecated-era save: artifacts only
+    index.backend().save(&bare).unwrap(); // backend-level save: artifacts only, no envelope
     match Index::open(&bare) {
         Err(e) => {
             let message = e.to_string();
