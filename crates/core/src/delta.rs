@@ -1,0 +1,591 @@
+//! The mutable delta segment: online inserts and deletes over a static
+//! partitioned index.
+//!
+//! BrePartition's structure (moments, transforms, subspace trees) is built
+//! from a static snapshot of the data, so the classic LSM answer applies to
+//! online mutability: absorb writes into a small **exact** side segment and
+//! fold it into the partitioned structure on compaction. A [`DeltaSegment`]
+//! holds
+//!
+//! * **append-only rows** — points inserted after the backend was built,
+//!   each with its precomputed generator sum `Φ(x)` so query-time scans run
+//!   through the prepared kernel ([`bregman::kernel`]) exactly like the
+//!   backends' refine phases,
+//! * a **tombstone set** — external ids deleted since the last compaction
+//!   (covering both backend points and delta rows; rows are never removed
+//!   in place, matching the append-only discipline), and
+//! * the **base id mapping** — after a compaction the rebuilt backend
+//!   numbers its points densely from zero, while callers keep the external
+//!   ids they were issued; the mapping translates backend-internal ids back
+//!   to stable external ids (`None` means the identity, the state of a
+//!   freshly built index).
+//!
+//! Queries see the union: the backend answers over its static points, the
+//! delta is scanned exactly, tombstones filter both sides, and the two
+//! result lists are merged by `(divergence, id)`. The merge lives in the
+//! engine's `DeltaOverlayBackend`; this module owns the state, its
+//! invariants and its persistent form (the sealed [`DELTA_FILE`] log,
+//! replayed on open — an absent file is an empty delta, which keeps every
+//! pre-mutability index directory readable).
+
+use std::collections::BTreeSet;
+
+use bregman::{BregmanError, DivergenceKind, PointId};
+use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError};
+
+use crate::error::{CoreError, Result};
+
+/// Magic tag of the persisted delta log.
+pub const DELTA_MAGIC: [u8; 8] = *b"BREPDLT1";
+
+/// Format version of the delta log this build writes and reads.
+pub const DELTA_VERSION: u32 = 1;
+
+/// File name of the delta log within an index directory.
+pub const DELTA_FILE: &str = "delta.log";
+
+/// The mutable layer over one static backend: appended rows, tombstones and
+/// the backend-internal → external id mapping. See the [module
+/// docs](crate::delta) for the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSegment {
+    kind: DivergenceKind,
+    dim: usize,
+    /// Number of points in the static backend underneath.
+    base_len: usize,
+    /// External id of each backend-internal id (strictly increasing);
+    /// `None` is the identity mapping `internal == external`.
+    base_ids: Option<Vec<u32>>,
+    /// Next external id to issue (monotone across compactions — ids are
+    /// never reused, so a caller-held id stays unambiguous forever).
+    next_id: u32,
+    /// External ids of the delta rows, in insertion (= ascending) order.
+    ids: Vec<u32>,
+    /// Delta row coordinates, flat `ids.len() × dim`.
+    rows: Vec<f64>,
+    /// Per-row generator sums `Φ(x)`, the data side of the prepared kernel.
+    phis: Vec<f64>,
+    /// External ids deleted since the last compaction.
+    tombstones: BTreeSet<u32>,
+    /// How many tombstones fall on backend points (each can displace one
+    /// backend result, so queries over-fetch by exactly this much).
+    base_tombstones: usize,
+}
+
+impl DeltaSegment {
+    /// An empty delta over a freshly built backend of `base_len` points
+    /// (identity id mapping).
+    pub fn new(kind: DivergenceKind, dim: usize, base_len: usize) -> Result<DeltaSegment> {
+        let next_id = u32::try_from(base_len).map_err(|_| {
+            CoreError::Persist(format!("backend of {base_len} points exceeds the u32 id space"))
+        })?;
+        Ok(DeltaSegment {
+            kind,
+            dim,
+            base_len,
+            base_ids: None,
+            next_id,
+            ids: Vec::new(),
+            rows: Vec::new(),
+            phis: Vec::new(),
+            tombstones: BTreeSet::new(),
+            base_tombstones: 0,
+        })
+    }
+
+    /// An empty delta over a backend rebuilt by compaction: `base_ids[i]` is
+    /// the external id of the rebuilt backend's internal point `i`, and
+    /// `next_id` carries the issue counter across the rebuild.
+    ///
+    /// The mapping must be strictly increasing (compaction rebuilds in
+    /// ascending external id order) and below `next_id`; a contiguous
+    /// `0..len` mapping collapses back to the identity.
+    pub fn rebased(
+        kind: DivergenceKind,
+        dim: usize,
+        base_ids: Vec<u32>,
+        next_id: u32,
+    ) -> Result<DeltaSegment> {
+        if !base_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CoreError::Persist(
+                "compacted id mapping is not strictly increasing".to_string(),
+            ));
+        }
+        if base_ids.last().is_some_and(|&last| last >= next_id) {
+            return Err(CoreError::Persist(format!(
+                "compacted id mapping reaches id {} but only {next_id} ids were ever issued",
+                base_ids.last().copied().unwrap_or(0)
+            )));
+        }
+        let base_len = base_ids.len();
+        let identity = base_ids.iter().enumerate().all(|(i, &id)| id as usize == i);
+        Ok(DeltaSegment {
+            kind,
+            dim,
+            base_len,
+            base_ids: if identity { None } else { Some(base_ids) },
+            next_id,
+            ids: Vec::new(),
+            rows: Vec::new(),
+            phis: Vec::new(),
+            tombstones: BTreeSet::new(),
+            base_tombstones: 0,
+        })
+    }
+
+    /// The divergence delta distances are evaluated under.
+    pub fn kind(&self) -> DivergenceKind {
+        self.kind
+    }
+
+    /// Dimensionality of the rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points in the static backend underneath.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of delta rows, live and tombstoned alike (the append-only
+    /// log length).
+    pub fn delta_rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of live points across backend and delta.
+    pub fn live_len(&self) -> usize {
+        self.base_len - self.base_tombstones + self.ids.len()
+            - (self.tombstones.len() - self.base_tombstones)
+    }
+
+    /// How many tombstones fall on backend points.
+    pub fn base_tombstone_count(&self) -> usize {
+        self.base_tombstones
+    }
+
+    /// Number of tombstoned ids (backend and delta combined).
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// The next external id [`DeltaSegment::insert`] will issue.
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Whether queries through this delta are indistinguishable from
+    /// queries against the bare backend: no rows, no tombstones, identity
+    /// id mapping.
+    pub fn is_trivial(&self) -> bool {
+        self.ids.is_empty() && self.tombstones.is_empty() && self.base_ids.is_none()
+    }
+
+    /// Whether a compaction would change the backend (pending rows or
+    /// tombstones exist).
+    pub fn has_pending_writes(&self) -> bool {
+        !self.ids.is_empty() || !self.tombstones.is_empty()
+    }
+
+    /// Append one row, issuing its external id.
+    ///
+    /// The row must match the delta's dimensionality and lie in the
+    /// divergence's domain (e.g. strictly positive under Itakura-Saito) —
+    /// violations are typed errors, nothing is appended.
+    pub fn insert(&mut self, row: &[f64]) -> Result<PointId> {
+        if row.len() != self.dim {
+            return Err(CoreError::QueryDimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
+        }
+        if let Some(&value) = row.iter().find(|&&v| !self.kind.in_domain_vec(&[v])) {
+            return Err(CoreError::Bregman(BregmanError::OutOfDomain {
+                divergence: self.kind.short_name(),
+                value,
+            }));
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.checked_add(1).ok_or_else(|| {
+            CoreError::Persist("the u32 external id space is exhausted".to_string())
+        })?;
+        self.ids.push(id);
+        self.rows.extend_from_slice(row);
+        self.phis.push(self.kind.phi_sum(row));
+        Ok(PointId(id))
+    }
+
+    /// Tombstone a live point (backend or delta). Returns `true` if the id
+    /// was live, `false` if it was already deleted or never issued —
+    /// deletes are idempotent, not errors.
+    pub fn delete(&mut self, id: PointId) -> bool {
+        let external = id.0;
+        let on_base = self.base_index_of(external).is_some();
+        if !on_base && self.delta_index_of(external).is_none() {
+            return false;
+        }
+        if !self.tombstones.insert(external) {
+            return false;
+        }
+        if on_base {
+            self.base_tombstones += 1;
+        }
+        true
+    }
+
+    /// Whether the external id refers to a live point.
+    pub fn is_live(&self, id: PointId) -> bool {
+        !self.tombstones.contains(&id.0)
+            && (self.base_index_of(id.0).is_some() || self.delta_index_of(id.0).is_some())
+    }
+
+    /// External id of the backend-internal point `internal`.
+    pub fn external_of(&self, internal: usize) -> PointId {
+        match &self.base_ids {
+            None => PointId(internal as u32),
+            Some(ids) => PointId(ids[internal]),
+        }
+    }
+
+    /// Backend-internal index of an external id, if it names a backend
+    /// point.
+    fn base_index_of(&self, external: u32) -> Option<usize> {
+        match &self.base_ids {
+            None => ((external as usize) < self.base_len).then_some(external as usize),
+            Some(ids) => ids.binary_search(&external).ok(),
+        }
+    }
+
+    /// Delta row index of an external id, if it names a delta row.
+    fn delta_index_of(&self, external: u32) -> Option<usize> {
+        self.ids.binary_search(&external).ok()
+    }
+
+    /// Live backend points as `(internal, external)` pairs, in internal
+    /// (= ascending external) order.
+    pub fn live_base_entries(&self) -> impl Iterator<Item = (usize, PointId)> + '_ {
+        (0..self.base_len).filter_map(move |internal| {
+            let external = self.external_of(internal);
+            (!self.tombstones.contains(&external.0)).then_some((internal, external))
+        })
+    }
+
+    /// Live delta rows as `(external id, Φ(x), coordinates)`, in ascending
+    /// id order — the exact-scan input of the query-time merge.
+    pub fn live_delta_rows(&self) -> impl Iterator<Item = (PointId, f64, &[f64])> + '_ {
+        self.ids.iter().enumerate().filter(|(_, id)| !self.tombstones.contains(id)).map(
+            move |(i, &id)| {
+                (PointId(id), self.phis[i], &self.rows[i * self.dim..(i + 1) * self.dim])
+            },
+        )
+    }
+
+    /// Serialize into the sealed [`DELTA_FILE`] payload (magic
+    /// [`DELTA_MAGIC`], version [`DELTA_VERSION`], FNV-1a checksummed — see
+    /// [`pagestore::format`]).
+    pub fn to_log_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(self.kind.short_name());
+        w.put_usize(self.dim);
+        w.put_usize(self.base_len);
+        match &self.base_ids {
+            None => w.put_u8(0),
+            Some(ids) => {
+                w.put_u8(1);
+                w.put_u32_seq(ids);
+            }
+        }
+        w.put_u32(self.next_id);
+        w.put_u32_seq(&self.ids);
+        w.put_f64_seq(&self.rows);
+        let tombstones: Vec<u32> = self.tombstones.iter().copied().collect();
+        w.put_u32_seq(&tombstones);
+        seal(&DELTA_MAGIC, DELTA_VERSION, &w.into_vec())
+    }
+
+    /// Replay a sealed delta log against the backend it was saved with.
+    ///
+    /// Every structural invariant is re-validated — divergence, row
+    /// dimensionality and backend size must match the opened backend, the
+    /// id mapping and row ids must be strictly increasing and below the
+    /// issue counter, and every tombstone must name a known id — so a
+    /// corrupted, truncated or foreign log is a descriptive error, never a
+    /// wrong answer. Row `Φ` sums are recomputed, not trusted.
+    pub fn from_log_bytes(
+        bytes: &[u8],
+        kind: DivergenceKind,
+        dim: usize,
+        base_len: usize,
+    ) -> Result<DeltaSegment> {
+        let payload = unseal(&DELTA_MAGIC, DELTA_VERSION, bytes)?;
+        let mut r = ByteReader::new(payload);
+
+        let kind_name = r.take_str()?;
+        let found_kind = DivergenceKind::parse(&kind_name)
+            .map_err(|_| corrupt(format!("unknown divergence kind {kind_name:?}")))?;
+        if found_kind != kind {
+            return Err(corrupt(format!(
+                "delta log was written under divergence {}, index uses {}",
+                found_kind.short_name(),
+                kind.short_name()
+            )));
+        }
+        let found_dim = r.take_usize()?;
+        if found_dim != dim {
+            return Err(corrupt(format!(
+                "delta rows are {found_dim}-dimensional, index is {dim}-dimensional"
+            )));
+        }
+        let found_base = r.take_usize()?;
+        if found_base != base_len {
+            return Err(corrupt(format!(
+                "delta log describes a backend of {found_base} points, directory holds {base_len}"
+            )));
+        }
+        let base_ids = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let ids = r.take_u32_seq()?;
+                if ids.len() != base_len {
+                    return Err(corrupt(format!(
+                        "id mapping covers {} points, backend holds {base_len}",
+                        ids.len()
+                    )));
+                }
+                Some(ids)
+            }
+            tag => return Err(corrupt(format!("unknown id-mapping tag {tag}"))),
+        };
+        let next_id = r.take_u32()?;
+        let ids = r.take_u32_seq()?;
+        let rows = r.take_f64_seq()?;
+        let tombstone_list = r.take_u32_seq()?;
+        r.expect_end()?;
+
+        if let Some(mapping) = &base_ids {
+            if !mapping.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("id mapping is not strictly increasing".to_string()));
+            }
+        }
+        if rows.len() != ids.len() * dim {
+            return Err(corrupt(format!(
+                "{} delta ids but {} coordinates for dimension {dim}",
+                ids.len(),
+                rows.len()
+            )));
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("delta row ids are not strictly increasing".to_string()));
+        }
+
+        let mut delta = DeltaSegment {
+            kind,
+            dim,
+            base_len,
+            base_ids,
+            next_id,
+            ids,
+            rows,
+            phis: Vec::new(),
+            tombstones: BTreeSet::new(),
+            base_tombstones: 0,
+        };
+        for &id in &delta.ids {
+            if id >= next_id {
+                return Err(corrupt(format!(
+                    "delta row id {id} is at or beyond the issue counter {next_id}"
+                )));
+            }
+            if delta.base_index_of(id).is_some() {
+                return Err(corrupt(format!("delta row id {id} collides with a backend point")));
+            }
+        }
+        if delta.base_ids.as_ref().is_some_and(|m| m.last().is_some_and(|&last| last >= next_id))
+            || (delta.base_ids.is_none() && base_len > next_id as usize)
+        {
+            return Err(corrupt(format!("backend ids exceed the issue counter {next_id}")));
+        }
+        for i in 0..delta.ids.len() {
+            let row = &delta.rows[i * dim..(i + 1) * dim];
+            if !kind.in_domain_vec(row) {
+                return Err(corrupt(format!(
+                    "delta row {} lies outside the domain of {}",
+                    delta.ids[i],
+                    kind.short_name()
+                )));
+            }
+            delta.phis.push(kind.phi_sum(row));
+        }
+        for id in tombstone_list {
+            let on_base = delta.base_index_of(id).is_some();
+            if !on_base && delta.delta_index_of(id).is_none() {
+                return Err(corrupt(format!("tombstone {id} names no backend or delta point")));
+            }
+            if !delta.tombstones.insert(id) {
+                return Err(corrupt(format!("tombstone {id} appears twice")));
+            }
+            if on_base {
+                delta.base_tombstones += 1;
+            }
+        }
+        Ok(delta)
+    }
+}
+
+fn corrupt(message: String) -> CoreError {
+    CoreError::from(PersistError::Corrupt(format!("delta log: {message}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment() -> DeltaSegment {
+        DeltaSegment::new(DivergenceKind::ItakuraSaito, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn insert_issues_monotone_ids_and_tracks_liveness() {
+        let mut delta = segment();
+        assert!(delta.is_trivial());
+        assert_eq!(delta.live_len(), 3);
+        let a = delta.insert(&[1.0, 2.0]).unwrap();
+        let b = delta.insert(&[3.0, 4.0]).unwrap();
+        assert_eq!((a.0, b.0), (3, 4));
+        assert_eq!(delta.live_len(), 5);
+        assert!(delta.is_live(a));
+        assert!(delta.is_live(PointId(0)));
+        assert!(!delta.is_live(PointId(9)));
+        assert!(!delta.is_trivial());
+        let rows: Vec<_> = delta.live_delta_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, a);
+        assert_eq!(rows[0].2, &[1.0, 2.0]);
+        assert!((rows[0].1 - DivergenceKind::ItakuraSaito.phi_sum(&[1.0, 2.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_validates_dimensionality_and_domain() {
+        let mut delta = segment();
+        assert!(matches!(
+            delta.insert(&[1.0]),
+            Err(CoreError::QueryDimensionMismatch { expected: 2, actual: 1 })
+        ));
+        // Itakura-Saito requires strictly positive coordinates.
+        assert!(matches!(
+            delta.insert(&[1.0, -2.0]),
+            Err(CoreError::Bregman(BregmanError::OutOfDomain { .. }))
+        ));
+        assert_eq!(delta.delta_rows(), 0, "failed inserts append nothing");
+    }
+
+    #[test]
+    fn deletes_are_idempotent_and_split_by_side() {
+        let mut delta = segment();
+        let inserted = delta.insert(&[1.0, 2.0]).unwrap();
+        assert!(delta.delete(PointId(1)), "backend point");
+        assert!(!delta.delete(PointId(1)), "already tombstoned");
+        assert!(delta.delete(inserted), "delta row");
+        assert!(!delta.delete(PointId(77)), "never issued");
+        assert_eq!(delta.base_tombstone_count(), 1);
+        assert_eq!(delta.tombstone_count(), 2);
+        assert_eq!(delta.live_len(), 2);
+        assert_eq!(delta.live_base_entries().count(), 2);
+        assert_eq!(delta.live_delta_rows().count(), 0);
+    }
+
+    #[test]
+    fn rebased_mapping_translates_internal_ids() {
+        let delta =
+            DeltaSegment::rebased(DivergenceKind::ItakuraSaito, 2, vec![0, 2, 5], 6).unwrap();
+        assert_eq!(delta.base_len(), 3);
+        assert_eq!(delta.external_of(1), PointId(2));
+        assert!(delta.is_live(PointId(5)));
+        assert!(!delta.is_live(PointId(1)), "id 1 was compacted away");
+        assert!(!delta.is_trivial(), "a non-identity mapping must route through the overlay");
+        // A contiguous mapping collapses to the identity.
+        let identity =
+            DeltaSegment::rebased(DivergenceKind::ItakuraSaito, 2, vec![0, 1, 2], 3).unwrap();
+        assert!(identity.is_trivial());
+        // Invalid mappings are rejected.
+        assert!(DeltaSegment::rebased(DivergenceKind::ItakuraSaito, 2, vec![2, 1], 6).is_err());
+        assert!(DeltaSegment::rebased(DivergenceKind::ItakuraSaito, 2, vec![0, 9], 6).is_err());
+    }
+
+    #[test]
+    fn log_roundtrip_preserves_everything() {
+        let mut delta =
+            DeltaSegment::rebased(DivergenceKind::Exponential, 2, vec![0, 2, 5], 7).unwrap();
+        let a = delta.insert(&[1.0, -2.0]).unwrap();
+        delta.insert(&[0.5, 0.25]).unwrap();
+        delta.delete(PointId(2));
+        delta.delete(a);
+        let bytes = delta.to_log_bytes();
+        let restored =
+            DeltaSegment::from_log_bytes(&bytes, DivergenceKind::Exponential, 2, 3).unwrap();
+        assert_eq!(restored, delta);
+    }
+
+    #[test]
+    fn log_rejects_mismatches_and_corruption() {
+        let mut delta = segment();
+        delta.insert(&[1.0, 2.0]).unwrap();
+        delta.delete(PointId(0));
+        let bytes = delta.to_log_bytes();
+
+        let err = |e: CoreError| e.to_string();
+        // Wrong divergence, dimensionality, backend size.
+        let e =
+            DeltaSegment::from_log_bytes(&bytes, DivergenceKind::Exponential, 2, 3).unwrap_err();
+        assert!(err(e).contains("divergence"), "kind mismatch must be descriptive");
+        let e =
+            DeltaSegment::from_log_bytes(&bytes, DivergenceKind::ItakuraSaito, 3, 3).unwrap_err();
+        assert!(err(e).contains("dimensional"));
+        let e =
+            DeltaSegment::from_log_bytes(&bytes, DivergenceKind::ItakuraSaito, 2, 9).unwrap_err();
+        assert!(err(e).contains("backend"));
+
+        // Flipped payload byte fails the checksum; truncation is corrupt.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(DeltaSegment::from_log_bytes(&flipped, DivergenceKind::ItakuraSaito, 2, 3).is_err());
+        let truncated = &bytes[..bytes.len() - 5];
+        assert!(
+            DeltaSegment::from_log_bytes(truncated, DivergenceKind::ItakuraSaito, 2, 3).is_err()
+        );
+    }
+
+    #[test]
+    fn log_rejects_semantic_corruption() {
+        // A delta row id colliding with a backend point.
+        let mut delta = segment();
+        delta.insert(&[1.0, 2.0]).unwrap();
+        let mut hostile = delta.clone();
+        hostile.ids[0] = 1; // collides with backend id 1
+        let bytes = hostile.to_log_bytes();
+        let e = DeltaSegment::from_log_bytes(&bytes, DivergenceKind::ItakuraSaito, 2, 3)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("collides"), "{e}");
+
+        // A tombstone naming no known point.
+        let mut hostile = delta.clone();
+        hostile.tombstones.insert(99);
+        let bytes = hostile.to_log_bytes();
+        let e = DeltaSegment::from_log_bytes(&bytes, DivergenceKind::ItakuraSaito, 2, 3)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("tombstone"), "{e}");
+
+        // A row outside the divergence domain.
+        let mut hostile = delta.clone();
+        hostile.rows[1] = -4.0;
+        let bytes = hostile.to_log_bytes();
+        let e = DeltaSegment::from_log_bytes(&bytes, DivergenceKind::ItakuraSaito, 2, 3)
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("domain"), "{e}");
+    }
+}

@@ -52,6 +52,7 @@ pub mod approximate;
 pub mod bbforest;
 pub mod bound;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod partition;
 pub mod persist;
@@ -63,6 +64,7 @@ pub use approximate::{ApproximateConfig, NormalDistribution};
 pub use bbforest::BBForest;
 pub use bound::{upper_bound_from_components, QueryBounds};
 pub use config::{BrePartitionConfig, PartitionCount, PartitionStrategy};
+pub use delta::DeltaSegment;
 pub use error::{CoreError, Result};
 pub use partition::{optimal_m::CostModel, Partitioning};
 pub use search::{BrePartitionIndex, QueryResult};

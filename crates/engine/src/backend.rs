@@ -119,6 +119,30 @@ pub trait SearchBackend: Send + Sync {
         let _ = dir;
         Err(EngineError::Backend(format!("backend {} does not support persistence", self.name())))
     }
+
+    /// Export every indexed point's full-resolution coordinates, ordered by
+    /// backend-internal id — the maintenance path compaction uses to
+    /// rebuild an index from its live set. The default implementation
+    /// reports the backend as non-exportable; every disk-backed adapter in
+    /// this module overrides it by draining its page store.
+    fn export_rows(&self) -> Result<DenseDataset, EngineError> {
+        Err(EngineError::Backend(format!("backend {} does not support row export", self.name())))
+    }
+}
+
+/// Drain a page store into a dense dataset, ordered by point id.
+fn export_store_rows(store: &pagestore::PageStore) -> Result<DenseDataset, EngineError> {
+    let dim = store.dim();
+    let mut flat = vec![0.0; store.point_count() * dim];
+    store
+        .for_each_point(&mut |pid, coords| {
+            let i = pid as usize;
+            flat[i * dim..(i + 1) * dim].copy_from_slice(coords);
+        })
+        .map_err(|pid| {
+            EngineError::Backend(format!("point {pid} has no address in the page file"))
+        })?;
+    DenseDataset::from_flat(dim, flat).map_err(|e| EngineError::Backend(e.to_string()))
 }
 
 /// Reject every option the calling backend does not support.
@@ -258,6 +282,10 @@ impl SearchBackend for BrePartitionBackend {
     fn save(&self, dir: &Path) -> Result<(), EngineError> {
         self.index.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
     }
+
+    fn export_rows(&self) -> Result<DenseDataset, EngineError> {
+        export_store_rows(self.index.forest().store())
+    }
 }
 
 /// The disk-resident BB-tree baseline ("BBT") behind the trait.
@@ -394,6 +422,10 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
     fn save(&self, dir: &Path) -> Result<(), EngineError> {
         self.tree.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
     }
+
+    fn export_rows(&self) -> Result<DenseDataset, EngineError> {
+        export_store_rows(self.tree.store())
+    }
 }
 
 /// The VA-file baseline ("VAF") behind the trait.
@@ -495,6 +527,10 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for VaFileBackend<B> {
 
     fn save(&self, dir: &Path) -> Result<(), EngineError> {
         self.file.save(dir).map_err(|e| EngineError::Backend(e.to_string()))
+    }
+
+    fn export_rows(&self) -> Result<DenseDataset, EngineError> {
+        export_store_rows(self.file.store())
     }
 }
 

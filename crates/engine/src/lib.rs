@@ -19,6 +19,11 @@
 //!   `(queries, k)` pairs ([`QueryEngine::run_batch`]) or as per-query
 //!   [`EngineRequest`]s carrying their own `k` and [`QueryOptions`]
 //!   ([`QueryEngine::run_requests`]) over borrowed rows.
+//! * [`DeltaOverlayBackend`] — online mutability for batch serving: a
+//!   [`SearchBackend`] that merges a static backend with a frozen snapshot
+//!   of a [`DeltaSegment`](brepartition_core::DeltaSegment) (inserted rows
+//!   scanned exactly, tombstones filtering both sides), so every query in a
+//!   batch sees the same consistent view of the mutable index.
 //! * [`ThroughputReport`] — QPS, latency percentiles (p50/p95/p99),
 //!   candidate counts and physical I/O aggregated over the batch, the
 //!   numbers a serving deployment is tuned against; serializable to stable
@@ -63,6 +68,7 @@ pub mod backend;
 #[allow(clippy::module_inception)]
 pub mod engine;
 pub mod error;
+pub mod overlay;
 pub mod report;
 pub mod request;
 
@@ -71,6 +77,7 @@ pub use backend::{
 };
 pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
 pub use error::EngineError;
+pub use overlay::DeltaOverlayBackend;
 pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
 pub use request::{EngineRequest, QueryOptions};
 

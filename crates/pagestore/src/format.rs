@@ -2,7 +2,7 @@
 //! artifact in the workspace.
 //!
 //! Each saved artifact (page file, BB-tree, VA-file metadata, BrePartition
-//! index metadata) is a *sealed envelope*:
+//! index metadata, spec envelope, delta log) is a *sealed envelope*:
 //!
 //! ```text
 //! offset  size  field

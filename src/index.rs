@@ -19,20 +19,40 @@
 //! [`pagestore::format`]) holding the full [`IndexSpec`]. [`Index::open`]
 //! reads that envelope first, so the caller never names a method or
 //! divergence — the directory says what it holds — and a directory whose
-//! artifacts disagree with its envelope (or that has no envelope at all)
+//! artifacts disagree with its envelope (or that has no envelope at all),
+//! or that contains entries no backend of the spec's method would write,
 //! fails with a descriptive [`Error`] instead of a decode panic.
+//!
+//! # Online mutability (the delta layer)
+//!
+//! Every backend is built from a static snapshot, so writes are absorbed by
+//! a [`DeltaSegment`] riding on the index — LSM-style: [`Index::insert`]
+//! appends to an exact side segment, [`Index::delete`] tombstones, queries
+//! merge the backend's kNN with an exact prepared-kernel scan of the delta
+//! (tombstones filter both sides), and [`Index::compact`] folds the live
+//! set back into a freshly built backend through the same registry as
+//! [`Index::build`]. External ids are stable across compactions: the delta
+//! carries the backend-internal → external id mapping, and an id, once
+//! issued, is never reused. [`Index::save`] persists the delta as a sealed
+//! [`DELTA_FILE`] log next to the spec envelope; [`Index::open`] replays it
+//! (an absent log is an empty delta, so pre-mutability directories stay
+//! readable). Batch serving sees a *consistent snapshot per batch*: the
+//! serving handle returned by [`Index::backend`] (and used by
+//! [`Index::run`]) freezes the delta at construction, so writes become
+//! visible at the next batch boundary, never in the middle of one.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use bregman::{
     DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
-    SquaredEuclidean,
+    PointId, SquaredEuclidean,
 };
-use brepartition_core::BrePartitionIndex;
+pub use brepartition_core::delta::DELTA_FILE;
+use brepartition_core::{BrePartitionIndex, CoreError, DeltaSegment};
 use brepartition_engine::{
-    BBTreeBackend, BatchResult, BrePartitionBackend, EngineConfig, QueryEngine, QueryOutcome,
-    SearchBackend, VaFileBackend,
+    BBTreeBackend, BatchResult, BrePartitionBackend, DeltaOverlayBackend, EngineConfig,
+    QueryEngine, QueryOutcome, SearchBackend, VaFileBackend,
 };
 use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError};
 
@@ -52,12 +72,25 @@ pub const SPEC_FILE: &str = "spec.meta";
 type BuildFn = fn(&IndexSpec, &DenseDataset) -> Result<Arc<dyn SearchBackend>>;
 type OpenFn = fn(&IndexSpec, &Path) -> Result<Arc<dyn SearchBackend>>;
 
-/// One `(Method, DivergenceKind)` pair's constructors.
+/// Files the BrePartition-family backends write into an index directory.
+const BRE_ARTIFACTS: &[&str] =
+    &[brepartition_core::persist::META_FILE, brepartition_core::persist::PAGES_FILE];
+/// Files the BBT baseline writes into an index directory.
+const BBT_ARTIFACTS: &[&str] =
+    &[bbtree::disk::TREE_FILE, bbtree::disk::PAGES_FILE, bbtree::disk::PHI_FILE];
+/// Files the VA-file baseline writes into an index directory.
+const VAF_ARTIFACTS: &[&str] = &[vafile::search::META_FILE, vafile::search::PAGES_FILE];
+
+/// One `(Method, DivergenceKind)` pair's constructors, plus the artifact
+/// files its `save` path writes (the allowlist `Index::open` enforces —
+/// kept next to the constructors so a backend growing a new artifact
+/// cannot drift apart from the directory check).
 struct RegistryEntry {
     method: Method,
     divergence: DivergenceKind,
     build: BuildFn,
     open: OpenFn,
+    artifacts: &'static [&'static str],
 }
 
 /// Build a BrePartition-family backend (exact or approximate per the spec).
@@ -146,31 +179,35 @@ fn backend_open_error(method: &str, e: brepartition_engine::EngineError) -> Erro
 
 /// One registry row per divergence for a divergence-generic method.
 macro_rules! per_divergence {
-    ($method:expr, $build:ident, $open:ident) => {
+    ($method:expr, $build:ident, $open:ident, $artifacts:expr) => {
         [
             RegistryEntry {
                 method: $method,
                 divergence: DivergenceKind::SquaredEuclidean,
                 build: $build::<SquaredEuclidean>,
                 open: $open::<SquaredEuclidean>,
+                artifacts: $artifacts,
             },
             RegistryEntry {
                 method: $method,
                 divergence: DivergenceKind::ItakuraSaito,
                 build: $build::<ItakuraSaito>,
                 open: $open::<ItakuraSaito>,
+                artifacts: $artifacts,
             },
             RegistryEntry {
                 method: $method,
                 divergence: DivergenceKind::Exponential,
                 build: $build::<Exponential>,
                 open: $open::<Exponential>,
+                artifacts: $artifacts,
             },
             RegistryEntry {
                 method: $method,
                 divergence: DivergenceKind::GeneralizedI,
                 build: $build::<GeneralizedI>,
                 open: $open::<GeneralizedI>,
+                artifacts: $artifacts,
             },
         ]
     };
@@ -186,12 +223,13 @@ fn registry() -> [RegistryEntry; 16] {
             divergence,
             build: build_bre,
             open: open_bre,
+            artifacts: BRE_ARTIFACTS,
         })
     };
     let [a0, a1, a2, a3] = bre(Method::BrePartition);
     let [b0, b1, b2, b3] = bre(Method::Approximate);
-    let [c0, c1, c2, c3] = per_divergence!(Method::BBTree, build_bbt, open_bbt);
-    let [d0, d1, d2, d3] = per_divergence!(Method::VaFile, build_vaf, open_vaf);
+    let [c0, c1, c2, c3] = per_divergence!(Method::BBTree, build_bbt, open_bbt, BBT_ARTIFACTS);
+    let [d0, d1, d2, d3] = per_divergence!(Method::VaFile, build_vaf, open_vaf, VAF_ARTIFACTS);
     [a0, a1, a2, a3, b0, b1, b2, b3, c0, c1, c2, c3, d0, d1, d2, d3]
 }
 
@@ -230,10 +268,17 @@ fn registry_entry(method: Method, divergence: DivergenceKind) -> Result<Registry
 /// # Ok(())
 /// # }
 /// ```
+/// Cloning an `Index` is cheap on the backend side (shared behind an
+/// [`Arc`]) but snapshots the mutable delta: the clones' inserts and
+/// deletes diverge from that point on.
 #[derive(Clone)]
 pub struct Index {
     spec: IndexSpec,
     backend: Arc<dyn SearchBackend>,
+    /// Copy-on-write: serving snapshots share this `Arc`; a mutation after
+    /// a snapshot was taken clones the segment once (`Arc::make_mut`), so
+    /// snapshotting itself is a refcount bump, never an O(delta) copy.
+    delta: Arc<DeltaSegment>,
 }
 
 impl std::fmt::Debug for Index {
@@ -241,8 +286,10 @@ impl std::fmt::Debug for Index {
         f.debug_struct("Index")
             .field("spec", &self.spec)
             .field("backend", &self.backend.name())
-            .field("len", &self.backend.len())
+            .field("len", &self.len())
             .field("dim", &self.backend.dim())
+            .field("delta_rows", &self.delta.delta_rows())
+            .field("tombstones", &self.delta.tombstone_count())
             .finish()
     }
 }
@@ -256,7 +303,9 @@ impl Index {
         spec.validate()?;
         let entry = registry_entry(spec.method, spec.divergence)?;
         let backend = (entry.build)(spec, data)?;
-        Ok(Index { spec: *spec, backend })
+        let delta = DeltaSegment::new(spec.divergence, backend.dim(), backend.len())
+            .map_err(Error::Core)?;
+        Ok(Index { spec: *spec, backend, delta: Arc::new(delta) })
     }
 
     /// Open an index directory written by [`Index::save`].
@@ -264,26 +313,48 @@ impl Index {
     /// The directory is self-describing: the spec envelope ([`SPEC_FILE`])
     /// names the method and divergence, so no caller-side dispatch is
     /// needed. A directory without an envelope (e.g. one written by a
-    /// backend-level `save` call), or whose artifacts disagree with its
-    /// envelope, fails with a descriptive error.
+    /// backend-level `save` call), whose artifacts disagree with its
+    /// envelope, or that holds entries no backend of the spec's method
+    /// writes (a foreign file dropped into the directory), fails with a
+    /// descriptive error. The delta log ([`DELTA_FILE`]) is replayed if
+    /// present; its absence means an empty delta, so directories written
+    /// before the mutability layer stay readable.
     pub fn open(dir: &Path) -> Result<Index> {
         let spec = read_spec(dir)?;
         // The envelope itself round-trips through the same validation as a
         // caller-constructed spec.
         spec.validate()?;
         let entry = registry_entry(spec.method, spec.divergence)?;
+        check_directory_entries(dir, &spec, entry.artifacts)?;
         let backend = (entry.open)(&spec, dir)?;
-        Ok(Index { spec, backend })
+        let delta = match std::fs::read(dir.join(DELTA_FILE)) {
+            Ok(bytes) => {
+                DeltaSegment::from_log_bytes(&bytes, spec.divergence, backend.dim(), backend.len())
+                    .map_err(Error::Core)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                DeltaSegment::new(spec.divergence, backend.dim(), backend.len())
+                    .map_err(Error::Core)?
+            }
+            Err(e) => return Err(Error::Persist(PersistError::Io(e))),
+        };
+        Ok(Index { spec, backend, delta: Arc::new(delta) })
     }
 
-    /// Persist the index (backend artifacts + spec envelope) to `dir`,
-    /// creating it if needed.
+    /// Persist the index (backend artifacts + spec envelope + delta log)
+    /// to `dir`, creating it if needed.
+    ///
+    /// The delta log captures pending inserts and tombstones verbatim —
+    /// saving does *not* compact, so a reopened index resumes with the
+    /// exact same live set, id mapping and issue counter.
     pub fn save(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir).map_err(PersistError::from)?;
         self.backend.save(dir)?;
         let mut w = ByteWriter::new();
         self.spec.write_to(&mut w);
         std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, SPEC_VERSION, &w.into_vec()))
+            .map_err(PersistError::from)?;
+        std::fs::write(dir.join(DELTA_FILE), self.delta.to_log_bytes())
             .map_err(PersistError::from)?;
         Ok(())
     }
@@ -303,14 +374,15 @@ impl Index {
         self.spec.divergence
     }
 
-    /// Number of indexed points.
+    /// Number of **live** points: backend points minus tombstones plus
+    /// live delta rows.
     pub fn len(&self) -> usize {
-        self.backend.len()
+        self.delta.live_len()
     }
 
-    /// Whether the index holds no points.
+    /// Whether the index holds no live points.
     pub fn is_empty(&self) -> bool {
-        self.backend.is_empty()
+        self.len() == 0
     }
 
     /// Dimensionality of the indexed points.
@@ -318,28 +390,146 @@ impl Index {
         self.backend.dim()
     }
 
-    /// The backend as an engine-ready handle (for callers composing their
-    /// own [`QueryEngine`]).
-    pub fn backend(&self) -> Arc<dyn SearchBackend> {
-        Arc::clone(&self.backend)
+    /// The mutable delta layer riding on the backend (inspection only; use
+    /// [`Index::insert`] / [`Index::delete`] / [`Index::compact`] to
+    /// change it).
+    pub fn delta(&self) -> &DeltaSegment {
+        &self.delta
     }
 
-    /// A batch engine over this index with explicit configuration.
+    /// Append one point, returning its stable external id.
+    ///
+    /// The write lands in the delta segment — no backend rebuild — and is
+    /// visible to every query and batch issued *after* this call (batches
+    /// already running keep their snapshot). The row must match the
+    /// index's dimensionality and the divergence's domain.
+    ///
+    /// ```
+    /// use brepartition::{Index, IndexSpec, QueryRequest};
+    /// use brepartition::bregman::{DenseDataset, DivergenceKind};
+    ///
+    /// # fn main() -> brepartition::Result<()> {
+    /// let rows: Vec<Vec<f64>> =
+    ///     (0..32).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
+    /// let data = DenseDataset::from_rows(&rows).unwrap();
+    /// let mut index =
+    ///     Index::build(&IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), &data)?;
+    ///
+    /// let id = index.insert(&[100.0, 100.0])?;
+    /// assert_eq!(index.len(), 33);
+    /// let hit = index.query(&QueryRequest::new(&[99.0, 99.0], 1))?;
+    /// assert_eq!(hit.neighbors[0].0, id); // the insert is immediately searchable
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn insert(&mut self, row: &[f64]) -> Result<PointId> {
+        Ok(Arc::make_mut(&mut self.delta).insert(row)?)
+    }
+
+    /// Tombstone a live point (backend-resident or freshly inserted).
+    ///
+    /// Returns `Ok(true)` if the id was live, `Ok(false)` if it was
+    /// already deleted or never issued — deletes are idempotent. The point
+    /// stops appearing in query results immediately; its storage is
+    /// reclaimed by the next [`Index::compact`].
+    ///
+    /// ```
+    /// use brepartition::{Index, IndexSpec};
+    /// use brepartition::bregman::{DenseDataset, DivergenceKind, PointId};
+    ///
+    /// # fn main() -> brepartition::Result<()> {
+    /// let rows: Vec<Vec<f64>> =
+    ///     (0..32).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
+    /// let data = DenseDataset::from_rows(&rows).unwrap();
+    /// let mut index =
+    ///     Index::build(&IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), &data)?;
+    ///
+    /// assert_eq!(index.delete(PointId(7))?, true); // a backend point
+    /// assert_eq!(index.delete(PointId(7))?, false); // idempotent
+    /// assert_eq!(index.len(), 31);
+    /// index.compact()?; // fold the tombstone into a rebuilt backend
+    /// assert_eq!(index.len(), 31);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn delete(&mut self, id: PointId) -> Result<bool> {
+        Ok(Arc::make_mut(&mut self.delta).delete(id))
+    }
+
+    /// Fold the delta into the backend: rebuild the index over the live
+    /// set (through the same `(Method, DivergenceKind)` registry as
+    /// [`Index::build`], under the same spec) and reset the delta.
+    ///
+    /// External ids survive compaction — the new delta carries the
+    /// internal → external mapping and the id issue counter — so ids held
+    /// by callers keep resolving to the same points. A no-op when nothing
+    /// is pending. Compacting away every live point is an error (no
+    /// backend can be built over an empty dataset); the index is left
+    /// unchanged.
+    pub fn compact(&mut self) -> Result<()> {
+        if !self.delta.has_pending_writes() {
+            return Ok(());
+        }
+        let dim = self.backend.dim();
+        let base = self.backend.export_rows()?;
+        let mut flat: Vec<f64> = Vec::with_capacity(self.delta.live_len() * dim);
+        let mut ids: Vec<u32> = Vec::with_capacity(self.delta.live_len());
+        for (internal, external) in self.delta.live_base_entries() {
+            flat.extend_from_slice(base.row(internal));
+            ids.push(external.0);
+        }
+        for (id, _phi, row) in self.delta.live_delta_rows() {
+            flat.extend_from_slice(row);
+            ids.push(id.0);
+        }
+        if ids.is_empty() {
+            return Err(Error::Core(CoreError::EmptyDataset));
+        }
+        let live = DenseDataset::from_flat(dim, flat).map_err(CoreError::from)?;
+        let entry = registry_entry(self.spec.method, self.spec.divergence)?;
+        let backend = (entry.build)(&self.spec, &live)?;
+        self.delta = Arc::new(
+            DeltaSegment::rebased(self.spec.divergence, dim, ids, self.delta.next_id())
+                .map_err(Error::Core)?,
+        );
+        self.backend = backend;
+        Ok(())
+    }
+
+    /// The serving handle: an engine-ready backend over a **consistent
+    /// snapshot** of this index (for callers composing their own
+    /// [`QueryEngine`]).
+    ///
+    /// With no pending writes this is the bare backend; otherwise it is a
+    /// [`DeltaOverlayBackend`] holding a frozen copy of the delta, so a
+    /// batch served through it never observes a concurrent insert or
+    /// delete mid-flight. Call again after mutating to pick up the new
+    /// state.
+    pub fn backend(&self) -> Arc<dyn SearchBackend> {
+        if self.delta.is_trivial() {
+            Arc::clone(&self.backend)
+        } else {
+            Arc::new(
+                DeltaOverlayBackend::new(Arc::clone(&self.backend), Arc::clone(&self.delta))
+                    .expect("the delta segment always matches the backend it was built against"),
+            )
+        }
+    }
+
+    /// A batch engine over a snapshot of this index with explicit
+    /// configuration (see [`Index::backend`] for the snapshot semantics).
     pub fn engine(&self, config: EngineConfig) -> Result<QueryEngine> {
         Ok(QueryEngine::with_config(self.backend(), config)?)
     }
 
     /// Answer one query (fresh scratch state, no worker pool).
     pub fn query(&self, request: &QueryRequest<'_>) -> Result<QueryOutcome> {
-        let mut scratch = self.backend.new_scratch();
+        let backend = self.backend();
+        let mut scratch = backend.new_scratch();
         let lowered = request.as_engine_request();
         let started = std::time::Instant::now();
-        let answer = self.backend.knn_with_options(
-            &mut scratch,
-            lowered.query,
-            lowered.k,
-            &lowered.options,
-        )?;
+        let answer =
+            backend.knn_with_options(&mut scratch, lowered.query, lowered.k, &lowered.options)?;
         Ok(QueryOutcome {
             neighbors: answer.neighbors,
             candidates: answer.candidates,
@@ -359,6 +549,35 @@ impl Index {
         let engine = self.engine(config)?;
         Ok(engine.run_requests(&request.as_engine_requests())?)
     }
+}
+
+/// Reject directory entries no backend of the spec's method writes.
+///
+/// A foreign file in an index directory means the directory is not (only)
+/// what its envelope claims — e.g. two indexes saved into one directory, or
+/// stray artifacts from another tool. Opening such a directory would
+/// silently ignore the foreign data today and mis-read it the day a backend
+/// grows a new artifact with that name, so it is rejected descriptively up
+/// front.
+fn check_directory_entries(dir: &Path, spec: &IndexSpec, artifacts: &[&str]) -> Result<()> {
+    for entry in std::fs::read_dir(dir).map_err(PersistError::from)? {
+        let entry = entry.map_err(PersistError::from)?;
+        let name = entry.file_name();
+        let known = name
+            .to_str()
+            .is_some_and(|n| n == SPEC_FILE || n == DELTA_FILE || artifacts.contains(&n));
+        if !known {
+            return Err(Error::Mismatch {
+                expected: format!(
+                    "a {} index directory holding only {} (plus {SPEC_FILE} and {DELTA_FILE})",
+                    spec.method.name(),
+                    artifacts.join(", ")
+                ),
+                found: format!("foreign entry {:?} in {}", name, dir.display()),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Read and unseal the spec envelope of an index directory.

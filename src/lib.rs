@@ -120,7 +120,7 @@ pub mod request;
 pub mod spec;
 
 pub use error::{Error, Result};
-pub use index::{Index, SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
+pub use index::{Index, DELTA_FILE, SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
 pub use request::{QueryRequest, Request};
 pub use spec::{IndexSpec, Method, StorageSpec};
 
@@ -136,13 +136,13 @@ pub mod prelude {
         PointId, SquaredEuclidean,
     };
     pub use brepartition_core::{
-        ApproximateConfig, BrePartitionConfig, BrePartitionIndex, PartitionCount,
+        ApproximateConfig, BrePartitionConfig, BrePartitionIndex, DeltaSegment, PartitionCount,
         PartitionStrategy, QueryResult,
     };
     pub use brepartition_engine::{
-        BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, EngineConfig, EngineError,
-        EngineRequest, QueryEngine, QueryOptions, QueryOutcome, Scratch, SearchBackend,
-        ThroughputReport, VaFileBackend,
+        BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, DeltaOverlayBackend,
+        EngineConfig, EngineError, EngineRequest, QueryEngine, QueryOptions, QueryOutcome, Scratch,
+        SearchBackend, ThroughputReport, VaFileBackend,
     };
     pub use datagen::{
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,

@@ -135,3 +135,58 @@ fn baseline_backends_serve_batches_exactly() {
         }
     }
 }
+
+/// The delta overlay keeps both engine guarantees under mutation: results
+/// are thread-count invariant, and an engine built over a serving snapshot
+/// keeps answering from that snapshot while the index mutates underneath —
+/// a batch never observes a half-applied write.
+#[test]
+fn delta_overlay_is_thread_count_invariant_and_snapshot_consistent() {
+    let (data, queries) = hierarchical_workload(800, 64);
+    let mut index = Index::build(
+        &IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+            .with_partitions(6)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+        &data,
+    )
+    .unwrap();
+    let near_first: Vec<f64> = queries[0].iter().map(|v| v * 0.999).collect();
+    let inserted = index.insert(&near_first).unwrap();
+    index.delete(PointId(3)).unwrap();
+
+    // Thread-count invariance through the overlay.
+    let snapshot = index.backend();
+    assert!(snapshot.name().ends_with("+Δ"), "writes pending: serving must overlay");
+    let one = QueryEngine::with_config(snapshot.clone(), EngineConfig::default().with_threads(1))
+        .unwrap()
+        .run_batch(&queries, 8)
+        .unwrap();
+    let four = QueryEngine::with_config(snapshot.clone(), EngineConfig::default().with_threads(4))
+        .unwrap()
+        .run_batch(&queries, 8)
+        .unwrap();
+    for (qi, (a, b)) in one.outcomes.iter().zip(four.outcomes.iter()).enumerate() {
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}: overlay results depend on threads");
+        assert_eq!(a.io, b.io, "query {qi}: overlay I/O depends on threads");
+    }
+    assert!(one.outcomes[0].neighbors.iter().any(|(id, _)| *id == inserted));
+
+    // Snapshot consistency: mutating the index does not disturb an engine
+    // already holding the snapshot; a fresh snapshot sees the new state.
+    let frozen =
+        QueryEngine::with_config(snapshot, EngineConfig::default().with_threads(2)).unwrap();
+    index.delete(inserted).unwrap();
+    let replay = frozen.run_batch(&queries, 8).unwrap();
+    for (qi, (a, b)) in one.outcomes.iter().zip(replay.outcomes.iter()).enumerate() {
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}: the frozen snapshot drifted");
+    }
+    let fresh = QueryEngine::with_config(index.backend(), EngineConfig::default().with_threads(2))
+        .unwrap()
+        .run_batch(&queries, 8)
+        .unwrap();
+    assert!(
+        fresh.outcomes[0].neighbors.iter().all(|(id, _)| *id != inserted),
+        "a fresh snapshot must see the delete"
+    );
+}

@@ -319,3 +319,35 @@ fn invalid_specs_and_configs_are_typed_errors() {
         other => panic!("expected engine config error, got {other:?}"),
     }
 }
+
+/// Satellite fix: a directory holding a *valid* index plus a foreign extra
+/// file must be rejected descriptively — the directory is not (only) what
+/// its envelope claims. Previously this case was uncovered by any test.
+#[test]
+fn open_rejects_a_directory_with_a_foreign_extra_file() {
+    let (data, _) = workload(200, 4);
+    let root = temp_root("foreign-extra");
+
+    for method in Method::ALL {
+        let dir = root.join(method.short_name());
+        Index::build(&spec_for(method), &data).unwrap().save(&dir).unwrap();
+        assert!(Index::open(&dir).is_ok(), "{method}: pristine directory must open");
+
+        std::fs::write(dir.join("stray.bin"), b"not one of ours").unwrap();
+        match Index::open(&dir) {
+            Err(Error::Mismatch { expected, found }) => {
+                assert!(found.contains("stray.bin"), "{method}: {found}");
+                assert!(
+                    expected.contains(method.name()),
+                    "{method}: the error must name the expected layout: {expected}"
+                );
+            }
+            other => panic!("{method}: expected a foreign-entry rejection, got {other:?}"),
+        }
+
+        // Removing the foreign entry restores openability.
+        std::fs::remove_file(dir.join("stray.bin")).unwrap();
+        assert!(Index::open(&dir).is_ok(), "{method}");
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}

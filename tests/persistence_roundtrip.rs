@@ -163,3 +163,147 @@ fn corrupted_index_directory_is_rejected() {
     assert!(BrePartitionIndex::open(&dir).is_err(), "flipped page byte must fail the checksum");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Delta persistence: for every method, an index carrying a non-empty
+/// delta (fresh inserts *and* tombstones on both the backend and the delta
+/// side) must save → open to identical neighbor ids and distances, and an
+/// absent delta log must open as an empty delta (backward compatibility
+/// with pre-mutability directories).
+#[test]
+fn delta_state_roundtrips_for_all_four_methods() {
+    let (data, queries) = hierarchical_workload(400, 24);
+    let root = temp_root("delta");
+
+    for method in Method::ALL {
+        let spec = IndexSpec::new(method, DivergenceKind::ItakuraSaito)
+            .with_partitions(4)
+            .with_leaf_capacity(16)
+            .with_page_size(4096);
+        let mut index = Index::build(&spec, &data).unwrap();
+
+        // Writes: 12 inserts derived from (but distinct from) data rows,
+        // then tombstones on two backend points and two delta rows.
+        let mut inserted = Vec::new();
+        for i in 0..12usize {
+            let row: Vec<f64> =
+                data.row(i * 17 % data.len()).iter().map(|v| v * 1.05 + 0.1).collect();
+            inserted.push(index.insert(&row).unwrap());
+        }
+        for id in [PointId(3), PointId(250), inserted[2], inserted[7]] {
+            assert!(index.delete(id).unwrap(), "{method}: {id} should have been live");
+        }
+        assert_eq!(index.len(), data.len() + 12 - 4, "{method}");
+
+        let dir = root.join(method.short_name());
+        index.save(&dir).unwrap();
+        let reopened = Index::open(&dir).unwrap();
+        assert_eq!(reopened.len(), index.len(), "{method}: live count");
+        assert_eq!(reopened.delta().delta_rows(), 12, "{method}: delta rows");
+        assert_eq!(reopened.delta().tombstone_count(), 4, "{method}: tombstones");
+        for (qi, q) in queries.iter().enumerate() {
+            let a = index.query(&QueryRequest::new(q, 8)).unwrap();
+            let b = reopened.query(&QueryRequest::new(q, 8)).unwrap();
+            assert_eq!(a.neighbors, b.neighbors, "{method} query {qi}: merged results diverged");
+        }
+
+        // Dropping the delta log reverts the directory to its static
+        // snapshot: it must open as an empty delta over the backend.
+        std::fs::remove_file(dir.join(brepartition::DELTA_FILE)).unwrap();
+        let legacy = Index::open(&dir).unwrap();
+        assert_eq!(legacy.len(), data.len(), "{method}: absent log means empty delta");
+        assert!(legacy.delta().is_trivial(), "{method}");
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A compacted index (non-identity id mapping) must also round-trip: the
+/// mapping travels in the delta log, so reopened queries keep returning
+/// the stable external ids.
+#[test]
+fn compacted_id_mapping_roundtrips() {
+    let (data, queries) = hierarchical_workload(400, 16);
+    let mut index = Index::build(
+        &IndexSpec::bbtree(DivergenceKind::ItakuraSaito)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+        &data,
+    )
+    .unwrap();
+    for id in [7u32, 100, 399] {
+        assert!(index.delete(PointId(id)).unwrap());
+    }
+    let extra: Vec<f64> = data.row(5).iter().map(|v| v * 1.1 + 0.2).collect();
+    let extra_id = index.insert(&extra).unwrap();
+    index.compact().unwrap();
+    assert!(!index.delta().is_trivial(), "deletes shift ids: the mapping must be explicit");
+    assert!(!index.delta().has_pending_writes(), "compaction drains the delta");
+
+    let dir = temp_root("delta-compacted");
+    index.save(&dir).unwrap();
+    let reopened = Index::open(&dir).unwrap();
+    assert_eq!(reopened.len(), index.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let a = index.query(&QueryRequest::new(q, 8)).unwrap();
+        let b = reopened.query(&QueryRequest::new(q, 8)).unwrap();
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}");
+        for (id, _) in &b.neighbors {
+            assert!(!matches!(id.0, 7 | 100 | 399), "query {qi}: a compacted-away id resurfaced");
+        }
+    }
+    // The stable external id of the inserted row still resolves.
+    assert!(index.delta().is_live(extra_id));
+    assert!(reopened.delta().is_live(extra_id));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corruption and truncation of the delta log are rejected with
+/// descriptive errors — never replayed into wrong answers.
+#[test]
+fn corrupted_or_truncated_delta_log_is_rejected_descriptively() {
+    let (data, _) = hierarchical_workload(300, 4);
+    let mut index = Index::build(
+        &IndexSpec::bbtree(DivergenceKind::ItakuraSaito)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+        &data,
+    )
+    .unwrap();
+    let row: Vec<f64> = data.row(0).iter().map(|v| v + 0.25).collect();
+    index.insert(&row).unwrap();
+    index.delete(PointId(1)).unwrap();
+    let dir = temp_root("delta-corrupt");
+    index.save(&dir).unwrap();
+    let path = dir.join(brepartition::DELTA_FILE);
+    let pristine = std::fs::read(&path).unwrap();
+
+    // A flipped payload byte fails the checksum.
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x20;
+    std::fs::write(&path, &flipped).unwrap();
+    match Index::open(&dir) {
+        Err(e) => {
+            let message = e.to_string();
+            assert!(message.contains("checksum"), "undescriptive error: {message}");
+        }
+        Ok(_) => panic!("a corrupted delta log must not open"),
+    }
+
+    // A truncated log is structurally rejected.
+    std::fs::write(&path, &pristine[..pristine.len() - 7]).unwrap();
+    match Index::open(&dir) {
+        Err(e) => {
+            let message = e.to_string();
+            assert!(
+                message.contains("mismatch") || message.contains("corrupt"),
+                "undescriptive error: {message}"
+            );
+        }
+        Ok(_) => panic!("a truncated delta log must not open"),
+    }
+
+    // The pristine log restores openability.
+    std::fs::write(&path, &pristine).unwrap();
+    assert!(Index::open(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
