@@ -7,15 +7,32 @@
 //! count, the numbers a deployment is tuned against — QPS, latency
 //! percentiles, candidate-set sizes and per-query physical I/O.
 //!
-//! All four backends are built through the identical spec-driven façade
+//! Per method the experiment emits four rows:
+//!
+//! * **cold, 1 thread** and **cold, pool threads** — the default serving
+//!   configuration: a fresh scratch (and an unbuffered pool) per query, so
+//!   `io_pages_read` counts every physical page and `io_cache_hits` is 0
+//!   *by construction*, not by accounting error.
+//! * **warm, pool threads** (`+warm` suffix) — the same index rebuilt with
+//!   a non-zero per-query buffer pool and served with
+//!   [`EngineConfig::with_warm_scratch`], where repeat page reads hit the
+//!   pool and `io_cache_hits` must be non-zero.
+//! * **sharded, pool threads** (`xN:capacity` suffix) — a 4-shard
+//!   capacity-mode [`ShardedIndex`] fanning the identical batch out under
+//!   the same total thread budget, for the sharded-vs-unsharded comparison.
+//!
+//! Workload size is configurable without recompiling: the
+//! `BREPARTITION_BENCH_POINTS` and `BREPARTITION_BENCH_QUERIES` environment
+//! variables override the preset-derived dataset and batch sizes.
+//!
+//! All backends are built through the identical spec-driven façade
 //! (`IndexSpec` → `Index::build`); besides the markdown table,
-//! [`run_with_json`] emits one stable-format JSON object per
-//! (backend, thread-count) pair (see `ThroughputReport::to_json`), which
-//! the `throughput` bin writes to `BENCH_throughput.json` so runs can be
-//! diffed across PRs.
+//! [`run_with_json`] emits one stable-format JSON object per row (see
+//! `ThroughputReport::to_json`), which the `throughput` bin writes to
+//! `BENCH_throughput.json` so runs can be diffed across PRs.
 
 use bregman::DivergenceKind;
-use brepartition::{Index, IndexSpec, Method};
+use brepartition::{Index, IndexSpec, Method, Request, ShardSpec, ShardedIndex};
 use brepartition_engine::{EngineConfig, ThroughputReport};
 use datagen::{HierarchicalSpec, QueryWorkload};
 
@@ -24,8 +41,24 @@ use crate::runner::Workbench;
 
 const PAGE_SIZE: usize = 32 * 1024;
 const K: usize = 10;
+/// Per-query buffer-pool capacity (pages) for the warm-scratch rows.
+const WARM_POOL_PAGES: usize = 64;
+/// Shard count for the sharded-vs-unsharded rows.
+const SHARDS: usize = 4;
 
-/// Run the throughput experiment: all four methods, 1 thread vs all cores.
+/// A positive-integer environment override, or `None` when unset.
+fn env_size(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    let parsed: usize = raw
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{var} must be a positive integer, got {raw:?}"));
+    assert!(parsed > 0, "{var} must be positive");
+    Some(parsed)
+}
+
+/// Run the throughput experiment: all four methods × (cold 1 thread, cold
+/// pool threads, warm pool threads, sharded pool threads).
 pub fn run(bench: &Workbench) -> Vec<Table> {
     run_with_json(bench).0
 }
@@ -34,7 +67,8 @@ pub fn run(bench: &Workbench) -> Vec<Table> {
 /// array (stable key order, machine-diffable).
 pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
     let kind = DivergenceKind::ItakuraSaito;
-    let n = bench.scale.max_points.max(600);
+    let n =
+        env_size("BREPARTITION_BENCH_POINTS").unwrap_or_else(|| bench.scale.max_points.max(600));
     let dim = 32.min(bench.scale.max_dim);
     let dataset = HierarchicalSpec {
         n,
@@ -45,26 +79,12 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
     }
     .generate();
     // The paper measures 50 isolated queries; a throughput experiment needs
-    // a real batch, so the query count scales with the preset.
-    let batch_size = (bench.scale.queries * 16).clamp(64, 1024);
+    // a real batch, so the query count scales with the preset (and can be
+    // pinned exactly via the environment for cross-machine comparisons).
+    let batch_size = env_size("BREPARTITION_BENCH_QUERIES")
+        .unwrap_or_else(|| (bench.scale.queries * 32).clamp(128, 2048));
     let workload = QueryWorkload::perturbed_from(&dataset, kind, batch_size, 0.02, 0x7B);
     let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
-
-    // Each method builds its own self-contained Index (BP and ABP no longer
-    // share one construction as the pre-façade code did): the experiment
-    // deliberately exercises the uniform spec-driven path, at the cost of
-    // one extra BrePartition build per run.
-    let indexes: Vec<Index> = Method::ALL
-        .iter()
-        .map(|&method| {
-            let spec = IndexSpec::new(method, kind)
-                .with_partitions(bench.paper_m(dim))
-                .with_page_size(PAGE_SIZE)
-                .with_leaf_capacity(32)
-                .with_probability(0.9);
-            Index::build(&spec, &dataset).expect("index build")
-        })
-        .collect();
 
     let pool_threads = brepartition_engine::recommended_pool_threads();
     let mut table = Table::new(
@@ -84,15 +104,47 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
         ],
     );
     let mut jsons: Vec<String> = Vec::new();
-    for index in &indexes {
+    let mut push = |table: &mut Table, report: &ThroughputReport| {
+        table.row(report_row(report));
+        jsons.push(report.to_json());
+    };
+    // Each method builds its own self-contained Index: the experiment
+    // deliberately exercises the uniform spec-driven path.
+    for &method in Method::ALL.iter() {
+        let spec = IndexSpec::new(method, kind)
+            .with_partitions(bench.paper_m(dim))
+            .with_page_size(PAGE_SIZE)
+            .with_leaf_capacity(32)
+            .with_probability(0.9);
+        let index = Index::build(&spec, &dataset).expect("index build");
         for threads in [1, pool_threads] {
             let engine = index
                 .engine(EngineConfig::default().with_threads(threads))
                 .expect("engine construction");
             let batch = engine.run_batch(&queries, K).expect("batch run");
-            table.row(report_row(&batch.report));
-            jsons.push(batch.report.to_json());
+            push(&mut table, &batch.report);
         }
+
+        // Warm-pool variant: per-worker scratch survives across queries, so
+        // repeat page reads land in the buffer pool and the `io_cache_hits`
+        // column becomes non-zero (the cold rows report 0 by construction).
+        let warm_index = Index::build(&spec.with_buffer_pool_pages(WARM_POOL_PAGES), &dataset)
+            .expect("warm index build");
+        let engine = warm_index
+            .engine(EngineConfig::default().with_threads(pool_threads).with_warm_scratch())
+            .expect("warm engine construction");
+        let mut batch = engine.run_batch(&queries, K).expect("warm batch run");
+        batch.report.backend.push_str("+warm");
+        push(&mut table, &batch.report);
+
+        // Sharded variant: the same batch scatter-gathered over a 4-shard
+        // capacity tier under the same total thread budget.
+        let sharded = ShardedIndex::build(&ShardSpec::capacity(spec, SHARDS), &dataset)
+            .expect("sharded build");
+        let batch = sharded
+            .run_with_budget(&Request::uniform(&queries, K), pool_threads)
+            .expect("sharded batch run");
+        push(&mut table, &batch.report);
     }
     (vec![table], format!("[\n{}\n]\n", jsons.join(",\n")))
 }
@@ -117,16 +169,37 @@ mod tests {
     use crate::scale::Scale;
 
     #[test]
-    fn throughput_rows_cover_all_backends_and_thread_counts() {
+    fn throughput_rows_cover_all_backends_thread_counts_and_variants() {
         let bench = Workbench::new(Scale::tiny());
         let (tables, json) = run_with_json(&bench);
         assert_eq!(tables.len(), 1);
-        // 4 backends × 2 thread counts.
-        assert_eq!(tables[0].len(), 8);
+        // 4 methods × (cold 1 thread, cold pool, warm pool, sharded pool).
+        assert_eq!(tables[0].len(), 16);
         // The JSON artifact holds one object per row, with stable keys.
-        assert_eq!(json.matches("\"backend\":").count(), 8);
-        assert_eq!(json.matches("\"qps\":").count(), 8);
+        assert_eq!(json.matches("\"backend\":").count(), 16);
+        assert_eq!(json.matches("\"qps\":").count(), 16);
+        assert_eq!(json.matches("+warm\"").count(), 4, "one warm row per method");
+        assert_eq!(
+            json.matches(&format!("x{SHARDS}:capacity")).count(),
+            4,
+            "one sharded row per method"
+        );
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
+
+        // Warm rows must register pool hits — the cold rows' `0` is the
+        // unbuffered default, not broken accounting.
+        for object in json.split("\"backend\":").skip(1) {
+            let label = object.split('"').nth(1).unwrap_or("");
+            let hits = object
+                .split("\"io_cache_hits\":")
+                .nth(1)
+                .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+                .and_then(|digits| digits.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("row {label} has no io_cache_hits field"));
+            if label.contains("+warm") {
+                assert!(hits > 0, "warm row {label} recorded no buffer-pool hits");
+            }
+        }
     }
 }

@@ -139,7 +139,7 @@ impl BrePartitionIndex {
             forest_seconds: forest.build_seconds(),
             pages_written: forest.store().build_writes(),
         };
-        let phi = phi_from_transforms(&transformed);
+        let phi = phi_from_rows(kind, dataset);
         Ok(BrePartitionIndex {
             kind,
             config: *config,
@@ -167,9 +167,10 @@ impl BrePartitionIndex {
         dim_vars: Vec<f64>,
         build: BuildReport,
     ) -> BrePartitionIndex {
-        // The Φ column is reassembled from the restored per-subspace α
-        // column, so pre-existing envelopes migrate transparently on open.
-        let phi = phi_from_transforms(&transformed);
+        // The Φ column is recomputed from the restored full-resolution rows
+        // (not persisted), so pre-existing envelopes migrate transparently
+        // on open and the reopened index scores bit-identically.
+        let phi = phi_from_store(kind, forest.store());
         BrePartitionIndex {
             kind,
             config,
@@ -387,11 +388,30 @@ impl BrePartitionIndex {
     }
 }
 
-/// The full-space `Φ(x) = Σ_j φ(x_j)` column, reassembled from the
-/// per-subspace transform tuples (`Φ(x) = Σ_s α_x(s)` because the
-/// partitions are disjoint and exhaustive).
-fn phi_from_transforms(transformed: &TransformedDataset) -> Vec<f64> {
-    (0..transformed.len()).map(|i| transformed.total_alpha(i)).collect()
+/// The full-space `Φ(x) = Σ_j φ(x_j)` column, evaluated over each row in
+/// its original dimension order.
+///
+/// Deliberately *not* reassembled from the per-subspace transform tuples
+/// (`Σ_s α_x(s)`): that sum's floating-point order depends on the partition
+/// layout, so two indexes holding the same point under different
+/// partitionings would score it with different low-order bits. Summing the
+/// row directly makes the refine distance a pure function of `(row, query)`
+/// — the invariant [`DeltaSegment`](crate::delta::DeltaSegment) and the
+/// sharded serving tier rely on.
+fn phi_from_rows(kind: DivergenceKind, dataset: &DenseDataset) -> Vec<f64> {
+    (0..dataset.len()).map(|i| kind.phi_sum(dataset.row(i))).collect()
+}
+
+/// [`phi_from_rows`] over the full-resolution rows laid out in a
+/// [`PageStore`] (the open-from-disk path, where the original dataset is
+/// gone but the store holds the identical row bits).
+fn phi_from_store(kind: DivergenceKind, store: &pagestore::PageStore) -> Vec<f64> {
+    let mut phi = vec![0.0; store.point_count()];
+    let complete = store.for_each_point(&mut |pid, coords| {
+        phi[pid as usize] = kind.phi_sum(coords);
+    });
+    debug_assert!(complete.is_ok(), "restored store is missing point addresses");
+    phi
 }
 
 /// Per-column means and variances of a dataset.

@@ -24,6 +24,12 @@
 //!   of a [`DeltaSegment`](brepartition_core::DeltaSegment) (inserted rows
 //!   scanned exactly, tombstones filtering both sides), so every query in a
 //!   batch sees the same consistent view of the mutable index.
+//! * [`ShardedEngine`] — scatter-gather across N shard backends behind
+//!   **one** worker budget ([`split_thread_budget`] divides the budget
+//!   across shards instead of multiplying it), with
+//!   [`merge_shard_outcomes`] gathering per-shard top-k lists by the same
+//!   `(distance, id)` order the overlay uses — the substrate of the
+//!   façade's `ShardedIndex`.
 //! * [`ThroughputReport`] — QPS, latency percentiles (p50/p95/p99),
 //!   candidate counts and physical I/O aggregated over the batch, the
 //!   numbers a serving deployment is tuned against; serializable to stable
@@ -71,6 +77,7 @@ pub mod error;
 pub mod overlay;
 pub mod report;
 pub mod request;
+pub mod shard;
 
 pub use backend::{
     BBTreeBackend, BackendAnswer, BrePartitionBackend, Scratch, SearchBackend, VaFileBackend,
@@ -80,6 +87,9 @@ pub use error::EngineError;
 pub use overlay::DeltaOverlayBackend;
 pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
 pub use request::{EngineRequest, QueryOptions};
+pub use shard::{
+    merge_neighbor_lists, merge_shard_outcomes, split_thread_budget, ShardedEngine, ThreadSplit,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,327 @@
+//! Scatter-gather across shard engines: one thread budget, one merge
+//! discipline.
+//!
+//! A sharded deployment holds N per-shard backends in one process and
+//! answers every query by fanning it out to all shards and merging the
+//! per-shard top-k lists. This module supplies the two engine-level pieces
+//! the façade's `ShardedIndex` builds on:
+//!
+//! * [`ShardedEngine`] — N inner [`QueryEngine`]s sharing **one** worker
+//!   budget. The budget is split across shards ([`split_thread_budget`])
+//!   rather than multiplied by them: N shards never run more than `budget`
+//!   workers at once, whether the split gives each shard several workers
+//!   (budget ≥ N) or rations the shards themselves through a work queue
+//!   (budget < N).
+//! * [`merge_neighbor_lists`] / [`merge_shard_outcomes`] — the gather side.
+//!   Per-shard lists are merged by the engine's canonical `(distance, id)`
+//!   total order — the same discipline [`DeltaOverlayBackend`] uses to merge
+//!   a backend with its delta — so a merged result is bit-identical to what
+//!   one unsharded backend over the union of the shards would return, as
+//!   long as each shard reports exact distances.
+//!
+//! [`DeltaOverlayBackend`]: crate::DeltaOverlayBackend
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bregman::PointId;
+use pagestore::IoStats;
+
+use crate::backend::SearchBackend;
+use crate::engine::{BatchResult, EngineConfig, QueryEngine};
+use crate::error::EngineError;
+use crate::report::QueryOutcome;
+use crate::request::EngineRequest;
+
+/// How one worker-thread budget is divided across shard engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSplit {
+    /// Worker threads assigned to each shard's engine.
+    pub per_shard: Vec<usize>,
+    /// How many shard engines may run at the same time.
+    pub concurrent: usize,
+}
+
+impl ThreadSplit {
+    /// The largest number of workers that can be live at once under this
+    /// split: the sum of the `concurrent` largest per-shard assignments.
+    pub fn max_live_workers(&self) -> usize {
+        let mut sorted = self.per_shard.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.iter().take(self.concurrent).sum()
+    }
+}
+
+/// Split a worker budget across `shards` engines without oversubscribing.
+///
+/// With `budget >= shards` every shard runs concurrently and the budget is
+/// divided as evenly as possible (the first `budget % shards` shards get
+/// one extra worker). With `budget < shards` each shard gets a single
+/// worker but only `budget` shards run at once — the rest wait in a work
+/// queue. Either way at most `budget` workers are ever live, never
+/// `shards × budget`.
+pub fn split_thread_budget(budget: usize, shards: usize) -> ThreadSplit {
+    if shards == 0 {
+        return ThreadSplit { per_shard: Vec::new(), concurrent: 0 };
+    }
+    let budget = budget.max(1);
+    if budget >= shards {
+        let base = budget / shards;
+        let extra = budget % shards;
+        ThreadSplit {
+            per_shard: (0..shards).map(|s| base + usize::from(s < extra)).collect(),
+            concurrent: shards,
+        }
+    } else {
+        ThreadSplit { per_shard: vec![1; shards], concurrent: budget }
+    }
+}
+
+/// Merge per-shard neighbor lists into one top-`k` by the engine's
+/// canonical `(distance, id)` total order.
+///
+/// With `dedup` (forest-style replicas sharing one id space) only the first
+/// occurrence of an id survives; without it (capacity-style disjoint
+/// shards) every entry is distinct by construction and the merge is exactly
+/// the order an unsharded backend over the union would produce.
+pub fn merge_neighbor_lists(
+    lists: &[&[(PointId, f64)]],
+    k: usize,
+    dedup: bool,
+) -> Vec<(PointId, f64)> {
+    let mut merged: Vec<(PointId, f64)> =
+        lists.iter().flat_map(|list| list.iter().copied()).collect();
+    merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    if dedup {
+        let mut seen = std::collections::BTreeSet::new();
+        merged.retain(|(id, _)| seen.insert(*id));
+    }
+    merged.truncate(k);
+    merged
+}
+
+/// Gather per-shard batch results into per-query outcomes.
+///
+/// `ks[qi]` is query `qi`'s requested `k`. Neighbor ids must already be in
+/// the caller's global id space (remap before merging). Candidates and
+/// physical I/O are summed across shards — every shard really did that
+/// work — while the merged latency is the slowest shard's (the critical
+/// path of a fan-out).
+pub fn merge_shard_outcomes(
+    shard_results: &[BatchResult],
+    ks: &[usize],
+    dedup: bool,
+) -> Vec<QueryOutcome> {
+    (0..ks.len())
+        .map(|qi| {
+            let lists: Vec<&[(PointId, f64)]> =
+                shard_results.iter().map(|r| r.outcomes[qi].neighbors.as_slice()).collect();
+            let mut io = IoStats::default();
+            let mut candidates = 0usize;
+            let mut latency_seconds = 0.0f64;
+            for result in shard_results {
+                let outcome = &result.outcomes[qi];
+                io.accumulate(&outcome.io);
+                candidates += outcome.candidates;
+                latency_seconds = latency_seconds.max(outcome.latency_seconds);
+            }
+            QueryOutcome {
+                neighbors: merge_neighbor_lists(&lists, ks[qi], dedup),
+                candidates,
+                io,
+                latency_seconds,
+            }
+        })
+        .collect()
+}
+
+/// N per-shard [`QueryEngine`]s behind one shared worker budget.
+///
+/// Construction splits the budget with [`split_thread_budget`];
+/// [`ShardedEngine::run_requests`] then drives every shard over the same
+/// request slice and returns the per-shard [`BatchResult`]s in shard order
+/// (gathering — id remapping, merging, report aggregation — is the
+/// caller's, because only the caller knows the shard → global id mapping).
+///
+/// Each shard's engine inherits `scratch` behavior from the config template
+/// passed to [`ShardedEngine::with_config`]; per-shard results keep the
+/// engine's own guarantee of being independent of worker scheduling, so a
+/// sharded run is deterministic for any budget.
+pub struct ShardedEngine {
+    engines: Vec<QueryEngine>,
+    concurrent: usize,
+    budget: usize,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.engines.len())
+            .field("budget", &self.budget)
+            .field("concurrent", &self.concurrent)
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// A sharded engine over `backends` sharing `budget` worker threads,
+    /// with default per-shard configuration (cold scratch).
+    pub fn new(
+        backends: Vec<Arc<dyn SearchBackend>>,
+        budget: usize,
+    ) -> Result<ShardedEngine, EngineError> {
+        Self::with_config(backends, budget, EngineConfig::default())
+    }
+
+    /// A sharded engine with an explicit per-shard config template; the
+    /// template's thread count is ignored (the split budget replaces it).
+    pub fn with_config(
+        backends: Vec<Arc<dyn SearchBackend>>,
+        budget: usize,
+        template: EngineConfig,
+    ) -> Result<ShardedEngine, EngineError> {
+        if backends.is_empty() {
+            return Err(EngineError::Config(
+                "a sharded engine needs at least one shard backend".to_string(),
+            ));
+        }
+        if budget == 0 {
+            return Err(EngineError::Config("shard worker budget must be at least 1".to_string()));
+        }
+        let split = split_thread_budget(budget, backends.len());
+        let engines = backends
+            .into_iter()
+            .zip(split.per_shard.iter())
+            .map(|(backend, &threads)| {
+                let mut config = template;
+                config.threads = Some(threads);
+                QueryEngine::with_config(backend, config)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine { engines, concurrent: split.concurrent, budget })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The shared worker budget the construction split.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// How many shard engines run at once.
+    pub fn concurrent_shards(&self) -> usize {
+        self.concurrent
+    }
+
+    /// The per-shard worker counts the budget was split into.
+    pub fn shard_threads(&self) -> Vec<usize> {
+        self.engines.iter().map(|e| e.threads()).collect()
+    }
+
+    /// The inner per-shard engines, in shard order.
+    pub fn engines(&self) -> &[QueryEngine] {
+        &self.engines
+    }
+
+    /// Run the same request slice against every shard, returning per-shard
+    /// results in shard order.
+    ///
+    /// Shards are pulled from an atomic work queue by `concurrent_shards`
+    /// coordinator threads, each of which runs its shard's engine with that
+    /// shard's slice of the budget — so no more than `budget` workers are
+    /// ever searching at once. If any shard fails, the first failure by
+    /// shard index is returned.
+    pub fn run_requests(
+        &self,
+        requests: &[EngineRequest<'_>],
+    ) -> Result<Vec<BatchResult>, EngineError> {
+        let shards = self.engines.len();
+        let engines = &self.engines;
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<BatchResult, EngineError>>>> =
+            Mutex::new((0..shards).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..self.concurrent.min(shards) {
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shards {
+                        break;
+                    }
+                    let result = engines[shard].run_requests(requests);
+                    slots.lock().unwrap_or_else(|e| e.into_inner())[shard] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every shard produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_divides_evenly_when_budget_covers_shards() {
+        let split = split_thread_budget(8, 3);
+        assert_eq!(split.per_shard, vec![3, 3, 2]);
+        assert_eq!(split.concurrent, 3);
+        assert_eq!(split.max_live_workers(), 8);
+
+        let split = split_thread_budget(4, 4);
+        assert_eq!(split.per_shard, vec![1, 1, 1, 1]);
+        assert_eq!(split.max_live_workers(), 4);
+    }
+
+    #[test]
+    fn split_rations_shards_when_budget_is_short() {
+        let split = split_thread_budget(3, 8);
+        assert_eq!(split.per_shard, vec![1; 8]);
+        assert_eq!(split.concurrent, 3);
+        assert_eq!(split.max_live_workers(), 3);
+    }
+
+    #[test]
+    fn split_never_exceeds_the_budget() {
+        for budget in 1..=12 {
+            for shards in 1..=12 {
+                let split = split_thread_budget(budget, shards);
+                assert!(
+                    split.max_live_workers() <= budget,
+                    "budget {budget} over {shards} shards runs {} workers",
+                    split.max_live_workers()
+                );
+                assert_eq!(split.per_shard.iter().sum::<usize>(), budget.max(shards));
+            }
+        }
+        assert_eq!(split_thread_budget(4, 0).per_shard, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn merge_is_the_delta_overlay_order_and_dedup_keeps_the_best() {
+        let a = [(PointId(4), 1.0), (PointId(9), 2.0)];
+        let b = [(PointId(2), 1.0), (PointId(4), 1.0), (PointId(7), 0.5)];
+        // Without dedup: ties break by id, duplicates survive.
+        let merged = merge_neighbor_lists(&[&a, &b], 4, false);
+        assert_eq!(
+            merged,
+            vec![(PointId(7), 0.5), (PointId(2), 1.0), (PointId(4), 1.0), (PointId(4), 1.0)]
+        );
+        // With dedup: the duplicate id collapses to one entry.
+        let merged = merge_neighbor_lists(&[&a, &b], 4, true);
+        assert_eq!(
+            merged,
+            vec![(PointId(7), 0.5), (PointId(2), 1.0), (PointId(4), 1.0), (PointId(9), 2.0)]
+        );
+        assert!(merge_neighbor_lists(&[], 3, false).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! The sharded scatter-gather serving tier end to end: a capacity-mode
+//! `ShardedIndex` serving bit-identically to its unsharded equivalent, a
+//! forest-mode replica ensemble recovering recall for the approximate
+//! search, routed writes, per-shard compaction and the sharded directory
+//! layout.
+//!
+//! ```bash
+//! cargo run --release --example sharded_serving
+//! ```
+
+use brepartition::prelude::*;
+
+fn main() -> brepartition::Result<()> {
+    println!("# Sharded serving: capacity and forest modes over one API\n");
+
+    let data =
+        HierarchicalSpec { n: 3_000, dim: 24, clusters: 12, blocks: 6, ..Default::default() }
+            .generate();
+    let kind = DivergenceKind::ItakuraSaito;
+    let base = IndexSpec::brepartition(kind).with_partitions(6).with_page_size(8 * 1024);
+
+    // ------------------------------------------------------------------
+    // Capacity mode: each point lives on exactly one of 4 shards, chosen
+    // by a deterministic hash of its external id. For exact methods the
+    // scatter-gather merge returns *bit-identical* answers to one big
+    // unsharded index — sharding is purely an operational decision.
+    // ------------------------------------------------------------------
+    let plain = Index::build(&base, &data)?;
+    let mut sharded = ShardedIndex::build(&ShardSpec::capacity(base, 4), &data)?;
+    println!(
+        "capacity tier: {} points over {} shards (largest shard {})",
+        sharded.len(),
+        sharded.shards(),
+        (0..sharded.shards()).map(|s| sharded.shard(s).len()).max().unwrap()
+    );
+
+    let workload = QueryWorkload::perturbed_from(&data, kind, 256, 0.05, 0x5EED);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+    let request = Request::uniform(&queries, 10);
+    let reference = plain.run(&request)?;
+    let fanned = sharded.run_with_budget(&request, 4)?;
+    for (a, b) in reference.outcomes.iter().zip(fanned.outcomes.iter()) {
+        assert_eq!(a.neighbors.len(), b.neighbors.len());
+        for ((ia, da), (ib, db)) in a.neighbors.iter().zip(b.neighbors.iter()) {
+            assert_eq!(ia, ib, "capacity mode must match the unsharded index");
+            assert_eq!(da.to_bits(), db.to_bits(), "…down to the distance bits");
+        }
+    }
+    println!("unsharded — {}", reference.report);
+    println!("sharded   — {}", fanned.report);
+    println!("all 256 answers bit-identical across the two tiers\n");
+
+    // Writes route by the same hash; external ids stay global and stable
+    // across per-shard compaction.
+    let fresh: Vec<f64> = data.row(0).iter().map(|v| v * 1.01 + 0.05).collect();
+    let id = sharded.insert(&fresh)?;
+    assert_eq!(sharded.query(&QueryRequest::new(&fresh, 1))?.neighbors[0].0, id);
+    assert!(sharded.delete(PointId(17))?);
+    sharded.compact()?;
+    assert_eq!(sharded.query(&QueryRequest::new(&fresh, 1))?.neighbors[0].0, id);
+    println!("routed insert {id} + delete survive per-shard compaction");
+
+    // Persist the whole tier: one subdirectory per shard plus a sealed
+    // `shards.meta` envelope; `ShardedIndex::open` is self-describing.
+    let dir = std::env::temp_dir().join(format!("brepartition-sharded-{}", std::process::id()));
+    sharded.save(&dir)?;
+    let reopened = ShardedIndex::open(&dir)?;
+    assert_eq!(reopened.len(), sharded.len());
+    assert_eq!(reopened.query(&QueryRequest::new(&fresh, 1))?.neighbors[0].0, id);
+    println!("saved + reopened from {} ({} shards)\n", dir.display(), reopened.shards());
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ------------------------------------------------------------------
+    // Forest mode: N full replicas under different build seeds. Each
+    // replica answers the whole query; the gather merges and dedups their
+    // top-k. For the approximate search this trades space for recall —
+    // the merged ensemble can only improve on a single replica.
+    // ------------------------------------------------------------------
+    let approx = IndexSpec::approximate(kind)
+        .with_probability(0.1)
+        .with_partitions(6)
+        .with_page_size(8 * 1024);
+    let single = Index::build(&approx, &data)?;
+    let forest = ShardedIndex::build(&ShardSpec::forest(approx, 4), &data)?;
+
+    let query_set = DenseDataset::from_rows(&queries).unwrap();
+    let truth = ground_truth_knn(kind, &data, &query_set, 10, 4);
+    let mut single_hits = 0.0;
+    let mut forest_hits = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let expected = truth.neighbors_of(qi);
+        single_hits += recall(&single.query(&QueryRequest::new(q, 10))?.neighbors, expected);
+        forest_hits += recall(&forest.query(&QueryRequest::new(q, 10))?.neighbors, expected);
+    }
+    let n = queries.len() as f64;
+    println!(
+        "forest tier (ABP p=0.1, 4 replicas): recall {:.3} single → {:.3} merged",
+        single_hits / n,
+        forest_hits / n
+    );
+    assert!(forest_hits >= single_hits - 1e-9, "the merge must not lose recall");
+
+    println!("\ndone.");
+    Ok(())
+}

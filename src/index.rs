@@ -40,6 +40,12 @@
 //! serving handle returned by [`Index::backend`] (and used by
 //! [`Index::run`]) freezes the delta at construction, so writes become
 //! visible at the next batch boundary, never in the middle of one.
+//!
+//! Serving a collection too large (or too recall-hungry) for one index is
+//! the job of the sharded tier: [`ShardedIndex`](crate::ShardedIndex) owns
+//! N of these `Index` instances and scatter-gathers over them, reusing the
+//! envelope machinery here for its own `shards.meta` (each shard
+//! subdirectory is a full, self-describing `Index` directory).
 
 use std::path::Path;
 use std::sync::Arc;

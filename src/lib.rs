@@ -17,6 +17,10 @@
 //!   own `k`, an approximation-probability override, a candidate budget —
 //!   over borrowed `&[f64]` rows, executed by [`Index::query`] /
 //!   [`Index::run`] (or an explicit [`QueryEngine`](engine::QueryEngine)).
+//! * [`ShardSpec`] → [`ShardedIndex`] scale the same API across N shards in
+//!   one process: disjoint capacity slices (bit-identical to unsharded for
+//!   exact methods) or randomized forest replicas (merged top-k for recall),
+//!   scatter-gathered under one shared worker budget.
 //! * [`Error`] unifies the per-layer error enums (core, engine, storage)
 //!   behind `#[non_exhaustive]` variants with full source-chaining.
 //!
@@ -117,11 +121,15 @@ pub use vafile;
 pub mod error;
 pub mod index;
 pub mod request;
+pub mod sharded;
 pub mod spec;
 
 pub use error::{Error, Result};
 pub use index::{Index, DELTA_FILE, SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
 pub use request::{QueryRequest, Request};
+pub use sharded::{
+    ShardMode, ShardSpec, ShardedIndex, MAX_SHARDS, SHARDS_FILE, SHARDS_MAGIC, SHARDS_VERSION,
+};
 pub use spec::{IndexSpec, Method, StorageSpec};
 
 /// The most commonly used types, re-exported for convenient glob imports.
@@ -129,6 +137,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::index::Index;
     pub use crate::request::{QueryRequest, Request};
+    pub use crate::sharded::{ShardMode, ShardSpec, ShardedIndex};
     pub use crate::spec::{IndexSpec, Method, StorageSpec};
     pub use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
     pub use bregman::{
@@ -142,7 +151,7 @@ pub mod prelude {
     pub use brepartition_engine::{
         BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, DeltaOverlayBackend,
         EngineConfig, EngineError, EngineRequest, QueryEngine, QueryOptions, QueryOutcome, Scratch,
-        SearchBackend, ThroughputReport, VaFileBackend,
+        SearchBackend, ShardedEngine, ThroughputReport, VaFileBackend,
     };
     pub use datagen::{
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,

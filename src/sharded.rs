@@ -1,0 +1,763 @@
+//! The sharded serving tier: [`ShardedIndex`] — N per-shard [`Index`]
+//! instances behind one [`ShardSpec`], queried scatter-gather.
+//!
+//! # Two modes, one subsystem
+//!
+//! * **Capacity mode** ([`ShardMode::Capacity`]) routes every point to
+//!   exactly one shard by a deterministic hash of its external id
+//!   ([`ShardSpec::route`]), so N shards hold N-th slices of the
+//!   collection. Queries fan out to every shard and the per-shard top-k
+//!   lists are merged by the engine's canonical `(distance, id)` order —
+//!   the same discipline the delta overlay uses — which makes the merged
+//!   result **bit-identical** to an equivalent unsharded [`Index`] for the
+//!   exact methods: shard boundaries change which partition trees exist,
+//!   never the exact divergence a refined candidate is scored with.
+//! * **Forest mode** ([`ShardMode::Forest`]) builds N *randomized replicas*
+//!   of the full collection, each constructed under its own derived RNG
+//!   seed (threaded through [`IndexSpec::seed`]). Replicas return
+//!   overlapping ids, so the gather deduplicates before truncating to k.
+//!   One replica missing a true neighbor is covered by another finding it:
+//!   merged recall is never below any single replica's, which is the point
+//!   of the mode for the approximate methods (ABP, VAF).
+//!
+//! # Global ids
+//!
+//! The sharded index owns the external id space. At build, point `i` of the
+//! dataset gets global id `i`; [`ShardedIndex::insert`] issues the next
+//! global id and routes by it. In capacity mode each shard's inner
+//! [`Index`] issues its *own* dense local ids; because globals are issued
+//! monotonically and never reused, shard-local ids map to globals through a
+//! sorted per-shard table that is fully derivable from the issue counter —
+//! nothing but the counter needs persisting, and lookups are binary
+//! searches. In forest mode every replica sees every operation, so local
+//! and global ids coincide.
+//!
+//! # Directory layout
+//!
+//! [`ShardedIndex::save`] writes a self-describing directory:
+//!
+//! ```text
+//! dir/
+//!   shards.meta    sealed envelope: ShardSpec + id issue counter
+//!   shard0000/     a full Index directory (spec.meta, artifacts, delta.log)
+//!   shard0001/
+//!   ...
+//! ```
+//!
+//! [`ShardedIndex::open`] reads the envelope, rejects foreign directory
+//! entries, opens every shard through [`Index::open`] (each shard directory
+//! re-validates itself), and cross-checks each shard's spec and id counter
+//! against what the envelope implies — a shard directory swapped in from
+//! another index fails descriptively instead of serving wrong ids.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bregman::{DenseDataset, PointId};
+use brepartition_core::CoreError;
+use brepartition_engine::{
+    merge_neighbor_lists, merge_shard_outcomes, recommended_pool_threads, BatchResult,
+    QueryOutcome, SearchBackend, ShardedEngine, ThroughputReport,
+};
+use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
+
+use crate::error::{Error, Result};
+use crate::index::Index;
+use crate::request::{QueryRequest, Request};
+use crate::spec::IndexSpec;
+
+/// Magic tag of the shard envelope ([`SHARDS_FILE`]).
+pub const SHARDS_MAGIC: [u8; 8] = *b"BREPSHD1";
+
+/// Format version of the shard envelope this build writes and reads.
+pub const SHARDS_VERSION: u32 = 1;
+
+/// File name of the shard envelope within a sharded index directory.
+pub const SHARDS_FILE: &str = "shards.meta";
+
+/// Upper bound on the shard count (a sanity rail, not a tuning target).
+pub const MAX_SHARDS: usize = 1024;
+
+/// How a [`ShardedIndex`] distributes points across its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ShardMode {
+    /// Disjoint slices: each point lives on exactly one shard, chosen by a
+    /// deterministic hash of its external id. Linear capacity scaling;
+    /// results bit-identical to an unsharded index for exact methods.
+    Capacity,
+    /// Randomized replicas: every shard holds the full collection, built
+    /// under its own RNG seed; merged top-k trades memory for recall on
+    /// the approximate methods.
+    Forest,
+}
+
+impl ShardMode {
+    /// Human-readable mode name (`capacity` / `forest`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardMode::Capacity => "capacity",
+            ShardMode::Forest => "forest",
+        }
+    }
+
+    /// Stable on-disk tag of the mode (shard-envelope format).
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            ShardMode::Capacity => 0,
+            ShardMode::Forest => 1,
+        }
+    }
+
+    /// Inverse of [`ShardMode::tag`].
+    pub(crate) fn from_tag(tag: u8) -> PersistResult<ShardMode> {
+        Ok(match tag {
+            0 => ShardMode::Capacity,
+            1 => ShardMode::Forest,
+            other => return Err(PersistError::Corrupt(format!("unknown shard-mode tag {other}"))),
+        })
+    }
+}
+
+impl std::fmt::Display for ShardMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative description of one sharded index: a per-shard
+/// [`IndexSpec`] plus the shard count and [`ShardMode`].
+///
+/// ```
+/// use brepartition::prelude::*;
+///
+/// let base = IndexSpec::bbtree(DivergenceKind::SquaredEuclidean).with_page_size(4096);
+/// let spec = ShardSpec::capacity(base, 3);
+/// assert_eq!(spec.shards, 3);
+/// assert_eq!(spec.mode, ShardMode::Capacity);
+/// assert!(spec.validate().is_ok());
+///
+/// // Forest replicas build under derived, pairwise-distinct seeds.
+/// let forest = ShardSpec::forest(base, 2);
+/// assert_ne!(forest.shard_spec(0).seed, forest.shard_spec(1).seed);
+/// // Capacity shards share the base spec verbatim.
+/// assert_eq!(spec.shard_spec(0), base);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    /// The spec every shard's inner index is built from. In forest mode
+    /// each shard gets a derived seed; every other knob is shared.
+    pub base: IndexSpec,
+    /// Number of shards (at least 1, at most [`MAX_SHARDS`]).
+    pub shards: usize,
+    /// Placement mode: disjoint capacity slices or randomized replicas.
+    pub mode: ShardMode,
+}
+
+impl ShardSpec {
+    /// A capacity-mode spec: `shards` disjoint slices of `base`.
+    pub fn capacity(base: IndexSpec, shards: usize) -> Self {
+        ShardSpec { base, shards, mode: ShardMode::Capacity }
+    }
+
+    /// A forest-mode spec: `shards` randomized replicas of `base`.
+    pub fn forest(base: IndexSpec, shards: usize) -> Self {
+        ShardSpec { base, shards, mode: ShardMode::Forest }
+    }
+
+    /// Check the spec for contradictions (shard count bounds plus the full
+    /// base-spec validation) before anything is built.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::Spec("a sharded index needs at least one shard".to_string()));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(Error::Spec(format!(
+                "shard count {} exceeds the maximum of {MAX_SHARDS}",
+                self.shards
+            )));
+        }
+        self.base.validate()
+    }
+
+    /// The spec shard `shard`'s inner index is built from: the base spec in
+    /// capacity mode, the base spec under a derived per-replica seed in
+    /// forest mode.
+    pub fn shard_spec(&self, shard: usize) -> IndexSpec {
+        match self.mode {
+            ShardMode::Capacity => self.base,
+            ShardMode::Forest => self.base.with_seed(replica_seed(self.base.seed, shard)),
+        }
+    }
+
+    /// The home shard of external id `id` in capacity mode: a deterministic
+    /// hash (SplitMix64) of the id, modulo the shard count. Pure and
+    /// platform-independent, so placement never depends on insertion order
+    /// or machine.
+    pub fn route(&self, id: PointId) -> usize {
+        (splitmix64(u64::from(id.0)) % self.shards as u64) as usize
+    }
+
+    /// Serialize into a shard-envelope payload (stable format).
+    pub(crate) fn write_to(&self, w: &mut ByteWriter) {
+        self.base.write_to(w);
+        w.put_u8(self.mode.tag());
+        w.put_usize(self.shards);
+    }
+
+    /// Inverse of [`ShardSpec::write_to`].
+    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> PersistResult<ShardSpec> {
+        let base = IndexSpec::read_from(r)?;
+        let mode = ShardMode::from_tag(r.take_u8()?)?;
+        let shards = r.take_usize()?;
+        Ok(ShardSpec { base, shards, mode })
+    }
+}
+
+/// SplitMix64: the routing hash and the seed-derivation mixer. Fixed
+/// constants, no platform dependence.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive replica `shard`'s construction seed from the base seed. Distinct
+/// per shard (that is the whole point of forest mode) and stable across
+/// save/open, so a reopened shard can be validated against its spec.
+fn replica_seed(base: u64, shard: usize) -> u64 {
+    splitmix64(base ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Subdirectory name of shard `shard` within a sharded index directory.
+fn shard_dir_name(shard: usize) -> String {
+    format!("shard{shard:04}")
+}
+
+/// Inverse of [`shard_dir_name`] (used by the foreign-entry check).
+fn parse_shard_dir(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard")?;
+    if digits.len() != 4 {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// N per-shard [`Index`] instances served as one index: scatter-gather
+/// queries, routed writes, per-shard compaction, and a self-describing
+/// sharded directory. See the [module docs](crate::sharded) for the mode
+/// semantics and consistency guarantees.
+///
+/// ```
+/// use brepartition::prelude::*;
+///
+/// # fn main() -> brepartition::Result<()> {
+/// let rows: Vec<Vec<f64>> =
+///     (0..48).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
+/// let data = DenseDataset::from_rows(&rows).unwrap();
+/// let spec = ShardSpec::capacity(IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), 3);
+/// let mut sharded = ShardedIndex::build(&spec, &data)?;
+/// assert_eq!(sharded.len(), 48);
+///
+/// // Bit-identical to the unsharded index for exact methods.
+/// let plain = Index::build(&spec.base, &data)?;
+/// let q = [10.0, 4.0];
+/// assert_eq!(
+///     sharded.query(&QueryRequest::new(&q, 5))?.neighbors,
+///     plain.query(&QueryRequest::new(&q, 5))?.neighbors,
+/// );
+///
+/// // Writes route to the owning shard; ids are global and stable.
+/// let id = sharded.insert(&[100.0, 100.0])?;
+/// assert_eq!(sharded.query(&QueryRequest::new(&[99.0, 99.0], 1))?.neighbors[0].0, id);
+/// assert!(sharded.delete(PointId(7))?);
+/// sharded.compact()?;
+/// assert_eq!(sharded.len(), 48);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct ShardedIndex {
+    spec: ShardSpec,
+    shards: Vec<Index>,
+    /// Capacity mode: per-shard ascending table `local id → global id`,
+    /// derived from the issue counter (see the module docs). Empty in
+    /// forest mode, where local ids *are* global ids.
+    locals: Vec<Vec<u32>>,
+    /// The next global external id to issue.
+    next_global: u32,
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("spec", &self.spec)
+            .field("len", &self.len())
+            .field("dim", &self.dim())
+            .field("next_global", &self.next_global)
+            .finish()
+    }
+}
+
+impl ShardedIndex {
+    /// Build a sharded index over `data` as the spec describes.
+    ///
+    /// Capacity mode slices the dataset by [`ShardSpec::route`] over the
+    /// global ids `0..n`; every shard must receive at least one point (no
+    /// backend builds over an empty dataset), so an oversized shard count
+    /// against a tiny dataset fails with [`Error::Spec`]. Forest mode
+    /// builds every replica over the full dataset.
+    pub fn build(spec: &ShardSpec, data: &DenseDataset) -> Result<ShardedIndex> {
+        spec.validate()?;
+        let next_global = u32::try_from(data.len()).map_err(|_| {
+            Error::Spec(format!("{} points exceed the 32-bit id space", data.len()))
+        })?;
+        match spec.mode {
+            ShardMode::Capacity => {
+                let mut flats: Vec<Vec<f64>> = vec![Vec::new(); spec.shards];
+                let mut locals: Vec<Vec<u32>> = vec![Vec::new(); spec.shards];
+                for i in 0..data.len() {
+                    let shard = spec.route(PointId(i as u32));
+                    flats[shard].extend_from_slice(data.row(i));
+                    locals[shard].push(i as u32);
+                }
+                if let Some(empty) = locals.iter().position(|l| l.is_empty()) {
+                    return Err(Error::Spec(format!(
+                        "capacity shard {empty} of {} received no points from a {}-point \
+                         dataset; every shard needs at least one point at build — lower the \
+                         shard count",
+                        spec.shards,
+                        data.len()
+                    )));
+                }
+                let shards = flats
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, flat)| {
+                        let slice =
+                            DenseDataset::from_flat(data.dim(), flat).map_err(CoreError::from)?;
+                        Index::build(&spec.shard_spec(s), &slice)
+                    })
+                    .collect::<Result<Vec<Index>>>()?;
+                Ok(ShardedIndex { spec: *spec, shards, locals, next_global })
+            }
+            ShardMode::Forest => {
+                let shards = (0..spec.shards)
+                    .map(|s| Index::build(&spec.shard_spec(s), data))
+                    .collect::<Result<Vec<Index>>>()?;
+                Ok(ShardedIndex {
+                    spec: *spec,
+                    shards,
+                    locals: vec![Vec::new(); spec.shards],
+                    next_global,
+                })
+            }
+        }
+    }
+
+    /// Open a sharded directory written by [`ShardedIndex::save`].
+    ///
+    /// Self-describing like [`Index::open`]: the shard envelope names the
+    /// mode, shard count and per-shard spec; foreign entries in the
+    /// directory, a shard whose own envelope disagrees with the shard
+    /// spec, or a shard whose id counter contradicts the envelope's global
+    /// counter are all rejected descriptively.
+    pub fn open(dir: &Path) -> Result<ShardedIndex> {
+        let (spec, next_global) = read_shard_envelope(dir)?;
+        spec.validate()?;
+        check_sharded_directory(dir, &spec)?;
+        let mut shards = Vec::with_capacity(spec.shards);
+        for s in 0..spec.shards {
+            let shard_dir = dir.join(shard_dir_name(s));
+            let shard = Index::open(&shard_dir)?;
+            let expected = spec.shard_spec(s);
+            if *shard.spec() != expected {
+                return Err(Error::Mismatch {
+                    expected: format!(
+                        "shard {s} built from the envelope's per-shard spec ({} over {})",
+                        expected.method.name(),
+                        expected.divergence.short_name()
+                    ),
+                    found: format!("an index with a different spec in {}", shard_dir.display()),
+                });
+            }
+            shards.push(shard);
+        }
+        if let Some(bad) = shards.iter().position(|s| s.dim() != shards[0].dim()) {
+            return Err(Error::Mismatch {
+                expected: format!("every shard serving {}-dimensional points", shards[0].dim()),
+                found: format!("shard {bad} serving {}-dimensional points", shards[bad].dim()),
+            });
+        }
+        let locals = derive_locals(&spec, next_global);
+        for (s, shard) in shards.iter().enumerate() {
+            let expected_issued = match spec.mode {
+                ShardMode::Capacity => locals[s].len() as u32,
+                ShardMode::Forest => next_global,
+            };
+            if shard.delta().next_id() != expected_issued {
+                return Err(Error::Mismatch {
+                    expected: format!(
+                        "shard {s} having issued {expected_issued} ids (derived from the \
+                         envelope's global id counter {next_global})"
+                    ),
+                    found: format!(
+                        "a shard directory whose id counter is {} — not a shard of this index",
+                        shard.delta().next_id()
+                    ),
+                });
+            }
+        }
+        Ok(ShardedIndex { spec, shards, locals, next_global })
+    }
+
+    /// Persist the sharded index: one subdirectory per shard (each a full
+    /// [`Index::save`] directory) plus the sealed shard envelope
+    /// ([`SHARDS_FILE`]). Like the unsharded save, this does not compact —
+    /// a reopened index resumes with the same live set and id counter.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(PersistError::from)?;
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.save(&dir.join(shard_dir_name(s)))?;
+        }
+        let mut w = ByteWriter::new();
+        self.spec.write_to(&mut w);
+        w.put_u32(self.next_global);
+        std::fs::write(dir.join(SHARDS_FILE), seal(&SHARDS_MAGIC, SHARDS_VERSION, &w.into_vec()))
+            .map_err(PersistError::from)?;
+        Ok(())
+    }
+
+    /// The spec this sharded index was built (or reopened) with.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `shard`'s inner index (inspection only; route writes through
+    /// [`ShardedIndex::insert`] / [`ShardedIndex::delete`]).
+    pub fn shard(&self, shard: usize) -> &Index {
+        &self.shards[shard]
+    }
+
+    /// Number of live points (distinct points: forest replicas count once).
+    pub fn len(&self) -> usize {
+        match self.spec.mode {
+            ShardMode::Capacity => self.shards.iter().map(|s| s.len()).sum(),
+            ShardMode::Forest => self.shards[0].len(),
+        }
+    }
+
+    /// Whether the index holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.shards[0].dim()
+    }
+
+    /// Append one point, returning its stable **global** external id.
+    ///
+    /// Capacity mode issues the next global id and routes the row to that
+    /// id's home shard; forest mode appends the row to every replica. The
+    /// write is visible to queries issued after this call, exactly as for
+    /// the unsharded [`Index::insert`].
+    pub fn insert(&mut self, row: &[f64]) -> Result<PointId> {
+        let id = PointId(self.next_global);
+        match self.spec.mode {
+            ShardMode::Capacity => {
+                let shard = self.spec.route(id);
+                let local = self.shards[shard].insert(row)?;
+                assert_eq!(
+                    local.0 as usize,
+                    self.locals[shard].len(),
+                    "shard-local ids must stay dense"
+                );
+                self.locals[shard].push(id.0);
+                self.next_global += 1;
+                Ok(id)
+            }
+            ShardMode::Forest => {
+                // The first replica validates the row; the rest share its
+                // history, so they cannot fail differently.
+                let issued = self.shards[0].insert(row)?;
+                assert_eq!(issued, id, "forest replicas must issue ids in lockstep");
+                for shard in &mut self.shards[1..] {
+                    let got = shard.insert(row)?;
+                    assert_eq!(got, id, "forest replicas must issue ids in lockstep");
+                }
+                self.next_global += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Tombstone a live point by **global** id; idempotent like
+    /// [`Index::delete`].
+    pub fn delete(&mut self, id: PointId) -> Result<bool> {
+        if id.0 >= self.next_global {
+            return Ok(false);
+        }
+        match self.spec.mode {
+            ShardMode::Capacity => {
+                let shard = self.spec.route(id);
+                let local = self.locals[shard]
+                    .binary_search(&id.0)
+                    .expect("every issued global id is mapped on its home shard");
+                self.shards[shard].delete(PointId(local as u32))
+            }
+            ShardMode::Forest => {
+                let was_live = self.shards[0].delete(id)?;
+                for shard in &mut self.shards[1..] {
+                    let got = shard.delete(id)?;
+                    assert_eq!(got, was_live, "forest replicas must agree on liveness");
+                }
+                Ok(was_live)
+            }
+        }
+    }
+
+    /// Compact every shard that has pending writes, folding its delta into
+    /// a rebuilt backend (global ids survive, as for [`Index::compact`]).
+    ///
+    /// A shard whose live set is empty is skipped — no backend builds over
+    /// an empty dataset — and keeps serving through its tombstones until a
+    /// point routes back to it.
+    pub fn compact(&mut self) -> Result<()> {
+        for shard in &mut self.shards {
+            if shard.is_empty() {
+                continue;
+            }
+            shard.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Answer one query: scatter to every shard sequentially (fresh scratch,
+    /// no worker pool), gather by `(distance, id)`.
+    pub fn query(&self, request: &QueryRequest<'_>) -> Result<QueryOutcome> {
+        let started = Instant::now();
+        let mut neighbors_per_shard: Vec<Vec<(PointId, f64)>> =
+            Vec::with_capacity(self.shards.len());
+        let mut candidates = 0usize;
+        let mut io = pagestore::IoStats::default();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut outcome = shard.query(request)?;
+            self.remap(s, &mut outcome.neighbors);
+            candidates += outcome.candidates;
+            io.accumulate(&outcome.io);
+            neighbors_per_shard.push(outcome.neighbors);
+        }
+        let lists: Vec<&[(PointId, f64)]> =
+            neighbors_per_shard.iter().map(|n| n.as_slice()).collect();
+        Ok(QueryOutcome {
+            neighbors: merge_neighbor_lists(&lists, request.k(), self.dedup()),
+            candidates,
+            io,
+            latency_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Execute a batch with the default worker budget
+    /// ([`recommended_pool_threads`]) shared across all shards.
+    pub fn run(&self, request: &Request<'_>) -> Result<BatchResult> {
+        self.run_with_budget(request, recommended_pool_threads())
+    }
+
+    /// Execute a batch with an explicit worker budget.
+    ///
+    /// The budget is **split** across the per-shard engines (see
+    /// [`split_thread_budget`](brepartition_engine::split_thread_budget)) —
+    /// N shards never run more than `budget` workers at once. Every shard
+    /// serves the batch over its own consistent snapshot (the
+    /// [`Index::backend`] semantics), per-shard results are remapped to
+    /// global ids and gathered per query, and the aggregated report counts
+    /// the work of all shards (candidates and I/O summed, latency the
+    /// slowest shard's). Results are independent of the budget, and in
+    /// capacity mode independent of the shard count.
+    pub fn run_with_budget(&self, request: &Request<'_>, budget: usize) -> Result<BatchResult> {
+        let backends: Vec<Arc<dyn SearchBackend>> =
+            self.shards.iter().map(|s| s.backend()).collect();
+        let engine = ShardedEngine::new(backends, budget)?;
+        let lowered = request.as_engine_requests();
+        let started = Instant::now();
+        let mut shard_results = engine.run_requests(&lowered)?;
+        let wall_seconds = started.elapsed().as_secs_f64();
+        for (s, result) in shard_results.iter_mut().enumerate() {
+            for outcome in &mut result.outcomes {
+                self.remap(s, &mut outcome.neighbors);
+            }
+        }
+        let ks: Vec<usize> = lowered.iter().map(|r| r.k).collect();
+        let outcomes = merge_shard_outcomes(&shard_results, &ks, self.dedup());
+        let report = ThroughputReport::from_outcomes(
+            self.serving_label(),
+            ks.iter().copied().max().unwrap_or(0),
+            budget,
+            wall_seconds,
+            &outcomes,
+        );
+        Ok(BatchResult { outcomes, report })
+    }
+
+    /// Whether the gather must deduplicate ids (replicas overlap; capacity
+    /// slices are disjoint by construction).
+    fn dedup(&self) -> bool {
+        self.spec.mode == ShardMode::Forest
+    }
+
+    /// Translate shard `shard`'s local neighbor ids to global ids in place.
+    fn remap(&self, shard: usize, neighbors: &mut [(PointId, f64)]) {
+        if self.spec.mode == ShardMode::Capacity {
+            for (id, _) in neighbors.iter_mut() {
+                *id = PointId(self.locals[shard][id.0 as usize]);
+            }
+        }
+    }
+
+    /// Stable backend label for reports, e.g. `BPx4:capacity`.
+    fn serving_label(&self) -> String {
+        format!(
+            "{}x{}:{}",
+            self.spec.base.method.short_name(),
+            self.spec.shards,
+            self.spec.mode.name()
+        )
+    }
+}
+
+/// Rebuild the per-shard `local → global` tables from the issue counter:
+/// globals are issued densely (`0..next_global`) and placed by the routing
+/// hash, in ascending order — exactly the order each shard issued its dense
+/// local ids, so the tables come out sorted.
+fn derive_locals(spec: &ShardSpec, next_global: u32) -> Vec<Vec<u32>> {
+    let mut locals = vec![Vec::new(); spec.shards];
+    if spec.mode == ShardMode::Capacity {
+        for id in 0..next_global {
+            locals[spec.route(PointId(id))].push(id);
+        }
+    }
+    locals
+}
+
+/// Reject directory entries a sharded save never writes (the analogue of
+/// the unsharded foreign-file check, at the shard-directory level).
+fn check_sharded_directory(dir: &Path, spec: &ShardSpec) -> Result<()> {
+    for entry in std::fs::read_dir(dir).map_err(PersistError::from)? {
+        let entry = entry.map_err(PersistError::from)?;
+        let name = entry.file_name();
+        let known = name.to_str().is_some_and(|n| {
+            n == SHARDS_FILE || parse_shard_dir(n).is_some_and(|s| s < spec.shards)
+        });
+        if !known {
+            return Err(Error::Mismatch {
+                expected: format!(
+                    "a sharded index directory holding only {SHARDS_FILE} and {} shard \
+                     subdirectories ({}..{})",
+                    spec.shards,
+                    shard_dir_name(0),
+                    shard_dir_name(spec.shards - 1)
+                ),
+                found: format!("foreign entry {:?} in {}", name, dir.display()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Read and unseal the shard envelope of a sharded index directory.
+fn read_shard_envelope(dir: &Path) -> Result<(ShardSpec, u32)> {
+    let path: PathBuf = dir.join(SHARDS_FILE);
+    let bytes = std::fs::read(&path).map_err(|e| {
+        Error::Persist(PersistError::Corrupt(format!(
+            "directory {} has no readable shard envelope ({SHARDS_FILE}): {e}; unsharded \
+             index directories open through Index::open instead",
+            dir.display()
+        )))
+    })?;
+    let payload = unseal(&SHARDS_MAGIC, SHARDS_VERSION, &bytes)?;
+    let mut r = ByteReader::new(payload);
+    let spec = ShardSpec::read_from(&mut r)?;
+    let next_global = r.take_u32()?;
+    r.expect_end()?;
+    Ok((spec, next_global))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Method;
+    use bregman::DivergenceKind;
+
+    #[test]
+    fn mode_tags_and_names_roundtrip() {
+        for mode in [ShardMode::Capacity, ShardMode::Forest] {
+            assert_eq!(ShardMode::from_tag(mode.tag()).unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert!(ShardMode::from_tag(9).is_err());
+    }
+
+    #[test]
+    fn shard_spec_validates_and_roundtrips() {
+        let base = IndexSpec::new(Method::VaFile, DivergenceKind::Exponential).with_seed(42);
+        let spec = ShardSpec::forest(base, 5);
+        assert!(spec.validate().is_ok());
+        assert!(ShardSpec::capacity(base, 0).validate().is_err());
+        assert!(ShardSpec::capacity(base, MAX_SHARDS + 1).validate().is_err());
+
+        let mut w = ByteWriter::new();
+        spec.write_to(&mut w);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let restored = ShardSpec::read_from(&mut r).unwrap();
+        assert_eq!(restored, spec);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let spec = ShardSpec::capacity(
+            IndexSpec::new(Method::BBTree, DivergenceKind::SquaredEuclidean),
+            7,
+        );
+        let mut seen = [0usize; 7];
+        for id in 0..10_000u32 {
+            let s = spec.route(PointId(id));
+            assert!(s < 7);
+            assert_eq!(s, spec.route(PointId(id)), "routing must be pure");
+            seen[s] += 1;
+        }
+        // The hash spreads ids across every shard (coarse balance check).
+        for (s, count) in seen.iter().enumerate() {
+            assert!(*count > 500, "shard {s} got only {count} of 10000 ids");
+        }
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..16).map(|s| replica_seed(0xB5EED, s)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            assert_eq!(*a, replica_seed(0xB5EED, i), "seed derivation must be stable");
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b, "replica seeds must be pairwise distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_dir_names_roundtrip_and_reject_foreigners() {
+        assert_eq!(parse_shard_dir(&shard_dir_name(0)), Some(0));
+        assert_eq!(parse_shard_dir(&shard_dir_name(123)), Some(123));
+        assert_eq!(parse_shard_dir("shard12"), None);
+        assert_eq!(parse_shard_dir("shardXXXX"), None);
+        assert_eq!(parse_shard_dir("spec.meta"), None);
+    }
+}

@@ -58,6 +58,15 @@ impl Method {
         }
     }
 
+    /// Whether the method's search is exact — it returns the true kNN under
+    /// the divergence, so its results admit bit-identity comparisons (e.g.
+    /// sharded vs unsharded serving). The approximate method is exact only
+    /// at a probability guarantee of 1.0, which this predicate does not
+    /// assume.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Method::Approximate)
+    }
+
     /// Stable on-disk tag of the method (spec-envelope format).
     pub(crate) fn tag(&self) -> u8 {
         match self {
@@ -396,6 +405,10 @@ mod tests {
             assert_eq!(method.to_string(), method.name());
         }
         assert!(Method::from_tag(9).is_err());
+        assert!(Method::BrePartition.is_exact());
+        assert!(Method::BBTree.is_exact());
+        assert!(Method::VaFile.is_exact());
+        assert!(!Method::Approximate.is_exact());
         assert_eq!(Method::BrePartition.short_name(), "BP");
         assert_eq!(Method::Approximate.short_name(), "ABP");
         assert_eq!(Method::BBTree.short_name(), "BBT");

@@ -190,3 +190,59 @@ fn delta_overlay_is_thread_count_invariant_and_snapshot_consistent() {
         "a fresh snapshot must see the delete"
     );
 }
+
+/// The sharded serving tier inherits both invariances at once: capacity-mode
+/// answers are bit-identical to the unsharded index for every shard count,
+/// under every fan-out thread budget.
+#[test]
+fn sharded_capacity_is_shard_count_and_thread_budget_invariant() {
+    let (data, queries) = hierarchical_workload(900, 96);
+    let k = 9;
+    let base = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+        .with_partitions(6)
+        .with_leaf_capacity(16)
+        .with_page_size(4096);
+    let request = Request::uniform(&queries, k);
+    let reference = Index::build(&base, &data).unwrap().run(&request).unwrap();
+
+    for shards in [1usize, 2, 3, 5] {
+        let sharded = ShardedIndex::build(&ShardSpec::capacity(base, shards), &data).unwrap();
+        for budget in [1usize, 8] {
+            let got = sharded.run_with_budget(&request, budget).unwrap();
+            for (qi, (g, w)) in got.outcomes.iter().zip(reference.outcomes.iter()).enumerate() {
+                let ctx = format!("{shards} shards, budget {budget}, query {qi}");
+                assert_eq!(g.neighbors.len(), w.neighbors.len(), "{ctx}: k");
+                for (rank, ((gid, gd), (wid, wd))) in
+                    g.neighbors.iter().zip(w.neighbors.iter()).enumerate()
+                {
+                    assert_eq!(gid, wid, "{ctx}, rank {rank}: neighbor ids");
+                    assert_eq!(
+                        gd.to_bits(),
+                        wd.to_bits(),
+                        "{ctx}, rank {rank}: distance bits ({gd} vs {wd})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Forest mode is deterministic too: every replica is a deterministic build
+/// and the `(distance, id)` merge is a pure function of the replica answers,
+/// so merged results cannot depend on the fan-out budget.
+#[test]
+fn sharded_forest_is_thread_budget_invariant() {
+    let (data, queries) = hierarchical_workload(700, 64);
+    let base = IndexSpec::approximate(DivergenceKind::ItakuraSaito)
+        .with_probability(0.6)
+        .with_partitions(6)
+        .with_leaf_capacity(16)
+        .with_page_size(4096);
+    let forest = ShardedIndex::build(&ShardSpec::forest(base, 4), &data).unwrap();
+    let request = Request::uniform(&queries, 8);
+    let one = forest.run_with_budget(&request, 1).unwrap();
+    let many = forest.run_with_budget(&request, 8).unwrap();
+    for (qi, (a, b)) in one.outcomes.iter().zip(many.outcomes.iter()).enumerate() {
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}: forest merge depends on budget");
+    }
+}

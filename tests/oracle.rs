@@ -212,6 +212,134 @@ fn run_interleaving(method: Method, kind: DivergenceKind, seed: u64) {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+#[track_caller]
+fn assert_sharded_matches_oracle(
+    ctx: &str,
+    index: &ShardedIndex,
+    oracle: &Oracle,
+    query: &[f64],
+    k: usize,
+) {
+    let got = index.query(&QueryRequest::new(query, k)).unwrap().neighbors;
+    let want = oracle.knn(query, k);
+    let got_ids: Vec<u32> = got.iter().map(|(id, _)| id.0).collect();
+    let want_ids: Vec<u32> = want.iter().map(|(id, _)| *id).collect();
+    assert_eq!(got_ids, want_ids, "{ctx}: neighbor ids diverged from brute force");
+    for (rank, ((_, gd), (_, wd))) in got.iter().zip(want.iter()).enumerate() {
+        assert!(
+            (gd - wd).abs() <= 1e-10 * (1.0 + wd.abs()),
+            "{ctx}: rank {rank} distance {gd} vs brute-force {wd}"
+        );
+    }
+}
+
+/// The sharded mirror of [`run_interleaving`]: the same op mix driven
+/// through a `ShardedIndex`, so routed inserts/deletes, per-shard compaction
+/// and the sharded directory layout all face the brute-force oracle.
+fn run_sharded_interleaving(mode: ShardMode, method: Method, kind: DivergenceKind, seed: u64) {
+    let base = spec_for(method, kind);
+    let spec = match mode {
+        ShardMode::Capacity => ShardSpec::capacity(base, 3),
+        _ => ShardSpec::forest(base, 3),
+    };
+    if spec.validate().is_err() {
+        assert!(
+            matches!(method, Method::BrePartition | Method::Approximate)
+                && kind == DivergenceKind::GeneralizedI,
+            "only BP/ABP over GI may be unsupported, got {method}/{kind}"
+        );
+        return;
+    }
+    let label = format!("sharded-{}-{}/{}", mode.name(), method.short_name(), kind.short_name());
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed.rotate_left(17)
+            ^ ((method.tag_for_seed() as u64) << 32 | kind.short_name().len() as u64)
+            ^ (kind as u64) << 8,
+    );
+
+    let rows: Vec<Vec<f64>> = (0..INITIAL_POINTS).map(|_| random_row(&mut rng)).collect();
+    let data = DenseDataset::from_rows(&rows).unwrap();
+    let mut index = ShardedIndex::build(&spec, &data).unwrap();
+    let mut oracle = Oracle {
+        kind,
+        live: rows.iter().enumerate().map(|(i, r)| (i as u32, r.clone())).collect(),
+    };
+    let mut issued: Vec<u32> = (0..INITIAL_POINTS as u32).collect();
+    let mut expected_next = INITIAL_POINTS as u32;
+    let root = temp_root(method, kind, seed).join(format!("sharded-{}", mode.name()));
+
+    for op in 0..OPS {
+        let ctx = format!("{label} op {op}");
+        match rng.gen_range(0..100u32) {
+            0..=37 => {
+                let row = random_row(&mut rng);
+                let id = index.insert(&row).unwrap();
+                assert_eq!(id.0, expected_next, "{ctx}: global id issue order");
+                expected_next += 1;
+                oracle.live.insert(id.0, row);
+                issued.push(id.0);
+            }
+            38..=57 => {
+                let target = if rng.gen_range(0..8u32) == 0 {
+                    expected_next + rng.gen_range(1..10u32)
+                } else {
+                    issued[rng.gen_range(0..issued.len())]
+                };
+                let got = index.delete(PointId(target)).unwrap();
+                let want = oracle.live.remove(&target).is_some();
+                assert_eq!(got, want, "{ctx}: delete({target}) liveness");
+            }
+            58..=65 => {
+                if oracle.live.len() >= 4 {
+                    index.compact().unwrap();
+                    assert_eq!(index.len(), oracle.live.len(), "{ctx}: live count after compact");
+                }
+            }
+            66..=73 => {
+                let dir = root.join(format!("step{op}"));
+                index.save(&dir).unwrap();
+                index = ShardedIndex::open(&dir).unwrap();
+                std::fs::remove_dir_all(&dir).unwrap();
+                assert_eq!(index.len(), oracle.live.len(), "{ctx}: live count after reopen");
+            }
+            _ => {
+                let query = random_row(&mut rng);
+                let k = rng.gen_range(1..11usize);
+                assert_sharded_matches_oracle(&ctx, &index, &oracle, &query, k);
+            }
+        }
+    }
+
+    // Final sweep mirrors the unsharded one, plus the fan-out batch path
+    // under two different thread budgets (answers must not depend on it).
+    while oracle.live.len() < 4 {
+        let row = random_row(&mut rng);
+        let id = index.insert(&row).unwrap();
+        oracle.live.insert(id.0, row);
+    }
+    let finals: Vec<Vec<f64>> = (0..6).map(|_| random_row(&mut rng)).collect();
+    for (qi, q) in finals.iter().enumerate() {
+        assert_sharded_matches_oracle(&format!("{label} final query {qi}"), &index, &oracle, q, 5);
+    }
+    let dir = root.join("final");
+    index.save(&dir).unwrap();
+    let reopened = ShardedIndex::open(&dir).unwrap();
+    assert_eq!(reopened.len(), oracle.live.len(), "{label}: live count after final reopen");
+    for budget in [1usize, 4] {
+        let batch = reopened.run_with_budget(&Request::uniform(&finals, 5), budget).unwrap();
+        for (qi, outcome) in batch.outcomes.iter().enumerate() {
+            let want = oracle.knn(&finals[qi], 5);
+            let got_ids: Vec<u32> = outcome.neighbors.iter().map(|(id, _)| id.0).collect();
+            let want_ids: Vec<u32> = want.iter().map(|(id, _)| *id).collect();
+            assert_eq!(
+                got_ids, want_ids,
+                "{label} batch query {qi} (budget {budget}): ids diverged from brute force"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// Helper trait: a stable per-method salt for the RNG stream (kept local so
 /// the test does not depend on the crate-private envelope tags).
 trait MethodSeed {
@@ -237,5 +365,30 @@ fn oracle_all_methods_and_kinds() {
         for kind in DivergenceKind::ALL {
             run_interleaving(method, kind, seed);
         }
+    }
+}
+
+#[test]
+fn oracle_sharded_capacity_all_methods_and_kinds() {
+    let seed = seed_from_env();
+    for method in Method::ALL {
+        for kind in DivergenceKind::ALL {
+            run_sharded_interleaving(ShardMode::Capacity, method, kind, seed);
+        }
+    }
+}
+
+/// Forest replicas of an *exact* backend each return the true top-k, so the
+/// deduplicated merge is the true top-k too and the oracle comparison stays
+/// sound (ABP qualifies only at its p = 1.0 exactness point).
+#[test]
+fn oracle_sharded_forest_over_exact_replicas() {
+    let seed = seed_from_env();
+    for (method, kind) in [
+        (Method::BBTree, DivergenceKind::ItakuraSaito),
+        (Method::VaFile, DivergenceKind::SquaredEuclidean),
+        (Method::Approximate, DivergenceKind::Exponential),
+    ] {
+        run_sharded_interleaving(ShardMode::Forest, method, kind, seed);
     }
 }

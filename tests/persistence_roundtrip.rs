@@ -307,3 +307,106 @@ fn corrupted_or_truncated_delta_log_is_rejected_descriptively() {
     assert!(Index::open(&dir).is_ok());
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A mutated sharded index (routed inserts, deletes, one compaction)
+/// round-trips through its directory layout to bit-identical serving, and
+/// the sealed shard envelope rejects tampering the same way the per-shard
+/// `spec.meta` does.
+#[test]
+fn sharded_directory_roundtrips_and_rejects_tampering() {
+    let (data, queries) = hierarchical_workload(500, 32);
+    let spec = ShardSpec::capacity(
+        IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+            .with_partitions(4)
+            .with_leaf_capacity(16)
+            .with_page_size(4096),
+        3,
+    );
+    let mut index = ShardedIndex::build(&spec, &data).unwrap();
+    for i in 0..9usize {
+        let row: Vec<f64> = data.row(i * 31 % data.len()).iter().map(|v| v * 1.04 + 0.1).collect();
+        index.insert(&row).unwrap();
+    }
+    for id in [PointId(2), PointId(data.len() as u32 + 4)] {
+        assert!(index.delete(id).unwrap());
+    }
+    index.compact().unwrap();
+
+    let dir = temp_root("sharded");
+    index.save(&dir).unwrap();
+    let reopened = ShardedIndex::open(&dir).unwrap();
+    assert_eq!(reopened.len(), index.len());
+    assert_eq!(reopened.shards(), 3);
+    for (qi, q) in queries.iter().enumerate() {
+        let a = index.query(&QueryRequest::new(q, 8)).unwrap();
+        let b = reopened.query(&QueryRequest::new(q, 8)).unwrap();
+        assert_eq!(a.neighbors.len(), b.neighbors.len(), "query {qi}");
+        for (rank, ((ga, da), (gb, db))) in a.neighbors.iter().zip(b.neighbors.iter()).enumerate() {
+            assert_eq!(ga, gb, "query {qi} rank {rank}: ids across the round-trip");
+            assert_eq!(da.to_bits(), db.to_bits(), "query {qi} rank {rank}: distance bits");
+        }
+    }
+
+    // A flipped byte in the sealed shard envelope fails its checksum.
+    let envelope_path = dir.join(brepartition::SHARDS_FILE);
+    let pristine = std::fs::read(&envelope_path).unwrap();
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    std::fs::write(&envelope_path, &flipped).unwrap();
+    match ShardedIndex::open(&dir) {
+        Err(e) => assert!(e.to_string().contains("checksum"), "undescriptive error: {e}"),
+        Ok(_) => panic!("a corrupted shard envelope must not open"),
+    }
+    std::fs::write(&envelope_path, &pristine).unwrap();
+
+    // A foreign entry in the sharded root is rejected, not ignored.
+    std::fs::write(dir.join("notes.txt"), b"scribble").unwrap();
+    match ShardedIndex::open(&dir) {
+        Err(e) => assert!(e.to_string().contains("foreign"), "undescriptive error: {e}"),
+        Ok(_) => panic!("a foreign root entry must not open"),
+    }
+    std::fs::remove_file(dir.join("notes.txt")).unwrap();
+
+    // A foreign file *inside* a shard subdirectory trips the per-shard
+    // directory check the envelope machinery already enforces.
+    std::fs::write(dir.join("shard0001").join("extra.bin"), b"junk").unwrap();
+    match ShardedIndex::open(&dir) {
+        Err(e) => assert!(e.to_string().contains("foreign"), "undescriptive error: {e}"),
+        Ok(_) => panic!("a foreign shard entry must not open"),
+    }
+    std::fs::remove_file(dir.join("shard0001").join("extra.bin")).unwrap();
+
+    // A shard directory swapped in from a *different* sharded index is
+    // caught by the id-counter cross-check ("not a shard of this index").
+    let (other_data, _) = hierarchical_workload(700, 1);
+    let other = ShardedIndex::build(&spec, &other_data).unwrap();
+    let other_dir = temp_root("sharded-other");
+    other.save(&other_dir).unwrap();
+    std::fs::remove_dir_all(dir.join("shard0001")).unwrap();
+    copy_dir(&other_dir.join("shard0001"), &dir.join("shard0001"));
+    match ShardedIndex::open(&dir) {
+        Err(e) => {
+            assert!(e.to_string().contains("not a shard"), "undescriptive error: {e}")
+        }
+        Ok(_) => panic!("a swapped-in shard directory must not open"),
+    }
+
+    // The two layouts do not open through each other's entry points.
+    assert!(Index::open(&dir).is_err(), "a sharded root is not an unsharded index");
+    assert!(
+        ShardedIndex::open(&dir.join("shard0000")).is_err(),
+        "an unsharded index directory is not a sharded root"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&other_dir).unwrap();
+}
+
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
