@@ -224,8 +224,9 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
 
     /// The shared disk search: best-first traversal with the prepared-query
     /// kernel — query-side transcendentals hoisted once, per-candidate
-    /// distance `Φ(x) + c_q − ⟨∇φ(q), x⟩` over the tabulated `Φ` column,
-    /// leaf points decoded page-grouped into a reused buffer.
+    /// distance `Φ(x) + c_q − ⟨∇φ(q), x⟩` over the tabulated `Φ` column.
+    /// Each visited leaf is decoded one page group at a time as a
+    /// lane-major block and refined in a single batched kernel call.
     fn knn_bounded_with_scratch(
         &self,
         pool: &mut BufferPool,
@@ -236,8 +237,9 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
     ) -> DiskQueryResult {
         let before = pool.stats();
         let mut stats = SearchStats::new();
-        let KernelScratch { prepared, coords, ids } = kernel;
+        let KernelScratch { prepared, ids, lanes, distances, phis, .. } = kernel;
         prepared.decompose_into(&self.divergence, query);
+        let prepared: &bregman::kernel::PreparedQuery = prepared;
         let phi = &self.phi;
         let store = &self.store;
         let neighbors = self.tree.knn_bounded(
@@ -246,12 +248,16 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
             k,
             &mut stats,
             max_leaves,
-            prepared,
             &mut |leaf_points, offer| {
                 ids.clear();
                 ids.extend(leaf_points.iter().map(|p| p.0));
-                pool.read_points_with(store, ids, coords, &mut |pid, c| {
-                    offer(PointId(pid), phi[pid as usize], c)
+                pool.read_points_block(store, ids, lanes, &mut |members, block| {
+                    phis.clear();
+                    phis.extend(members.iter().map(|&pid| phi[pid as usize]));
+                    prepared.distance_block(phis, block, distances);
+                    for (&pid, &d) in members.iter().zip(distances.iter()) {
+                        offer(PointId(pid), d);
+                    }
                 });
             },
         );

@@ -3,7 +3,6 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use bregman::kernel::PreparedQuery;
 use bregman::{DecomposableBregman, DenseDataset, PointId};
 
 use crate::node::{BBTree, NodeId, NodeKind};
@@ -125,20 +124,12 @@ impl BBTree {
         // per-candidate work is then `Φ(x)` (data-side `φ` only) plus one
         // dot product. Disk-resident callers go further and tabulate `Φ`.
         let prepared = divergence.prepare_query(query);
-        self.knn_bounded(
-            divergence,
-            query,
-            k,
-            stats,
-            usize::MAX,
-            &prepared,
-            &mut |points, offer| {
-                for &pid in points {
-                    let coords = dataset.point(pid);
-                    offer(pid, divergence.f(coords), coords);
-                }
-            },
-        )
+        self.knn_bounded(divergence, query, k, stats, usize::MAX, &mut |points, offer| {
+            for &pid in points {
+                let coords = dataset.point(pid);
+                offer(pid, prepared.distance(divergence.f(coords), coords));
+            }
+        })
     }
 
     /// Best-first kNN visiting at most `max_leaves` leaves (exact when
@@ -146,13 +137,13 @@ impl BBTree {
     /// skeleton of the in-memory, disk-resident and variational searches.
     ///
     /// `visit_leaf` is called with a leaf's point ids and an *offer*
-    /// callback; for every candidate it can produce it calls
-    /// `offer(id, Φ(x), coords)`, and the divergence is evaluated through
-    /// the caller-built [`PreparedQuery`] — borrowed coordinate slices in,
-    /// no per-candidate allocation.
-    // One parameter per search knob; bundling them would just move the
-    // argument list into a one-use struct at the three internal call sites.
-    #[allow(clippy::too_many_arguments)]
+    /// callback taking `(id, divergence)` pairs. Distances are computed by
+    /// the visitor itself — the in-memory search scores one borrowed
+    /// coordinate slice at a time through a
+    /// [`PreparedQuery`](bregman::kernel::PreparedQuery), the
+    /// disk-resident search batches each decoded page group through the
+    /// lane-major block kernel — so the traversal skeleton is agnostic to
+    /// how (and how many at a time) candidates are scored.
     pub(crate) fn knn_bounded<B, F>(
         &self,
         divergence: &B,
@@ -160,12 +151,11 @@ impl BBTree {
         k: usize,
         stats: &mut SearchStats,
         max_leaves: usize,
-        prepared: &PreparedQuery,
         visit_leaf: &mut F,
     ) -> Vec<Neighbor>
     where
         B: DecomposableBregman,
-        F: FnMut(&[PointId], &mut dyn FnMut(PointId, f64, &[f64])),
+        F: FnMut(&[PointId], &mut dyn FnMut(PointId, f64)),
     {
         let mut top = TopK::new(k);
         if self.is_empty() || k == 0 {
@@ -184,9 +174,9 @@ impl BBTree {
                 NodeKind::Leaf { points } => {
                     stats.leaves_visited += 1;
                     leaves_visited += 1;
-                    visit_leaf(points, &mut |pid, phi_x, coords| {
+                    visit_leaf(points, &mut |pid, distance| {
                         stats.distance_computations += 1;
-                        top.offer(pid, prepared.distance(phi_x, coords));
+                        top.offer(pid, distance);
                     });
                     if leaves_visited >= max_leaves {
                         break;

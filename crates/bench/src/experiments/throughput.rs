@@ -187,18 +187,31 @@ mod tests {
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
 
-        // Warm rows must register pool hits — the cold rows' `0` is the
-        // unbuffered default, not broken accounting.
+        // Warm rows must not just register pool hits — with the batch-wide
+        // shared SIEVE cache, the whole batch faults the working set in
+        // roughly once, so the hit *rate* has a hard floor well above what
+        // per-worker caches could reach. Cold rows' `0` is the unbuffered
+        // default, not broken accounting.
         for object in json.split("\"backend\":").skip(1) {
             let label = object.split('"').nth(1).unwrap_or("");
-            let hits = object
-                .split("\"io_cache_hits\":")
-                .nth(1)
-                .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
-                .and_then(|digits| digits.parse::<u64>().ok())
-                .unwrap_or_else(|| panic!("row {label} has no io_cache_hits field"));
+            let counter = |key: &str| {
+                object
+                    .split(key)
+                    .nth(1)
+                    .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|digits| digits.parse::<u64>().ok())
+                    .unwrap_or_else(|| panic!("row {label} has no {key} field"))
+            };
+            let hits = counter("\"io_cache_hits\":");
+            let reads = counter("\"io_pages_read\":");
             if label.contains("+warm") {
                 assert!(hits > 0, "warm row {label} recorded no buffer-pool hits");
+                let rate = hits as f64 / (hits + reads) as f64;
+                assert!(
+                    rate >= 0.5,
+                    "warm row {label} hit rate {rate:.3} below the 0.5 floor \
+                     ({hits} hits / {reads} reads)"
+                );
             }
         }
     }

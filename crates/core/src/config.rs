@@ -43,6 +43,15 @@ pub struct BrePartitionConfig {
     /// Seed for every randomized choice (sampling, k-means initialization,
     /// PCCP's random first dimension).
     pub seed: u64,
+    /// Keep an in-memory `f32` copy of the rows and screen refine
+    /// candidates against it before touching data pages. Screening is
+    /// *conservative* — a candidate is skipped only when its `f32`
+    /// divergence minus a rigorous rounding bound already exceeds the
+    /// current `k`-th best — and every surviving candidate is re-ranked at
+    /// full `f64` resolution, so the final neighbors (ids *and* distances)
+    /// are bit-identical to the unscreened path. Costs `4·d` bytes per
+    /// point of resident memory; off by default.
+    pub f32_candidates: bool,
 }
 
 impl Default for BrePartitionConfig {
@@ -55,6 +64,7 @@ impl Default for BrePartitionConfig {
             buffer_pool_pages: 0,
             sample_size: 256,
             seed: 0xB5EED,
+            f32_candidates: false,
         }
     }
 }
@@ -93,6 +103,12 @@ impl BrePartitionConfig {
     /// Set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the `f32` candidate-screening tier.
+    pub fn with_f32_candidates(mut self, enabled: bool) -> Self {
+        self.f32_candidates = enabled;
         self
     }
 }

@@ -47,8 +47,14 @@ use crate::transform::TransformedDataset;
 /// Magic tag of the index metadata artifact.
 pub const INDEX_MAGIC: [u8; 8] = *b"BREPIDX1";
 
-/// Format version this build writes and reads.
-pub const INDEX_VERSION: u32 = 1;
+/// Format version this build writes (and reads, alongside
+/// [`LEGACY_INDEX_VERSION`]). Version 2 appends the `f32_candidates`
+/// screening knob to the serialized configuration.
+pub const INDEX_VERSION: u32 = 2;
+
+/// The pre-screening-knob format, still accepted on open (the knob
+/// defaults to off).
+pub const LEGACY_INDEX_VERSION: u32 = 1;
 
 /// File name of the index metadata within an index directory.
 pub const META_FILE: &str = "index.meta";
@@ -110,7 +116,7 @@ impl BrePartitionIndex {
     /// mismatch error — before paying for the full open.
     pub fn peek_kind(dir: &Path) -> Result<DivergenceKind> {
         let meta = std::fs::read(dir.join(META_FILE)).map_err(PersistError::from)?;
-        let payload = unseal(&INDEX_MAGIC, INDEX_VERSION, &meta)?;
+        let (payload, _) = unseal_index(&meta)?;
         let mut r = ByteReader::new(payload);
         let kind_name = r.take_str()?;
         DivergenceKind::parse(&kind_name)
@@ -126,13 +132,13 @@ impl BrePartitionIndex {
     /// counters.
     pub fn open(dir: &Path) -> Result<BrePartitionIndex> {
         let meta = std::fs::read(dir.join(META_FILE)).map_err(PersistError::from)?;
-        let payload = unseal(&INDEX_MAGIC, INDEX_VERSION, &meta)?;
+        let (payload, version) = unseal_index(&meta)?;
         let mut r = ByteReader::new(payload);
 
         let kind_name = r.take_str()?;
         let kind = DivergenceKind::parse(&kind_name)
             .map_err(|_| corrupt(format!("unknown divergence kind {kind_name:?}")))?;
-        let config = read_config(&mut r)?;
+        let config = read_config(&mut r, version)?;
         let partitioning = read_partitioning(&mut r)?;
 
         let n = r.take_usize()?;
@@ -246,6 +252,18 @@ fn corrupt(message: String) -> CoreError {
     CoreError::from(PersistError::Corrupt(message))
 }
 
+/// Unseal the metadata envelope, accepting both the current and the legacy
+/// format version; returns the payload and which version it was sealed as.
+fn unseal_index(meta: &[u8]) -> Result<(&[u8], u32)> {
+    match unseal(&INDEX_MAGIC, INDEX_VERSION, meta) {
+        Ok(payload) => Ok((payload, INDEX_VERSION)),
+        Err(PersistError::UnsupportedVersion { found: LEGACY_INDEX_VERSION, .. }) => {
+            Ok((unseal(&INDEX_MAGIC, LEGACY_INDEX_VERSION, meta)?, LEGACY_INDEX_VERSION))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
 fn write_config(w: &mut ByteWriter, config: &BrePartitionConfig) {
     match config.partitions {
         PartitionCount::Auto => {
@@ -266,9 +284,10 @@ fn write_config(w: &mut ByteWriter, config: &BrePartitionConfig) {
     w.put_usize(config.buffer_pool_pages);
     w.put_usize(config.sample_size);
     w.put_u64(config.seed);
+    w.put_u8(config.f32_candidates as u8);
 }
 
-fn read_config(r: &mut ByteReader<'_>) -> Result<BrePartitionConfig> {
+fn read_config(r: &mut ByteReader<'_>, version: u32) -> Result<BrePartitionConfig> {
     let partitions = match r.take_u8()? {
         0 => {
             r.take_u64()?;
@@ -290,6 +309,16 @@ fn read_config(r: &mut ByteReader<'_>) -> Result<BrePartitionConfig> {
         buffer_pool_pages: r.take_usize()?,
         sample_size: r.take_usize()?,
         seed: r.take_u64()?,
+        // Version 1 predates the screening knob: default off.
+        f32_candidates: if version >= INDEX_VERSION {
+            match r.take_u8()? {
+                0 => false,
+                1 => true,
+                tag => return Err(corrupt(format!("unknown f32-candidates flag {tag}"))),
+            }
+        } else {
+            false
+        },
     })
 }
 

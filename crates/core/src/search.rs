@@ -2,9 +2,9 @@
 //! (Algorithm 6).
 
 use bbtree::{BBTreeConfig, SearchStats};
-use bregman::kernel::KernelScratch;
+use bregman::kernel::{KernelScratch, PreparedQuery};
 use bregman::{DenseDataset, DivergenceKind, PointId};
-use pagestore::{BufferPool, PageStoreConfig};
+use pagestore::{BufferPool, PageStore, PageStoreConfig};
 use std::time::Instant;
 
 use crate::bbforest::BBForest;
@@ -72,6 +72,13 @@ pub struct BrePartitionIndex {
     /// partitions are disjoint and exhaustive, so `Φ(x) = Σ_s α_x(s)`),
     /// which is why the index envelope needs no extra table.
     phi: Vec<f64>,
+    /// Row-major `f32` copy of the data (`n × dim`), present only when
+    /// [`BrePartitionConfig::f32_candidates`] is set. Candidate screening
+    /// reads this instead of data pages; survivors are re-ranked from the
+    /// full-resolution pages. Behind an `Arc` so cloning the index stays
+    /// cheap. Derived from the row bits (not persisted), so it is identical
+    /// whether the index was just built or reopened from disk.
+    f32_rows: Option<std::sync::Arc<Vec<f32>>>,
     build: BuildReport,
 }
 
@@ -140,6 +147,13 @@ impl BrePartitionIndex {
             pages_written: forest.store().build_writes(),
         };
         let phi = phi_from_rows(kind, dataset);
+        let f32_rows = config.f32_candidates.then(|| {
+            let mut rows = Vec::with_capacity(dataset.len() * dataset.dim());
+            for i in 0..dataset.len() {
+                rows.extend(dataset.row(i).iter().map(|&v| v as f32));
+            }
+            std::sync::Arc::new(rows)
+        });
         Ok(BrePartitionIndex {
             kind,
             config: *config,
@@ -150,6 +164,7 @@ impl BrePartitionIndex {
             dim_means,
             dim_vars,
             phi,
+            f32_rows,
             build,
         })
     }
@@ -169,8 +184,23 @@ impl BrePartitionIndex {
     ) -> BrePartitionIndex {
         // The Φ column is recomputed from the restored full-resolution rows
         // (not persisted), so pre-existing envelopes migrate transparently
-        // on open and the reopened index scores bit-identically.
+        // on open and the reopened index scores bit-identically. The f32
+        // screening copy is rebuilt the same way: the store holds the exact
+        // row bits, so `x as f32` reproduces the build-time values.
         let phi = phi_from_store(kind, forest.store());
+        let f32_rows = config.f32_candidates.then(|| {
+            let store = forest.store();
+            let dim = store.dim();
+            let mut rows = vec![0.0f32; store.point_count() * dim];
+            let complete = store.for_each_point(&mut |pid, coords| {
+                let base = pid as usize * dim;
+                for (slot, &v) in rows[base..base + dim].iter_mut().zip(coords) {
+                    *slot = v as f32;
+                }
+            });
+            debug_assert!(complete.is_ok(), "restored store is missing point addresses");
+            std::sync::Arc::new(rows)
+        });
         BrePartitionIndex {
             kind,
             config,
@@ -181,6 +211,7 @@ impl BrePartitionIndex {
             dim_means,
             dim_vars,
             phi,
+            f32_rows,
             build,
         }
     }
@@ -348,18 +379,44 @@ impl BrePartitionIndex {
         // Refine: load candidates page by page and keep the k best exact
         // divergences, evaluated through the prepared kernel — the
         // query-side transcendentals were hoisted once above, the data-side
-        // generator sums come from the precomputed Φ column, so each
-        // candidate costs one dot product.
+        // generator sums come from the precomputed Φ column. Each page
+        // group is decoded as one lane-major block and refined in a single
+        // batched kernel call, so the dot products vectorize across the
+        // candidates of a page instead of running one at a time.
         let refine_started = Instant::now();
-        let KernelScratch { prepared, coords, .. } = kernel;
+        let KernelScratch { prepared, coords, lanes, distances, phis, .. } = kernel;
         self.kind.prepare_query_into(prepared, query);
         let mut neighbors: Vec<(PointId, f64)> = Vec::with_capacity(union.len().min(k * 4));
-        pool.read_points_with(self.forest.store(), &union, coords, &mut |pid, c| {
-            search_stats.candidates_examined += 1;
-            search_stats.distance_computations += 1;
-            let d = prepared.distance(self.phi[pid as usize], c);
-            neighbors.push((PointId(pid), d));
-        });
+        let screened = self
+            .f32_rows
+            .as_deref()
+            .map(|rows32| {
+                screen_candidates_f32(
+                    prepared,
+                    rows32,
+                    &self.phi,
+                    &union,
+                    k,
+                    pool,
+                    self.forest.store(),
+                    coords,
+                    &mut search_stats,
+                    &mut neighbors,
+                )
+            })
+            .unwrap_or(false);
+        if !screened {
+            pool.read_points_block(self.forest.store(), &union, lanes, &mut |members, block| {
+                phis.clear();
+                phis.extend(members.iter().map(|&pid| self.phi[pid as usize]));
+                prepared.distance_block(phis, block, distances);
+                search_stats.candidates_examined += members.len() as u64;
+                search_stats.distance_computations += members.len() as u64;
+                neighbors.extend(
+                    members.iter().zip(distances.iter()).map(|(&pid, &d)| (PointId(pid), d)),
+                );
+            });
+        }
         // Partial selection: only the k best need ordering, so candidates
         // beyond k cost O(c) instead of the O(c log c) of a full sort. The
         // (distance, id) total order makes the selection deterministic and
@@ -386,6 +443,134 @@ impl BrePartitionIndex {
         }
         Ok(())
     }
+}
+
+/// Max-heap entry for the `f32` screening tier: the heap's greatest element
+/// under the `(distance, id)` total order is the current worst of the `k`
+/// best, i.e. the pruning threshold `τ`.
+struct ScreenEntry {
+    dist: f64,
+    pid: u32,
+}
+
+impl ScreenEntry {
+    fn key_cmp(&self, other: &ScreenEntry) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist).then(self.pid.cmp(&other.pid))
+    }
+}
+
+impl PartialEq for ScreenEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for ScreenEntry {}
+impl PartialOrd for ScreenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScreenEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_cmp(other)
+    }
+}
+
+/// The `f32` candidate-screening tier: estimate every candidate's
+/// divergence from the in-memory `f32` row copy, then fetch pages and
+/// re-rank at full resolution only for candidates whose estimate cannot be
+/// ruled out. Returns `false` (leaving `neighbors` untouched) when the
+/// prepared query is the naive fallback, which has no gradient to screen
+/// with — the caller then runs the unscreened block refine.
+///
+/// **Safety of the skip rule.** With the decomposed kernel the exact refine
+/// computes `d = Φ(x) + c_q − Σ_i φ'(q_i)·x_i` in the block kernel's
+/// (= `dot8`'s) summation order; survivors here are scored through
+/// `distance_block` with a single-row block, so the screened path is
+/// bit-identical to the unscreened one. The screening estimate
+/// replaces `x_i` by `f64::from(x_i as f32)`. The error of the estimate is
+/// bounded by the three terms below: `K_REL·Σ|φ'(q_i)·x̃_i|` covers the
+/// `2⁻²⁴` relative rounding of every `f64 → f32` conversion plus both
+/// sides' accumulation error (16× margin), `K_SUB·Σ|φ'(q_i)|` covers
+/// conversions that land in the `f32` subnormal range (absolute, not
+/// relative, error), and `K_FIN·|estimate|` covers the final
+/// additions/subtractions. A candidate is skipped only when
+/// `estimate − bound` *strictly* exceeds the current `k`-th best exact
+/// distance, so a skipped candidate's exact distance is strictly worse
+/// than `τ` and can never displace a kept neighbor, ties included.
+#[allow(clippy::too_many_arguments)]
+fn screen_candidates_f32(
+    prepared: &PreparedQuery,
+    rows32: &[f32],
+    phi: &[f64],
+    union: &[u32],
+    k: usize,
+    pool: &mut BufferPool,
+    store: &PageStore,
+    coords: &mut Vec<f64>,
+    search_stats: &mut SearchStats,
+    neighbors: &mut Vec<(PointId, f64)>,
+) -> bool {
+    let (Some(grad), Some(offset)) = (prepared.gradient(), prepared.offset()) else {
+        return false;
+    };
+    if k == 0 {
+        return true;
+    }
+    const K_REL: f64 = 1.0 / (1u64 << 20) as f64; // ≥ 16 × 2⁻²⁴
+    const K_SUB: f64 = 1.0 / (1u64 << 62) as f64 / (1u64 << 38) as f64; // 2⁻¹⁰⁰
+    const K_FIN: f64 = 1.0 / (1u64 << 48) as f64; // ≥ 16 × 2⁻⁵²
+    let dim = grad.len();
+    let gsum: f64 = grad.iter().map(|g| g.abs()).sum();
+
+    // Estimate every candidate from the f32 copy (no page I/O), then visit
+    // them most-promising first so the pruning threshold tightens early.
+    let mut scored: Vec<(f64, f64, u32)> = Vec::with_capacity(union.len());
+    for &pid in union {
+        let row = &rows32[pid as usize * dim..(pid as usize + 1) * dim];
+        let mut acc = 0.0f64;
+        let mut mag = 0.0f64;
+        for (&g, &x) in grad.iter().zip(row) {
+            let t = g * f64::from(x);
+            acc += t;
+            mag += t.abs();
+        }
+        let estimate = phi[pid as usize] + offset - acc;
+        let bound = mag * K_REL + gsum * K_SUB + estimate.abs() * K_FIN;
+        scored.push((estimate, bound, pid));
+    }
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+
+    let mut heap: std::collections::BinaryHeap<ScreenEntry> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    let mut one_dist = Vec::with_capacity(1);
+    for &(estimate, bound, pid) in &scored {
+        if heap.len() == k {
+            let worst = heap.peek().expect("heap holds k > 0 entries");
+            if estimate - bound > worst.dist {
+                continue;
+            }
+        }
+        if !pool.read_point_into(store, pid, coords) {
+            continue;
+        }
+        search_stats.candidates_examined += 1;
+        search_stats.distance_computations += 1;
+        // A single-row block: for m = 1 the lane-major block *is* the row,
+        // and the arithmetic matches the batched refine bit for bit.
+        prepared.distance_block(std::slice::from_ref(&phi[pid as usize]), coords, &mut one_dist);
+        let entry = ScreenEntry { dist: one_dist[0], pid };
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry.cmp(heap.peek().expect("heap holds k > 0 entries"))
+            == std::cmp::Ordering::Less
+        {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    neighbors.extend(heap.into_iter().map(|e| (PointId(e.pid), e.dist)));
+    true
 }
 
 /// The full-space `Φ(x) = Σ_j φ(x_j)` column, evaluated over each row in

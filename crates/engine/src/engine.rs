@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use pagestore::{AtomicIoStats, IoStats};
+use pagestore::{AtomicIoStats, BufferPool, IoStats, SharedPageCache};
 
 use crate::backend::SearchBackend;
 use crate::error::EngineError;
@@ -202,6 +202,13 @@ impl QueryEngine {
         let first_error: Mutex<Option<(usize, EngineError)>> = Mutex::new(None);
         let backend = self.backend.as_ref();
         let reuse_scratch = self.config.reuse_scratch;
+        // Warm mode shares ONE scan-resistant cache across every worker of
+        // the batch: a page faulted in by any worker is a hit for all of
+        // them, so the batch-wide miss count approaches the working-set
+        // size instead of paying it once per worker. Each handle keeps its
+        // own IoStats, so per-query counters still attribute correctly.
+        let shared_cache =
+            reuse_scratch.then(|| SharedPageCache::new(backend.new_scratch().pool.capacity()));
 
         let started = Instant::now();
         let mut per_thread: Vec<Vec<(usize, QueryOutcome)>> = std::thread::scope(|scope| {
@@ -210,9 +217,13 @@ impl QueryEngine {
                     let cursor = &cursor;
                     let abort = &abort;
                     let first_error = &first_error;
+                    let shared_cache = &shared_cache;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, QueryOutcome)> = Vec::new();
                         let mut scratch = backend.new_scratch();
+                        if let Some(cache) = shared_cache {
+                            scratch.pool = BufferPool::with_shared_cache(cache.clone());
+                        }
                         let mut scratch_used = false;
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);

@@ -25,11 +25,16 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use bregman::kernel::KernelScratch;
 use brepartition_core::DeltaSegment;
 
 use crate::backend::{BackendAnswer, Scratch, SearchBackend};
 use crate::error::EngineError;
 use crate::request::QueryOptions;
+
+/// Delta rows transposed and scored per block-kernel call; bounds the
+/// lane-buffer growth while amortizing per-call overhead.
+const DELTA_SCAN_BLOCK: usize = 64;
 
 /// A consistent read snapshot over `static backend + delta segment`,
 /// served through the [`SearchBackend`] trait.
@@ -111,15 +116,45 @@ impl DeltaOverlayBackend {
             })
             .collect();
 
-        // Exact scan of the live delta rows through the prepared kernel.
-        // The inner search is done with the scratch, so re-arming the
-        // prepared query here cannot disturb it.
+        // Exact scan of the live delta rows through the lane-major block
+        // kernel — the same evaluation (and the same floating-point
+        // association) the backends' refine phases use, so a point scores
+        // bit-identically whether it lives in the delta or, after a
+        // compaction, in the base store. The inner search is done with the
+        // scratch, so re-arming the prepared query here cannot disturb it.
         let kind = self.delta.kind();
-        kind.prepare_query_into(&mut scratch.kernel.prepared, query);
+        let KernelScratch { prepared, lanes, distances, phis, .. } = &mut scratch.kernel;
+        kind.prepare_query_into(prepared, query);
+        let dim = query.len();
         let mut scanned = 0usize;
-        for (id, phi, row) in self.delta.live_delta_rows() {
-            scanned += 1;
-            merged.push((id, scratch.kernel.prepared.distance(phi, row)));
+        let mut chunk = Vec::with_capacity(DELTA_SCAN_BLOCK);
+        let mut rows = self.delta.live_delta_rows();
+        loop {
+            chunk.clear();
+            phis.clear();
+            while chunk.len() < DELTA_SCAN_BLOCK {
+                match rows.next() {
+                    Some((id, phi, row)) => {
+                        phis.push(phi);
+                        chunk.push((id, row));
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            let m = chunk.len();
+            lanes.clear();
+            lanes.resize(dim * m, 0.0);
+            for (j, (_, row)) in chunk.iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    lanes[i * m + j] = v;
+                }
+            }
+            prepared.distance_block(phis, lanes, distances);
+            scanned += m;
+            merged.extend(chunk.iter().zip(distances.iter()).map(|(&(id, _), &d)| (id, d)));
         }
 
         // The same (divergence, id) total order every backend's refine

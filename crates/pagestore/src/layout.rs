@@ -20,12 +20,19 @@ pub struct PageAddress {
 #[derive(Debug, Clone, Default)]
 pub struct DiskLayout {
     addresses: Vec<Option<PageAddress>>,
+    /// Number of `Some` entries in `addresses`, maintained by [`set`] so
+    /// [`len`]/[`is_empty`] never rescan the directory.
+    ///
+    /// [`set`]: DiskLayout::set
+    /// [`len`]: DiskLayout::len
+    /// [`is_empty`]: DiskLayout::is_empty
+    live: usize,
 }
 
 impl DiskLayout {
     /// An empty layout with room for `n` points.
     pub fn with_capacity(n: usize) -> Self {
-        Self { addresses: vec![None; n] }
+        Self { addresses: vec![None; n], live: 0 }
     }
 
     /// Record the address of a point, growing the directory as needed.
@@ -33,6 +40,9 @@ impl DiskLayout {
         let idx = point as usize;
         if idx >= self.addresses.len() {
             self.addresses.resize(idx + 1, None);
+        }
+        if self.addresses[idx].is_none() {
+            self.live += 1;
         }
         self.addresses[idx] = Some(address);
     }
@@ -42,14 +52,15 @@ impl DiskLayout {
         self.addresses.get(point as usize).copied().flatten()
     }
 
-    /// Number of points with a recorded address.
+    /// Number of points with a recorded address (O(1): the live count is
+    /// maintained incrementally, not recounted per call).
     pub fn len(&self) -> usize {
-        self.addresses.iter().filter(|a| a.is_some()).count()
+        self.live
     }
 
     /// Whether no address has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// Iterate over `(point, address)` pairs in point-id order.
@@ -124,6 +135,17 @@ mod tests {
         assert_eq!(groups[0].1, vec![0, 2]);
         assert_eq!(groups[1].0, PageId(2));
         assert_eq!(groups[2].0, PageId(9));
+    }
+
+    #[test]
+    fn rewriting_an_address_does_not_inflate_len() {
+        let mut layout = DiskLayout::with_capacity(4);
+        layout.set(2, PageAddress { page: PageId(0), slot: 0 });
+        layout.set(2, PageAddress { page: PageId(3), slot: 5 });
+        assert_eq!(layout.len(), 1);
+        assert_eq!(layout.get(2), Some(PageAddress { page: PageId(3), slot: 5 }));
+        layout.set(7, PageAddress { page: PageId(1), slot: 0 });
+        assert_eq!(layout.len(), 2);
     }
 
     #[test]

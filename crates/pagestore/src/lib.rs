@@ -16,11 +16,14 @@
 //!   the on-disk format.
 //! * [`DiskLayout`] — the point → (page, slot) directory, i.e. the
 //!   `P.address` stored in BB-forest leaf nodes.
-//! * [`BufferPool`] — an LRU cache in front of the store. Every miss counts
-//!   as one physical page read in [`IoStats`]; hits are counted separately.
-//!   Capacity zero is the *unbuffered* pool: nothing is retained and every
-//!   access is a counted physical read.
-//! * [`SharedBufferPool`] — a mutex-wrapped pool for multi-threaded
+//! * [`BufferPool`] — a scan-resistant (SIEVE) cache in front of the store,
+//!   with O(1) touches and pinnable pages. Every miss counts as one physical
+//!   page read in [`IoStats`]; hits are counted separately. Capacity zero is
+//!   the *unbuffered* pool: nothing is retained and every access is a
+//!   counted physical read.
+//! * [`SharedPageCache`] — one SIEVE cache shared by several [`BufferPool`]
+//!   handles (warm multi-worker serving; I/O stays attributed per handle);
+//!   [`SharedBufferPool`] — a mutex-wrapped pool for multi-threaded
 //!   experiment harnesses.
 //! * [`format`](mod@format) — the little-endian encoding primitives and the sealed
 //!   envelope (magic, version, FNV-1a checksum) shared by every persistent
@@ -66,12 +69,12 @@ pub mod page;
 pub mod store;
 
 pub use backend::{MemoryBackend, StorageBackend};
-pub use buffer_pool::{BufferPool, SharedBufferPool};
+pub use buffer_pool::{BufferPool, SharedBufferPool, SharedPageCache};
 pub use file::FileBackend;
 pub use format::{PersistError, PersistResult};
 pub use io_stats::{AtomicIoStats, IoStats};
 pub use layout::{DiskLayout, PageAddress};
-pub use page::{Page, PageId};
+pub use page::{Page, PageId, PageLayout};
 pub use store::{PageStore, PageStoreConfig};
 
 /// Identifier of a point: a dense `u32` index, matching

@@ -7,7 +7,7 @@ use crate::backend::{MemoryBackend, StorageBackend};
 use crate::file::{write_page_file, FileBackend};
 use crate::format::PersistResult;
 use crate::layout::{DiskLayout, PageAddress};
-use crate::page::{Page, PageId};
+use crate::page::{Page, PageId, PageLayout};
 use crate::PointId;
 
 /// Configuration of a [`PageStore`].
@@ -15,12 +15,20 @@ use crate::PointId;
 pub struct PageStoreConfig {
     /// Nominal page size in bytes (the paper uses 32 KB–128 KB).
     pub page_size_bytes: usize,
+    /// Page codec new pages are encoded in (dimension-major SoA by
+    /// default; both codecs decode bit-identically).
+    pub layout: PageLayout,
 }
 
 impl PageStoreConfig {
-    /// A store with the given page size.
+    /// A store with the given page size (and the default page codec).
     pub fn with_page_size(page_size_bytes: usize) -> Self {
-        Self { page_size_bytes }
+        Self { page_size_bytes, layout: PageLayout::default() }
+    }
+
+    /// The same configuration with the given page codec.
+    pub fn with_layout(self, layout: PageLayout) -> Self {
+        Self { layout, ..self }
     }
 
     /// How many `dim`-dimensional `f64` records fit in one page (at least 1,
@@ -33,7 +41,7 @@ impl PageStoreConfig {
 impl Default for PageStoreConfig {
     fn default() -> Self {
         // 32 KB matches the smallest page size used in the paper's Table 4.
-        Self { page_size_bytes: 32 * 1024 }
+        Self { page_size_bytes: 32 * 1024, layout: PageLayout::default() }
     }
 }
 
@@ -84,7 +92,13 @@ impl PageStore {
             for (slot, &(pid, _)) in records.iter().enumerate() {
                 layout.set(pid, PageAddress { page: page_id, slot: slot as u32 });
             }
-            pages.push(Page::encode(page_id, dim, &records, config.page_size_bytes));
+            pages.push(Page::encode_with(
+                config.layout,
+                page_id,
+                dim,
+                &records,
+                config.page_size_bytes,
+            ));
         }
         let build_writes = pages.len() as u64;
         PageStore {

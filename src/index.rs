@@ -70,7 +70,13 @@ use crate::spec::{IndexSpec, Method};
 pub const SPEC_MAGIC: [u8; 8] = *b"BREPSPC1";
 
 /// Format version of the spec envelope this build writes and reads.
-pub const SPEC_VERSION: u32 = 1;
+///
+/// Version 2 appends the `f32_candidates` flag byte to the payload.
+/// Version-1 envelopes remain readable; the flag defaults to off.
+pub const SPEC_VERSION: u32 = 2;
+
+/// Previous spec-envelope version, still accepted by [`Index::open`].
+pub const LEGACY_SPEC_VERSION: u32 = 1;
 
 /// File name of the spec envelope within an index directory.
 pub const SPEC_FILE: &str = "spec.meta";
@@ -597,9 +603,15 @@ fn read_spec(dir: &Path) -> Result<IndexSpec> {
             dir.display()
         )))
     })?;
-    let payload = unseal(&SPEC_MAGIC, SPEC_VERSION, &bytes)?;
+    let (payload, version) = match unseal(&SPEC_MAGIC, SPEC_VERSION, &bytes) {
+        Ok(payload) => (payload, SPEC_VERSION),
+        Err(PersistError::UnsupportedVersion { found: LEGACY_SPEC_VERSION, .. }) => {
+            (unseal(&SPEC_MAGIC, LEGACY_SPEC_VERSION, &bytes)?, LEGACY_SPEC_VERSION)
+        }
+        Err(e) => return Err(e.into()),
+    };
     let mut r = ByteReader::new(payload);
-    let spec = IndexSpec::read_from(&mut r)?;
+    let spec = IndexSpec::read_from(&mut r, version)?;
     r.expect_end()?;
     Ok(spec)
 }

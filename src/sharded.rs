@@ -71,7 +71,14 @@ use crate::spec::IndexSpec;
 pub const SHARDS_MAGIC: [u8; 8] = *b"BREPSHD1";
 
 /// Format version of the shard envelope this build writes and reads.
-pub const SHARDS_VERSION: u32 = 1;
+///
+/// Version 2 tracks the spec-envelope bump: the embedded [`IndexSpec`]
+/// payload gained the `f32_candidates` flag byte. Version-1 envelopes
+/// remain readable; the flag defaults to off.
+pub const SHARDS_VERSION: u32 = 2;
+
+/// Previous shard-envelope version, still accepted on open.
+pub const LEGACY_SHARDS_VERSION: u32 = 1;
 
 /// File name of the shard envelope within a sharded index directory.
 pub const SHARDS_FILE: &str = "shards.meta";
@@ -206,9 +213,11 @@ impl ShardSpec {
         w.put_usize(self.shards);
     }
 
-    /// Inverse of [`ShardSpec::write_to`].
-    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> PersistResult<ShardSpec> {
-        let base = IndexSpec::read_from(r)?;
+    /// Inverse of [`ShardSpec::write_to`]. `spec_version` is the
+    /// spec-envelope version of the embedded [`IndexSpec`] payload
+    /// (shard-envelope versions track spec-envelope versions 1:1).
+    pub(crate) fn read_from(r: &mut ByteReader<'_>, spec_version: u32) -> PersistResult<ShardSpec> {
+        let base = IndexSpec::read_from(r, spec_version)?;
         let mode = ShardMode::from_tag(r.take_u8()?)?;
         let shards = r.take_usize()?;
         Ok(ShardSpec { base, shards, mode })
@@ -683,9 +692,15 @@ fn read_shard_envelope(dir: &Path) -> Result<(ShardSpec, u32)> {
             dir.display()
         )))
     })?;
-    let payload = unseal(&SHARDS_MAGIC, SHARDS_VERSION, &bytes)?;
+    let (payload, version) = match unseal(&SHARDS_MAGIC, SHARDS_VERSION, &bytes) {
+        Ok(payload) => (payload, SHARDS_VERSION),
+        Err(PersistError::UnsupportedVersion { found: LEGACY_SHARDS_VERSION, .. }) => {
+            (unseal(&SHARDS_MAGIC, LEGACY_SHARDS_VERSION, &bytes)?, LEGACY_SHARDS_VERSION)
+        }
+        Err(e) => return Err(e.into()),
+    };
     let mut r = ByteReader::new(payload);
-    let spec = ShardSpec::read_from(&mut r)?;
+    let spec = ShardSpec::read_from(&mut r, version)?;
     let next_global = r.take_u32()?;
     r.expect_end()?;
     Ok((spec, next_global))
@@ -718,7 +733,7 @@ mod tests {
         spec.write_to(&mut w);
         let bytes = w.into_vec();
         let mut r = ByteReader::new(&bytes);
-        let restored = ShardSpec::read_from(&mut r).unwrap();
+        let restored = ShardSpec::read_from(&mut r, SHARDS_VERSION).unwrap();
         assert_eq!(restored, spec);
     }
 

@@ -156,6 +156,12 @@ pub struct IndexSpec {
     pub probability: f64,
     /// VA-file: quantizer resolution in bits per dimension (1..=16).
     pub bits_per_dim: u8,
+    /// BrePartition methods: keep an in-memory `f32` copy of the rows and
+    /// screen refine candidates against it before touching data pages.
+    /// Survivors are re-ranked at full `f64` resolution, so results are
+    /// bit-identical with the knob on or off. Costs `4·d` bytes per point
+    /// of resident memory; off by default.
+    pub f32_candidates: bool,
 }
 
 impl IndexSpec {
@@ -172,6 +178,7 @@ impl IndexSpec {
             seed: 0xB5EED,
             probability: 0.9,
             bits_per_dim: 6,
+            f32_candidates: false,
         }
     }
 
@@ -255,6 +262,13 @@ impl IndexSpec {
         self
     }
 
+    /// Enable or disable the `f32` candidate-screening tier (BrePartition
+    /// methods only; carried but ignored by the baselines).
+    pub fn with_f32_candidates(mut self, enabled: bool) -> Self {
+        self.f32_candidates = enabled;
+        self
+    }
+
     /// Check the spec for contradictions before anything is built: an
     /// invalid knob returns a typed [`Error::Spec`] naming the offending
     /// field instead of a panic or a silent degradation downstream.
@@ -302,6 +316,7 @@ impl IndexSpec {
             buffer_pool_pages: self.storage.buffer_pool_pages,
             sample_size: self.sample_size,
             seed: self.seed,
+            f32_candidates: self.f32_candidates,
         }
     }
 
@@ -354,10 +369,13 @@ impl IndexSpec {
         w.put_u64(self.seed);
         w.put_f64(self.probability);
         w.put_u8(self.bits_per_dim);
+        w.put_u8(self.f32_candidates as u8);
     }
 
-    /// Inverse of [`IndexSpec::write_to`].
-    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> PersistResult<IndexSpec> {
+    /// Inverse of [`IndexSpec::write_to`]. `version` is the spec-envelope
+    /// version the payload was sealed under: version-1 envelopes predate
+    /// the `f32_candidates` knob, which then defaults to off.
+    pub(crate) fn read_from(r: &mut ByteReader<'_>, version: u32) -> PersistResult<IndexSpec> {
         let method = Method::from_tag(r.take_u8()?)?;
         let kind_name = r.take_str()?;
         let divergence = DivergenceKind::parse(&kind_name)
@@ -390,6 +408,19 @@ impl IndexSpec {
             seed: r.take_u64()?,
             probability: r.take_f64()?,
             bits_per_dim: r.take_u8()?,
+            f32_candidates: if version >= crate::index::SPEC_VERSION {
+                match r.take_u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => {
+                        return Err(PersistError::Corrupt(format!(
+                            "unknown f32-candidates tag {tag}"
+                        )))
+                    }
+                }
+            } else {
+                false
+            },
         })
     }
 }
@@ -426,8 +457,10 @@ mod tests {
             .with_sample_size(128)
             .with_seed(7)
             .with_probability(0.95)
-            .with_bits_per_dim(5);
+            .with_bits_per_dim(5)
+            .with_f32_candidates(true);
         assert_eq!(spec.partitions, PartitionCount::Fixed(12));
+        assert!(spec.brepartition_config().f32_candidates);
         assert_eq!(spec.brepartition_config().page_size_bytes, 4096);
         assert_eq!(spec.brepartition_config().seed, 7);
         assert_eq!(spec.vafile_config().quantizer.bits_per_dim, 5);
@@ -437,7 +470,7 @@ mod tests {
         spec.write_to(&mut w);
         let bytes = w.into_vec();
         let mut r = ByteReader::new(&bytes);
-        let restored = IndexSpec::read_from(&mut r).unwrap();
+        let restored = IndexSpec::read_from(&mut r, crate::index::SPEC_VERSION).unwrap();
         assert_eq!(restored, spec);
     }
 

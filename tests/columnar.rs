@@ -1,0 +1,229 @@
+//! The columnar refine path's exactness contracts.
+//!
+//! * **Layout bit-identity**: the dimension-major (SoA) page codec and the
+//!   row-major codec produce bit-identical final top-k ids *and*
+//!   distances for every divergence — the layout only changes how decoded
+//!   coordinates reach the block kernel, never what the kernel computes —
+//!   including across a save → open cycle.
+//! * **f32 candidate tier bit-identity**: for every `(Method,
+//!   DivergenceKind)` pair that supports it, an index with the `f32`
+//!   screening tier enabled returns ids and distances bit-identical to the
+//!   unscreened index — the tier may only *skip* candidates whose exact
+//!   distance provably exceeds the `k`-th best — before and after
+//!   mutation and a save → open cycle, and it demonstrably skips work.
+//! * **Spec-envelope migration**: a version-1 spec envelope (predating the
+//!   `f32_candidates` knob) still opens, with the knob defaulted off.
+
+use std::path::PathBuf;
+
+use brepartition::pagestore::format::{seal, unseal};
+use brepartition::pagestore::PageLayout;
+use brepartition::prelude::*;
+use brepartition::{SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
+
+const DIM: usize = 12;
+
+/// Strictly positive rows keep every divergence in domain.
+fn rows(n: usize, salt: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..DIM)
+                .map(|j| {
+                    let x = (i as u64).wrapping_mul(2654435761).wrapping_add(j as u64 * 131 + salt);
+                    0.3 + (x % 997) as f64 / 150.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("brepartition-columnar-{}-{tag}", std::process::id()))
+}
+
+#[track_caller]
+fn assert_bit_identical(ctx: &str, got: &[(PointId, f64)], want: &[(PointId, f64)]) {
+    assert_eq!(got.len(), want.len(), "{ctx}: neighbor count");
+    for (rank, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g.0, w.0, "{ctx}: id at rank {rank}");
+        assert_eq!(g.1.to_bits(), w.1.to_bits(), "{ctx}: distance bits at rank {rank}");
+    }
+}
+
+/// Run the layout A/B over one concrete divergence: build the same
+/// disk-resident BB-tree under both page codecs, query through cold pools,
+/// and require bit-identical answers — then again after save → open.
+fn check_layouts<B: DecomposableBregman>(divergence: B) {
+    let data = DenseDataset::from_rows(&rows(90, 11)).unwrap();
+    let queries = rows(8, 47);
+    let tree_config = BBTreeConfig { leaf_capacity: 8, ..Default::default() };
+    let soa = DiskBBTree::build(
+        divergence.clone(),
+        &data,
+        tree_config,
+        PageStoreConfig::with_page_size(512).with_layout(PageLayout::DimMajor),
+    );
+    let aos = DiskBBTree::build(
+        divergence.clone(),
+        &data,
+        tree_config,
+        PageStoreConfig::with_page_size(512).with_layout(PageLayout::RowMajor),
+    );
+    let name = divergence.name();
+    let compare = |left: &DiskBBTree<B>, right: &DiskBBTree<B>, ctx: &str| {
+        for (qi, q) in queries.iter().enumerate() {
+            let a = left.knn(&mut BufferPool::unbuffered(), q, 9);
+            let b = right.knn(&mut BufferPool::unbuffered(), q, 9);
+            let a: Vec<_> = a.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+            let b: Vec<_> = b.neighbors.iter().map(|n| (n.id, n.distance)).collect();
+            assert_bit_identical(&format!("{name} {ctx} query {qi}"), &a, &b);
+        }
+    };
+    compare(&soa, &aos, "built");
+
+    // Both codecs survive persistence and still agree after reopening.
+    for (tag, tree) in [("soa", &soa), ("aos", &aos)] {
+        let dir = temp_dir(&format!("{name}-{tag}"));
+        tree.save(&dir).unwrap();
+        let reopened = DiskBBTree::open(divergence.clone(), &dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        compare(&reopened, &soa, &format!("reopened-{tag}"));
+    }
+}
+
+/// The SoA page codec is an encoding change, not a numeric one: final
+/// top-k ids and distances match the row-major codec bit for bit, for
+/// every divergence family, fresh and reopened.
+#[test]
+fn soa_and_row_major_page_layouts_are_bit_identical() {
+    check_layouts(SquaredEuclidean);
+    check_layouts(ItakuraSaito);
+    check_layouts(Exponential);
+    check_layouts(brepartition::bregman::GeneralizedI);
+}
+
+/// The f32 screening tier never changes an answer: ids and f64 distances
+/// stay bit-identical to the unscreened index for every supported pair —
+/// through mutations and a save → open cycle (which rebuilds the f32 rows
+/// from the page file) — while demonstrably examining fewer candidates.
+#[test]
+fn f32_candidate_tier_is_bit_identical_and_skips_work() {
+    let data = DenseDataset::from_rows(&rows(160, 3)).unwrap();
+    let queries = rows(10, 71);
+
+    // Non-vacuity pin at the core level, where exact-evaluation counters
+    // are visible: the screened index computes strictly fewer exact
+    // divergences than the unscreened one over the same workload.
+    {
+        let kind = DivergenceKind::SquaredEuclidean;
+        let config = IndexSpec::brepartition(kind)
+            .with_partitions(3)
+            .with_page_size(1024)
+            .with_seed(0xC0FFEE)
+            .brepartition_config();
+        let plain = BrePartitionIndex::build(kind, &data, &config).unwrap();
+        let tiered = BrePartitionIndex::build(
+            kind,
+            &data,
+            &BrePartitionConfig { f32_candidates: true, ..config },
+        )
+        .unwrap();
+        let (mut evals_plain, mut evals_tiered) = (0u64, 0u64);
+        for q in &queries {
+            evals_plain += plain.knn(q, 7).unwrap().stats.search.distance_computations;
+            evals_tiered += tiered.knn(q, 7).unwrap().stats.search.distance_computations;
+        }
+        assert!(
+            evals_tiered < evals_plain,
+            "the f32 tier never skipped an exact evaluation ({evals_tiered} vs {evals_plain}) — \
+             the exactness pin below is vacuous"
+        );
+    }
+
+    for method in [Method::BrePartition, Method::Approximate] {
+        for kind in DivergenceKind::ALL {
+            let base = IndexSpec::new(method, kind)
+                .with_partitions(3)
+                .with_page_size(1024)
+                .with_seed(0xC0FFEE);
+            if base.validate().is_err() {
+                continue; // BP/ABP over GI, pinned by the oracle suite
+            }
+            let label = format!("{}/{}", method.short_name(), kind.short_name());
+            let mut plain = Index::build(&base, &data).unwrap();
+            let mut tiered = Index::build(&base.with_f32_candidates(true), &data).unwrap();
+
+            for (qi, q) in queries.iter().enumerate() {
+                let want = plain.query(&QueryRequest::new(q, 7)).unwrap();
+                let got = tiered.query(&QueryRequest::new(q, 7)).unwrap();
+                assert_bit_identical(
+                    &format!("{label} query {qi}"),
+                    &got.neighbors,
+                    &want.neighbors,
+                );
+                // Screening changes which candidates get *exact* scores,
+                // never the filter phase's candidate union.
+                assert_eq!(got.candidates, want.candidates, "{label}: union changed");
+            }
+
+            // Identical mutations on both sides, still bit-identical.
+            for row in rows(5, 29) {
+                assert_eq!(plain.insert(&row).unwrap(), tiered.insert(&row).unwrap());
+            }
+            for target in [2u32, 57, 161] {
+                assert_eq!(
+                    plain.delete(PointId(target)).unwrap(),
+                    tiered.delete(PointId(target)).unwrap(),
+                    "{label}: delete({target}) liveness"
+                );
+            }
+            let want = plain.run(&Request::uniform(&queries, 6)).unwrap();
+            let got = tiered.run(&Request::uniform(&queries, 6)).unwrap();
+            for (qi, (g, w)) in got.outcomes.iter().zip(want.outcomes.iter()).enumerate() {
+                assert_bit_identical(&format!("{label} mutated {qi}"), &g.neighbors, &w.neighbors);
+            }
+
+            // Across save → open the tier's rows are rebuilt from the page
+            // file; the spec round-trips the knob, answers stay identical.
+            let dir = temp_dir(&label.replace('/', "-"));
+            tiered.save(&dir).unwrap();
+            let reopened = Index::open(&dir).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            assert!(reopened.spec().f32_candidates, "{label}: knob lost in persistence");
+            let got = reopened.run(&Request::uniform(&queries, 6)).unwrap();
+            for (qi, (g, w)) in got.outcomes.iter().zip(want.outcomes.iter()).enumerate() {
+                assert_bit_identical(&format!("{label} reopened {qi}"), &g.neighbors, &w.neighbors);
+            }
+        }
+    }
+}
+
+/// Version-1 spec envelopes (written before the `f32_candidates` byte
+/// existed) still open: the payload is one byte shorter and the knob
+/// defaults to off.
+#[test]
+fn version_1_spec_envelopes_still_open_with_the_tier_defaulted_off() {
+    let data = DenseDataset::from_rows(&rows(40, 13)).unwrap();
+    let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
+        .with_partitions(2)
+        .with_page_size(1024);
+    let index = Index::build(&spec, &data).unwrap();
+    let dir = temp_dir("spec-v1");
+    index.save(&dir).unwrap();
+
+    // Down-convert the sealed spec envelope to version 1: drop the
+    // trailing flag byte and re-seal under the legacy version.
+    let sealed = std::fs::read(dir.join(SPEC_FILE)).unwrap();
+    let payload = unseal(&SPEC_MAGIC, SPEC_VERSION, &sealed).unwrap();
+    let legacy_payload = &payload[..payload.len() - 1];
+    std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, 1, legacy_payload)).unwrap();
+
+    let reopened = Index::open(&dir).unwrap();
+    assert!(!reopened.spec().f32_candidates, "legacy envelopes must default the tier off");
+    assert_eq!(reopened.spec().divergence, DivergenceKind::ItakuraSaito);
+    let q = rows(1, 99).pop().unwrap();
+    let want = index.query(&QueryRequest::new(&q, 5)).unwrap();
+    let got = reopened.query(&QueryRequest::new(&q, 5)).unwrap();
+    assert_bit_identical("legacy spec", &got.neighbors, &want.neighbors);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
