@@ -1,0 +1,48 @@
+//! Regenerate the open-loop "serving" experiment, print its markdown
+//! table and write the machine-diffable report to `BENCH_serving.json`
+//! (override the path with the `BREPARTITION_BENCH_JSON` environment
+//! variable).
+//!
+//! If the output path already holds a baseline, its per-row key schema is
+//! compared against the fresh run first: a drifted schema aborts with
+//! exit code 1 instead of overwriting, so schema changes must be
+//! explicit, reviewed edits (delete or move the baseline to accept a new
+//! schema). Values are free to change — only the key sequence is pinned.
+//!
+//! Scale is controlled by `BREPARTITION_SCALE` (`quick` default, `paper`,
+//! `tiny`); see the experiment docs for the `BREPARTITION_SERVING_*`
+//! workload knobs.
+
+use brepartition_bench::experiments::serving;
+use brepartition_bench::{Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bench = Workbench::new(scale);
+    let (tables, json) = serving::run_with_json(&bench);
+    for table in tables {
+        print!("{table}");
+    }
+    let path = std::env::var("BREPARTITION_BENCH_JSON")
+        .unwrap_or_else(|_| "BENCH_serving.json".to_string());
+
+    if let Ok(baseline) = std::fs::read_to_string(&path) {
+        let old = serving::json_row_schemas(&baseline);
+        let new = serving::json_row_schemas(&json);
+        let old_schema = old.first();
+        let new_schema = new.first();
+        if old_schema.is_some() && old_schema != new_schema {
+            eprintln!(
+                "schema drift: {path} rows carry keys {old_schema:?} but this build \
+                 produces {new_schema:?}; refusing to overwrite (delete the baseline \
+                 to accept the new schema)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -1,0 +1,694 @@
+//! Open-loop serving benchmark: recall-vs-QPS and tail-latency-vs-QPS
+//! curves under a mixed query/insert/delete load.
+//!
+//! The throughput experiment answers "how fast can the engine drain a
+//! batch"; this one answers the production question: *what latency does a
+//! client see when requests arrive at a rate the server does not
+//! control?* The [`loadgen`] harness precomputes a seeded Poisson arrival
+//! schedule at each target QPS and measures every operation from its
+//! **intended arrival time**, so queueing delay behind a saturated server
+//! is measured instead of silently stretching the schedule (the
+//! coordinated-omission correction). Sweeping the target rate yields the
+//! two curves a capacity plan needs: achieved-vs-target QPS with p999
+//! latency, and recall degradation for the approximate methods.
+//!
+//! Per backend (BP, ABP, BBT, VAF, plus one 4-shard capacity tier) the
+//! experiment:
+//!
+//! 1. builds the index over a hierarchical Itakura-Saito workload,
+//!    streamed from [`datagen::HierarchicalStream`] in blocks so the
+//!    generator never stages its own full `n × dim` matrix;
+//! 2. runs one open-loop session per target QPS — the *same* index
+//!    carries its delta forward across sweep points like a long-running
+//!    server, with insert and delete weights balanced so the live count
+//!    stays roughly flat;
+//! 3. samples queries, records the mutation-log version each executed
+//!    under, and scores recall against the exact [`loadgen::oracle`]
+//!    truth reconstructed at that version (base side brute-forced once
+//!    per sampled query, memoized across backends and sweep points);
+//! 4. reads physical I/O from the telemetry counters the serve target is
+//!    bound to in a [`telemetry::Registry`].
+//!
+//! Environment knobs (all optional):
+//!
+//! * `BREPARTITION_SERVING_POINTS` — base dataset size (default: scale).
+//! * `BREPARTITION_SERVING_OPS` — operations per sweep point.
+//! * `BREPARTITION_SERVING_QPS` — comma-separated target QPS sweep, e.g.
+//!   `"100,400,1600"`.
+//! * `BREPARTITION_SERVING_THREADS` — dispatch threads (default 1; on a
+//!   single-core runner more dispatchers only add scheduler noise).
+//!
+//! The `serving` bin writes the rows to `BENCH_serving.json` (stable key
+//! order, one object per row) and refuses to overwrite a baseline whose
+//! per-row key schema differs — schema drift must be an explicit,
+//! reviewed change.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bregman::{DenseDataset, DivergenceKind, PointId};
+use brepartition::{Index, IndexSpec, Method, QueryRequest, ShardSpec, ShardedIndex};
+use datagen::{HierarchicalSpec, QueryWorkload};
+use loadgen::oracle::BaseNeighbors;
+use loadgen::{
+    delete_count, operation_stream, run_open_loop, OpKind, OpMix, RunOutcome, RunnerConfig,
+    Schedule, ServeTarget,
+};
+use pagestore::AtomicIoStats;
+use telemetry::Registry;
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::Workbench;
+
+const PAGE_SIZE: usize = 32 * 1024;
+const K: usize = 10;
+const SHARDS: usize = 4;
+/// Query pool size: perturbed copies of dataset rows.
+const QUERY_POOL: usize = 128;
+/// query : insert : delete weights. Insert and delete weights are equal,
+/// so the live count performs a random walk around the base size instead
+/// of drifting.
+const MIX: OpMix = OpMix { query: 92, insert: 4, delete: 4 };
+/// Every 5th stream position's query is recall-sampled.
+const SAMPLE_EVERY: usize = 5;
+/// Seed for schedules and op streams (sweep index is added per point).
+const SEED: u64 = 0x5E21;
+
+/// A positive-integer environment override, or `None` when unset.
+fn env_size(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    let parsed: usize = raw
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("{var} must be a positive integer, got {raw:?}"));
+    assert!(parsed > 0, "{var} must be positive");
+    Some(parsed)
+}
+
+/// The target QPS sweep: `BREPARTITION_SERVING_QPS` as a comma-separated
+/// list, or a default three-point sweep.
+fn qps_sweep() -> Vec<f64> {
+    match std::env::var("BREPARTITION_SERVING_QPS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|part| {
+                let qps: f64 = part
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("BREPARTITION_SERVING_QPS entry {part:?}"));
+                assert!(qps > 0.0, "target QPS must be positive");
+                qps
+            })
+            .collect(),
+        Err(_) => vec![100.0, 400.0, 1600.0],
+    }
+}
+
+/// One row of the serving report. Field order here is the JSON key order;
+/// the private `fields` method is the single source of truth for both.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Backend label (e.g. `BP`, `ABP(p=0.90)`, `BPx4:capacity`).
+    pub backend: String,
+    /// Base dataset size the index was built over.
+    pub points: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Target arrival rate of the open-loop schedule.
+    pub target_qps: f64,
+    /// Completed post-warmup operations per second.
+    pub achieved_qps: f64,
+    /// Open-loop dispatch threads.
+    pub dispatch_threads: usize,
+    /// Post-warmup operations recorded.
+    pub ops: usize,
+    /// Of which queries.
+    pub queries: usize,
+    /// Of which inserts.
+    pub inserts: usize,
+    /// Of which deletes.
+    pub deletes: usize,
+    /// Wall seconds from first intended arrival to last completion.
+    pub wall_seconds: f64,
+    /// Mean latency from intended arrival, milliseconds.
+    pub latency_mean_ms: f64,
+    /// p50 latency from intended arrival, milliseconds.
+    pub latency_p50_ms: f64,
+    /// p95 latency from intended arrival, milliseconds.
+    pub latency_p95_ms: f64,
+    /// p99 latency from intended arrival, milliseconds.
+    pub latency_p99_ms: f64,
+    /// p999 latency from intended arrival, milliseconds.
+    pub latency_p999_ms: f64,
+    /// Worst latency from intended arrival, milliseconds.
+    pub latency_max_ms: f64,
+    /// Physical page reads during this row, from the bound telemetry
+    /// counters.
+    pub io_pages_read: u64,
+    /// Buffer-pool hits during this row.
+    pub io_cache_hits: u64,
+    /// Pages written during this row (delta compactions would show here).
+    pub io_pages_written: u64,
+    /// Mean recall of sampled queries against the exact oracle truth at
+    /// each sample's mutation-log version.
+    pub recall_mean: f64,
+    /// How many queries were recall-sampled.
+    pub recall_samples: usize,
+}
+
+impl ServingReport {
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("backend", format!("\"{}\"", self.backend)),
+            ("points", self.points.to_string()),
+            ("dim", self.dim.to_string()),
+            ("k", self.k.to_string()),
+            ("target_qps", format_json_f64(self.target_qps)),
+            ("achieved_qps", format_json_f64(self.achieved_qps)),
+            ("dispatch_threads", self.dispatch_threads.to_string()),
+            ("ops", self.ops.to_string()),
+            ("queries", self.queries.to_string()),
+            ("inserts", self.inserts.to_string()),
+            ("deletes", self.deletes.to_string()),
+            ("wall_seconds", format_json_f64(self.wall_seconds)),
+            ("latency_mean_ms", format_json_f64(self.latency_mean_ms)),
+            ("latency_p50_ms", format_json_f64(self.latency_p50_ms)),
+            ("latency_p95_ms", format_json_f64(self.latency_p95_ms)),
+            ("latency_p99_ms", format_json_f64(self.latency_p99_ms)),
+            ("latency_p999_ms", format_json_f64(self.latency_p999_ms)),
+            ("latency_max_ms", format_json_f64(self.latency_max_ms)),
+            ("io_pages_read", self.io_pages_read.to_string()),
+            ("io_cache_hits", self.io_cache_hits.to_string()),
+            ("io_pages_written", self.io_pages_written.to_string()),
+            ("recall_mean", format_json_f64(self.recall_mean)),
+            ("recall_samples", self.recall_samples.to_string()),
+        ]
+    }
+
+    /// One stable-key-order JSON object.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> =
+            self.fields().iter().map(|(key, value)| format!("\"{key}\":{value}")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+fn format_json_f64(value: f64) -> String {
+    if value.is_finite() {
+        let formatted = format!("{value}");
+        if formatted.contains('.') || formatted.contains('e') {
+            formatted
+        } else {
+            format!("{formatted}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An [`Index`] driven through the façade query/insert/delete surface,
+/// accumulating per-query physical I/O into telemetry counters.
+struct IndexTarget {
+    index: Index,
+    io: Arc<AtomicIoStats>,
+}
+
+impl ServeTarget for IndexTarget {
+    fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
+        let outcome = self.index.query(&QueryRequest::new(query, k)).expect("serving query");
+        self.io.record(&outcome.io);
+        outcome.neighbors.into_iter().map(|(id, _)| u64::from(id.0)).collect()
+    }
+
+    fn insert(&mut self, row: &[f64]) -> u64 {
+        u64::from(self.index.insert(row).expect("serving insert").0)
+    }
+
+    fn delete(&mut self, id: u64) -> bool {
+        self.index.delete(PointId(id as u32)).expect("serving delete")
+    }
+}
+
+/// A [`ShardedIndex`] behind the same surface (routed mutations,
+/// scatter-gather point queries).
+struct ShardedTarget {
+    index: ShardedIndex,
+    io: Arc<AtomicIoStats>,
+}
+
+impl ServeTarget for ShardedTarget {
+    fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
+        let outcome = self.index.query(&QueryRequest::new(query, k)).expect("sharded query");
+        self.io.record(&outcome.io);
+        outcome.neighbors.into_iter().map(|(id, _)| u64::from(id.0)).collect()
+    }
+
+    fn insert(&mut self, row: &[f64]) -> u64 {
+        u64::from(self.index.insert(row).expect("sharded insert").0)
+    }
+
+    fn delete(&mut self, id: u64) -> bool {
+        self.index.delete(PointId(id as u32)).expect("sharded delete")
+    }
+}
+
+/// Memoized exact base-side neighbor lists: brute force over the base
+/// dataset, once per sampled query index, shared by every backend and
+/// sweep point (the base data never changes).
+struct BaseOracle<'a> {
+    dataset: &'a DenseDataset,
+    queries: &'a [Vec<f64>],
+    kind: DivergenceKind,
+    depth: usize,
+    cache: HashMap<usize, BaseNeighbors>,
+}
+
+impl BaseOracle<'_> {
+    fn neighbors(&mut self, query_index: usize) -> BaseNeighbors {
+        let dataset = self.dataset;
+        let kind = self.kind;
+        let depth = self.depth;
+        let query = &self.queries[query_index];
+        self.cache
+            .entry(query_index)
+            .or_insert_with(|| {
+                let mut scored: Vec<(u64, f64)> = (0..dataset.len())
+                    .map(|i| (i as u64, kind.divergence(dataset.row(i), query)))
+                    .collect();
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+                scored.truncate(depth);
+                BaseNeighbors { neighbors: scored }
+            })
+            .clone()
+    }
+}
+
+/// One serving session: a sweep of open-loop runs over one target,
+/// carrying the mutation log (and live set) forward between sweep points
+/// like a long-running server.
+#[allow(clippy::too_many_arguments)]
+fn serve_sessions<T: ServeTarget + Send + Sync>(
+    label: &str,
+    mut target: T,
+    io: &Arc<AtomicIoStats>,
+    sweep: &[f64],
+    ops_per_point: usize,
+    queries: &[Vec<f64>],
+    insert_rows: &[Vec<f64>],
+    base: &mut BaseOracle<'_>,
+    points: usize,
+    dim: usize,
+    dispatch_threads: usize,
+) -> Vec<ServingReport> {
+    let kind = base.kind;
+    let mut reports = Vec::new();
+    let mut live: Vec<u64> = (0..points as u64).collect();
+    let mut session_log: Vec<loadgen::Mutation> = Vec::new();
+    let warmup = (ops_per_point / 10).min(64);
+
+    for (sweep_index, &target_qps) in sweep.iter().enumerate() {
+        let seed = SEED.wrapping_add(sweep_index as u64);
+        let schedule = Schedule::poisson(seed, target_qps, ops_per_point);
+        let ops = operation_stream(seed, MIX, ops_per_point, queries.len());
+        let config = RunnerConfig {
+            k: K,
+            dispatch_threads,
+            warmup_ops: warmup,
+            sample_every: SAMPLE_EVERY,
+            initial_live: live.clone(),
+        };
+        let io_before = io.snapshot();
+        let (returned, outcome) =
+            run_open_loop(target, queries, insert_rows, &schedule, &ops, &config);
+        target = returned;
+        let io_delta = io.snapshot().since(&io_before);
+
+        // Carry the live set and the session-cumulative log forward; a
+        // sample's truth needs *every* mutation since the build, not just
+        // this sweep point's.
+        let log_offset = session_log.len();
+        for mutation in &outcome.log {
+            match *mutation {
+                loadgen::Mutation::Insert { id, .. } => live.push(id),
+                loadgen::Mutation::Delete { id } => {
+                    if let Some(pos) = live.iter().position(|&l| l == id) {
+                        live.swap_remove(pos);
+                    }
+                }
+            }
+        }
+        session_log.extend(outcome.log.iter().copied());
+
+        let mut recall_total = 0.0;
+        for sample in &outcome.samples {
+            let neighbors = base.neighbors(sample.query_index);
+            let truth = loadgen::oracle::truth_at_version(
+                &loadgen::RecallSample { version: log_offset + sample.version, ..sample.clone() },
+                &neighbors,
+                &queries[sample.query_index],
+                insert_rows,
+                &session_log,
+                &|q, row| kind.divergence(row, q),
+                K,
+            );
+            recall_total += loadgen::oracle::sample_recall(sample, &truth);
+        }
+        let recall_samples = outcome.samples.len();
+        let recall_mean =
+            if recall_samples == 0 { 1.0 } else { recall_total / recall_samples as f64 };
+
+        reports.push(build_report(
+            label,
+            points,
+            dim,
+            target_qps,
+            dispatch_threads,
+            &outcome,
+            io_delta,
+            recall_mean,
+            recall_samples,
+        ));
+    }
+    reports
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    label: &str,
+    points: usize,
+    dim: usize,
+    target_qps: f64,
+    dispatch_threads: usize,
+    outcome: &RunOutcome,
+    io: pagestore::IoStats,
+    recall_mean: f64,
+    recall_samples: usize,
+) -> ServingReport {
+    let mut latencies: Vec<u64> = outcome.records.iter().map(|r| r.latency_ns).collect();
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1] as f64 / 1e6
+    };
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
+    };
+    let count_kind = |kind: OpKind| outcome.records.iter().filter(|r| r.kind == kind).count();
+    ServingReport {
+        backend: label.to_string(),
+        points,
+        dim,
+        k: K,
+        target_qps,
+        achieved_qps: outcome.achieved_qps(),
+        dispatch_threads,
+        ops: outcome.records.len(),
+        queries: count_kind(OpKind::Query),
+        inserts: count_kind(OpKind::Insert),
+        deletes: count_kind(OpKind::Delete),
+        wall_seconds: outcome.wall_ns as f64 / 1e9,
+        latency_mean_ms: mean_ms,
+        latency_p50_ms: pct(0.50),
+        latency_p95_ms: pct(0.95),
+        latency_p99_ms: pct(0.99),
+        latency_p999_ms: pct(0.999),
+        latency_max_ms: latencies.last().copied().unwrap_or(0) as f64 / 1e6,
+        io_pages_read: io.pages_read,
+        io_cache_hits: io.cache_hits,
+        io_pages_written: io.pages_written,
+        recall_mean,
+        recall_samples,
+    }
+}
+
+/// Run the serving experiment, returning the markdown table.
+pub fn run(bench: &Workbench) -> Vec<Table> {
+    run_with_json(bench).0
+}
+
+/// Run the serving experiment: the QPS sweep over BP/ABP/BBT/VAF plus one
+/// 4-shard capacity tier, returning the markdown table and the stable
+/// JSON rows for `BENCH_serving.json`.
+pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
+    let kind = DivergenceKind::ItakuraSaito;
+    let n =
+        env_size("BREPARTITION_SERVING_POINTS").unwrap_or_else(|| bench.scale.max_points.max(600));
+    let dim = 32.min(bench.scale.max_dim);
+    let ops_per_point = env_size("BREPARTITION_SERVING_OPS")
+        .unwrap_or_else(|| (bench.scale.queries * 32).clamp(200, 1000));
+    let dispatch_threads = env_size("BREPARTITION_SERVING_THREADS").unwrap_or(1);
+    let sweep = qps_sweep();
+
+    // Stream the base dataset into the one flat buffer the builders will
+    // consume — the generator never holds a second full copy.
+    let spec = HierarchicalSpec {
+        n,
+        dim,
+        clusters: (n / 100).clamp(8, 32),
+        blocks: (dim / 4).max(2),
+        ..Default::default()
+    };
+    let mut stream = spec.stream();
+    let mut flat = Vec::with_capacity(n * dim);
+    while stream.fill_block(64 * 1024, &mut flat) > 0 {}
+    let dataset = DenseDataset::from_flat(dim, flat).expect("streamed dataset");
+
+    let workload = QueryWorkload::perturbed_from(&dataset, kind, QUERY_POOL, 0.02, 0x7C);
+    let queries: Vec<Vec<f64>> = workload.iter().map(|q| q.to_vec()).collect();
+
+    // Insert pool: enough rows for the largest possible insert count (one
+    // whole sweep of ops), drawn from the same distribution under a
+    // different seed, streamed in blocks.
+    let insert_pool_spec =
+        HierarchicalSpec { n: ops_per_point * sweep.len().max(1), seed: spec.seed ^ 0xA5, ..spec };
+    let mut insert_rows: Vec<Vec<f64>> = Vec::with_capacity(insert_pool_spec.n);
+    let mut insert_stream = insert_pool_spec.stream();
+    while let Some(block) = insert_stream.next_block(8 * 1024) {
+        insert_rows.extend((0..block.len()).map(|i| block.row(i).to_vec()));
+    }
+
+    // Base-oracle depth: k + every delete the whole session could apply.
+    let total_deletes: usize = (0..sweep.len())
+        .map(|i| {
+            delete_count(&operation_stream(
+                SEED.wrapping_add(i as u64),
+                MIX,
+                ops_per_point,
+                queries.len(),
+            ))
+        })
+        .sum();
+    let mut base = BaseOracle {
+        dataset: &dataset,
+        queries: &queries,
+        kind,
+        depth: K + total_deletes,
+        cache: HashMap::new(),
+    };
+
+    let registry = Registry::new();
+    let mut table = Table::new(
+        format!(
+            "Open-loop serving — hierarchical ISD, n={n}, d={dim}, {ops_per_point} ops/point, \
+             mix {}:{}:{}, k={K}",
+            MIX.query, MIX.insert, MIX.delete
+        ),
+        &[
+            "method",
+            "target QPS",
+            "achieved QPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "recall",
+            "IO reads",
+        ],
+    );
+    let mut jsons: Vec<String> = Vec::new();
+    let mut collect = |table: &mut Table, reports: Vec<ServingReport>| {
+        for report in reports {
+            table.row(vec![
+                report.backend.clone(),
+                fmt_f64(report.target_qps),
+                fmt_f64(report.achieved_qps),
+                fmt_f64(report.latency_p50_ms),
+                fmt_f64(report.latency_p99_ms),
+                fmt_f64(report.latency_p999_ms),
+                fmt_f64(report.recall_mean),
+                report.io_pages_read.to_string(),
+            ]);
+            jsons.push(report.to_json());
+        }
+    };
+
+    for &method in Method::ALL.iter() {
+        let spec = IndexSpec::new(method, kind)
+            .with_partitions(bench.paper_m(dim))
+            .with_page_size(PAGE_SIZE)
+            .with_leaf_capacity(32)
+            .with_probability(0.9);
+        let index = Index::build(&spec, &dataset).expect("index build");
+        let label = index.backend().name().to_string();
+        let io = Arc::new(AtomicIoStats::new());
+        io.bind(&registry, &format!("serving.{}.io", method.short_name()));
+        let reports = serve_sessions(
+            &label,
+            IndexTarget { index, io: Arc::clone(&io) },
+            &io,
+            &sweep,
+            ops_per_point,
+            &queries,
+            &insert_rows,
+            &mut base,
+            n,
+            dim,
+            dispatch_threads,
+        );
+        collect(&mut table, reports);
+
+        // One sharded row-set: the BP spec scattered over a 4-shard
+        // capacity tier.
+        if method == Method::BrePartition {
+            let sharded =
+                ShardedIndex::build(&ShardSpec::capacity(spec, SHARDS), &dataset).expect("sharded");
+            let label = format!("{label}x{SHARDS}:capacity");
+            let io = Arc::new(AtomicIoStats::new());
+            io.bind(&registry, "serving.sharded.io");
+            let reports = serve_sessions(
+                &label,
+                ShardedTarget { index: sharded, io: Arc::clone(&io) },
+                &io,
+                &sweep,
+                ops_per_point,
+                &queries,
+                &insert_rows,
+                &mut base,
+                n,
+                dim,
+                dispatch_threads,
+            );
+            collect(&mut table, reports);
+        }
+    }
+    (vec![table], format!("[\n{}\n]\n", jsons.join(",\n")))
+}
+
+/// The per-row JSON key sequence, for schema-drift detection: extract the
+/// keys of each object in a `BENCH_serving.json`-shaped array.
+pub fn json_row_schemas(json: &str) -> Vec<Vec<String>> {
+    json.split('{')
+        .skip(1)
+        .map(|object| {
+            let object = object.split('}').next().unwrap_or("");
+            // Quoted tokens sit at odd split positions; a token is a key
+            // exactly when the unquoted text after it starts with ':'.
+            let tokens: Vec<&str> = object.split('"').collect();
+            let mut keys = Vec::new();
+            let mut i = 1;
+            while i < tokens.len() {
+                if tokens.get(i + 1).is_some_and(|next| next.starts_with(':')) {
+                    keys.push(tokens[i].to_string());
+                }
+                i += 2;
+            }
+            keys
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny_env() -> (Workbench, Vec<(&'static str, String)>) {
+        // Pin every knob so the test is independent of ambient env vars.
+        let saved: Vec<(&'static str, String)> = [
+            "BREPARTITION_SERVING_POINTS",
+            "BREPARTITION_SERVING_OPS",
+            "BREPARTITION_SERVING_QPS",
+            "BREPARTITION_SERVING_THREADS",
+        ]
+        .iter()
+        .filter_map(|&var| std::env::var(var).ok().map(|v| (var, v)))
+        .collect();
+        std::env::set_var("BREPARTITION_SERVING_POINTS", "500");
+        std::env::set_var("BREPARTITION_SERVING_OPS", "120");
+        std::env::set_var("BREPARTITION_SERVING_QPS", "2000,8000");
+        std::env::set_var("BREPARTITION_SERVING_THREADS", "1");
+        (Workbench::new(Scale::tiny()), saved)
+    }
+
+    fn restore_env(saved: Vec<(&'static str, String)>) {
+        for var in [
+            "BREPARTITION_SERVING_POINTS",
+            "BREPARTITION_SERVING_OPS",
+            "BREPARTITION_SERVING_QPS",
+            "BREPARTITION_SERVING_THREADS",
+        ] {
+            std::env::remove_var(var);
+        }
+        for (var, value) in saved {
+            std::env::set_var(var, value);
+        }
+    }
+
+    #[test]
+    fn serving_rows_cover_all_backends_and_sweep_points() {
+        let (bench, saved) = tiny_env();
+        let (tables, json) = run_with_json(&bench);
+        restore_env(saved);
+        assert_eq!(tables.len(), 1);
+        // (4 methods + 1 sharded) × 2 sweep points.
+        assert_eq!(tables[0].len(), 10);
+        assert_eq!(json.matches("\"backend\":").count(), 10);
+        assert_eq!(json.matches("\"recall_mean\":").count(), 10);
+        assert_eq!(json.matches(":capacity\"").count(), 2, "two sharded rows");
+
+        // Every row carries the same key schema, in the same order.
+        let schemas = json_row_schemas(&json);
+        assert_eq!(schemas.len(), 10);
+        for schema in &schemas[1..] {
+            assert_eq!(schema, &schemas[0]);
+        }
+
+        // Exact methods must track the oracle almost perfectly even under
+        // mutation; the approximate row may dip but not collapse.
+        for object in json.split("\"backend\":").skip(1) {
+            let label = object.split('"').nth(1).unwrap_or("");
+            let recall: f64 = object
+                .split("\"recall_mean\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or_else(|| panic!("row {label} has no recall_mean"));
+            let floor = if label.starts_with("ABP") { 0.5 } else { 0.9 };
+            assert!(recall >= floor, "row {label} recall {recall} below {floor}");
+            let samples: usize = object
+                .split("\"recall_samples\":")
+                .nth(1)
+                .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or(0);
+            assert!(samples > 0, "row {label} sampled no queries");
+        }
+    }
+
+    #[test]
+    fn row_schema_extraction_sees_drift() {
+        let a = "[\n{\"backend\":\"BP\",\"qps\":1.0},\n{\"backend\":\"VAF\",\"qps\":2.0}\n]";
+        let b = "[\n{\"backend\":\"BP\",\"p99\":1.0}\n]";
+        let sa = json_row_schemas(a);
+        let sb = json_row_schemas(b);
+        assert_eq!(sa.len(), 2);
+        assert_eq!(sa[0], vec!["backend".to_string(), "qps".to_string()]);
+        assert_ne!(sa[0], sb[0]);
+    }
+}

@@ -21,6 +21,14 @@
 //!   capacity-mode [`ShardedIndex`] fanning the identical batch out under
 //!   the same total thread budget, for the sharded-vs-unsharded comparison.
 //!
+//! "Pool threads" is [`brepartition_engine::recommended_pool_threads`],
+//! which follows the machine's available parallelism with no floor: on a
+//! single-core runner the pool rows legitimately run at `threads=1`.
+//! Earlier revisions floored the heuristic at 4 workers, which on such
+//! boxes oversubscribed the core and produced ~12 ms scheduler-preemption
+//! tail latencies in every `threads=4` row (see the root-cause write-up on
+//! `recommended_pool_threads`).
+//!
 //! Workload size is configurable without recompiling: the
 //! `BREPARTITION_BENCH_POINTS` and `BREPARTITION_BENCH_QUERIES` environment
 //! variables override the preset-derived dataset and batch sizes.

@@ -83,7 +83,26 @@ impl HierarchicalSpec {
     }
 
     /// Generate the dataset.
+    ///
+    /// Delegates to [`HierarchicalSpec::stream`], so a full `generate()`
+    /// and a block-by-block stream of the same spec are bit-identical by
+    /// construction, not by parallel-implementation luck.
     pub fn generate(&self) -> DenseDataset {
+        let mut stream = self.stream();
+        let mut data = Vec::with_capacity(self.n * self.dim);
+        while stream.fill_block(usize::MAX, &mut data) > 0 {}
+        DenseDataset::from_flat(self.dim, data)
+            .expect("hierarchical generator produced ragged data")
+    }
+
+    /// A streaming generator over this spec: the factor tables are drawn
+    /// up front (in exactly the order [`HierarchicalSpec::generate`]
+    /// draws them), then points are emitted on demand in blocks of any
+    /// size. Million-point builds can fill the single flat buffer the
+    /// index builder will consume — or feed rows straight into an insert
+    /// pool — without the generator staging its own full `n × dim`
+    /// matrix first.
+    pub fn stream(&self) -> HierarchicalStream {
         assert!(self.n > 0 && self.dim > 0, "need at least one point and one dimension");
         assert!(self.clusters > 0 && self.blocks > 0, "need at least one cluster and block");
         assert!(self.base_scale > 0.0, "base scale must be positive");
@@ -101,20 +120,88 @@ impl HierarchicalSpec {
                 (0..self.blocks).map(|_| self.block_log_sigma * gauss.sample(&mut rng)).collect()
             })
             .collect();
+        let block_of_dim: Vec<usize> = (0..self.dim).map(|j| self.block_of(j)).collect();
 
-        let mut data = Vec::with_capacity(self.n * self.dim);
-        for i in 0..self.n {
-            let k = self.cluster_of(i);
-            for (j, &scale) in scales.iter().enumerate() {
-                let b = self.block_of(j);
-                let log_value = cluster_factors[k]
-                    + block_factors[k][b]
-                    + self.noise_log_sigma * gauss.sample(&mut rng);
-                data.push(scale * log_value.exp());
+        HierarchicalStream {
+            spec: *self,
+            rng,
+            gauss,
+            scales,
+            cluster_factors,
+            block_factors,
+            block_of_dim,
+            next_point: 0,
+        }
+    }
+}
+
+/// An in-progress streaming generation (see [`HierarchicalSpec::stream`]).
+///
+/// Points come out in the same order, with the same values, as one big
+/// [`HierarchicalSpec::generate`] call: the per-coordinate noise draws are
+/// strictly sequential, so cutting the emission into blocks cannot change
+/// the stream.
+#[derive(Debug, Clone)]
+pub struct HierarchicalStream {
+    spec: HierarchicalSpec,
+    rng: ChaCha8Rng,
+    gauss: BoxMuller,
+    scales: Vec<f64>,
+    cluster_factors: Vec<f64>,
+    block_factors: Vec<Vec<f64>>,
+    block_of_dim: Vec<usize>,
+    next_point: usize,
+}
+
+impl HierarchicalStream {
+    /// The spec this stream generates.
+    pub fn spec(&self) -> &HierarchicalSpec {
+        &self.spec
+    }
+
+    /// Points emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.next_point
+    }
+
+    /// Points still to come.
+    pub fn remaining(&self) -> usize {
+        self.spec.n - self.next_point
+    }
+
+    /// Append up to `max_rows` points (each `dim` coordinates, row-major)
+    /// to `out`, returning how many points were emitted — `0` once the
+    /// stream is exhausted.
+    pub fn fill_block(&mut self, max_rows: usize, out: &mut Vec<f64>) -> usize {
+        let rows = max_rows.min(self.remaining());
+        out.reserve(rows * self.spec.dim);
+        for i in self.next_point..self.next_point + rows {
+            let k = self.spec.cluster_of(i);
+            for (j, &scale) in self.scales.iter().enumerate() {
+                let b = self.block_of_dim[j];
+                let log_value = self.cluster_factors[k]
+                    + self.block_factors[k][b]
+                    + self.spec.noise_log_sigma * self.gauss.sample(&mut self.rng);
+                out.push(scale * log_value.exp());
             }
         }
-        DenseDataset::from_flat(self.dim, data)
-            .expect("hierarchical generator produced ragged data")
+        self.next_point += rows;
+        rows
+    }
+
+    /// The next block of up to `max_rows` points as a standalone dataset,
+    /// or `None` once exhausted. Convenience over
+    /// [`HierarchicalStream::fill_block`] for callers that want owned
+    /// blocks (e.g. an insert pool filled lazily).
+    pub fn next_block(&mut self, max_rows: usize) -> Option<DenseDataset> {
+        let mut data = Vec::new();
+        if self.fill_block(max_rows, &mut data) == 0 {
+            return None;
+        }
+        Some(
+            DenseDataset::from_flat(self.spec.dim, data)
+                .expect("hierarchical stream produced ragged data"),
+        )
     }
 }
 
@@ -178,6 +265,39 @@ mod tests {
             let min = row.iter().cloned().fold(f64::MAX, f64::min);
             assert!(max / min < 2.5, "point {i} spans ratio {}", max / min);
         }
+    }
+
+    #[test]
+    fn streamed_blocks_concatenate_to_generate_bit_identically() {
+        let s = spec();
+        let whole = s.generate();
+        // Ragged block sizes, including one bigger than the remainder.
+        for block_rows in [1usize, 7, 128, 999, 5000] {
+            let mut stream = s.stream();
+            let mut data = Vec::new();
+            let mut emitted = 0;
+            while stream.remaining() > 0 {
+                emitted += stream.fill_block(block_rows, &mut data);
+                assert_eq!(stream.emitted(), emitted);
+            }
+            assert_eq!(stream.fill_block(block_rows, &mut data), 0);
+            assert_eq!(data, whole.as_flat(), "block size {block_rows} diverged");
+        }
+    }
+
+    #[test]
+    fn owned_blocks_match_the_flat_stream() {
+        let s = HierarchicalSpec { n: 100, dim: 8, clusters: 5, blocks: 4, ..Default::default() };
+        let whole = s.generate();
+        let mut stream = s.stream();
+        let mut rows = 0usize;
+        while let Some(block) = stream.next_block(33) {
+            for i in 0..block.len() {
+                assert_eq!(block.row(i), whole.row(rows + i));
+            }
+            rows += block.len();
+        }
+        assert_eq!(rows, 100);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod synthetic;
 
 pub use correlated::CorrelatedSpec;
 pub use ground_truth::{ground_truth_knn, GroundTruth};
-pub use hierarchical::HierarchicalSpec;
+pub use hierarchical::{HierarchicalSpec, HierarchicalStream};
 pub use metrics::{overall_ratio, recall};
 pub use proxies::{DatasetSpec, PaperDataset};
 pub use queries::QueryWorkload;

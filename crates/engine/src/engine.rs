@@ -4,10 +4,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use pagestore::{AtomicIoStats, BufferPool, IoStats, SharedPageCache};
+use pagestore::{BufferPool, IoStats, SharedPageCache};
+use telemetry::Registry;
 
 use crate::backend::SearchBackend;
 use crate::error::EngineError;
+use crate::metrics::EngineMetrics;
 use crate::report::{QueryOutcome, ThroughputReport};
 use crate::request::EngineRequest;
 
@@ -56,12 +58,29 @@ impl EngineConfig {
     }
 }
 
-/// A worker-pool size that contrasts with sequential serving even on small
-/// machines: the available parallelism, floored at 4 (benign
-/// oversubscription), so 1-thread-vs-pool comparisons exercise real
-/// concurrency everywhere.
+/// The worker-pool size to serve CPU-bound batches with: exactly the
+/// machine's available parallelism.
+///
+/// This deliberately does **not** floor the count above the core count.
+/// An earlier version floored it at 4 ("benign oversubscription", so
+/// 1-thread-vs-pool rows contrasted even on small machines) — and the
+/// benchmark record shows that oversubscription is anything but benign
+/// for *tail* latency: on a 1-core machine, 4 workers time-share the CPU
+/// and a query that loses the CPU waits out the other workers'
+/// scheduler timeslices, so `BENCH_throughput.json` showed p99 jumping
+/// from ~0.8 ms (1 thread) to ~12 ms (4 threads) on every backend while
+/// QPS stayed flat. The effect reproduces with pure busy-work and no
+/// engine code at all (p99 ≈ 4.9 ms at 2 threads, ≈ 13.9 ms at 4 — one
+/// and three ~4 ms timeslices), and thread spawn/park measures at ~17 µs
+/// per batch, so a persistent worker pool would not change it: the tail
+/// is kernel CPU scheduling, not engine overhead. Since per-query
+/// latency is measured inside each worker, queries themselves are
+/// CPU-bound, and extra workers add preemption without adding
+/// throughput, the recommendation is now never to exceed the hardware.
+/// Callers who want to *study* oversubscription can still pass any
+/// explicit count via [`EngineConfig::with_threads`].
 pub fn recommended_pool_threads() -> usize {
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).max(4)
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
 /// The result of [`QueryEngine::run_batch`]: per-query outcomes (in query
@@ -87,7 +106,7 @@ pub struct BatchResult {
 pub struct QueryEngine {
     backend: Arc<dyn SearchBackend>,
     config: EngineConfig,
-    cumulative_io: Arc<AtomicIoStats>,
+    metrics: EngineMetrics,
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -127,7 +146,7 @@ impl QueryEngine {
                 backend.name()
             )));
         }
-        Ok(Self { backend, config, cumulative_io: Arc::new(AtomicIoStats::new()) })
+        Ok(Self { backend, config, metrics: EngineMetrics::new() })
     }
 
     /// Convenience constructor boxing a concrete backend.
@@ -155,21 +174,42 @@ impl QueryEngine {
 
     /// Physical I/O accumulated across every batch this engine has run.
     pub fn cumulative_io(&self) -> IoStats {
-        self.cumulative_io.snapshot()
+        self.metrics.io().snapshot()
+    }
+
+    /// The engine's shared telemetry (clones of this engine record into
+    /// the same metrics).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Register this engine's metrics in `registry` under `prefix` — see
+    /// [`EngineMetrics::bind`] for the resulting metric names.
+    pub fn bind_telemetry(&self, registry: &Registry, prefix: &str) {
+        self.metrics.bind(registry, prefix);
     }
 
     /// Answer one ad-hoc query outside a batch (fresh scratch).
     pub fn knn(&self, query: &[f64], k: usize) -> Result<QueryOutcome, EngineError> {
         let mut scratch = self.backend.new_scratch();
+        scratch.pool.set_read_latency_sink(self.metrics.io_span().clone());
         let started = Instant::now();
-        let answer = self.backend.knn(&mut scratch, query, k)?;
-        let latency_seconds = started.elapsed().as_secs_f64();
-        self.cumulative_io.record(&answer.io);
+        let answer = match self.backend.knn(&mut scratch, query, k) {
+            Ok(answer) => answer,
+            Err(error) => {
+                self.metrics.errors().inc();
+                return Err(error);
+            }
+        };
+        let latency = started.elapsed();
+        self.metrics.io().record(&answer.io);
+        self.metrics.queries().inc();
+        self.metrics.query_latency_ns().record_duration(latency);
         Ok(QueryOutcome {
             neighbors: answer.neighbors,
             candidates: answer.candidates,
             io: answer.io,
-            latency_seconds,
+            latency_seconds: latency.as_secs_f64(),
         })
     }
 
@@ -218,12 +258,14 @@ impl QueryEngine {
                     let abort = &abort;
                     let first_error = &first_error;
                     let shared_cache = &shared_cache;
+                    let metrics = &self.metrics;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, QueryOutcome)> = Vec::new();
                         let mut scratch = backend.new_scratch();
                         if let Some(cache) = shared_cache {
                             scratch.pool = BufferPool::with_shared_cache(cache.clone());
                         }
+                        scratch.pool.set_read_latency_sink(metrics.io_span().clone());
                         let mut scratch_used = false;
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -239,6 +281,7 @@ impl QueryEngine {
                             // gradients or decoded candidates.
                             if !reuse_scratch && scratch_used {
                                 scratch.pool = backend.new_scratch().pool;
+                                scratch.pool.set_read_latency_sink(metrics.io_span().clone());
                             }
                             scratch_used = true;
                             let request = &requests[index];
@@ -250,14 +293,16 @@ impl QueryEngine {
                                 &request.options,
                             ) {
                                 Ok(answer) => {
-                                    let latency_seconds = query_started.elapsed().as_secs_f64();
+                                    let latency = query_started.elapsed();
+                                    metrics.queries().inc();
+                                    metrics.query_latency_ns().record_duration(latency);
                                     local.push((
                                         index,
                                         QueryOutcome {
                                             neighbors: answer.neighbors,
                                             candidates: answer.candidates,
                                             io: answer.io,
-                                            latency_seconds,
+                                            latency_seconds: latency.as_secs_f64(),
                                         },
                                     ));
                                 }
@@ -279,24 +324,28 @@ impl QueryEngine {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("engine worker panicked")).collect()
         });
-        let wall_seconds = started.elapsed().as_secs_f64();
+        let wall = started.elapsed();
+        let wall_seconds = wall.as_secs_f64();
 
         // Queries completed before an abort performed real page reads, so
         // their I/O counts toward the engine totals even on a failed batch.
         for locals in per_thread.iter() {
             for (_, outcome) in locals.iter() {
-                self.cumulative_io.record(&outcome.io);
+                self.metrics.io().record(&outcome.io);
             }
         }
         // Backend failures gain the failing query's index; typed errors
         // (unsupported options, config) pass through unchanged so callers
         // can match on them identically in the single-query and batch paths.
         if let Some((index, error)) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            self.metrics.errors().inc();
             return Err(match error {
                 EngineError::Backend(message) => EngineError::Query { index, message },
                 other => other,
             });
         }
+        self.metrics.batches().inc();
+        self.metrics.batch_wall_ns().record_duration(wall);
 
         let mut slots: Vec<Option<QueryOutcome>> = vec![None; n];
         for locals in per_thread.iter_mut() {

@@ -74,6 +74,7 @@ pub mod backend;
 #[allow(clippy::module_inception)]
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod overlay;
 pub mod report;
 pub mod request;
@@ -84,6 +85,7 @@ pub use backend::{
 };
 pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
 pub use error::EngineError;
+pub use metrics::EngineMetrics;
 pub use overlay::DeltaOverlayBackend;
 pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
 pub use request::{EngineRequest, QueryOptions};

@@ -1,0 +1,128 @@
+//! Engine-level telemetry: counters, latency histograms and phase spans
+//! shared by every worker of a [`QueryEngine`](crate::QueryEngine).
+//!
+//! One [`EngineMetrics`] lives behind each engine (cloning an engine
+//! shares it, like the backend). Workers record into it with relaxed
+//! atomics — one histogram record and one counter increment per query —
+//! and a serving layer makes the numbers observable by binding them into
+//! a [`telemetry::Registry`] under a prefix of its choosing:
+//!
+//! * `<prefix>.queries`, `<prefix>.batches`, `<prefix>.errors` — counters;
+//! * `<prefix>.query_ns`, `<prefix>.batch_ns` — latency histograms
+//!   (p50/p95/p99/p999 via [`telemetry::HistogramSnapshot::quantile`]);
+//! * `<prefix>.io.pages_read` / `.cache_hits` / `.pages_written` — the
+//!   engine's cumulative I/O, the same atomics
+//!   [`QueryEngine::cumulative_io`](crate::QueryEngine::cumulative_io)
+//!   snapshots;
+//! * `<prefix>.phase.io_ns` (and the other phases) — per-query trace
+//!   spans; the engine attaches the io-phase histogram to every worker
+//!   buffer pool, so physical page-read time lands here.
+
+use std::sync::Arc;
+
+use pagestore::AtomicIoStats;
+use telemetry::{Counter, Histogram, Phase, PhaseStats, Registry};
+
+/// Shared observability state of one engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    errors: Arc<Counter>,
+    query_latency_ns: Arc<Histogram>,
+    batch_wall_ns: Arc<Histogram>,
+    phases: PhaseStats,
+    io: Arc<AtomicIoStats>,
+}
+
+impl EngineMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries answered successfully (across batches and ad-hoc calls).
+    pub fn queries(&self) -> &Arc<Counter> {
+        &self.queries
+    }
+
+    /// Batches completed successfully.
+    pub fn batches(&self) -> &Arc<Counter> {
+        &self.batches
+    }
+
+    /// Failed queries (a failed batch counts once, for its first error).
+    pub fn errors(&self) -> &Arc<Counter> {
+        &self.errors
+    }
+
+    /// Per-query service-time distribution, in nanoseconds.
+    pub fn query_latency_ns(&self) -> &Arc<Histogram> {
+        &self.query_latency_ns
+    }
+
+    /// Per-batch wall-time distribution, in nanoseconds.
+    pub fn batch_wall_ns(&self) -> &Arc<Histogram> {
+        &self.batch_wall_ns
+    }
+
+    /// Per-phase trace-span histograms (filter/refine/io/merge).
+    pub fn phases(&self) -> &PhaseStats {
+        &self.phases
+    }
+
+    /// The io-phase histogram workers attach to their buffer pools.
+    pub fn io_span(&self) -> &Arc<Histogram> {
+        self.phases.histogram(Phase::Io)
+    }
+
+    /// The engine's cumulative I/O counters.
+    pub fn io(&self) -> &Arc<AtomicIoStats> {
+        &self.io
+    }
+
+    /// Register everything under `prefix` (see the module docs for the
+    /// resulting names). Binding is idempotent: re-binding the same
+    /// metrics under the same prefix replaces them with themselves.
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.queries"), self.queries.clone());
+        registry.register_counter(&format!("{prefix}.batches"), self.batches.clone());
+        registry.register_counter(&format!("{prefix}.errors"), self.errors.clone());
+        registry.register_histogram(&format!("{prefix}.query_ns"), self.query_latency_ns.clone());
+        registry.register_histogram(&format!("{prefix}.batch_ns"), self.batch_wall_ns.clone());
+        self.io.bind(registry, &format!("{prefix}.io"));
+        self.phases.bind(registry, &format!("{prefix}.phase"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_exposes_every_metric_under_the_prefix() {
+        let metrics = EngineMetrics::new();
+        let registry = Registry::new();
+        metrics.bind(&registry, "engine");
+        metrics.queries().add(3);
+        metrics.query_latency_ns().record(1_000);
+        metrics.io().record(&pagestore::IoStats { pages_read: 7, cache_hits: 0, pages_written: 0 });
+        metrics.phases().record(Phase::Io, 500);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.queries"), Some(3));
+        assert_eq!(snap.counter("engine.batches"), Some(0));
+        assert_eq!(snap.counter("engine.errors"), Some(0));
+        assert_eq!(snap.histogram("engine.query_ns").unwrap().count(), 1);
+        assert_eq!(snap.histogram("engine.batch_ns").unwrap().count(), 0);
+        assert_eq!(snap.counter("engine.io.pages_read"), Some(7));
+        assert_eq!(snap.histogram("engine.phase.io_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let metrics = EngineMetrics::new();
+        let clone = metrics.clone();
+        clone.queries().inc();
+        assert_eq!(metrics.queries().get(), 1);
+    }
+}

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use bregman::kernel::KernelScratch;
 use brepartition_core::DeltaSegment;
+use telemetry::{Phase, PhaseStats, QueryTrace, SpanTimer};
 
 use crate::backend::{BackendAnswer, Scratch, SearchBackend};
 use crate::error::EngineError;
@@ -43,6 +44,11 @@ pub struct DeltaOverlayBackend {
     inner: Arc<dyn SearchBackend>,
     delta: Arc<DeltaSegment>,
     name: String,
+    /// Per-phase trace histograms: filter = inner backend search, refine =
+    /// exact delta scan, merge = combine + truncate. Shared by clones, so
+    /// an owning façade can keep one `PhaseStats` across the per-batch
+    /// overlay snapshots it creates.
+    phases: PhaseStats,
 }
 
 impl std::fmt::Debug for DeltaOverlayBackend {
@@ -81,7 +87,20 @@ impl DeltaOverlayBackend {
             )));
         }
         let name = format!("{}+Δ", inner.name());
-        Ok(DeltaOverlayBackend { inner, delta, name })
+        Ok(DeltaOverlayBackend { inner, delta, name, phases: PhaseStats::new() })
+    }
+
+    /// Record phase spans into an existing [`PhaseStats`] instead of a
+    /// private one — how the owning façade aggregates traces across the
+    /// per-batch overlay snapshots it creates.
+    pub fn with_phase_stats(mut self, phases: PhaseStats) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// The per-phase trace histograms this overlay records into.
+    pub fn phases(&self) -> &PhaseStats {
+        &self.phases
     }
 
     /// The static backend underneath.
@@ -101,12 +120,16 @@ impl DeltaOverlayBackend {
         k: usize,
         options: &QueryOptions,
     ) -> Result<BackendAnswer, EngineError> {
+        let mut trace = QueryTrace::new();
         // Over-fetch by the backend-side tombstone count: each tombstone
         // displaces at most one backend result, so the k best *live*
         // backend neighbors are guaranteed to be present (capped at the
         // backend size, where the fetch degenerates to a full ranking).
         let base_k = (k + self.delta.base_tombstone_count()).min(self.inner.len());
-        let answer = self.inner.knn_with_options(scratch, query, base_k, options)?;
+        let answer = {
+            let _filter = SpanTimer::start(&mut trace, Phase::Filter);
+            self.inner.knn_with_options(scratch, query, base_k, options)?
+        };
         let mut merged: Vec<_> = answer
             .neighbors
             .into_iter()
@@ -122,6 +145,7 @@ impl DeltaOverlayBackend {
         // bit-identically whether it lives in the delta or, after a
         // compaction, in the base store. The inner search is done with the
         // scratch, so re-arming the prepared query here cannot disturb it.
+        let refine = SpanTimer::start(&mut trace, Phase::Refine);
         let kind = self.delta.kind();
         let KernelScratch { prepared, lanes, distances, phis, .. } = &mut scratch.kernel;
         kind.prepare_query_into(prepared, query);
@@ -157,11 +181,17 @@ impl DeltaOverlayBackend {
             merged.extend(chunk.iter().zip(distances.iter()).map(|(&(id, _), &d)| (id, d)));
         }
 
+        drop(refine);
+
         // The same (divergence, id) total order every backend's refine
         // phase uses, so merged results are deterministic and mergeable
         // with brute force.
-        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        merged.truncate(k);
+        {
+            let _merge = SpanTimer::start(&mut trace, Phase::Merge);
+            merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            merged.truncate(k);
+        }
+        self.phases.record_trace(&trace);
         Ok(BackendAnswer {
             neighbors: merged,
             candidates: answer.candidates + scanned,

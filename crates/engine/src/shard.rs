@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 
 use bregman::PointId;
 use pagestore::IoStats;
+use telemetry::{Counter, Histogram, Registry};
 
 use crate::backend::SearchBackend;
 use crate::engine::{BatchResult, EngineConfig, QueryEngine};
@@ -151,6 +152,11 @@ pub struct ShardedEngine {
     engines: Vec<QueryEngine>,
     concurrent: usize,
     budget: usize,
+    /// Completed scatter-gather fan-outs.
+    fanouts: Arc<Counter>,
+    /// Wall time of each whole fan-out (scatter + slowest shard + gather
+    /// queueing), in nanoseconds.
+    fanout_ns: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -198,7 +204,13 @@ impl ShardedEngine {
                 QueryEngine::with_config(backend, config)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedEngine { engines, concurrent: split.concurrent, budget })
+        Ok(ShardedEngine {
+            engines,
+            concurrent: split.concurrent,
+            budget,
+            fanouts: Arc::new(Counter::new()),
+            fanout_ns: Arc::new(Histogram::new()),
+        })
     }
 
     /// Number of shards.
@@ -226,6 +238,18 @@ impl ShardedEngine {
         &self.engines
     }
 
+    /// Register this tier's telemetry in `registry`: fan-out counters and
+    /// wall-time histogram under `prefix.fanouts` / `prefix.fanout_ns`,
+    /// plus every shard engine's metrics under `prefix.shard<i>` (see
+    /// [`crate::EngineMetrics::bind`] for the per-engine names).
+    pub fn bind_telemetry(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.fanouts"), self.fanouts.clone());
+        registry.register_histogram(&format!("{prefix}.fanout_ns"), self.fanout_ns.clone());
+        for (index, engine) in self.engines.iter().enumerate() {
+            engine.bind_telemetry(registry, &format!("{prefix}.shard{index}"));
+        }
+    }
+
     /// Run the same request slice against every shard, returning per-shard
     /// results in shard order.
     ///
@@ -243,6 +267,7 @@ impl ShardedEngine {
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<Result<BatchResult, EngineError>>>> =
             Mutex::new((0..shards).map(|_| None).collect());
+        let started = std::time::Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..self.concurrent.min(shards) {
                 let cursor = &cursor;
@@ -257,6 +282,8 @@ impl ShardedEngine {
                 });
             }
         });
+        self.fanouts.inc();
+        self.fanout_ns.record_duration(started.elapsed());
         slots
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())

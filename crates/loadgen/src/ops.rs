@@ -1,0 +1,165 @@
+//! The mixed operation stream: which request each arrival carries.
+//!
+//! The stream is generated up front from a seed and a weight mix, so a
+//! serving run is reproducible end to end: the *i*-th arrival always
+//! carries the same operation. Deletes carry a raw pick value rather than
+//! a concrete id — which id dies is only decidable at execution time,
+//! against the live set as it stands (see the runner), so the stream stays
+//! independent of execution interleaving.
+
+use crate::rng::SplitMix64;
+
+/// One operation in a serving stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Run query `query_index` from the run's query pool.
+    Query {
+        /// Index into the query pool.
+        query_index: usize,
+    },
+    /// Insert row `row_index` from the run's insert pool.
+    Insert {
+        /// Index into the insert pool; assigned sequentially so every
+        /// insert carries a distinct row.
+        row_index: usize,
+    },
+    /// Delete a live point, picked at execution time as
+    /// `pick mod live_count`.
+    Delete {
+        /// Raw 64-bit draw the runner reduces against the live set.
+        pick: u64,
+    },
+}
+
+/// Relative operation weights for a serving stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Relative weight of queries.
+    pub query: u32,
+    /// Relative weight of inserts.
+    pub insert: u32,
+    /// Relative weight of deletes.
+    pub delete: u32,
+}
+
+impl OpMix {
+    /// A mix with the given `query:insert:delete` weights.
+    pub fn new(query: u32, insert: u32, delete: u32) -> OpMix {
+        OpMix { query, insert, delete }
+    }
+
+    /// A read-only mix.
+    pub fn query_only() -> OpMix {
+        OpMix { query: 1, insert: 0, delete: 0 }
+    }
+
+    /// Sum of the weights.
+    pub fn total(&self) -> u32 {
+        self.query + self.insert + self.delete
+    }
+}
+
+/// Generate `count` operations under `mix`, drawing query indexes
+/// uniformly from `[0, query_pool)`. Equal `(seed, mix, count,
+/// query_pool)` reproduce the stream bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if every weight is zero, or if queries have weight but the
+/// query pool is empty.
+pub fn operation_stream(seed: u64, mix: OpMix, count: usize, query_pool: usize) -> Vec<Operation> {
+    let total = mix.total();
+    assert!(total > 0, "operation mix must have at least one non-zero weight");
+    assert!(
+        mix.query == 0 || query_pool > 0,
+        "query weight is non-zero but the query pool is empty"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut next_insert_row = 0usize;
+    (0..count)
+        .map(|_| {
+            let draw = rng.next_below(u64::from(total)) as u32;
+            if draw < mix.query {
+                Operation::Query { query_index: rng.next_below(query_pool as u64) as usize }
+            } else if draw < mix.query + mix.insert {
+                let row_index = next_insert_row;
+                next_insert_row += 1;
+                Operation::Insert { row_index }
+            } else {
+                Operation::Delete { pick: rng.next_u64() }
+            }
+        })
+        .collect()
+}
+
+/// How many inserts a stream contains (the insert pool must hold at least
+/// this many rows).
+pub fn insert_count(ops: &[Operation]) -> usize {
+    ops.iter().filter(|op| matches!(op, Operation::Insert { .. })).count()
+}
+
+/// How many deletes a stream contains (an upper bound on how many base
+/// points a run can tombstone — what sizes the recall oracle's base
+/// neighbor lists).
+pub fn delete_count(ops: &[Operation]) -> usize {
+    ops.iter().filter(|op| matches!(op, Operation::Delete { .. })).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_bit_identical_under_fixed_seed() {
+        let a = operation_stream(31, OpMix::new(90, 7, 3), 8_192, 1_000);
+        let b = operation_stream(31, OpMix::new(90, 7, 3), 8_192, 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_seeds_decorrelate() {
+        let a = operation_stream(1, OpMix::new(1, 1, 1), 512, 10);
+        let b = operation_stream(2, OpMix::new(1, 1, 1), 512, 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let mix = OpMix::new(80, 15, 5);
+        let n = 100_000;
+        let ops = operation_stream(5, mix, n, 64);
+        let inserts = insert_count(&ops);
+        let deletes = delete_count(&ops);
+        let queries = n - inserts - deletes;
+        let expect = |w: u32| n as f64 * f64::from(w) / f64::from(mix.total());
+        assert!((queries as f64 - expect(80)).abs() < 0.02 * n as f64);
+        assert!((inserts as f64 - expect(15)).abs() < 0.02 * n as f64);
+        assert!((deletes as f64 - expect(5)).abs() < 0.02 * n as f64);
+    }
+
+    #[test]
+    fn insert_rows_are_sequential_and_distinct() {
+        let ops = operation_stream(9, OpMix::new(1, 1, 0), 2_000, 8);
+        let rows: Vec<usize> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Operation::Insert { row_index } => Some(*row_index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rows, (0..rows.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_only_mix_never_mutates() {
+        let ops = operation_stream(13, OpMix::query_only(), 1_024, 16);
+        assert_eq!(insert_count(&ops), 0);
+        assert_eq!(delete_count(&ops), 0);
+        for op in &ops {
+            match op {
+                Operation::Query { query_index } => assert!(*query_index < 16),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The harness PRNG: SplitMix64.
+//!
+//! The load generator's determinism contract — bit-identical arrival
+//! schedules and operation streams under a fixed seed, on every platform,
+//! forever — is easiest to keep with a generator whose entire algorithm
+//! fits in a dozen lines of this crate. SplitMix64 (Steele, Lea & Flood's
+//! `splitmix64` finalizer) passes BigCrush, needs one `u64` of state, and
+//! has no configuration knobs that could drift.
+
+/// A 64-bit SplitMix generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of mantissa.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw in `[0, bound)` via the widening-multiply range
+    /// reduction (no modulo bias worth speaking of at bench sample sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below requires a non-empty range");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_produce_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_vector_from_reference_implementation() {
+        // First three outputs of splitmix64 seeded with 1234567, from the
+        // public-domain reference implementation.
+        let mut rng = SplitMix64::new(1_234_567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+        assert_eq!(rng.next_u64(), 9_817_491_932_198_370_423);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = SplitMix64::new(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = rng.next_below(13);
+            assert!(v < 13);
+            seen_high |= v == 12;
+        }
+        assert!(seen_high, "upper values should be reachable");
+    }
+}

@@ -1,0 +1,116 @@
+//! Lock-free scalar metrics: monotone counters and signed gauges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// Updates and reads are relaxed atomics: counters are statistics, not
+/// synchronization, so a snapshot taken while writers run is
+/// "consistent enough" — it never tears and never goes backwards.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero. Intended for test and between-run reuse, not for
+    /// concurrent use against live writers (a racing `add` may survive).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A signed instantaneous value (queue depth, live deltas, in-flight ops).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the current value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Shorthand for `add(1)`.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Shorthand for `add(-1)`.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = &counter;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                    counter.add(10);
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4040);
+        counter.reset();
+        assert_eq!(counter.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_directions() {
+        let gauge = Gauge::new();
+        gauge.inc();
+        gauge.inc();
+        gauge.dec();
+        assert_eq!(gauge.get(), 1);
+        gauge.add(-5);
+        assert_eq!(gauge.get(), -4);
+        gauge.set(42);
+        assert_eq!(gauge.get(), 42);
+    }
+}

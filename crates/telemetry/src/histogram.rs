@@ -1,0 +1,362 @@
+//! Log-bucketed latency histograms with mergeable quantile snapshots.
+//!
+//! The bucketing is HdrHistogram-style: values below 2⁵ = 32 get one
+//! bucket each (exact), and every power-of-two octave above that is split
+//! into 32 sub-buckets, so a bucket's width is at most 1/32 of its lower
+//! bound and any reported quantile overstates the true nearest-rank value
+//! by at most 3.125%. The whole `u64` range is covered by 1920 buckets,
+//! which makes a [`Histogram`] a fixed 15 KiB of atomics — cheap enough to
+//! keep one per phase per engine, record into from every worker thread
+//! without locks, and merge across shards by adding bucket counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2⁵ = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Total bucket count covering all of `u64`.
+const BUCKETS: usize = (SUB_COUNT as usize) * (64 - SUB_BITS as usize + 1);
+
+/// The bucket index a value lands in.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros(); // >= SUB_BITS
+    let shift = top - SUB_BITS;
+    let mantissa = (value >> shift) & (SUB_COUNT - 1);
+    (SUB_COUNT as usize) * (shift as usize + 1) + mantissa as usize
+}
+
+/// The largest value mapping to bucket `index` — what quantiles report, so
+/// estimates err on the conservative (larger) side within the 3.125% bound.
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        return index;
+    }
+    let shift = (index / SUB_COUNT) - 1;
+    let mantissa = index % SUB_COUNT;
+    let lower = (SUB_COUNT + mantissa) << shift;
+    lower + ((1u64 << shift) - 1)
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (latencies are
+/// recorded as nanoseconds).
+///
+/// All updates are relaxed atomics; reads go through [`Histogram::snapshot`],
+/// which materializes a plain [`HistogramSnapshot`] for quantile queries
+/// and cross-thread/cross-shard merging.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count())
+            .field("mean", &snap.mean())
+            .field("max", &snap.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`,
+    /// i.e. after ~584 years of latency the histogram stops caring).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile queries and merging. Taken while
+    /// writers run, the snapshot is internally consistent enough for
+    /// statistics (no torn buckets; totals may trail in-flight records).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        Self { buckets: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the
+    /// containing bucket's upper bound clamped to the observed `[min, max]`.
+    ///
+    /// Guarantees relative to the exact nearest-rank value `e` of the
+    /// recorded samples: `quantile(q) >= e` and `quantile(q) <= e + e/32`,
+    /// the bound the oracle test pins.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_upper(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other`'s samples into `self` (bucket-wise addition), the shard
+    /// and cross-thread aggregation path.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over raw samples — the oracle.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The documented error contract: estimates never undershoot the exact
+    /// nearest-rank value and overshoot by at most 1/32 of it.
+    fn assert_within_contract(estimate: u64, exact: u64, context: &str) {
+        assert!(estimate >= exact, "{context}: estimate {estimate} below exact {exact}");
+        let slack = exact / 32;
+        assert!(
+            estimate <= exact + slack,
+            "{context}: estimate {estimate} exceeds exact {exact} by more than {slack}"
+        );
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_self_consistent() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within the relative-error contract; the index function is
+        // monotone in the value.
+        let mut values: Vec<u64> = (0..4096).collect();
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 3, 17, 31] {
+                values.push((1u64 << exp).saturating_add(off << exp.saturating_sub(5)));
+                values.push((1u64 << exp).saturating_sub(off));
+            }
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        let mut previous = 0usize;
+        for &value in &values {
+            let index = bucket_index(value);
+            assert!(index >= previous, "index regressed at {value}");
+            previous = index;
+            let upper = bucket_upper(index);
+            assert!(upper >= value, "upper {upper} below value {value}");
+            assert!(upper - value <= value / 32, "bucket too wide at {value}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for v in 0..32u64 {
+            let q = (v + 1) as f64 / 32.0;
+            assert_eq!(snap.quantile(q), v, "small values must be bucketed exactly");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_sort_oracle_within_bucket_error() {
+        // A deterministic, skewed sample mix: a tight body with a long tail,
+        // the shape serving latencies actually have.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for i in 0..10_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let body = 400_000 + (state >> 40); // ~0.4 ms body
+            let value = match i % 100 {
+                97 => body * 10,  // p97+ tail
+                98 => body * 25,  // p98+ tail
+                99 => body * 120, // extreme outliers
+                _ => body,
+            };
+            samples.push(value);
+        }
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        samples.sort_unstable();
+        for &q in &[0.01, 0.10, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            assert_within_contract(snap.quantile(q), exact, &format!("q={q}"));
+        }
+        assert_eq!(snap.count(), samples.len() as u64);
+        assert_eq!(snap.max(), *samples.last().unwrap());
+        assert_eq!(snap.min(), samples[0]);
+        let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((snap.mean() - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merged_snapshots_equal_single_histogram_of_all_samples() {
+        let combined = Histogram::new();
+        let parts: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+        let mut state = 7u64;
+        for i in 0..4000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = state >> 30;
+            combined.record(v);
+            parts[(i % 4) as usize].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for part in &parts {
+            merged.merge(&part.snapshot());
+        }
+        assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 40_000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 3 * 1_000_000 + 9_999);
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn durations_record_as_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(250));
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_within_contract(snap.quantile(0.5), 250_000, "250us duration");
+    }
+}

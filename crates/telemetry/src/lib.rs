@@ -1,0 +1,53 @@
+//! Dependency-free metrics for the BrePartition serving stack.
+//!
+//! Every number the serving layer reports — queries served, pages read,
+//! tail latency — used to travel through ad-hoc plumbing: an
+//! `AtomicIoStats` here, a `Vec<f64>` of latencies there. This crate is
+//! the one shared substrate underneath them:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free monotone and signed instantaneous
+//!   values, cheap enough for once-per-query (or once-per-page) updates.
+//! * [`Histogram`] — a log-bucketed latency histogram in the spirit of
+//!   HdrHistogram: 32 sub-buckets per power of two (≤ 3.125% relative
+//!   error), atomic recording from any number of threads, and mergeable
+//!   [`HistogramSnapshot`]s whose quantiles ([`HistogramSnapshot::quantile`])
+//!   give p50/p95/p99/p999 without storing individual samples.
+//! * [`Phase`] / [`QueryTrace`] / [`PhaseStats`] — per-query trace spans:
+//!   a query is decomposed into filter / refine / io / merge phases, each
+//!   timed into a [`QueryTrace`] and folded into per-phase histograms.
+//! * [`Registry`] — a name → metric map with get-or-register semantics and
+//!   a consistent, stably ordered [`Snapshot`] that serializes to
+//!   deterministic JSON ([`Snapshot::to_json`]) for machine diffing.
+//!
+//! Everything here is `std`-only and allocation-free on the hot paths:
+//! recording into a counter or histogram is a handful of relaxed atomic
+//! operations, so instrumented code stays honest about its own cost.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{Registry, Phase};
+//!
+//! let registry = Registry::new();
+//! let queries = registry.counter("engine.queries");
+//! let latency = registry.histogram("engine.query_ns");
+//! queries.inc();
+//! latency.record(1_250_000); // 1.25 ms in nanoseconds
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("engine.queries"), Some(1));
+//! assert!(snap.histogram("engine.query_ns").unwrap().quantile(0.5) >= 1_250_000);
+//! assert_eq!(Phase::Filter.name(), "filter");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Metric, MetricValue, Registry, Snapshot};
+pub use span::{Phase, PhaseStats, QueryTrace, SpanTimer};

@@ -1,0 +1,336 @@
+//! The metric registry: a name → metric map with get-or-register
+//! semantics and stably ordered, JSON-serializable snapshots.
+//!
+//! Components either ask the registry for a metric by name (creating it on
+//! first use) or *bind* metrics they already own — the engine's cumulative
+//! I/O counters, an overlay's phase histograms — under a public name.
+//! Names are dotted paths (`engine.queries`, `overlay.filter_ns`); the
+//! snapshot iterates them in lexicographic order, so two snapshots of the
+//! same registry always serialize with identical key sequences.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A handle to one registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// A signed gauge.
+    Gauge(Arc<Gauge>),
+    /// A log-bucketed histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A shared name → metric map.
+///
+/// Registration is locked (it happens a handful of times at startup);
+/// recording never touches the registry — callers hold `Arc`s straight to
+/// the metric, so the hot path stays lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind — that is
+    /// a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let metric = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(counter) => counter.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let metric =
+            inner.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(gauge) => gauge.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let metric = inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(histogram) => histogram.clone(),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Bind an existing counter under `name` (rebinding replaces the
+    /// previous metric of the same name).
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        self.register(name, Metric::Counter(counter));
+    }
+
+    /// Bind an existing gauge under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: Arc<Gauge>) {
+        self.register(name, Metric::Gauge(gauge));
+    }
+
+    /// Bind an existing histogram under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: Arc<Histogram>) {
+        self.register(name, Metric::Histogram(histogram));
+    }
+
+    /// Bind an existing metric under `name`.
+    pub fn register(&self, name: &str, metric: Metric) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.insert(name.to_string(), metric);
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+    }
+
+    /// A point-in-time snapshot of every registered metric, in
+    /// lexicographic name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let entries = inner
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// A snapshotted metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A stably ordered point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Iterate `(name, value)` pairs in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(name, value)| (name.as_str(), value))
+    }
+
+    /// Number of snapshotted metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The value of counter `name`, if it was registered as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if it was registered as one.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.find(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The state of histogram `name`, if it was registered as one.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Serialize to one deterministic JSON object: keys in lexicographic
+    /// order, counters/gauges as integers, histograms as nested objects
+    /// with `count`, `mean`, `p50`, `p95`, `p99`, `p999` and `max`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\
+                         \"p999\":{},\"max\":{}}}",
+                        h.count(),
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.quantile(0.999),
+                        h.max()
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append `value` as a JSON string literal (quotes, backslashes and
+/// control characters escaped).
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_metric() {
+        let registry = Registry::new();
+        let a = registry.counter("engine.queries");
+        let b = registry.counter("engine.queries");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_is_a_wiring_bug() {
+        let registry = Registry::new();
+        registry.histogram("engine.latency");
+        registry.counter("engine.latency");
+    }
+
+    #[test]
+    fn binding_existing_metrics_shares_state() {
+        let registry = Registry::new();
+        let io = Arc::new(Counter::new());
+        registry.register_counter("io.pages_read", io.clone());
+        io.add(11);
+        assert_eq!(registry.snapshot().counter("io.pages_read"), Some(11));
+        let depth = Arc::new(Gauge::new());
+        registry.register_gauge("serving.inflight", depth.clone());
+        depth.set(-2);
+        assert_eq!(registry.snapshot().gauge("serving.inflight"), Some(-2));
+    }
+
+    #[test]
+    fn snapshots_are_lexicographically_ordered_and_stable() {
+        let registry = Registry::new();
+        registry.counter("b.second");
+        registry.counter("a.first");
+        registry.gauge("c.third");
+        registry.histogram("a.hist");
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(name, _)| name).collect();
+        assert_eq!(names, vec!["a.first", "a.hist", "b.second", "c.third"]);
+        assert_eq!(snap.to_json(), registry.snapshot().to_json());
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_deterministic() {
+        let registry = Registry::new();
+        registry.counter("queries").add(5);
+        registry.gauge("depth").set(-1);
+        let h = registry.histogram("lat_ns");
+        h.record(10);
+        h.record(20);
+        let json = registry.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"queries\":5"), "{json}");
+        assert!(json.contains("\"depth\":-1"), "{json}");
+        assert!(json.contains("\"lat_ns\":{\"count\":2,"), "{json}");
+        assert!(json.contains("\"p999\":"), "{json}");
+    }
+
+    #[test]
+    fn missing_and_mistyped_lookups_are_none() {
+        let registry = Registry::new();
+        registry.counter("only.counter");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("absent"), None);
+        assert_eq!(snap.gauge("only.counter"), None);
+        assert!(snap.histogram("only.counter").is_none());
+        assert!(registry.get("absent").is_none());
+        assert!(matches!(registry.get("only.counter"), Some(Metric::Counter(_))));
+    }
+}

@@ -1,0 +1,237 @@
+//! Per-query trace spans: decompose a query into named phases and fold
+//! the phase timings into per-phase histograms.
+//!
+//! A worker thread owns a plain [`QueryTrace`] per query, opens a
+//! [`SpanTimer`] around each phase (filter → refine → merge, with io
+//! recorded at the buffer-pool layer), and hands the finished trace to a
+//! shared [`PhaseStats`] — one atomic histogram per phase — so tail
+//! analysis can answer "is p99 spent filtering or merging?" without any
+//! per-query allocation or locking.
+
+use std::time::Instant;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::registry::Registry;
+use std::sync::Arc;
+
+/// The phases a query decomposes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Candidate generation: partition filtering, tree descent, or the
+    /// static-backend search underneath a delta overlay.
+    Filter,
+    /// Exact re-ranking of candidates (including the overlay's exact scan
+    /// of live delta rows).
+    Refine,
+    /// Physical page reads, timed at the buffer-pool layer.
+    Io,
+    /// Merging and truncating partial result lists.
+    Merge,
+}
+
+impl Phase {
+    /// Every phase, in recording order.
+    pub const ALL: [Phase; 4] = [Phase::Filter, Phase::Refine, Phase::Io, Phase::Merge];
+
+    /// The phase's stable lowercase name (used as a metric-name suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Filter => "filter",
+            Phase::Refine => "refine",
+            Phase::Io => "io",
+            Phase::Merge => "merge",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Filter => 0,
+            Phase::Refine => 1,
+            Phase::Io => 2,
+            Phase::Merge => 3,
+        }
+    }
+}
+
+/// Per-query phase timings in nanoseconds. Plain data — owned by one
+/// worker, no atomics — until folded into a [`PhaseStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTrace {
+    ns: [u64; Phase::ALL.len()],
+}
+
+impl QueryTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `nanos` to `phase` (phases interrupted and resumed accumulate).
+    pub fn add(&mut self, phase: Phase, nanos: u64) {
+        self.ns[phase.index()] += nanos;
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.ns[phase.index()]
+    }
+
+    /// Total attributed nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Reset all phases to zero so the trace can serve the next query.
+    pub fn clear(&mut self) {
+        self.ns = [0; Phase::ALL.len()];
+    }
+}
+
+/// A scope timer attributing its lifetime to one phase of a
+/// [`QueryTrace`]. Dropping the timer records the elapsed time.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    trace: &'a mut QueryTrace,
+    phase: Phase,
+    started: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Start timing `phase` into `trace`.
+    pub fn start(trace: &'a mut QueryTrace, phase: Phase) -> Self {
+        Self { trace, phase, started: Instant::now() }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.trace.add(self.phase, nanos);
+    }
+}
+
+/// Shared per-phase histograms: the aggregation target for every worker's
+/// [`QueryTrace`]s. Recording is atomic, so one `PhaseStats` serves an
+/// entire engine.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    histograms: [Arc<Histogram>; Phase::ALL.len()],
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseStats {
+    /// Empty per-phase histograms.
+    pub fn new() -> Self {
+        Self { histograms: std::array::from_fn(|_| Arc::new(Histogram::new())) }
+    }
+
+    /// Record one phase duration directly.
+    pub fn record(&self, phase: Phase, nanos: u64) {
+        self.histograms[phase.index()].record(nanos);
+    }
+
+    /// Fold a finished per-query trace in; phases the query never entered
+    /// (zero nanoseconds) are skipped so their histograms count only
+    /// queries that actually exercised them.
+    pub fn record_trace(&self, trace: &QueryTrace) {
+        for phase in Phase::ALL {
+            let nanos = trace.nanos(phase);
+            if nanos > 0 {
+                self.record(phase, nanos);
+            }
+        }
+    }
+
+    /// Time `f` and attribute its duration to `phase`.
+    pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let result = f();
+        self.histograms[phase.index()].record_duration(started.elapsed());
+        result
+    }
+
+    /// The shared histogram behind `phase`.
+    pub fn histogram(&self, phase: Phase) -> &Arc<Histogram> {
+        &self.histograms[phase.index()]
+    }
+
+    /// A snapshot of one phase's distribution.
+    pub fn snapshot(&self, phase: Phase) -> HistogramSnapshot {
+        self.histograms[phase.index()].snapshot()
+    }
+
+    /// Register every phase histogram under `prefix.<phase>_ns`.
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        for phase in Phase::ALL {
+            registry.register_histogram(
+                &format!("{prefix}.{}_ns", phase.name()),
+                self.histogram(phase).clone(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_timers_accumulate_into_their_phase() {
+        let mut trace = QueryTrace::new();
+        {
+            let _filter = SpanTimer::start(&mut trace, Phase::Filter);
+            std::hint::black_box(0u64);
+        }
+        {
+            let _refine = SpanTimer::start(&mut trace, Phase::Refine);
+            std::hint::black_box(0u64);
+        }
+        assert!(trace.nanos(Phase::Filter) > 0);
+        assert!(trace.nanos(Phase::Refine) > 0);
+        assert_eq!(trace.nanos(Phase::Merge), 0);
+        assert_eq!(trace.total_nanos(), Phase::ALL.iter().map(|&p| trace.nanos(p)).sum::<u64>());
+        trace.clear();
+        assert_eq!(trace.total_nanos(), 0);
+    }
+
+    #[test]
+    fn phase_stats_skip_phases_a_query_never_entered() {
+        let stats = PhaseStats::new();
+        let mut trace = QueryTrace::new();
+        trace.add(Phase::Filter, 1_000);
+        trace.add(Phase::Merge, 50);
+        stats.record_trace(&trace);
+        stats.record_trace(&trace);
+        assert_eq!(stats.snapshot(Phase::Filter).count(), 2);
+        assert_eq!(stats.snapshot(Phase::Merge).count(), 2);
+        assert_eq!(stats.snapshot(Phase::Refine).count(), 0);
+        assert_eq!(stats.snapshot(Phase::Io).count(), 0);
+    }
+
+    #[test]
+    fn time_attributes_and_returns() {
+        let stats = PhaseStats::new();
+        let out = stats.time(Phase::Refine, || 7 * 6);
+        assert_eq!(out, 42);
+        assert_eq!(stats.snapshot(Phase::Refine).count(), 1);
+    }
+
+    #[test]
+    fn bind_registers_one_histogram_per_phase() {
+        let registry = Registry::new();
+        let stats = PhaseStats::new();
+        stats.bind(&registry, "overlay");
+        stats.record(Phase::Filter, 123);
+        let snap = registry.snapshot();
+        for phase in Phase::ALL {
+            let name = format!("overlay.{}_ns", phase.name());
+            assert!(snap.histogram(&name).is_some(), "missing {name}");
+        }
+        assert_eq!(snap.histogram("overlay.filter_ns").unwrap().count(), 1);
+    }
+}
