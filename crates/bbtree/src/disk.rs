@@ -13,7 +13,7 @@ use std::sync::Arc;
 use bregman::kernel::{phi_table, KernelScratch};
 use bregman::{DecomposableBregman, DenseDataset, PointId};
 use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
-use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig};
+use pagestore::{BufferPool, IoStats, PageStore, PageStoreConfig, PageStoreError};
 
 use crate::build::{BBTreeBuilder, BBTreeConfig};
 use crate::knn::Neighbor;
@@ -35,6 +35,10 @@ pub const PHI_MAGIC: [u8; 8] = *b"BREPPHI1";
 
 /// Format version of the `Φ` column this build writes and reads.
 pub const PHI_VERSION: u32 = 1;
+
+/// What a range query returns: the in-radius `(id, divergence)` pairs plus
+/// the traversal and I/O counters of the scan.
+pub type RangeResult = (Vec<(PointId, f64)>, SearchStats, IoStats);
 
 /// Result of one disk-resident query: neighbours plus CPU and I/O cost.
 #[derive(Debug, Clone)]
@@ -164,8 +168,16 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         &self.phi
     }
 
-    /// Exact kNN with per-query I/O accounting through `pool`.
-    pub fn knn(&self, pool: &mut BufferPool, query: &[f64], k: usize) -> DiskQueryResult {
+    /// Exact kNN with per-query I/O accounting through `pool`. A physical
+    /// page read that fails mid-query (post-open bit rot caught by the page
+    /// file's per-page checksums, or a device error) surfaces as a
+    /// [`PageStoreError`] instead of a panic.
+    pub fn knn(
+        &self,
+        pool: &mut BufferPool,
+        query: &[f64],
+        k: usize,
+    ) -> Result<DiskQueryResult, PageStoreError> {
         let mut kernel = KernelScratch::default();
         self.knn_with_scratch(pool, &mut kernel, query, k)
     }
@@ -179,7 +191,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         kernel: &mut KernelScratch,
         query: &[f64],
         k: usize,
-    ) -> DiskQueryResult {
+    ) -> Result<DiskQueryResult, PageStoreError> {
         self.knn_bounded_with_scratch(pool, kernel, query, k, usize::MAX)
     }
 
@@ -193,7 +205,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         query: &[f64],
         k: usize,
         max_leaves: usize,
-    ) -> DiskQueryResult {
+    ) -> Result<DiskQueryResult, PageStoreError> {
         let mut kernel = KernelScratch::default();
         self.knn_bounded_with_scratch(pool, &mut kernel, query, k, max_leaves)
     }
@@ -206,7 +218,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         query: &[f64],
         k: usize,
         max_leaves: usize,
-    ) -> DiskQueryResult {
+    ) -> Result<DiskQueryResult, PageStoreError> {
         self.knn_bounded_with_scratch(pool, kernel, query, k, max_leaves)
     }
 
@@ -217,7 +229,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         query: &[f64],
         k: usize,
         config: &VariationalConfig,
-    ) -> DiskQueryResult {
+    ) -> Result<DiskQueryResult, PageStoreError> {
         let max_leaves = config.leaf_budget(self.tree.leaf_count());
         self.knn_with_leaf_budget(pool, query, k, max_leaves)
     }
@@ -234,7 +246,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         query: &[f64],
         k: usize,
         max_leaves: usize,
-    ) -> DiskQueryResult {
+    ) -> Result<DiskQueryResult, PageStoreError> {
         let before = pool.stats();
         let mut stats = SearchStats::new();
         let KernelScratch { prepared, ids, lanes, distances, phis, .. } = kernel;
@@ -242,6 +254,10 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         let prepared: &bregman::kernel::PreparedQuery = prepared;
         let phi = &self.phi;
         let store = &self.store;
+        // The traversal callback cannot early-return through `knn_bounded`,
+        // so a failed page read is captured here and re-raised afterwards
+        // (remaining leaf visits are skipped).
+        let mut read_error: Option<PageStoreError> = None;
         let neighbors = self.tree.knn_bounded(
             &self.divergence,
             query,
@@ -249,19 +265,27 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
             &mut stats,
             max_leaves,
             &mut |leaf_points, offer| {
+                if read_error.is_some() {
+                    return;
+                }
                 ids.clear();
                 ids.extend(leaf_points.iter().map(|p| p.0));
-                pool.read_points_block(store, ids, lanes, &mut |members, block| {
+                if let Err(e) = pool.read_points_block(store, ids, lanes, &mut |members, block| {
                     phis.clear();
                     phis.extend(members.iter().map(|&pid| phi[pid as usize]));
                     prepared.distance_block(phis, block, distances);
                     for (&pid, &d) in members.iter().zip(distances.iter()) {
                         offer(PointId(pid), d);
                     }
-                });
+                }) {
+                    read_error = Some(e);
+                }
             },
         );
-        DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) }
+        if let Some(e) = read_error {
+            return Err(e);
+        }
+        Ok(DiskQueryResult { neighbors, search: stats, io: pool.stats().since(&before) })
     }
 
     /// Range query: load every candidate leaf's points from disk and refine
@@ -272,7 +296,7 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
         pool: &mut BufferPool,
         query: &[f64],
         radius: f64,
-    ) -> (Vec<(PointId, f64)>, SearchStats, IoStats) {
+    ) -> Result<RangeResult, PageStoreError> {
         let before = pool.stats();
         let mut stats = SearchStats::new();
         let prepared = self.divergence.prepare_query(query);
@@ -287,9 +311,9 @@ impl<B: DecomposableBregman> DiskBBTree<B> {
             if d <= radius {
                 out.push((PointId(pid), d));
             }
-        });
+        })?;
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        (out, stats, pool.stats().since(&before))
+        Ok((out, stats, pool.stats().since(&before)))
     }
 
     /// Number of pages in the simulated disk image.
@@ -354,7 +378,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..5 {
             let query: Vec<f64> = (0..8).map(|_| rng.gen_range(0.1..10.0)).collect();
-            let result = index.knn(&mut pool, &query, 10);
+            let result = index.knn(&mut pool, &query, 10).unwrap();
             let expected = linear_scan_knn(&SquaredEuclidean, &ds, &query, 10);
             assert_eq!(result.neighbors.len(), 10);
             for (g, e) in result.neighbors.iter().zip(expected.iter()) {
@@ -375,7 +399,7 @@ mod tests {
         );
         let mut pool = BufferPool::new(16);
         let query = vec![3.0, 3.0, 3.0, 3.0];
-        let (got, stats, io) = index.range(&mut pool, &query, 1.2);
+        let (got, stats, io) = index.range(&mut pool, &query, 1.2).unwrap();
         let expected = linear_scan_range(&ItakuraSaito, &ds, &query, 1.2);
         assert_eq!(got.len(), expected.len());
         assert!(stats.candidates_examined >= got.len() as u64);
@@ -393,7 +417,7 @@ mod tests {
         );
         // A pool large enough to hold the whole store never re-reads a page.
         let mut pool = BufferPool::new(index.page_count());
-        let result = index.knn(&mut pool, &[5.0; 6], 5);
+        let result = index.knn(&mut pool, &[5.0; 6], 5).unwrap();
         assert!(result.io.pages_read <= index.page_count() as u64);
         assert!(result.neighbors.len() == 5);
     }
@@ -436,8 +460,8 @@ mod tests {
             let query: Vec<f64> = (0..6).map(|_| rng.gen_range(0.5..8.0)).collect();
             let mut pool_a = BufferPool::unbuffered();
             let mut pool_b = BufferPool::unbuffered();
-            let a = built.knn(&mut pool_a, &query, 7);
-            let b = reopened.knn(&mut pool_b, &query, 7);
+            let a = built.knn(&mut pool_a, &query, 7).unwrap();
+            let b = reopened.knn(&mut pool_b, &query, 7).unwrap();
             assert_eq!(a.neighbors, b.neighbors);
             assert_eq!(a.io, b.io, "cold-pool I/O must be identical after reopening");
             assert_eq!(a.search, b.search);
@@ -470,8 +494,8 @@ mod tests {
         let mut pool_a = BufferPool::unbuffered();
         let mut pool_b = BufferPool::unbuffered();
         let query = ds.point(bregman::PointId(3)).to_vec();
-        let a = built.knn(&mut pool_a, &query, 9);
-        let b = migrated.knn(&mut pool_b, &query, 9);
+        let a = built.knn(&mut pool_a, &query, 9).unwrap();
+        let b = migrated.knn(&mut pool_b, &query, 9).unwrap();
         assert_eq!(a.neighbors, b.neighbors);
 
         // A present-but-truncated Φ column is rejected, not silently used.
@@ -526,7 +550,7 @@ mod tests {
         );
         let mut pool = BufferPool::unbuffered();
         let config = VariationalConfig { explore_fraction: 0.1 };
-        let result = index.knn_variational(&mut pool, &[5.0; 6], 10, &config);
+        let result = index.knn_variational(&mut pool, &[5.0; 6], 10, &config).unwrap();
         let budget = config.leaf_budget(index.tree().leaf_count());
         assert!(result.search.leaves_visited as usize <= budget);
         assert_eq!(result.neighbors.len(), 10);

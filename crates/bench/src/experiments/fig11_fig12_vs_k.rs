@@ -98,7 +98,8 @@ fn run_methods(workload: &Workload, paper_m: usize) -> Series {
                     let started = Instant::now();
                     for query in workload.queries.iter() {
                         let mut pool = BufferPool::unbuffered();
-                        pages += bbt_index.knn(&mut pool, query, k).io.pages_read;
+                        pages +=
+                            bbt_index.knn(&mut pool, query, k).expect("bbt query").io.pages_read;
                     }
                     let q = workload.queries.len() as f64;
                     (pages as f64 / q, started.elapsed().as_secs_f64() * 1e3 / q)

@@ -48,11 +48,12 @@ use std::sync::Arc;
 
 use bregman::{DenseDataset, DivergenceKind, PointId};
 use brepartition::{Index, IndexSpec, Method, QueryRequest, ShardSpec, ShardedIndex};
+use brepartition_engine::FanoutPolicy;
 use datagen::{HierarchicalSpec, QueryWorkload};
 use loadgen::oracle::BaseNeighbors;
 use loadgen::{
-    delete_count, operation_stream, run_open_loop, OpKind, OpMix, RunOutcome, RunnerConfig,
-    Schedule, ServeTarget,
+    delete_count, operation_stream, run_open_loop, AvailabilityCounters, OpKind, OpMix, RunOutcome,
+    RunnerConfig, Schedule, ServeTarget,
 };
 use pagestore::AtomicIoStats;
 use telemetry::Registry;
@@ -156,6 +157,16 @@ pub struct ServingReport {
     pub recall_mean: f64,
     /// How many queries were recall-sampled.
     pub recall_samples: usize,
+    /// Queries this row answered with reduced shard coverage (0 for
+    /// single-index backends and for a healthy sharded tier).
+    pub degraded_queries: u64,
+    /// Per-shard retry dispatches during this row.
+    pub shard_retries: u64,
+    /// Circuit-breaker closed-to-open transitions during this row.
+    pub breaker_opens: u64,
+    /// Fraction of this row's queries answered at full coverage
+    /// (1.0 means no degraded answers).
+    pub availability: f64,
 }
 
 impl ServingReport {
@@ -184,6 +195,10 @@ impl ServingReport {
             ("io_pages_written", self.io_pages_written.to_string()),
             ("recall_mean", format_json_f64(self.recall_mean)),
             ("recall_samples", self.recall_samples.to_string()),
+            ("degraded_queries", self.degraded_queries.to_string()),
+            ("shard_retries", self.shard_retries.to_string()),
+            ("breaker_opens", self.breaker_opens.to_string()),
+            ("availability", format_json_f64(self.availability)),
         ]
     }
 
@@ -232,15 +247,23 @@ impl ServeTarget for IndexTarget {
 }
 
 /// A [`ShardedIndex`] behind the same surface (routed mutations,
-/// scatter-gather point queries).
+/// scatter-gather point queries). Queries go through the fault-tolerant
+/// fan-out ([`ShardedIndex::run_with_policy`]) with partial results
+/// allowed, so a degraded tier keeps serving and the availability
+/// counters record exactly what coverage each answer had.
 struct ShardedTarget {
     index: ShardedIndex,
     io: Arc<AtomicIoStats>,
+    policy: FanoutPolicy,
 }
 
 impl ServeTarget for ShardedTarget {
     fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
-        let outcome = self.index.query(&QueryRequest::new(query, k)).expect("sharded query");
+        let rows = [query.to_vec()];
+        let request = brepartition::Request::uniform(&rows, k).allow_partial();
+        let mut batch =
+            self.index.run_with_policy(&request, SHARDS, &self.policy).expect("sharded query");
+        let outcome = batch.outcomes.remove(0);
         self.io.record(&outcome.io);
         outcome.neighbors.into_iter().map(|(id, _)| u64::from(id.0)).collect()
     }
@@ -251,6 +274,14 @@ impl ServeTarget for ShardedTarget {
 
     fn delete(&mut self, id: u64) -> bool {
         self.index.delete(PointId(id as u32)).expect("sharded delete")
+    }
+
+    fn availability(&self) -> AvailabilityCounters {
+        AvailabilityCounters {
+            degraded_queries: self.index.degraded_queries(),
+            shard_retries: self.index.health().retries(),
+            breaker_opens: self.index.health().breaker_opens(),
+        }
     }
 }
 
@@ -401,6 +432,12 @@ fn build_report(
         latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
     };
     let count_kind = |kind: OpKind| outcome.records.iter().filter(|r| r.kind == kind).count();
+    let queries = count_kind(OpKind::Query);
+    let availability = if queries == 0 {
+        1.0
+    } else {
+        1.0 - (outcome.availability.degraded_queries as f64 / queries as f64).min(1.0)
+    };
     ServingReport {
         backend: label.to_string(),
         points,
@@ -410,7 +447,7 @@ fn build_report(
         achieved_qps: outcome.achieved_qps(),
         dispatch_threads,
         ops: outcome.records.len(),
-        queries: count_kind(OpKind::Query),
+        queries,
         inserts: count_kind(OpKind::Insert),
         deletes: count_kind(OpKind::Delete),
         wall_seconds: outcome.wall_ns as f64 / 1e9,
@@ -425,6 +462,10 @@ fn build_report(
         io_pages_written: io.pages_written,
         recall_mean,
         recall_samples,
+        degraded_queries: outcome.availability.degraded_queries,
+        shard_retries: outcome.availability.shard_retries,
+        breaker_opens: outcome.availability.breaker_opens,
+        availability,
     }
 }
 
@@ -509,6 +550,7 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
             "p999 (ms)",
             "recall",
             "IO reads",
+            "avail",
         ],
     );
     let mut jsons: Vec<String> = Vec::new();
@@ -523,6 +565,7 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
                 fmt_f64(report.latency_p999_ms),
                 fmt_f64(report.recall_mean),
                 report.io_pages_read.to_string(),
+                fmt_f64(report.availability),
             ]);
             jsons.push(report.to_json());
         }
@@ -563,7 +606,11 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
             io.bind(&registry, "serving.sharded.io");
             let reports = serve_sessions(
                 &label,
-                ShardedTarget { index: sharded, io: Arc::clone(&io) },
+                ShardedTarget {
+                    index: sharded,
+                    io: Arc::clone(&io),
+                    policy: FanoutPolicy::default(),
+                },
                 &io,
                 &sweep,
                 ops_per_point,
@@ -651,6 +698,13 @@ mod tests {
         assert_eq!(json.matches("\"backend\":").count(), 10);
         assert_eq!(json.matches("\"recall_mean\":").count(), 10);
         assert_eq!(json.matches(":capacity\"").count(), 2, "two sharded rows");
+
+        // No chaos is armed, so every row (sharded included) must report
+        // full availability and zero fault-tolerance activity.
+        assert_eq!(json.matches("\"availability\":1.0").count(), 10);
+        assert_eq!(json.matches("\"degraded_queries\":0").count(), 10);
+        assert_eq!(json.matches("\"shard_retries\":0").count(), 10);
+        assert_eq!(json.matches("\"breaker_opens\":0").count(), 10);
 
         // Every row carries the same key schema, in the same order.
         let schemas = json_row_schemas(&json);

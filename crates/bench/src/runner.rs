@@ -235,7 +235,8 @@ impl Workbench {
                             &VariationalConfig { explore_fraction: fraction },
                         ),
                         None => index.knn(&mut pool, query, k),
-                    };
+                    }
+                    .expect("bbt query");
                     io += result.io.pages_read;
                     if let Some((_, truth)) = variational {
                         let pairs: Vec<(PointId, f64)> =

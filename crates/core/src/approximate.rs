@@ -190,7 +190,7 @@ impl BrePartitionIndex {
             .collect();
         let bound_seconds = bound_started.elapsed().as_secs_f64();
 
-        let (neighbors, mut stats) = self.filter_and_refine(pool, kernel, query, k, &radii);
+        let (neighbors, mut stats) = self.filter_and_refine(pool, kernel, query, k, &radii)?;
         stats.bound_seconds = bound_seconds;
         let approx_bounds = QueryBounds {
             pivot_point: pivot,

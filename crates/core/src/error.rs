@@ -87,6 +87,12 @@ impl From<pagestore::PersistError> for CoreError {
     }
 }
 
+impl From<pagestore::PageStoreError> for CoreError {
+    fn from(e: pagestore::PageStoreError) -> Self {
+        CoreError::Persist(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -334,14 +334,16 @@ impl BrePartitionIndex {
         };
         let bound_seconds = bound_started.elapsed().as_secs_f64();
         let (neighbors, mut stats) =
-            self.filter_and_refine(pool, kernel, query, k, &bounds.per_subspace);
+            self.filter_and_refine(pool, kernel, query, k, &bounds.per_subspace)?;
         stats.bound_seconds = bound_seconds;
         Ok(QueryResult { neighbors, stats, bounds, coefficient: None })
     }
 
     /// Shared filter + refine phases, parameterized by the per-subspace
     /// radii (the exact search passes Algorithm 4's bounds, the approximate
-    /// extension passes shrunken ones).
+    /// extension passes shrunken ones). A physical page read that fails
+    /// mid-refine (post-open bit rot, device error) surfaces as
+    /// [`CoreError::Persist`] instead of a panic.
     pub(crate) fn filter_and_refine(
         &self,
         pool: &mut BufferPool,
@@ -349,7 +351,7 @@ impl BrePartitionIndex {
         query: &[f64],
         k: usize,
         radii: &[f64],
-    ) -> (Vec<(PointId, f64)>, QueryStats) {
+    ) -> Result<(Vec<(PointId, f64)>, QueryStats)> {
         let mut stats = QueryStats::default();
         let io_before = pool.stats();
 
@@ -415,7 +417,7 @@ impl BrePartitionIndex {
                 neighbors.extend(
                     members.iter().zip(distances.iter()).map(|(&pid, &d)| (PointId(pid), d)),
                 );
-            });
+            })?;
         }
         // Partial selection: only the k best need ordering, so candidates
         // beyond k cost O(c) instead of the O(c log c) of a full sort. The
@@ -431,7 +433,7 @@ impl BrePartitionIndex {
         stats.refine_seconds = refine_started.elapsed().as_secs_f64();
         stats.search = search_stats;
         stats.io = pool.stats().since(&io_before);
-        (neighbors, stats)
+        Ok((neighbors, stats))
     }
 
     pub(crate) fn validate_query(&self, query: &[f64]) -> Result<()> {

@@ -382,7 +382,10 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
         k: usize,
     ) -> Result<BackendAnswer, EngineError> {
         check_dim(self.dim, query)?;
-        let result = self.tree.knn_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k);
+        let result = self
+            .tree
+            .knn_with_scratch(&mut scratch.pool, &mut scratch.kernel, query, k)
+            .map_err(|e| EngineError::Backend(e.to_string()))?;
         Ok(BackendAnswer {
             neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
             candidates: result.search.candidates_examined as usize,
@@ -405,13 +408,16 @@ impl<B: DecomposableBregman + Send + Sync> SearchBackend for BBTreeBackend<B> {
         // Round the candidate budget up to whole leaves: the tree loads
         // leaves atomically, so the budget bounds leaf visits.
         let max_leaves = budget.div_ceil(self.max_leaf_points).max(1);
-        let result = self.tree.knn_with_leaf_budget_scratch(
-            &mut scratch.pool,
-            &mut scratch.kernel,
-            query,
-            k,
-            max_leaves,
-        );
+        let result = self
+            .tree
+            .knn_with_leaf_budget_scratch(
+                &mut scratch.pool,
+                &mut scratch.kernel,
+                query,
+                k,
+                max_leaves,
+            )
+            .map_err(|e| EngineError::Backend(e.to_string()))?;
         Ok(BackendAnswer {
             neighbors: result.neighbors.iter().map(|n| (n.id, n.distance)).collect(),
             candidates: result.search.candidates_examined as usize,

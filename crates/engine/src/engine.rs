@@ -83,6 +83,18 @@ pub fn recommended_pool_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
+/// Best-effort extraction of a panic payload's message (the `&str` or
+/// `String` that `panic!` carries).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.as_str()
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// The result of [`QueryEngine::run_batch`]: per-query outcomes (in query
 /// order, independent of scheduling) plus the aggregated throughput report.
 #[derive(Debug, Clone)]
@@ -286,12 +298,27 @@ impl QueryEngine {
                             scratch_used = true;
                             let request = &requests[index];
                             let query_started = Instant::now();
-                            match backend.knn_with_options(
-                                &mut scratch,
-                                request.query,
-                                request.k,
-                                &request.options,
-                            ) {
+                            // A panicking backend must not unwind through
+                            // the scope and poison the whole batch: catch it
+                            // at the query boundary and surface it through
+                            // the same first-error machinery as a typed
+                            // failure, tagged with the query's index.
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    backend.knn_with_options(
+                                        &mut scratch,
+                                        request.query,
+                                        request.k,
+                                        &request.options,
+                                    )
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(EngineError::Backend(format!(
+                                        "query worker panicked: {}",
+                                        panic_message(payload.as_ref())
+                                    )))
+                                });
+                            match attempt {
                                 Ok(answer) => {
                                     let latency = query_started.elapsed();
                                     metrics.queries().inc();

@@ -74,6 +74,7 @@ pub mod backend;
 #[allow(clippy::module_inception)]
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod overlay;
 pub mod report;
@@ -85,12 +86,14 @@ pub use backend::{
 };
 pub use engine::{recommended_pool_threads, BatchResult, EngineConfig, QueryEngine};
 pub use error::EngineError;
+pub use fault::{FaultInjector, FaultPlan, FaultState};
 pub use metrics::EngineMetrics;
 pub use overlay::DeltaOverlayBackend;
 pub use report::{LatencySummary, QueryOutcome, ThroughputReport};
 pub use request::{EngineRequest, QueryOptions};
 pub use shard::{
-    merge_neighbor_lists, merge_shard_outcomes, split_thread_budget, ShardedEngine, ThreadSplit,
+    merge_neighbor_lists, merge_shard_outcomes, split_thread_budget, BreakerState, FanoutPolicy,
+    ShardFailure, ShardHealth, ShardedEngine, ThreadSplit,
 };
 
 #[cfg(test)]
@@ -444,6 +447,237 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// A probe backend that panics on any query whose first coordinate is
+    /// negative, and answers everything else with one fixed neighbor.
+    #[derive(Debug)]
+    struct PanickingProbe;
+
+    impl SearchBackend for PanickingProbe {
+        fn name(&self) -> &str {
+            "panic-probe"
+        }
+        fn dim(&self) -> usize {
+            2
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn new_scratch(&self) -> Scratch {
+            Scratch::new(pagestore::BufferPool::unbuffered())
+        }
+        fn knn(
+            &self,
+            _scratch: &mut Scratch,
+            query: &[f64],
+            _k: usize,
+        ) -> Result<BackendAnswer, EngineError> {
+            assert!(query[0] >= 0.0, "probe panic: poisoned query");
+            Ok(BackendAnswer {
+                neighbors: vec![(bregman::PointId(0), 1.0)],
+                candidates: 1,
+                io: pagestore::IoStats::default(),
+            })
+        }
+    }
+
+    /// Run `body` with panic-hook output suppressed (the probes below panic
+    /// on purpose; their backtraces are noise, not signal).
+    fn quietly<T>(body: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = body();
+        std::panic::set_hook(hook);
+        result
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_query_error_not_batch_poison() {
+        let engine = QueryEngine::with_config(
+            Arc::new(PanickingProbe),
+            EngineConfig::default().with_threads(2),
+        )
+        .unwrap();
+        // Query 7 panics; the batch must fail with that query's index
+        // instead of unwinding through the thread scope.
+        let queries: Vec<Vec<f64>> =
+            (0..12).map(|i| vec![if i == 7 { -1.0 } else { i as f64 }, 0.0]).collect();
+        match quietly(|| engine.run_batch(&queries, 1)) {
+            Err(EngineError::Query { index: 7, message }) => {
+                assert!(message.contains("panicked"), "{message}");
+                assert!(message.contains("poisoned query"), "{message}");
+            }
+            other => panic!("expected a per-query panic error, got {other:?}"),
+        }
+        // The engine survives the panic and serves the next batch.
+        let clean: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64, 0.0]).collect();
+        let batch = engine.run_batch(&clean, 1).unwrap();
+        assert_eq!(batch.outcomes.len(), 4);
+    }
+
+    /// A probe backend that fails every query until externally healed.
+    #[derive(Debug)]
+    struct FlakyProbe {
+        healthy: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyProbe {
+        fn sick() -> Self {
+            Self { healthy: std::sync::atomic::AtomicBool::new(false) }
+        }
+        fn heal(&self) {
+            self.healthy.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl SearchBackend for FlakyProbe {
+        fn name(&self) -> &str {
+            "flaky-probe"
+        }
+        fn dim(&self) -> usize {
+            2
+        }
+        fn len(&self) -> usize {
+            1
+        }
+        fn new_scratch(&self) -> Scratch {
+            Scratch::new(pagestore::BufferPool::unbuffered())
+        }
+        fn knn(
+            &self,
+            _scratch: &mut Scratch,
+            _query: &[f64],
+            _k: usize,
+        ) -> Result<BackendAnswer, EngineError> {
+            if self.healthy.load(std::sync::atomic::Ordering::SeqCst) {
+                Ok(BackendAnswer {
+                    neighbors: vec![(bregman::PointId(0), 1.0)],
+                    candidates: 1,
+                    io: pagestore::IoStats::default(),
+                })
+            } else {
+                Err(EngineError::Backend("probe down".to_string()))
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_skips_through_cooldown_and_probes_closed() {
+        use crate::shard::{BreakerState, FanoutPolicy, ShardHealth};
+
+        let flaky = Arc::new(FlakyProbe::sick());
+        let healthy = Arc::new(PanickingProbe);
+        let engine = ShardedEngine::new(vec![flaky.clone(), healthy], 2).unwrap();
+        let health = ShardHealth::new(2);
+        let policy = FanoutPolicy::default()
+            .with_max_retries(1)
+            .with_breaker(2, 2)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let queries: Vec<Vec<f64>> = vec![vec![1.0, 0.0], vec![2.0, 0.0]];
+        let requests: Vec<EngineRequest<'_>> =
+            queries.iter().map(|q| EngineRequest::new(q, 1)).collect();
+
+        // Two failing fan-outs open shard 0's breaker (threshold 2); shard 1
+        // answers throughout.
+        for fanout in 0..2 {
+            let results = engine.run_requests_with_policy(&requests, &policy, &health);
+            let failure = results[0].as_ref().unwrap_err();
+            assert!(!failure.skipped, "fan-out {fanout} must really dispatch");
+            assert_eq!(failure.retries, 1);
+            assert!(results[1].is_ok());
+        }
+        assert_eq!(health.state(0), BreakerState::Open);
+        assert_eq!(health.breaker_opens(), 1);
+        assert_eq!(health.retries(), 2, "one retry per failing fan-out");
+
+        // While open, fan-outs are skipped without dispatch for the whole
+        // cooldown (2 fan-outs).
+        for _ in 0..2 {
+            let results = engine.run_requests_with_policy(&requests, &policy, &health);
+            assert!(results[0].as_ref().unwrap_err().skipped);
+        }
+        assert_eq!(health.retries(), 2, "skipped fan-outs must not retry");
+
+        // The backend recovers; the next fan-out is the half-open probe and
+        // closes the breaker. No second Closed → Open transition happened.
+        flaky.heal();
+        let results = engine.run_requests_with_policy(&requests, &policy, &health);
+        assert!(results[0].is_ok());
+        assert_eq!(health.state(0), BreakerState::Closed);
+        assert_eq!(health.breaker_opens(), 1);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_without_counting_a_second_open() {
+        use crate::shard::{BreakerState, FanoutPolicy, ShardHealth};
+
+        let flaky = Arc::new(FlakyProbe::sick());
+        let engine = ShardedEngine::new(vec![flaky.clone()], 1).unwrap();
+        let health = ShardHealth::new(1);
+        let policy = FanoutPolicy::default()
+            .with_max_retries(0)
+            .with_breaker(1, 1)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO);
+        let query = vec![1.0, 0.0];
+        let requests = vec![EngineRequest::new(&query, 1)];
+
+        // Open on the first failure, skip one fan-out, then fail the probe:
+        // the breaker re-opens but `breaker_opens` stays at 1.
+        assert!(engine.run_requests_with_policy(&requests, &policy, &health)[0].is_err());
+        assert_eq!(health.state(0), BreakerState::Open);
+        assert!(
+            engine.run_requests_with_policy(&requests, &policy, &health)[0]
+                .as_ref()
+                .unwrap_err()
+                .skipped
+        );
+        assert!(
+            !engine.run_requests_with_policy(&requests, &policy, &health)[0]
+                .as_ref()
+                .unwrap_err()
+                .skipped
+        );
+        assert_eq!(health.state(0), BreakerState::Open);
+        assert_eq!(health.breaker_opens(), 1, "a probe failure must not double-count");
+    }
+
+    #[test]
+    fn fault_injected_transients_recover_through_retries_to_exact_results() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        use crate::shard::{FanoutPolicy, ShardHealth};
+
+        let (data, queries) = workload();
+        let config = BrePartitionConfig::default().with_partitions(4).with_page_size(4096);
+        let index = BrePartitionIndex::build(DivergenceKind::ItakuraSaito, &data, &config).unwrap();
+        let clean: Arc<dyn SearchBackend> = Arc::new(BrePartitionBackend::exact(index));
+
+        // Reference: the unwrapped backend, single shard.
+        let reference = ShardedEngine::new(vec![clean.clone()], 1)
+            .unwrap()
+            .run_requests(&to_requests(&queries));
+        let expected = reference.unwrap().remove(0);
+
+        // Faulted: 30% of queries fail their first attempt; retries must
+        // recover the exact same answers.
+        let plan = FaultPlan::with_seed(0xFA117).with_transient_rate(0.3);
+        let faulted: Arc<dyn SearchBackend> = Arc::new(FaultInjector::new(clean, plan).unwrap());
+        let engine = ShardedEngine::new(vec![faulted], 1).unwrap();
+        let health = ShardHealth::new(1);
+        let policy = FanoutPolicy::default()
+            .with_max_retries(16)
+            .with_backoff(std::time::Duration::ZERO, std::time::Duration::from_micros(10));
+        let results = engine.run_requests_with_policy(&to_requests(&queries), &policy, &health);
+        let got = results[0].as_ref().expect("retries must recover the batch");
+        for (a, b) in expected.outcomes.iter().zip(got.outcomes.iter()) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+        assert!(health.retries() > 0, "a 30% fault rate must force at least one retry");
+        assert_eq!(health.breaker_opens(), 0, "recovered batches must not trip the breaker");
+    }
+
+    fn to_requests<'q>(queries: &'q [Vec<f64>]) -> Vec<EngineRequest<'q>> {
+        queries.iter().map(|q| EngineRequest::new(q, 5)).collect()
     }
 
     #[test]

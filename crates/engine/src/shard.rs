@@ -23,10 +23,11 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use bregman::PointId;
 use pagestore::IoStats;
-use telemetry::{Counter, Histogram, Registry};
+use telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::backend::SearchBackend;
 use crate::engine::{BatchResult, EngineConfig, QueryEngine};
@@ -291,6 +292,432 @@ impl ShardedEngine {
             .map(|slot| slot.expect("every shard produced a result"))
             .collect()
     }
+
+    /// Run the same request slice against every shard under a
+    /// [`FanoutPolicy`], returning per-shard outcomes in shard order —
+    /// `Ok` for shards that answered, [`ShardFailure`] for shards that
+    /// exhausted their retry budget, hit the soft deadline, or were skipped
+    /// by an open breaker.
+    ///
+    /// Unlike [`ShardedEngine::run_requests`], a failing shard does not
+    /// fail the fan-out: the caller decides whether the surviving shards
+    /// constitute an acceptable (degraded or partial) answer. Per-shard
+    /// dispatch is wrapped in `catch_unwind`, so a panicking backend is a
+    /// recorded failure, not a crashed fan-out. Breaker transitions, retry
+    /// counts and panics are recorded in `health`, which the caller keeps
+    /// alive across fan-outs (breaker state must outlive any one batch).
+    pub fn run_requests_with_policy(
+        &self,
+        requests: &[EngineRequest<'_>],
+        policy: &FanoutPolicy,
+        health: &ShardHealth,
+    ) -> Vec<Result<BatchResult, ShardFailure>> {
+        let shards = self.engines.len();
+        assert_eq!(
+            health.shards(),
+            shards,
+            "the health table must track exactly this engine's shards"
+        );
+        let engines = &self.engines;
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<BatchResult, ShardFailure>>>> =
+            Mutex::new((0..shards).map(|_| None).collect());
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..self.concurrent.min(shards) {
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                    if shard >= shards {
+                        break;
+                    }
+                    let result = dispatch_shard_with_policy(
+                        &engines[shard],
+                        shard,
+                        requests,
+                        policy,
+                        health,
+                        started,
+                    );
+                    slots.lock().unwrap_or_else(|e| e.into_inner())[shard] = Some(result);
+                });
+            }
+        });
+        self.fanouts.inc();
+        self.fanout_ns.record_duration(started.elapsed());
+        slots
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every shard produced a result"))
+            .collect()
+    }
+}
+
+/// Drive one shard's engine under the policy: breaker admission, bounded
+/// retries with decorrelated-jitter backoff, a soft deadline checked
+/// between attempts, and panic isolation around the dispatch.
+fn dispatch_shard_with_policy(
+    engine: &QueryEngine,
+    shard: usize,
+    requests: &[EngineRequest<'_>],
+    policy: &FanoutPolicy,
+    health: &ShardHealth,
+    fanout_started: Instant,
+) -> Result<BatchResult, ShardFailure> {
+    if !health.admit(shard) {
+        return Err(ShardFailure {
+            error: EngineError::Backend(format!(
+                "shard {shard} skipped: circuit breaker open ({} consecutive failures)",
+                health.consecutive_failures(shard)
+            )),
+            retries: 0,
+            panicked: false,
+            skipped: true,
+            deadline_exceeded: false,
+        });
+    }
+    let mut retries = 0u32;
+    let mut panicked = false;
+    let mut deadline_exceeded = false;
+    let mut previous_backoff = policy.backoff_base;
+    let mut last_error = EngineError::Backend(format!("shard {shard} produced no attempt"));
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            // Soft deadline: never preempt a running attempt, but stop
+            // scheduling new ones once the fan-out budget is spent.
+            if let Some(deadline) = policy.deadline {
+                if fanout_started.elapsed() >= deadline {
+                    deadline_exceeded = true;
+                    break;
+                }
+            }
+            let backoff = decorrelated_backoff(policy, shard, attempt, previous_backoff);
+            previous_backoff = backoff;
+            health.retries.inc();
+            retries += 1;
+            std::thread::sleep(backoff);
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_requests(requests)
+        }));
+        match outcome {
+            Ok(Ok(batch)) => {
+                health.on_success(shard);
+                return Ok(batch);
+            }
+            Ok(Err(error)) => {
+                // Typed rejections are deterministic: retrying an
+                // unsupported option or a misconfiguration cannot succeed.
+                let retryable = !matches!(
+                    error,
+                    EngineError::Config(_) | EngineError::UnsupportedOption { .. }
+                );
+                last_error = error;
+                if !retryable {
+                    break;
+                }
+            }
+            Err(payload) => {
+                panicked = true;
+                health.shard_panics.inc();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                last_error =
+                    EngineError::Backend(format!("shard {shard} dispatch panicked: {message}"));
+            }
+        }
+    }
+    health.on_failure(shard, policy);
+    Err(ShardFailure { error: last_error, retries, panicked, skipped: false, deadline_exceeded })
+}
+
+/// Deadline, retry and circuit-breaker policy for a resilient fan-out
+/// ([`ShardedEngine::run_requests_with_policy`]).
+///
+/// Retries use *decorrelated jitter*: each backoff is drawn uniformly from
+/// `[base, 3 × previous]` and capped, with the draw seeded from
+/// `(seed, shard, attempt)` — so a retry schedule replays identically under
+/// the same seed, which keeps chaos runs reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutPolicy {
+    /// Soft per-shard deadline measured from the start of the fan-out.
+    /// Checked *between* attempts (a running engine batch is never
+    /// preempted): once exceeded, no further retries are attempted, but a
+    /// completed over-deadline attempt still returns its result.
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt (0 = fail on first error).
+    pub max_retries: u32,
+    /// Lower bound of every backoff draw.
+    pub backoff_base: Duration,
+    /// Upper cap on any backoff draw.
+    pub backoff_cap: Duration,
+    /// Consecutive fan-out failures that open a shard's breaker.
+    pub breaker_threshold: u32,
+    /// Fan-outs an open breaker skips before admitting a half-open probe.
+    /// Counted in fan-outs, not wall time, so breaker recovery is
+    /// deterministic under replay.
+    pub breaker_cooldown: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for FanoutPolicy {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            max_retries: 2,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(20),
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl FanoutPolicy {
+    /// Set the soft per-shard deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the retry budget (retries after the first attempt).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the backoff window (`base` lower bound, `cap` upper bound).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Set the breaker's open threshold and cooldown (in fan-outs).
+    pub fn with_breaker(mut self, threshold: u32, cooldown: u32) -> Self {
+        self.breaker_threshold = threshold.max(1);
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Set the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The three circuit-breaker states of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every fan-out is dispatched.
+    Closed,
+    /// Tripping: fan-outs are skipped (recorded as failures without
+    /// dispatch) until the cooldown elapses.
+    Open,
+    /// Probing: one fan-out is admitted; success closes the breaker,
+    /// failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for the telemetry gauge (0 closed, 1 open,
+    /// 2 half-open).
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ShardBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_remaining: u32,
+}
+
+/// Per-shard circuit-breaker table shared across fan-outs (and across the
+/// short-lived [`ShardedEngine`]s a serving façade builds per batch).
+///
+/// The table also owns the availability counters the resilient fan-out
+/// records into: `shard_retries` (retry attempts dispatched) and
+/// `breaker_opens` (Closed → Open transitions only — a failed half-open
+/// probe re-opens the breaker without incrementing, so "the breaker opened
+/// once" stays assertable under probing).
+#[derive(Debug)]
+pub struct ShardHealth {
+    shards: Vec<Mutex<ShardBreaker>>,
+    retries: Arc<Counter>,
+    breaker_opens: Arc<Counter>,
+    shard_panics: Arc<Counter>,
+    states: Vec<Arc<Gauge>>,
+}
+
+impl ShardHealth {
+    /// A health table for `shards` shards, all breakers closed.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(ShardBreaker {
+                        state: BreakerState::Closed,
+                        consecutive_failures: 0,
+                        cooldown_remaining: 0,
+                    })
+                })
+                .collect(),
+            retries: Arc::new(Counter::new()),
+            breaker_opens: Arc::new(Counter::new()),
+            shard_panics: Arc::new(Counter::new()),
+            states: (0..shards).map(|_| Arc::new(Gauge::new())).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The breaker state of `shard`.
+    pub fn state(&self, shard: usize) -> BreakerState {
+        self.shards[shard].lock().unwrap_or_else(|e| e.into_inner()).state
+    }
+
+    /// Consecutive fan-out failures recorded against `shard`.
+    pub fn consecutive_failures(&self, shard: usize) -> u32 {
+        self.shards[shard].lock().unwrap_or_else(|e| e.into_inner()).consecutive_failures
+    }
+
+    /// Retry attempts dispatched across all shards.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Closed → Open breaker transitions across all shards.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.get()
+    }
+
+    /// Shard dispatches that panicked (caught at the fan-out boundary).
+    pub fn shard_panics(&self) -> u64 {
+        self.shard_panics.get()
+    }
+
+    /// Register the table in `registry`: counters `prefix.shard_retries`,
+    /// `prefix.breaker_opens` and `prefix.shard_panics`, plus one gauge
+    /// `prefix.shard<i>.breaker_state` per shard (see
+    /// [`BreakerState::as_gauge`] for the encoding).
+    pub fn bind(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}.shard_retries"), self.retries.clone());
+        registry.register_counter(&format!("{prefix}.breaker_opens"), self.breaker_opens.clone());
+        registry.register_counter(&format!("{prefix}.shard_panics"), self.shard_panics.clone());
+        for (index, gauge) in self.states.iter().enumerate() {
+            registry.register_gauge(&format!("{prefix}.shard{index}.breaker_state"), gauge.clone());
+        }
+    }
+
+    /// Whether this fan-out may dispatch to `shard`. An open breaker counts
+    /// down its cooldown and rejects; when the cooldown reaches zero the
+    /// breaker moves to half-open and admits one probe.
+    fn admit(&self, shard: usize) -> bool {
+        let mut breaker = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        match breaker.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if breaker.cooldown_remaining > 0 {
+                    breaker.cooldown_remaining -= 1;
+                    false
+                } else {
+                    breaker.state = BreakerState::HalfOpen;
+                    self.states[shard].set(breaker.state.as_gauge());
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful dispatch: the breaker closes and the failure
+    /// streak resets.
+    fn on_success(&self, shard: usize) {
+        let mut breaker = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        breaker.state = BreakerState::Closed;
+        breaker.consecutive_failures = 0;
+        self.states[shard].set(breaker.state.as_gauge());
+    }
+
+    /// Record a failed dispatch (after the retry budget): a closed breaker
+    /// opens at the threshold (incrementing `breaker_opens`); a failed
+    /// half-open probe re-opens without incrementing.
+    fn on_failure(&self, shard: usize, policy: &FanoutPolicy) {
+        let mut breaker = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        breaker.consecutive_failures = breaker.consecutive_failures.saturating_add(1);
+        match breaker.state {
+            BreakerState::Closed => {
+                if breaker.consecutive_failures >= policy.breaker_threshold {
+                    breaker.state = BreakerState::Open;
+                    breaker.cooldown_remaining = policy.breaker_cooldown;
+                    self.breaker_opens.inc();
+                }
+            }
+            BreakerState::HalfOpen | BreakerState::Open => {
+                breaker.state = BreakerState::Open;
+                breaker.cooldown_remaining = policy.breaker_cooldown;
+            }
+        }
+        self.states[shard].set(breaker.state.as_gauge());
+    }
+}
+
+/// Why one shard produced no result in a resilient fan-out.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// The last error observed (or a synthetic one for skips).
+    pub error: EngineError,
+    /// Retries dispatched before giving up.
+    pub retries: u32,
+    /// Whether a dispatch panicked (caught at the fan-out boundary).
+    pub panicked: bool,
+    /// Whether the breaker was open and the shard was never dispatched.
+    pub skipped: bool,
+    /// Whether the soft deadline cut the retry budget short.
+    pub deadline_exceeded: bool,
+}
+
+/// Deterministic decorrelated-jitter backoff: uniform in
+/// `[base, 3 × previous]`, capped, seeded by `(seed, shard, attempt)`.
+fn decorrelated_backoff(
+    policy: &FanoutPolicy,
+    shard: usize,
+    attempt: u32,
+    previous: Duration,
+) -> Duration {
+    let base = policy.backoff_base.as_nanos() as u64;
+    let high = (previous.as_nanos() as u64).saturating_mul(3).max(base.saturating_add(1));
+    let x = splitmix64(
+        policy.seed ^ splitmix64(shard as u64 ^ 0x5348_4152_4442_4F21) ^ u64::from(attempt),
+    );
+    let span = high - base;
+    let jittered = base + (x % span.max(1));
+    Duration::from_nanos(jittered).min(policy.backoff_cap)
+}
+
+/// SplitMix64 — the workspace's standard seed mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]

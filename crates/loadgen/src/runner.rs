@@ -33,6 +33,39 @@ pub trait ServeTarget {
     fn insert(&mut self, row: &[f64]) -> u64;
     /// Delete `id`; `false` if it was not live.
     fn delete(&mut self, id: u64) -> bool;
+    /// Cumulative fault-tolerance counters, for targets that can answer
+    /// with reduced coverage instead of failing (a sharded tier with a
+    /// circuit breaker). The runner snapshots this before and after a run
+    /// and reports the delta; plain single-index targets keep the default
+    /// all-zero implementation.
+    fn availability(&self) -> AvailabilityCounters {
+        AvailabilityCounters::default()
+    }
+}
+
+/// Fault-tolerance counters a [`ServeTarget`] may expose: how many queries
+/// were answered degraded (reduced shard coverage), how many per-shard
+/// retries were dispatched, and how often a circuit breaker opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AvailabilityCounters {
+    /// Queries answered with fewer shards than configured.
+    pub degraded_queries: u64,
+    /// Per-shard retry dispatches.
+    pub shard_retries: u64,
+    /// Closed-to-open circuit-breaker transitions.
+    pub breaker_opens: u64,
+}
+
+impl AvailabilityCounters {
+    /// The counter movement since `before` (saturating, so a reset target
+    /// reads as zero movement instead of wrapping).
+    pub fn since(&self, before: &AvailabilityCounters) -> AvailabilityCounters {
+        AvailabilityCounters {
+            degraded_queries: self.degraded_queries.saturating_sub(before.degraded_queries),
+            shard_retries: self.shard_retries.saturating_sub(before.shard_retries),
+            breaker_opens: self.breaker_opens.saturating_sub(before.breaker_opens),
+        }
+    }
 }
 
 /// What kind of operation a record describes.
@@ -136,6 +169,10 @@ pub struct RunOutcome {
     pub wall_ns: u64,
     /// Deletes that found an empty live set and were skipped.
     pub skipped_deletes: usize,
+    /// Fault-tolerance counter movement across this run (warmup included),
+    /// from [`ServeTarget::availability`]. All zero for targets without
+    /// degraded serving.
+    pub availability: AvailabilityCounters,
 }
 
 impl RunOutcome {
@@ -198,6 +235,7 @@ pub fn run_open_loop<T: ServeTarget + Send + Sync>(
     assert_eq!(ops.len(), schedule.len(), "operation stream and schedule must have equal length");
     assert!(config.dispatch_threads > 0, "at least one dispatch thread is required");
 
+    let availability_before = target.availability();
     let state = RwLock::new(ServeState {
         target,
         live: config.initial_live.clone(),
@@ -296,6 +334,7 @@ pub fn run_open_loop<T: ServeTarget + Send + Sync>(
         };
 
     let state = state.into_inner().unwrap_or_else(|e| e.into_inner());
+    let availability = state.target.availability().since(&availability_before);
     (
         state.target,
         RunOutcome {
@@ -304,6 +343,7 @@ pub fn run_open_loop<T: ServeTarget + Send + Sync>(
             log: state.log,
             wall_ns,
             skipped_deletes: state.skipped_deletes,
+            availability,
         },
     )
 }
@@ -457,6 +497,73 @@ mod tests {
             last > first,
             "later arrivals should accumulate queueing delay: first {first}ns last {last}ns"
         );
+    }
+
+    /// A target that degrades on every third query, with counters that
+    /// started non-zero before the run (the runner must report deltas).
+    struct DegradingTarget {
+        inner: ScanTarget,
+        queries_served: std::sync::atomic::AtomicU64,
+        baseline: AvailabilityCounters,
+    }
+
+    impl ServeTarget for DegradingTarget {
+        fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
+            self.queries_served.fetch_add(1, Ordering::Relaxed);
+            self.inner.query(query, k)
+        }
+
+        fn insert(&mut self, row: &[f64]) -> u64 {
+            self.inner.insert(row)
+        }
+
+        fn delete(&mut self, id: u64) -> bool {
+            self.inner.delete(id)
+        }
+
+        fn availability(&self) -> AvailabilityCounters {
+            let served = self.queries_served.load(Ordering::Relaxed);
+            AvailabilityCounters {
+                degraded_queries: self.baseline.degraded_queries + served / 3,
+                shard_retries: self.baseline.shard_retries + served,
+                breaker_opens: self.baseline.breaker_opens,
+            }
+        }
+    }
+
+    #[test]
+    fn availability_counters_report_the_runs_delta_not_the_lifetime_total() {
+        let base = toy_rows(30, 14);
+        let queries = toy_rows(8, 15);
+        let ops = operation_stream(17, OpMix::query_only(), 90, queries.len());
+        let schedule = Schedule::uniform(100_000.0, ops.len());
+        let target = DegradingTarget {
+            inner: ScanTarget::new(&base),
+            queries_served: std::sync::atomic::AtomicU64::new(0),
+            baseline: AvailabilityCounters {
+                degraded_queries: 7,
+                shard_retries: 100,
+                breaker_opens: 2,
+            },
+        };
+        let config = RunnerConfig { k: 3, ..RunnerConfig::default() };
+        let (_, outcome) = run_open_loop(target, &queries, &[], &schedule, &ops, &config);
+        // 90 queries served: the pre-run baseline must be subtracted out.
+        assert_eq!(outcome.availability.degraded_queries, 30);
+        assert_eq!(outcome.availability.shard_retries, 90);
+        assert_eq!(outcome.availability.breaker_opens, 0);
+    }
+
+    #[test]
+    fn plain_targets_report_zero_availability_movement() {
+        let base = toy_rows(10, 16);
+        let queries = toy_rows(4, 17);
+        let ops = operation_stream(19, OpMix::query_only(), 20, queries.len());
+        let schedule = Schedule::uniform(100_000.0, ops.len());
+        let config = RunnerConfig { k: 2, ..RunnerConfig::default() };
+        let (_, outcome) =
+            run_open_loop(ScanTarget::new(&base), &queries, &[], &schedule, &ops, &config);
+        assert_eq!(outcome.availability, AvailabilityCounters::default());
     }
 
     #[test]

@@ -17,6 +17,57 @@
 
 use crate::page::{Page, PageId};
 
+/// A physical page read that failed *after* the store opened successfully:
+/// bit rot caught by a per-page checksum, or a device/file error underneath
+/// an open handle. Distinct from [`crate::PersistError`], which covers
+/// open/save-time failures — this is the mid-serve failure surface that the
+/// batch read paths ([`crate::BufferPool::read_points_with`] /
+/// [`crate::BufferPool::read_points_block`]) report as an error instead of
+/// panicking or serving garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageStoreError {
+    /// The page payload read from storage no longer matches the checksum
+    /// recorded when the file was opened.
+    Checksum {
+        /// The page whose payload failed verification.
+        page: PageId,
+        /// Checksum recorded at open time.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        found: u64,
+        /// The backing file that served the bytes.
+        path: String,
+    },
+    /// The backing device or file failed mid-read.
+    Io {
+        /// The page being read when the failure happened.
+        page: PageId,
+        /// The underlying I/O error, rendered.
+        message: String,
+        /// The backing file that was being read.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for PageStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageStoreError::Checksum { page, expected, found, path } => write!(
+                f,
+                "{page} of {path} failed checksum verification: expected {expected:#018x}, \
+                 read {found:#018x} (bit rot or concurrent modification since open)"
+            ),
+            PageStoreError::Io { page, message, path } => write!(
+                f,
+                "{page} of {path} failed to read: {message} \
+                 (file changed or device error since open)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PageStoreError {}
+
 /// Physical storage of page images behind a [`crate::PageStore`].
 ///
 /// Implementations must be `Send + Sync`: one store is shared (via `Arc`)
@@ -32,6 +83,15 @@ pub trait StorageBackend: Send + Sync + std::fmt::Debug {
     /// *physical* access with no accounting — indexes must go through a
     /// [`crate::BufferPool`].
     fn read_page(&self, id: PageId) -> Option<Page>;
+
+    /// Materialize one page like [`StorageBackend::read_page`], but report
+    /// post-open corruption or device failure as a [`PageStoreError`]
+    /// instead of panicking. `Ok(None)` still means "unknown page id".
+    /// Backends with no post-open failure mode (the in-memory simulation)
+    /// use this default.
+    fn try_read_page(&self, id: PageId) -> Result<Option<Page>, PageStoreError> {
+        Ok(self.read_page(id))
+    }
 
     /// Total size of the stored page images in bytes (payloads including
     /// padding, excluding directory metadata).

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::backend::PageStoreError;
 use crate::io_stats::IoStats;
 use crate::page::{Page, PageId};
 use crate::store::PageStore;
@@ -379,13 +380,33 @@ impl BufferPool {
 
     /// Touch a page: record the access, updating replacement state and
     /// counters, and return the page. Returns `None` for an unknown page id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the physical read fails after a successful open (bit rot
+    /// caught by the backing file's per-page checksum, or a device error);
+    /// fallible read paths use [`BufferPool::try_fetch`] instead.
     pub fn fetch(&mut self, store: &PageStore, id: PageId) -> Option<Page> {
+        self.try_fetch(store, id).unwrap_or_else(|e| panic!("buffer pool read failed: {e}"))
+    }
+
+    /// [`BufferPool::fetch`], but a physical read that fails (post-open bit
+    /// rot caught by a page checksum, or a device error) is reported as a
+    /// [`PageStoreError`] instead of panicking. `Ok(None)` still means
+    /// "unknown page id". A failed read is neither cached nor counted.
+    pub fn try_fetch(
+        &mut self,
+        store: &PageStore,
+        id: PageId,
+    ) -> Result<Option<Page>, PageStoreError> {
         // Unbuffered mode: every access is a counted physical read and the
         // pool never retains a page.
         if self.capacity == 0 {
-            let page = Self::timed_read(&self.read_latency, store, id)?;
+            let Some(page) = Self::timed_read(&self.read_latency, store, id)? else {
+                return Ok(None);
+            };
             self.stats.pages_read += 1;
-            return Some(page);
+            return Ok(Some(page));
         }
         match &mut self.slot {
             CacheSlot::Private(cache) => {
@@ -404,15 +425,17 @@ impl BufferPool {
         read_latency: &Option<Arc<telemetry::Histogram>>,
         store: &PageStore,
         id: PageId,
-    ) -> Option<Page> {
+    ) -> Result<Option<Page>, PageStoreError> {
         if let Some(page) = cache.get(id) {
             stats.cache_hits += 1;
-            return Some(page);
+            return Ok(Some(page));
         }
-        let page = Self::timed_read(read_latency, store, id)?;
+        let Some(page) = Self::timed_read(read_latency, store, id)? else {
+            return Ok(None);
+        };
         stats.pages_read += 1;
         cache.insert(id, page.clone());
-        Some(page)
+        Ok(Some(page))
     }
 
     /// A physical store read, timed into the io-phase sink when attached.
@@ -420,15 +443,15 @@ impl BufferPool {
         read_latency: &Option<Arc<telemetry::Histogram>>,
         store: &PageStore,
         id: PageId,
-    ) -> Option<Page> {
+    ) -> Result<Option<Page>, PageStoreError> {
         match read_latency {
             Some(histogram) => {
                 let started = std::time::Instant::now();
-                let page = store.raw_page(id);
+                let page = store.try_raw_page(id);
                 histogram.record_duration(started.elapsed());
                 page
             }
-            None => store.raw_page(id),
+            None => store.try_raw_page(id),
         }
     }
 
@@ -490,15 +513,20 @@ impl BufferPool {
     /// occurrence — callers pass deduplicated candidate lists. This is the
     /// per-point refine path; the batched SIMD refine goes through
     /// [`BufferPool::read_points_block`].
+    ///
+    /// A physical read that fails mid-batch (post-open bit rot caught by a
+    /// page checksum, or a device error) aborts the batch with a
+    /// descriptive [`PageStoreError`] — the query layer reports it instead
+    /// of serving a silently incomplete candidate set.
     pub fn read_points_with(
         &mut self,
         store: &PageStore,
         points: &[PointId],
         coords: &mut Vec<f64>,
         f: &mut dyn FnMut(PointId, &[f64]),
-    ) {
+    ) -> Result<(), PageStoreError> {
         for (page_id, members) in store.layout().pages_for(points) {
-            if let Some(page) = self.fetch(store, page_id) {
+            if let Some(page) = self.try_fetch(store, page_id)? {
                 for pid in members {
                     // `pages_for` resolved every member through the layout,
                     // so the address exists; re-reading it yields the slot
@@ -511,6 +539,7 @@ impl BufferPool {
                 }
             }
         }
+        Ok(())
     }
 
     /// Visit a batch of points one decoded *page group* at a time: the same
@@ -521,16 +550,19 @@ impl BufferPool {
     /// per page. This is the layout the batched refine kernel
     /// (`distance_block`) consumes: one contiguous lane per dimension,
     /// whatever the page codec. Unknown ids are skipped.
+    ///
+    /// Like [`BufferPool::read_points_with`], a failed physical read aborts
+    /// the batch with a descriptive [`PageStoreError`].
     pub fn read_points_block(
         &mut self,
         store: &PageStore,
         points: &[PointId],
         lanes: &mut Vec<f64>,
         f: &mut dyn FnMut(&[PointId], &[f64]),
-    ) {
+    ) -> Result<(), PageStoreError> {
         let mut slots: Vec<usize> = Vec::new();
         for (page_id, members) in store.layout().pages_for(points) {
-            if let Some(page) = self.fetch(store, page_id) {
+            if let Some(page) = self.try_fetch(store, page_id)? {
                 slots.clear();
                 // `pages_for` resolved every member, so every address exists.
                 slots.extend(
@@ -544,6 +576,7 @@ impl BufferPool {
                 f(&members, lanes);
             }
         }
+        Ok(())
     }
 }
 
@@ -812,9 +845,11 @@ mod tests {
         let mut pool_b = BufferPool::unbuffered();
         let mut coords = Vec::new();
         let mut seen: Vec<(u32, Vec<f64>)> = Vec::new();
-        pool_b.read_points_with(&s, &ids, &mut coords, &mut |pid, c| {
-            seen.push((pid, c.to_vec()));
-        });
+        pool_b
+            .read_points_with(&s, &ids, &mut coords, &mut |pid, c| {
+                seen.push((pid, c.to_vec()));
+            })
+            .unwrap();
         // Identical I/O pattern (first-seen page grouping) and identical
         // point set; the visit order is page-major.
         assert_eq!(pool_a.stats(), pool_b.stats());
@@ -836,20 +871,24 @@ mod tests {
         let mut pool_a = BufferPool::unbuffered();
         let mut coords = Vec::new();
         let mut per_point: Vec<(u32, Vec<f64>)> = Vec::new();
-        pool_a.read_points_with(&s, &ids, &mut coords, &mut |pid, c| {
-            per_point.push((pid, c.to_vec()));
-        });
+        pool_a
+            .read_points_with(&s, &ids, &mut coords, &mut |pid, c| {
+                per_point.push((pid, c.to_vec()));
+            })
+            .unwrap();
         let mut pool_b = BufferPool::unbuffered();
         let mut lanes = Vec::new();
         let mut blocked: Vec<(u32, Vec<f64>)> = Vec::new();
-        pool_b.read_points_block(&s, &ids, &mut lanes, &mut |pids, block| {
-            let m = pids.len();
-            assert_eq!(block.len(), 3 * m);
-            for (j, &pid) in pids.iter().enumerate() {
-                let coords: Vec<f64> = (0..3).map(|i| block[i * m + j]).collect();
-                blocked.push((pid, coords));
-            }
-        });
+        pool_b
+            .read_points_block(&s, &ids, &mut lanes, &mut |pids, block| {
+                let m = pids.len();
+                assert_eq!(block.len(), 3 * m);
+                for (j, &pid) in pids.iter().enumerate() {
+                    let coords: Vec<f64> = (0..3).map(|i| block[i * m + j]).collect();
+                    blocked.push((pid, coords));
+                }
+            })
+            .unwrap();
         assert_eq!(pool_a.stats(), pool_b.stats());
         assert_eq!(per_point, blocked, "block visit order and bits match the per-point path");
         for (pid, c) in &blocked {

@@ -64,9 +64,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use crate::backend::StorageBackend;
+use crate::backend::{PageStoreError, StorageBackend};
 use crate::format::{
-    read_envelope_header, ByteReader, ByteWriter, Fnv1a64, PersistError, PersistResult,
+    fnv1a64, read_envelope_header, ByteReader, ByteWriter, Fnv1a64, PersistError, PersistResult,
     ENVELOPE_HEADER_BYTES,
 };
 use crate::layout::{DiskLayout, PageAddress};
@@ -133,6 +133,10 @@ pub struct FileBackend {
     dim: usize,
     layout: PageLayout,
     entries: Vec<PageEntry>,
+    /// Per-page FNV-1a checksums computed at open time: the whole-file
+    /// envelope checksum only guards the *open*; these guard every
+    /// subsequent physical read against bit rot mid-serve.
+    checksums: Vec<u64>,
 }
 
 impl std::fmt::Debug for FileBackend {
@@ -207,6 +211,25 @@ impl FileBackend {
             }
         }
 
+        // Per-page checksums: one more sequential pass over the page region
+        // (entries are validated contiguous above) so that bit rot *after*
+        // open is caught on the page actually served — the whole-file
+        // checksum above only guards this open.
+        file.seek(SeekFrom::Start(page_region_offset))?;
+        let mut checksums = Vec::with_capacity(meta.entries.len());
+        let mut chunk = vec![0u8; 64 * 1024];
+        for entry in &meta.entries {
+            let mut hash = Fnv1a64::new();
+            let mut remaining = entry.length;
+            while remaining > 0 {
+                let take = (remaining as usize).min(chunk.len());
+                read_exact_or_corrupt(&mut file, &mut chunk[..take], "page payload")?;
+                hash.update(&chunk[..take]);
+                remaining -= take as u64;
+            }
+            checksums.push(hash.finish());
+        }
+
         let backend = FileBackend {
             path: path.to_path_buf(),
             file: Mutex::new(BufReader::new(file)),
@@ -214,6 +237,7 @@ impl FileBackend {
             dim: meta.dim,
             layout: meta.config.layout,
             entries: meta.entries.clone(),
+            checksums,
         };
         Ok((backend, meta))
     }
@@ -236,26 +260,48 @@ impl StorageBackend for FileBackend {
     /// # Panics
     ///
     /// Panics if the page file fails a read *after* a successful open (it
-    /// was truncated, deleted or hit a device error underneath us). The
-    /// alternative — treating the failure as "unknown page id" — would make
-    /// queries silently drop candidates and return wrong neighbors, which
-    /// is strictly worse than failing loudly.
+    /// was truncated, deleted, modified — caught by the per-page checksum —
+    /// or hit a device error underneath us). The alternative — treating the
+    /// failure as "unknown page id" — would make queries silently drop
+    /// candidates and return wrong neighbors, which is strictly worse than
+    /// failing loudly. Fallible read paths use
+    /// [`StorageBackend::try_read_page`] instead.
     fn read_page(&self, id: PageId) -> Option<Page> {
-        let entry = self.entries.get(id.index())?;
+        self.try_read_page(id).unwrap_or_else(|e| panic!("page file read failed: {e}"))
+    }
+
+    fn try_read_page(&self, id: PageId) -> Result<Option<Page>, PageStoreError> {
+        let Some(entry) = self.entries.get(id.index()) else {
+            return Ok(None);
+        };
         let mut buf = vec![0u8; entry.length as usize];
         {
             let mut file = self.file.lock();
             file.seek(SeekFrom::Start(self.page_region_offset + entry.offset))
                 .and_then(|_| file.read_exact(&mut buf))
-                .unwrap_or_else(|e| {
-                    panic!(
-                        "page file {} failed while reading {id}: {e} \
-                         (file changed or device error since open)",
-                        self.path.display()
-                    )
-                });
+                .map_err(|e| PageStoreError::Io {
+                    page: id,
+                    message: e.to_string(),
+                    path: self.path.display().to_string(),
+                })?;
         }
-        Some(Page::from_parts(id, self.dim, self.layout, entry.point_ids.clone(), Bytes::from(buf)))
+        let expected = self.checksums[id.index()];
+        let found = fnv1a64(&buf);
+        if found != expected {
+            return Err(PageStoreError::Checksum {
+                page: id,
+                expected,
+                found,
+                path: self.path.display().to_string(),
+            });
+        }
+        Ok(Some(Page::from_parts(
+            id,
+            self.dim,
+            self.layout,
+            entry.point_ids.clone(),
+            Bytes::from(buf),
+        )))
     }
 
     fn size_bytes(&self) -> usize {
@@ -596,6 +642,63 @@ mod tests {
         assert_eq!(again.config(), reopened.config());
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(&resaved).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_after_open_surfaces_as_checksum_error_not_garbage() {
+        use crate::buffer_pool::BufferPool;
+        use std::io::Write;
+
+        let (store, data) = sample_store();
+        let path = temp_path("bit-rot");
+        store.save(&path).unwrap();
+        let reopened = PageStore::open(&path).unwrap();
+
+        // Flip one byte inside page 0's payload *in place* after open —
+        // the envelope checksum only guards the open; mid-serve bit rot
+        // must be caught by the per-page checksums on the read path.
+        let meta_len = {
+            let bytes = std::fs::read(&path).unwrap();
+            u64::from_le_bytes(
+                bytes[ENVELOPE_HEADER_BYTES..ENVELOPE_HEADER_BYTES + 8].try_into().unwrap(),
+            )
+        };
+        let target = ENVELOPE_HEADER_BYTES as u64 + 8 + meta_len + 3;
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        file.seek(SeekFrom::Start(target)).unwrap();
+        let mut byte = [0u8; 1];
+        file.read_exact(&mut byte).unwrap();
+        file.seek(SeekFrom::Start(target)).unwrap();
+        file.write_all(&[byte[0] ^ 0x01]).unwrap();
+        file.sync_all().unwrap();
+        drop(file);
+
+        // Both batch read paths surface the corruption as a descriptive
+        // error instead of a panic or silent garbage.
+        let mut pool = BufferPool::unbuffered();
+        let mut coords = Vec::new();
+        let err = pool
+            .read_points_with(&reopened, &[0, 1], &mut coords, &mut |_, _| {
+                panic!("corrupt page must not be served")
+            })
+            .unwrap_err();
+        match &err {
+            PageStoreError::Checksum { page, expected, found, path } => {
+                assert_eq!(*page, PageId(0));
+                assert_ne!(expected, found);
+                assert!(path.contains("bit-rot"), "{path}");
+            }
+            other => panic!("expected a checksum error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let mut lanes = Vec::new();
+        assert!(matches!(
+            pool.read_points_block(&reopened, &[0], &mut lanes, &mut |_, _| {}),
+            Err(PageStoreError::Checksum { .. })
+        ));
+        // Pages outside the flipped byte still verify and serve.
+        assert_eq!(pool.read_point(&reopened, 9).unwrap(), data[9]);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

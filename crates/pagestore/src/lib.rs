@@ -68,7 +68,7 @@ pub mod layout;
 pub mod page;
 pub mod store;
 
-pub use backend::{MemoryBackend, StorageBackend};
+pub use backend::{MemoryBackend, PageStoreError, StorageBackend};
 pub use buffer_pool::{BufferPool, SharedBufferPool, SharedPageCache};
 pub use file::FileBackend;
 pub use format::{PersistError, PersistResult};

@@ -3,7 +3,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use crate::backend::{MemoryBackend, StorageBackend};
+use crate::backend::{MemoryBackend, PageStoreError, StorageBackend};
 use crate::file::{write_page_file, FileBackend};
 use crate::format::PersistResult;
 use crate::layout::{DiskLayout, PageAddress};
@@ -196,6 +196,14 @@ impl PageStore {
     /// every call performs a real file read.
     pub fn raw_page(&self, id: PageId) -> Option<Page> {
         self.backend.read_page(id)
+    }
+
+    /// Raw page access like [`PageStore::raw_page`], but a physical read
+    /// that fails after open (bit rot caught by a per-page checksum, or a
+    /// device error) is reported as a [`PageStoreError`] instead of
+    /// panicking. `Ok(None)` still means "unknown page id".
+    pub fn try_raw_page(&self, id: PageId) -> Result<Option<Page>, PageStoreError> {
+        self.backend.try_read_page(id)
     }
 
     /// The point → page directory.

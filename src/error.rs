@@ -39,6 +39,18 @@ pub enum Error {
         /// What the directory actually holds.
         found: String,
     },
+    /// A fault-tolerant sharded fan-out could not produce an acceptable
+    /// answer: every shard failed, or a capacity-mode shard failed and the
+    /// request did not opt in to partial results
+    /// ([`Request::allow_partial`](crate::Request::allow_partial)).
+    Unavailable {
+        /// Shards that failed (after retries / breaker skips).
+        shards_failed: usize,
+        /// Shards that answered before the batch was rejected.
+        shards_answered: usize,
+        /// The first failing shard's error, for diagnosis.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -51,6 +63,14 @@ impl fmt::Display for Error {
             Error::Mismatch { expected, found } => {
                 write!(f, "index directory mismatch: expected {expected}, found {found}")
             }
+            Error::Unavailable { shards_failed, shards_answered, reason } => {
+                write!(
+                    f,
+                    "sharded query unavailable: {shards_failed} shard(s) failed with \
+                     {shards_answered} answered ({reason}); retry later, or opt in to partial \
+                     results with Request::allow_partial"
+                )
+            }
         }
     }
 }
@@ -61,7 +81,7 @@ impl std::error::Error for Error {
             Error::Core(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Persist(e) => Some(e),
-            Error::Spec(_) | Error::Mismatch { .. } => None,
+            Error::Spec(_) | Error::Mismatch { .. } | Error::Unavailable { .. } => None,
         }
     }
 }

@@ -128,7 +128,8 @@ pub use error::{Error, Result};
 pub use index::{Index, DELTA_FILE, SPEC_FILE, SPEC_MAGIC, SPEC_VERSION};
 pub use request::{QueryRequest, Request};
 pub use sharded::{
-    ShardMode, ShardSpec, ShardedIndex, MAX_SHARDS, SHARDS_FILE, SHARDS_MAGIC, SHARDS_VERSION,
+    Outcome, ResilientBatch, ShardMode, ShardSpec, ShardedIndex, MAX_SHARDS, SHARDS_FILE,
+    SHARDS_MAGIC, SHARDS_VERSION,
 };
 pub use spec::{IndexSpec, Method, StorageSpec};
 
@@ -137,7 +138,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::index::Index;
     pub use crate::request::{QueryRequest, Request};
-    pub use crate::sharded::{ShardMode, ShardSpec, ShardedIndex};
+    pub use crate::sharded::{Outcome, ResilientBatch, ShardMode, ShardSpec, ShardedIndex};
     pub use crate::spec::{IndexSpec, Method, StorageSpec};
     pub use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
     pub use bregman::{
@@ -149,9 +150,10 @@ pub mod prelude {
         PartitionStrategy, QueryResult,
     };
     pub use brepartition_engine::{
-        BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, DeltaOverlayBackend,
-        EngineConfig, EngineError, EngineRequest, QueryEngine, QueryOptions, QueryOutcome, Scratch,
-        SearchBackend, ShardedEngine, ThroughputReport, VaFileBackend,
+        BBTreeBackend, BackendAnswer, BatchResult, BrePartitionBackend, BreakerState,
+        DeltaOverlayBackend, EngineConfig, EngineError, EngineRequest, FanoutPolicy, FaultInjector,
+        FaultPlan, FaultState, QueryEngine, QueryOptions, QueryOutcome, Scratch, SearchBackend,
+        ShardFailure, ShardHealth, ShardedEngine, ThroughputReport, VaFileBackend,
     };
     pub use datagen::{
         ground_truth_knn, overall_ratio, recall, DatasetSpec, HierarchicalSpec, PaperDataset,

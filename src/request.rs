@@ -74,19 +74,41 @@ impl<'a> QueryRequest<'a> {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Request<'a> {
     queries: Vec<QueryRequest<'a>>,
+    allow_partial: bool,
 }
 
 impl<'a> Request<'a> {
     /// A batch from explicit per-query requests (heterogeneous `k` and
     /// options welcome).
     pub fn batch(queries: impl IntoIterator<Item = QueryRequest<'a>>) -> Self {
-        Self { queries: queries.into_iter().collect() }
+        Self { queries: queries.into_iter().collect(), allow_partial: false }
     }
 
     /// A uniform batch: the same `k`, no option overrides, one request per
     /// row of `rows`.
     pub fn uniform<R: AsRef<[f64]>>(rows: &'a [R], k: usize) -> Self {
-        Self { queries: rows.iter().map(|row| QueryRequest::new(row.as_ref(), k)).collect() }
+        Self {
+            queries: rows.iter().map(|row| QueryRequest::new(row.as_ref(), k)).collect(),
+            allow_partial: false,
+        }
+    }
+
+    /// Opt in to partial results on a capacity-mode sharded index: if some
+    /// shards fail under a fault-tolerant fan-out
+    /// ([`ShardedIndex::run_with_policy`](crate::ShardedIndex::run_with_policy)),
+    /// accept the surviving shards' answers flagged with the unreached
+    /// id-space fraction instead of failing the batch. Without this flag a
+    /// capacity-mode batch fails fast — results over disjoint slices are
+    /// never silently incomplete. Forest-mode replicas ignore the flag
+    /// (any surviving replica covers the full collection).
+    pub fn allow_partial(mut self) -> Self {
+        self.allow_partial = true;
+        self
+    }
+
+    /// Whether the caller opted in to partial capacity-mode results.
+    pub fn partial_allowed(&self) -> bool {
+        self.allow_partial
     }
 
     /// Append one request.

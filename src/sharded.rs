@@ -58,9 +58,11 @@ use bregman::{DenseDataset, PointId};
 use brepartition_core::CoreError;
 use brepartition_engine::{
     merge_neighbor_lists, merge_shard_outcomes, recommended_pool_threads, BatchResult,
-    QueryOutcome, SearchBackend, ShardedEngine, ThroughputReport,
+    FanoutPolicy, FaultInjector, FaultPlan, FaultState, QueryOutcome, SearchBackend, ShardFailure,
+    ShardHealth, ShardedEngine, ThroughputReport,
 };
 use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError, PersistResult};
+use telemetry::{Counter, Registry};
 
 use crate::error::{Error, Result};
 use crate::index::Index;
@@ -254,6 +256,67 @@ fn parse_shard_dir(name: &str) -> Option<usize> {
     digits.parse().ok()
 }
 
+/// Availability of one fault-tolerant sharded batch
+/// ([`ShardedIndex::run_with_policy`]): either every shard answered, or the
+/// result is explicitly flagged with what was lost — a degraded or partial
+/// answer is never silently complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Outcome {
+    /// Every shard answered; the results are exactly what
+    /// [`ShardedIndex::run_with_budget`] would have returned.
+    Full,
+    /// Forest mode with some replicas down: the merge covers whatever
+    /// replicas answered. Each surviving replica independently holds the
+    /// full collection, so the merged recall is still at least
+    /// `recall_floor`.
+    Degraded {
+        /// Replicas whose answers were merged.
+        shards_answered: usize,
+        /// Replicas that failed (after retries / breaker skips).
+        shards_failed: usize,
+        /// Lower bound on the merged recall: `1 − (1 − p)^answered` where
+        /// `p` is one replica's per-neighbor guarantee (the spec's
+        /// probability for the approximate method, 1.0 for exact methods).
+        recall_floor: f64,
+    },
+    /// Capacity mode with some slices down and the request opted in via
+    /// [`Request::allow_partial`](crate::Request::allow_partial): the
+    /// results cover only the surviving shards' disjoint slices.
+    Partial {
+        /// Slices whose answers were merged.
+        shards_answered: usize,
+        /// Slices that failed (after retries / breaker skips).
+        shards_failed: usize,
+        /// Fraction of the live id space on the failed slices — the share
+        /// of the collection the answer never looked at.
+        unreached_fraction: f64,
+    },
+}
+
+impl Outcome {
+    /// Whether every shard answered.
+    pub fn is_full(&self) -> bool {
+        matches!(self, Outcome::Full)
+    }
+}
+
+/// The result of a fault-tolerant sharded batch
+/// ([`ShardedIndex::run_with_policy`]): merged per-query outcomes plus the
+/// batch's [`Outcome`] flag and per-shard failure detail.
+#[derive(Debug, Clone)]
+pub struct ResilientBatch {
+    /// One merged outcome per query, in submission order (over the shards
+    /// that answered).
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregate throughput and latency over the merged outcomes.
+    pub report: ThroughputReport,
+    /// Whether — and how — the batch degraded.
+    pub availability: Outcome,
+    /// Per-shard failure detail, `None` for shards that answered.
+    pub shard_failures: Vec<Option<ShardFailure>>,
+}
+
 /// N per-shard [`Index`] instances served as one index: scatter-gather
 /// queries, routed writes, per-shard compaction, and a self-describing
 /// sharded directory. See the [module docs](crate::sharded) for the mode
@@ -297,6 +360,17 @@ pub struct ShardedIndex {
     locals: Vec<Vec<u32>>,
     /// The next global external id to issue.
     next_global: u32,
+    /// Per-shard circuit breakers and availability counters, shared across
+    /// clones and across the short-lived engines each batch builds —
+    /// breaker state must outlive any one fan-out. Runtime-only: never
+    /// persisted, reset by reopen.
+    health: Arc<ShardHealth>,
+    /// Per-shard fault-injection schedules ([`ShardedIndex::arm_chaos`]);
+    /// `None` = the shard serves unwrapped. Runtime-only, for chaos tests.
+    chaos: Vec<Option<(FaultPlan, Arc<FaultState>)>>,
+    /// Queries answered degraded or partial (counted per query, not per
+    /// batch).
+    degraded_queries: Arc<Counter>,
 }
 
 impl std::fmt::Debug for ShardedIndex {
@@ -311,6 +385,26 @@ impl std::fmt::Debug for ShardedIndex {
 }
 
 impl ShardedIndex {
+    /// Assemble an index from its persistent parts plus fresh runtime
+    /// state (health table, chaos schedules, availability counters).
+    fn assemble(
+        spec: ShardSpec,
+        shards: Vec<Index>,
+        locals: Vec<Vec<u32>>,
+        next_global: u32,
+    ) -> ShardedIndex {
+        let count = shards.len();
+        ShardedIndex {
+            spec,
+            shards,
+            locals,
+            next_global,
+            health: Arc::new(ShardHealth::new(count)),
+            chaos: vec![None; count],
+            degraded_queries: Arc::new(Counter::new()),
+        }
+    }
+
     /// Build a sharded index over `data` as the spec describes.
     ///
     /// Capacity mode slices the dataset by [`ShardSpec::route`] over the
@@ -350,18 +444,18 @@ impl ShardedIndex {
                         Index::build(&spec.shard_spec(s), &slice)
                     })
                     .collect::<Result<Vec<Index>>>()?;
-                Ok(ShardedIndex { spec: *spec, shards, locals, next_global })
+                Ok(ShardedIndex::assemble(*spec, shards, locals, next_global))
             }
             ShardMode::Forest => {
                 let shards = (0..spec.shards)
                     .map(|s| Index::build(&spec.shard_spec(s), data))
                     .collect::<Result<Vec<Index>>>()?;
-                Ok(ShardedIndex {
-                    spec: *spec,
+                Ok(ShardedIndex::assemble(
+                    *spec,
                     shards,
-                    locals: vec![Vec::new(); spec.shards],
+                    vec![Vec::new(); spec.shards],
                     next_global,
-                })
+                ))
             }
         }
     }
@@ -419,7 +513,7 @@ impl ShardedIndex {
                 });
             }
         }
-        Ok(ShardedIndex { spec, shards, locals, next_global })
+        Ok(ShardedIndex::assemble(spec, shards, locals, next_global))
     }
 
     /// Persist the sharded index: one subdirectory per shard (each a full
@@ -615,6 +709,199 @@ impl ShardedIndex {
             &outcomes,
         );
         Ok(BatchResult { outcomes, report })
+    }
+
+    /// The per-shard circuit-breaker table and availability counters this
+    /// index records into. Shared across clones; persists across batches
+    /// (breaker state must outlive any one fan-out) but is never saved —
+    /// a reopened index starts with every breaker closed.
+    pub fn health(&self) -> &ShardHealth {
+        &self.health
+    }
+
+    /// Queries answered degraded or partial since this index was
+    /// assembled.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries.get()
+    }
+
+    /// Register this index's availability telemetry in `registry`: the
+    /// health table's counters and gauges (see
+    /// [`ShardHealth::bind`]) plus the counter `prefix.degraded_queries`.
+    pub fn bind_telemetry(&self, registry: &Registry, prefix: &str) {
+        self.health.bind(registry, prefix);
+        registry
+            .register_counter(&format!("{prefix}.degraded_queries"), self.degraded_queries.clone());
+    }
+
+    /// Arm per-shard fault-injection schedules for chaos testing: entry `s`
+    /// wraps shard `s`'s backend in a
+    /// [`brepartition_engine::FaultInjector`] under that
+    /// plan on every subsequent [`ShardedIndex::run_with_policy`] batch;
+    /// `None` leaves the shard unwrapped. The schedule's state (operation
+    /// and attempt counters) persists across batches, so permanent death
+    /// stays permanent for the life of this index.
+    pub fn arm_chaos(&mut self, plans: Vec<Option<FaultPlan>>) -> Result<()> {
+        if plans.len() != self.shards.len() {
+            return Err(Error::Spec(format!(
+                "chaos plan count {} does not match the shard count {}",
+                plans.len(),
+                self.shards.len()
+            )));
+        }
+        for plan in plans.iter().flatten() {
+            plan.validate()?;
+        }
+        self.chaos =
+            plans.into_iter().map(|plan| plan.map(|p| (p, Arc::new(FaultState::new())))).collect();
+        Ok(())
+    }
+
+    /// The armed fault schedule's shared state for `shard`, if any
+    /// (injected-fault counts, operation counters — what chaos tests
+    /// assert against).
+    pub fn chaos_state(&self, shard: usize) -> Option<Arc<FaultState>> {
+        self.chaos[shard].as_ref().map(|(_, state)| state.clone())
+    }
+
+    /// Shard `shard`'s serving backend snapshot, wrapped in its armed
+    /// fault injector if chaos is enabled.
+    fn serving_backend(&self, shard: usize) -> Result<Arc<dyn SearchBackend>> {
+        let backend = self.shards[shard].backend();
+        match &self.chaos[shard] {
+            None => Ok(backend),
+            Some((plan, state)) => Ok(Arc::new(
+                FaultInjector::with_state(backend, plan.clone(), state.clone())
+                    .map_err(Error::Engine)?,
+            )),
+        }
+    }
+
+    /// Execute a batch fault-tolerantly: per-shard deadlines, bounded
+    /// retries with deterministic backoff, circuit breakers and panic
+    /// isolation (the engine's
+    /// [`run_requests_with_policy`](ShardedEngine::run_requests_with_policy)),
+    /// then merge whatever shards answered under this index's degradation
+    /// policy:
+    ///
+    /// * Every shard answered → [`Outcome::Full`]; results equal
+    ///   [`ShardedIndex::run_with_budget`] exactly.
+    /// * Forest mode, some replicas failed → [`Outcome::Degraded`] with a
+    ///   recall floor from the surviving replica count.
+    /// * Capacity mode, some slices failed → fail fast with
+    ///   [`Error::Unavailable`] unless the request opted in via
+    ///   [`Request::allow_partial`](crate::Request::allow_partial), in
+    ///   which case [`Outcome::Partial`] reports the unreached id-space
+    ///   fraction.
+    /// * No shard answered → [`Error::Unavailable`] always.
+    ///
+    /// Breaker state and availability counters persist across calls in
+    /// [`ShardedIndex::health`].
+    pub fn run_with_policy(
+        &self,
+        request: &Request<'_>,
+        budget: usize,
+        policy: &FanoutPolicy,
+    ) -> Result<ResilientBatch> {
+        let backends =
+            (0..self.shards.len()).map(|s| self.serving_backend(s)).collect::<Result<Vec<_>>>()?;
+        let engine = ShardedEngine::new(backends, budget)?;
+        let lowered = request.as_engine_requests();
+        let started = Instant::now();
+        let shard_results = engine.run_requests_with_policy(&lowered, policy, &self.health);
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let mut answered: Vec<BatchResult> = Vec::new();
+        let mut answered_shards: Vec<usize> = Vec::new();
+        let mut shard_failures: Vec<Option<ShardFailure>> = vec![None; self.shards.len()];
+        for (s, result) in shard_results.into_iter().enumerate() {
+            match result {
+                Ok(mut batch) => {
+                    for outcome in &mut batch.outcomes {
+                        self.remap(s, &mut outcome.neighbors);
+                    }
+                    answered.push(batch);
+                    answered_shards.push(s);
+                }
+                Err(failure) => shard_failures[s] = Some(failure),
+            }
+        }
+        let shards_failed = self.shards.len() - answered.len();
+        let first_failure = || {
+            shard_failures
+                .iter()
+                .flatten()
+                .next()
+                .map(|f| f.error.to_string())
+                .unwrap_or_else(|| "no failure recorded".to_string())
+        };
+        if answered.is_empty() {
+            return Err(Error::Unavailable {
+                shards_failed,
+                shards_answered: 0,
+                reason: first_failure(),
+            });
+        }
+        let availability = if shards_failed == 0 {
+            Outcome::Full
+        } else {
+            match self.spec.mode {
+                ShardMode::Forest => Outcome::Degraded {
+                    shards_answered: answered.len(),
+                    shards_failed,
+                    recall_floor: self.forest_recall_floor(answered.len()),
+                },
+                ShardMode::Capacity => {
+                    if !request.partial_allowed() {
+                        return Err(Error::Unavailable {
+                            shards_failed,
+                            shards_answered: answered.len(),
+                            reason: first_failure(),
+                        });
+                    }
+                    Outcome::Partial {
+                        shards_answered: answered.len(),
+                        shards_failed,
+                        unreached_fraction: self.unreached_fraction(&answered_shards),
+                    }
+                }
+            }
+        };
+        if !availability.is_full() {
+            self.degraded_queries.add(lowered.len() as u64);
+        }
+        let ks: Vec<usize> = lowered.iter().map(|r| r.k).collect();
+        let outcomes = merge_shard_outcomes(&answered, &ks, self.dedup());
+        let report = ThroughputReport::from_outcomes(
+            self.serving_label(),
+            ks.iter().copied().max().unwrap_or(0),
+            budget,
+            wall_seconds,
+            &outcomes,
+        );
+        Ok(ResilientBatch { outcomes, report, availability, shard_failures })
+    }
+
+    /// Lower bound on merged forest recall over `answered` replicas:
+    /// `1 − (1 − p)^answered`, with `p` one replica's per-neighbor
+    /// guarantee (the spec probability for the approximate method, 1.0 for
+    /// exact methods — any surviving exact replica answers exactly).
+    fn forest_recall_floor(&self, answered: usize) -> f64 {
+        let p_single =
+            if self.spec.base.method.is_exact() { 1.0 } else { self.spec.base.probability };
+        1.0 - (1.0 - p_single).powi(answered as i32)
+    }
+
+    /// Fraction of the live id space on shards *not* in `answered_shards`
+    /// (capacity mode: the share of the collection a partial answer never
+    /// reached).
+    fn unreached_fraction(&self, answered_shards: &[usize]) -> f64 {
+        let total: usize = self.shards.iter().map(|s| s.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let reached: usize = answered_shards.iter().map(|&s| self.shards[s].len()).sum();
+        (total - reached) as f64 / total as f64
     }
 
     /// Whether the gather must deduplicate ids (replicas overlap; capacity

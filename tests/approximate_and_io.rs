@@ -157,9 +157,9 @@ fn variational_baseline_is_faster_but_less_accurate_than_exact_bbt() {
     let config = VariationalConfig { explore_fraction: 0.1 };
     for query in queries.iter() {
         let mut pool = BufferPool::unbuffered();
-        let exact = index.knn(&mut pool, query, k);
+        let exact = index.knn(&mut pool, query, k).unwrap();
         let mut pool = BufferPool::unbuffered();
-        let var = index.knn_variational(&mut pool, query, k, &config);
+        let var = index.knn_variational(&mut pool, query, k, &config).unwrap();
         exact_io += exact.io.pages_read;
         var_io += var.io.pages_read;
         let exact_pairs: Vec<(PointId, f64)> =

@@ -72,8 +72,8 @@ fn check_layouts<B: DecomposableBregman>(divergence: B) {
     let name = divergence.name();
     let compare = |left: &DiskBBTree<B>, right: &DiskBBTree<B>, ctx: &str| {
         for (qi, q) in queries.iter().enumerate() {
-            let a = left.knn(&mut BufferPool::unbuffered(), q, 9);
-            let b = right.knn(&mut BufferPool::unbuffered(), q, 9);
+            let a = left.knn(&mut BufferPool::unbuffered(), q, 9).unwrap();
+            let b = right.knn(&mut BufferPool::unbuffered(), q, 9).unwrap();
             let a: Vec<_> = a.neighbors.iter().map(|n| (n.id, n.distance)).collect();
             let b: Vec<_> = b.neighbors.iter().map(|n| (n.id, n.distance)).collect();
             assert_bit_identical(&format!("{name} {ctx} query {qi}"), &a, &b);

@@ -77,7 +77,7 @@ fn disk_bbtree_is_exact_on_proxies() {
     );
     for (qi, query) in workload.iter().enumerate() {
         let mut pool = BufferPool::unbuffered();
-        let result = index.knn(&mut pool, query, 15);
+        let result = index.knn(&mut pool, query, 15).unwrap();
         let got: Vec<(PointId, f64)> =
             result.neighbors.iter().map(|n| (n.id, n.distance)).collect();
         assert_distances_match("DiskBBTree/Fonts", &got, truth.neighbors_of(qi));
@@ -123,7 +123,7 @@ fn all_three_exact_indexes_agree_with_each_other() {
         PageStoreConfig::with_page_size(8 * 1024),
     );
     let mut pool = BufferPool::unbuffered();
-    let bbt_result = bbt.knn(&mut pool, &query, k);
+    let bbt_result = bbt.knn(&mut pool, &query, k).unwrap();
 
     let vaf = VaFile::build(
         Exponential,

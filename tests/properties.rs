@@ -136,7 +136,7 @@ fn bbtree_range_query_is_exact() {
             PageStoreConfig::with_page_size(1024),
         );
         let mut pool = BufferPool::unbuffered();
-        let (got, _, _) = index.range(&mut pool, &query, radius);
+        let (got, _, _) = index.range(&mut pool, &query, radius).unwrap();
         let mut expected: Vec<(PointId, f64)> = data
             .iter()
             .map(|(id, p)| (id, DivergenceKind::ItakuraSaito.divergence(p, &query)))
