@@ -12,7 +12,10 @@
 //! two curves a capacity plan needs: achieved-vs-target QPS with p999
 //! latency, and recall degradation for the approximate methods.
 //!
-//! Per backend (BP, ABP, BBT, VAF, plus one 4-shard capacity tier) the
+//! Per backend (BP, ABP, BBT, VAF, plus one 4-shard capacity tier and one
+//! `+bgc` row-set: BP with background compaction enabled, driven through
+//! [`loadgen::run_open_loop_concurrent`] so mutations land while queries
+//! are in flight and the compactor swaps epochs mid-stream) the
 //! experiment:
 //!
 //! 1. builds the index over a hierarchical Itakura-Saito workload,
@@ -52,8 +55,9 @@ use brepartition_engine::FanoutPolicy;
 use datagen::{HierarchicalSpec, QueryWorkload};
 use loadgen::oracle::BaseNeighbors;
 use loadgen::{
-    delete_count, operation_stream, run_open_loop, AvailabilityCounters, OpKind, OpMix, RunOutcome,
-    RunnerConfig, Schedule, ServeTarget,
+    delete_count, operation_stream, run_open_loop, run_open_loop_concurrent, AvailabilityCounters,
+    ConcurrentServeTarget, OpKind, OpMix, Operation, RunOutcome, RunnerConfig, Schedule,
+    ServeTarget,
 };
 use pagestore::AtomicIoStats;
 use telemetry::Registry;
@@ -152,6 +156,13 @@ pub struct ServingReport {
     pub io_cache_hits: u64,
     /// Pages written during this row (delta compactions would show here).
     pub io_pages_written: u64,
+    /// Compactions the target completed during this row (background epoch
+    /// swaps plus any explicit folds).
+    pub compactions: u64,
+    /// Total wall time those compactions spent rebuilding, milliseconds —
+    /// time the *worker* spent, not time any query waited (queries keep
+    /// serving the old epoch throughout).
+    pub compaction_ms: f64,
     /// Mean recall of sampled queries against the exact oracle truth at
     /// each sample's mutation-log version.
     pub recall_mean: f64,
@@ -193,6 +204,8 @@ impl ServingReport {
             ("io_pages_read", self.io_pages_read.to_string()),
             ("io_cache_hits", self.io_cache_hits.to_string()),
             ("io_pages_written", self.io_pages_written.to_string()),
+            ("compactions", self.compactions.to_string()),
+            ("compaction_ms", format_json_f64(self.compaction_ms)),
             ("recall_mean", format_json_f64(self.recall_mean)),
             ("recall_samples", self.recall_samples.to_string()),
             ("degraded_queries", self.degraded_queries.to_string()),
@@ -223,6 +236,13 @@ fn format_json_f64(value: f64) -> String {
     }
 }
 
+/// Cumulative compaction counters a serve target exposes so each sweep
+/// point can report its delta: `(completed compactions, worker
+/// nanoseconds)`.
+trait CompactionStats {
+    fn compaction_stats(&self) -> (u64, u64);
+}
+
 /// An [`Index`] driven through the façade query/insert/delete surface,
 /// accumulating per-query physical I/O into telemetry counters.
 struct IndexTarget {
@@ -232,17 +252,40 @@ struct IndexTarget {
 
 impl ServeTarget for IndexTarget {
     fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
+        ConcurrentServeTarget::query(self, query, k)
+    }
+
+    fn insert(&mut self, row: &[f64]) -> u64 {
+        ConcurrentServeTarget::insert(self, row)
+    }
+
+    fn delete(&mut self, id: u64) -> bool {
+        ConcurrentServeTarget::delete(self, id)
+    }
+}
+
+/// The same target through the lock-free harness surface — the index
+/// synchronizes itself, so `insert`/`delete` take `&self` and the runner
+/// never serializes queries behind mutations.
+impl ConcurrentServeTarget for IndexTarget {
+    fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
         let outcome = self.index.query(&QueryRequest::new(query, k)).expect("serving query");
         self.io.record(&outcome.io);
         outcome.neighbors.into_iter().map(|(id, _)| u64::from(id.0)).collect()
     }
 
-    fn insert(&mut self, row: &[f64]) -> u64 {
+    fn insert(&self, row: &[f64]) -> u64 {
         u64::from(self.index.insert(row).expect("serving insert").0)
     }
 
-    fn delete(&mut self, id: u64) -> bool {
+    fn delete(&self, id: u64) -> bool {
         self.index.delete(PointId(id as u32)).expect("serving delete")
+    }
+}
+
+impl CompactionStats for IndexTarget {
+    fn compaction_stats(&self) -> (u64, u64) {
+        (self.index.compactions(), self.index.compaction_nanos())
     }
 }
 
@@ -285,6 +328,17 @@ impl ServeTarget for ShardedTarget {
     }
 }
 
+impl CompactionStats for ShardedTarget {
+    fn compaction_stats(&self) -> (u64, u64) {
+        (0..self.index.shards())
+            .map(|s| {
+                let shard = self.index.shard(s);
+                (shard.compactions(), shard.compaction_nanos())
+            })
+            .fold((0, 0), |(c, n), (sc, sn)| (c + sc, n + sn))
+    }
+}
+
 /// Memoized exact base-side neighbor lists: brute force over the base
 /// dataset, once per sampled query index, shared by every backend and
 /// sweep point (the base data never changes).
@@ -319,8 +373,13 @@ impl BaseOracle<'_> {
 /// One serving session: a sweep of open-loop runs over one target,
 /// carrying the mutation log (and live set) forward between sweep points
 /// like a long-running server.
+///
+/// `run` executes one sweep point — [`run_open_loop`] for `&mut` targets
+/// the harness serializes itself, [`run_open_loop_concurrent`] for
+/// internally synchronized targets — so both serving disciplines share
+/// this bookkeeping (log carry, recall oracle, report assembly).
 #[allow(clippy::too_many_arguments)]
-fn serve_sessions<T: ServeTarget + Send + Sync>(
+fn serve_sessions<T: CompactionStats>(
     label: &str,
     mut target: T,
     io: &Arc<AtomicIoStats>,
@@ -332,6 +391,7 @@ fn serve_sessions<T: ServeTarget + Send + Sync>(
     points: usize,
     dim: usize,
     dispatch_threads: usize,
+    run: impl Fn(T, &Schedule, &[Operation], &RunnerConfig) -> (T, RunOutcome),
 ) -> Vec<ServingReport> {
     let kind = base.kind;
     let mut reports = Vec::new();
@@ -351,10 +411,11 @@ fn serve_sessions<T: ServeTarget + Send + Sync>(
             initial_live: live.clone(),
         };
         let io_before = io.snapshot();
-        let (returned, outcome) =
-            run_open_loop(target, queries, insert_rows, &schedule, &ops, &config);
+        let (compactions_before, compaction_nanos_before) = target.compaction_stats();
+        let (returned, outcome) = run(target, &schedule, &ops, &config);
         target = returned;
         let io_delta = io.snapshot().since(&io_before);
+        let (compactions_after, compaction_nanos_after) = target.compaction_stats();
 
         // Carry the live set and the session-cumulative log forward; a
         // sample's truth needs *every* mutation since the build, not just
@@ -398,6 +459,8 @@ fn serve_sessions<T: ServeTarget + Send + Sync>(
             dispatch_threads,
             &outcome,
             io_delta,
+            compactions_after.saturating_sub(compactions_before),
+            compaction_nanos_after.saturating_sub(compaction_nanos_before) as f64 / 1e6,
             recall_mean,
             recall_samples,
         ));
@@ -414,6 +477,8 @@ fn build_report(
     dispatch_threads: usize,
     outcome: &RunOutcome,
     io: pagestore::IoStats,
+    compactions: u64,
+    compaction_ms: f64,
     recall_mean: f64,
     recall_samples: usize,
 ) -> ServingReport {
@@ -460,6 +525,8 @@ fn build_report(
         io_pages_read: io.pages_read,
         io_cache_hits: io.cache_hits,
         io_pages_written: io.pages_written,
+        compactions,
+        compaction_ms,
         recall_mean,
         recall_samples,
         degraded_queries: outcome.availability.degraded_queries,
@@ -550,6 +617,7 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
             "p999 (ms)",
             "recall",
             "IO reads",
+            "compactions",
             "avail",
         ],
     );
@@ -565,6 +633,7 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
                 fmt_f64(report.latency_p999_ms),
                 fmt_f64(report.recall_mean),
                 report.io_pages_read.to_string(),
+                report.compactions.to_string(),
                 fmt_f64(report.availability),
             ]);
             jsons.push(report.to_json());
@@ -593,12 +662,50 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
             n,
             dim,
             dispatch_threads,
+            |t, schedule, ops, config| {
+                run_open_loop(t, &queries, &insert_rows, schedule, ops, config)
+            },
         );
         collect(&mut table, reports);
 
-        // One sharded row-set: the BP spec scattered over a 4-shard
-        // capacity tier.
         if method == Method::BrePartition {
+            // One background-compaction row-set: the same BP spec with the
+            // compactor enabled on an aggressive trigger, driven through
+            // the *concurrent* harness with at least two dispatchers —
+            // mutations land while queries are in flight, and epoch swaps
+            // happen mid-stream. The compaction columns report how many
+            // rebuilds the worker completed and how long they took;
+            // writers never blocked readers for any of it. The trigger
+            // ratio is sized so the mutation stream's handful of inserts
+            // (a few per mille of the base) actually crosses it — a
+            // production ratio would never fold inside one sweep point.
+            let bgc_spec =
+                spec.with_background_compaction(true).with_compaction_ratios(0.002, 0.002);
+            let index = Index::build(&bgc_spec, &dataset).expect("index build");
+            let bgc_label = format!("{label}+bgc");
+            let bgc_io = Arc::new(AtomicIoStats::new());
+            bgc_io.bind(&registry, "serving.bgc.io");
+            index.bind_telemetry(&registry, "serving.bgc");
+            let reports = serve_sessions(
+                &bgc_label,
+                IndexTarget { index, io: Arc::clone(&bgc_io) },
+                &bgc_io,
+                &sweep,
+                ops_per_point,
+                &queries,
+                &insert_rows,
+                &mut base,
+                n,
+                dim,
+                dispatch_threads.max(2),
+                |t, schedule, ops, config| {
+                    run_open_loop_concurrent(t, &queries, &insert_rows, schedule, ops, config)
+                },
+            );
+            collect(&mut table, reports);
+
+            // One sharded row-set: the BP spec scattered over a 4-shard
+            // capacity tier.
             let sharded =
                 ShardedIndex::build(&ShardSpec::capacity(spec, SHARDS), &dataset).expect("sharded");
             let label = format!("{label}x{SHARDS}:capacity");
@@ -620,6 +727,9 @@ pub fn run_with_json(bench: &Workbench) -> (Vec<Table>, String) {
                 n,
                 dim,
                 dispatch_threads,
+                |t, schedule, ops, config| {
+                    run_open_loop(t, &queries, &insert_rows, schedule, ops, config)
+                },
             );
             collect(&mut table, reports);
         }
@@ -693,22 +803,26 @@ mod tests {
         let (tables, json) = run_with_json(&bench);
         restore_env(saved);
         assert_eq!(tables.len(), 1);
-        // (4 methods + 1 sharded) × 2 sweep points.
-        assert_eq!(tables[0].len(), 10);
-        assert_eq!(json.matches("\"backend\":").count(), 10);
-        assert_eq!(json.matches("\"recall_mean\":").count(), 10);
+        // (4 methods + 1 background-compaction + 1 sharded) × 2 sweep
+        // points.
+        assert_eq!(tables[0].len(), 12);
+        assert_eq!(json.matches("\"backend\":").count(), 12);
+        assert_eq!(json.matches("\"recall_mean\":").count(), 12);
         assert_eq!(json.matches(":capacity\"").count(), 2, "two sharded rows");
+        assert_eq!(json.matches("+bgc\"").count(), 2, "two background-compaction rows");
+        assert_eq!(json.matches("\"compactions\":").count(), 12);
+        assert_eq!(json.matches("\"compaction_ms\":").count(), 12);
 
         // No chaos is armed, so every row (sharded included) must report
         // full availability and zero fault-tolerance activity.
-        assert_eq!(json.matches("\"availability\":1.0").count(), 10);
-        assert_eq!(json.matches("\"degraded_queries\":0").count(), 10);
-        assert_eq!(json.matches("\"shard_retries\":0").count(), 10);
-        assert_eq!(json.matches("\"breaker_opens\":0").count(), 10);
+        assert_eq!(json.matches("\"availability\":1.0").count(), 12);
+        assert_eq!(json.matches("\"degraded_queries\":0").count(), 12);
+        assert_eq!(json.matches("\"shard_retries\":0").count(), 12);
+        assert_eq!(json.matches("\"breaker_opens\":0").count(), 12);
 
         // Every row carries the same key schema, in the same order.
         let schemas = json_row_schemas(&json);
-        assert_eq!(schemas.len(), 10);
+        assert_eq!(schemas.len(), 12);
         for schema in &schemas[1..] {
             assert_eq!(schema, &schemas[0]);
         }

@@ -126,6 +126,24 @@ impl DeltaOverlayBackend {
         // backend neighbors are guaranteed to be present (capped at the
         // backend size, where the fetch degenerates to a full ranking).
         let base_k = (k + self.delta.base_tombstone_count()).min(self.inner.len());
+        // A caller's candidate budget was sized for `k` results; holding it
+        // fixed while the fetch is widened to `base_k` would let the inner
+        // backend truncate below the over-fetch — after tombstone filtering,
+        // fewer than `k` live answers could survive even though they exist.
+        // Widen the budget by the same margin (clamped to at least `base_k`
+        // so the inner backend can surface the over-fetched results at all);
+        // the delta side stays exact either way.
+        let widened;
+        let options = match options.candidate_budget {
+            Some(budget) if base_k > k => {
+                widened = QueryOptions {
+                    candidate_budget: Some(budget.saturating_add(base_k - k).max(base_k)),
+                    ..*options
+                };
+                &widened
+            }
+            _ => options,
+        };
         let answer = {
             let _filter = SpanTimer::start(&mut trace, Phase::Filter);
             self.inner.knn_with_options(scratch, query, base_k, options)?
@@ -227,10 +245,12 @@ impl SearchBackend for DeltaOverlayBackend {
         self.merged_knn(scratch, query, k, &QueryOptions::none())
     }
 
-    /// Options pass straight through to the inner backend (a probability
-    /// override still runs the *backend side* approximately; the delta
-    /// side is always exact), so the overlay supports exactly the options
-    /// its backend supports.
+    /// Options pass through to the inner backend (a probability override
+    /// still runs the *backend side* approximately; the delta side is
+    /// always exact), so the overlay supports exactly the options its
+    /// backend supports — with one adjustment: a caller's candidate budget
+    /// is widened by the tombstone over-fetch margin, so tombstone-heavy
+    /// states clamp rather than silently truncate the live results.
     fn knn_with_options(
         &self,
         scratch: &mut Scratch,

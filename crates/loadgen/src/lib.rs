@@ -43,7 +43,7 @@ pub mod schedule;
 pub use ops::{delete_count, insert_count, operation_stream, OpMix, Operation};
 pub use rng::SplitMix64;
 pub use runner::{
-    run_open_loop, AvailabilityCounters, Mutation, OpKind, OpRecord, RecallSample, RunOutcome,
-    RunnerConfig, ServeTarget,
+    run_open_loop, run_open_loop_concurrent, AvailabilityCounters, ConcurrentServeTarget, Mutation,
+    OpKind, OpRecord, RecallSample, RunOutcome, RunnerConfig, ServeTarget,
 };
 pub use schedule::Schedule;

@@ -17,7 +17,7 @@
 //! regardless of how threads interleaved.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::ops::Operation;
@@ -38,6 +38,30 @@ pub trait ServeTarget {
     /// circuit breaker). The runner snapshots this before and after a run
     /// and reports the delta; plain single-index targets keep the default
     /// all-zero implementation.
+    fn availability(&self) -> AvailabilityCounters {
+        AvailabilityCounters::default()
+    }
+}
+
+/// A serving target whose mutations are internally synchronized: queries,
+/// inserts and deletes all take `&self`, and the target guarantees that a
+/// mutation never blocks a concurrent query (an LSM-style index with
+/// interior mutability and epoch-handoff compaction, say).
+///
+/// Driven by [`run_open_loop_concurrent`], where the harness holds **no
+/// lock at all** around unsampled queries — the latency distribution
+/// measures the target's own concurrency, not the harness's. Compare
+/// [`ServeTarget`], whose `&mut` mutators force the harness to serialize
+/// every mutation against every query behind an `RwLock`.
+pub trait ConcurrentServeTarget {
+    /// Ids of the `k` nearest neighbors of `query`, best first.
+    fn query(&self, query: &[f64], k: usize) -> Vec<u64>;
+    /// Insert `row`, returning its assigned id.
+    fn insert(&self, row: &[f64]) -> u64;
+    /// Delete `id`; `false` if it was not live.
+    fn delete(&self, id: u64) -> bool;
+    /// Cumulative fault-tolerance counters; see
+    /// [`ServeTarget::availability`].
     fn availability(&self) -> AvailabilityCounters {
         AvailabilityCounters::default()
     }
@@ -348,6 +372,164 @@ pub fn run_open_loop<T: ServeTarget + Send + Sync>(
     )
 }
 
+/// The mutation bookkeeping of a concurrent run: the live-id set, the
+/// application-ordered mutation log, and the skipped-delete count, behind
+/// one mutex so "log order" and "order the target applied the mutations"
+/// are the same order by construction.
+struct MutationLedger {
+    live: Vec<u64>,
+    log: Vec<Mutation>,
+    skipped_deletes: usize,
+}
+
+/// Drive a [`ConcurrentServeTarget`] with `ops` at the arrival times of
+/// `schedule`.
+///
+/// The concurrent sibling of [`run_open_loop`]: the target synchronizes
+/// itself, so the harness serializes only the *bookkeeping* of mutations
+/// (one mutex held across `apply mutation + append to log`, which makes
+/// the log's order the application order) and takes **no lock around
+/// unsampled queries** — a mutation in flight never blocks them, and their
+/// recorded latencies expose any stall the target itself introduces.
+///
+/// A *sampled* query briefly holds the mutation ledger closed while it
+/// runs, so its recorded `version` is exactly the state it executed
+/// against — that is what lets the recall oracle replay the log serially
+/// and demand a bit-identical answer. Sampling is sparse (`sample_every`),
+/// so this does not meaningfully serialize the run.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_open_loop`].
+pub fn run_open_loop_concurrent<T: ConcurrentServeTarget + Send + Sync>(
+    target: T,
+    queries: &[Vec<f64>],
+    insert_rows: &[Vec<f64>],
+    schedule: &Schedule,
+    ops: &[Operation],
+    config: &RunnerConfig,
+) -> (T, RunOutcome) {
+    assert_eq!(ops.len(), schedule.len(), "operation stream and schedule must have equal length");
+    assert!(config.dispatch_threads > 0, "at least one dispatch thread is required");
+
+    let availability_before = target.availability();
+    let ledger = Mutex::new(MutationLedger {
+        live: config.initial_live.clone(),
+        log: Vec::new(),
+        skipped_deletes: 0,
+    });
+    let cursor = AtomicUsize::new(0);
+    let offsets = schedule.offsets_ns();
+
+    let mut per_thread: Vec<(Vec<OpRecord>, Vec<RecallSample>)> = std::thread::scope(|scope| {
+        let start = Instant::now();
+        let handles: Vec<_> = (0..config.dispatch_threads)
+            .map(|_| {
+                let target = &target;
+                let ledger = &ledger;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut records = Vec::new();
+                    let mut samples = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= ops.len() {
+                            break;
+                        }
+                        let intended_ns = offsets[i];
+                        wait_until(start, intended_ns);
+                        let warm = i < config.warmup_ops;
+                        let kind = match ops[i] {
+                            Operation::Query { query_index } => {
+                                let sampled = !warm
+                                    && config.sample_every > 0
+                                    && i.is_multiple_of(config.sample_every);
+                                if sampled {
+                                    // Pin the version: hold the ledger so no
+                                    // mutation lands between reading the log
+                                    // length and executing the query.
+                                    let guard = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                                    let version = guard.log.len();
+                                    let answer = target.query(&queries[query_index], config.k);
+                                    drop(guard);
+                                    samples.push(RecallSample {
+                                        op_index: i,
+                                        query_index,
+                                        version,
+                                        answer,
+                                    });
+                                } else {
+                                    // The common case: completely lock-free
+                                    // from the harness's side.
+                                    target.query(&queries[query_index], config.k);
+                                }
+                                OpKind::Query
+                            }
+                            Operation::Insert { row_index } => {
+                                let mut guard = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                                let id = target.insert(&insert_rows[row_index]);
+                                guard.live.push(id);
+                                guard.log.push(Mutation::Insert { id, row_index });
+                                OpKind::Insert
+                            }
+                            Operation::Delete { pick } => {
+                                let mut guard = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                                if guard.live.is_empty() {
+                                    guard.skipped_deletes += 1;
+                                } else {
+                                    let slot = (pick % guard.live.len() as u64) as usize;
+                                    let id = guard.live.swap_remove(slot);
+                                    target.delete(id);
+                                    guard.log.push(Mutation::Delete { id });
+                                }
+                                OpKind::Delete
+                            }
+                        };
+                        if !warm {
+                            let done_ns = start.elapsed().as_nanos() as u64;
+                            records.push(OpRecord {
+                                op_index: i,
+                                kind,
+                                intended_ns,
+                                latency_ns: done_ns.saturating_sub(intended_ns),
+                            });
+                        }
+                    }
+                    (records, samples)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dispatch thread panicked")).collect()
+    });
+
+    let mut records = Vec::new();
+    let mut samples = Vec::new();
+    for (r, s) in per_thread.drain(..) {
+        records.extend(r);
+        samples.extend(s);
+    }
+    records.sort_by_key(|r| r.op_index);
+    samples.sort_by_key(|s| s.op_index);
+
+    let wall_ns =
+        match (records.first(), records.iter().map(|r| r.intended_ns + r.latency_ns).max()) {
+            (Some(first), Some(last_done)) => last_done.saturating_sub(first.intended_ns),
+            _ => 0,
+        };
+
+    let ledger = ledger.into_inner().unwrap_or_else(|e| e.into_inner());
+    let availability = target.availability().since(&availability_before);
+    let outcome = RunOutcome {
+        records,
+        samples,
+        log: ledger.log,
+        wall_ns,
+        skipped_deletes: ledger.skipped_deletes,
+        availability,
+    };
+    (target, outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +658,81 @@ mod tests {
                 applied += 1;
             }
             assert_eq!(replay.query(&queries[sample.query_index], config.k), sample.answer);
+        }
+    }
+
+    /// The toy scan target wrapped for the concurrent runner: internally
+    /// synchronized (one mutex), all methods `&self`.
+    struct LockedScanTarget(Mutex<ScanTarget>);
+
+    impl ConcurrentServeTarget for LockedScanTarget {
+        fn query(&self, query: &[f64], k: usize) -> Vec<u64> {
+            self.0.lock().unwrap().query(query, k)
+        }
+
+        fn insert(&self, row: &[f64]) -> u64 {
+            self.0.lock().unwrap().insert(row)
+        }
+
+        fn delete(&self, id: u64) -> bool {
+            self.0.lock().unwrap().delete(id)
+        }
+    }
+
+    #[test]
+    fn concurrent_sampled_answers_match_a_serial_replay() {
+        let base = toy_rows(40, 20);
+        let queries = toy_rows(10, 21);
+        let inserts = toy_rows(96, 22);
+        let ops = operation_stream(23, OpMix::new(4, 1, 1), 400, queries.len());
+        let schedule = Schedule::uniform(40_000.0, ops.len());
+        let config = RunnerConfig {
+            k: 5,
+            dispatch_threads: 4,
+            sample_every: 7,
+            initial_live: (0..40).collect(),
+            ..RunnerConfig::default()
+        };
+        let (_, outcome) = run_open_loop_concurrent(
+            LockedScanTarget(Mutex::new(ScanTarget::new(&base))),
+            &queries,
+            &inserts,
+            &schedule,
+            &ops,
+            &config,
+        );
+        assert!(!outcome.samples.is_empty());
+        assert_eq!(
+            outcome.log.len() + outcome.skipped_deletes,
+            crate::ops::insert_count(&ops) + crate::ops::delete_count(&ops)
+        );
+
+        // However the four dispatch threads interleaved, replaying the
+        // mutation log serially up to each sample's pinned version must
+        // reproduce its answer exactly.
+        let mut replay = ScanTarget::new(&base);
+        let mut applied = 0usize;
+        let mut samples = outcome.samples.clone();
+        samples.sort_by_key(|s| s.version);
+        for sample in &samples {
+            while applied < sample.version {
+                match outcome.log[applied] {
+                    Mutation::Insert { id, row_index } => {
+                        assert_eq!(replay.insert(&inserts[row_index]), id);
+                    }
+                    Mutation::Delete { id } => {
+                        assert!(replay.delete(id));
+                    }
+                }
+                applied += 1;
+            }
+            assert_eq!(
+                replay.query(&queries[sample.query_index], config.k),
+                sample.answer,
+                "sample at op {} (version {}) diverged from the serial replay",
+                sample.op_index,
+                sample.version
+            );
         }
     }
 

@@ -17,7 +17,7 @@ fn main() -> brepartition::Result<()> {
     let spec = IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
         .with_partitions(6)
         .with_page_size(8 * 1024);
-    let mut index = Index::build(&spec, &data)?;
+    let index = Index::build(&spec, &data)?;
     println!("built {} over {} points", index.method(), index.len());
 
     // A fresh document arrives and is immediately searchable, under a

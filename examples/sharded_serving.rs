@@ -26,7 +26,7 @@ fn main() -> brepartition::Result<()> {
     // unsharded index — sharding is purely an operational decision.
     // ------------------------------------------------------------------
     let plain = Index::build(&base, &data)?;
-    let mut sharded = ShardedIndex::build(&ShardSpec::capacity(base, 4), &data)?;
+    let sharded = ShardedIndex::build(&ShardSpec::capacity(base, 4), &data)?;
     println!(
         "capacity tier: {} points over {} shards (largest shard {})",
         sharded.len(),

@@ -39,6 +39,11 @@ pub enum Error {
         /// What the directory actually holds.
         found: String,
     },
+    /// A background compaction failed on the index's worker thread. The
+    /// failure is reported to the caller that waited on it
+    /// ([`Index::compact`](crate::Index::compact)); the index itself is
+    /// unchanged — queries keep serving the pre-compaction epoch.
+    Compaction(String),
     /// A fault-tolerant sharded fan-out could not produce an acceptable
     /// answer: every shard failed, or a capacity-mode shard failed and the
     /// request did not opt in to partial results
@@ -60,6 +65,9 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "index error: {e}"),
             Error::Engine(e) => write!(f, "engine error: {e}"),
             Error::Persist(e) => write!(f, "persistence error: {e}"),
+            Error::Compaction(message) => {
+                write!(f, "background compaction failed: {message}")
+            }
             Error::Mismatch { expected, found } => {
                 write!(f, "index directory mismatch: expected {expected}, found {found}")
             }
@@ -81,7 +89,10 @@ impl std::error::Error for Error {
             Error::Core(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Persist(e) => Some(e),
-            Error::Spec(_) | Error::Mismatch { .. } | Error::Unavailable { .. } => None,
+            Error::Spec(_)
+            | Error::Compaction(_)
+            | Error::Mismatch { .. }
+            | Error::Unavailable { .. } => None,
         }
     }
 }

@@ -23,21 +23,42 @@
 //! or that contains entries no backend of the spec's method would write,
 //! fails with a descriptive [`Error`] instead of a decode panic.
 //!
-//! # Online mutability (the delta layer)
+//! # Online mutability (the concurrent delta layer)
 //!
 //! Every backend is built from a static snapshot, so writes are absorbed by
-//! a [`DeltaSegment`] riding on the index — LSM-style: [`Index::insert`]
-//! appends to an exact side segment, [`Index::delete`] tombstones, queries
-//! merge the backend's kNN with an exact prepared-kernel scan of the delta
-//! (tombstones filter both sides), and [`Index::compact`] folds the live
-//! set back into a freshly built backend through the same registry as
-//! [`Index::build`]. External ids are stable across compactions: the delta
-//! carries the backend-internal → external id mapping, and an id, once
-//! issued, is never reused. [`Index::save`] persists the delta as a sealed
+//! a [`DeltaSegment`] riding on the index — a real LSM: [`Index::insert`]
+//! appends to the chain's small active generation (sealed generations are
+//! immutable and shared by `Arc`), [`Index::delete`] tombstones, queries
+//! merge the backend's kNN with an exact prepared-kernel scan of the chain
+//! (tombstones filter both sides), and compaction folds the live set back
+//! into a freshly built backend through the same registry as
+//! [`Index::build`]. All mutators take `&self`: the index state lives
+//! behind a short-held interior lock, clones of an `Index` are handles to
+//! the *same* index, and writers never block readers — a serving snapshot
+//! is a pair of `Arc` bumps plus a copy of the bounded active generation.
+//!
+//! Compaction runs in two modes. Explicit [`Index::compact`] folds the
+//! delta on the spot (or, with background compaction enabled, requests a
+//! rebuild from the worker and waits for it). With
+//! [`background`](crate::CompactionSpec::background) enabled in the spec,
+//! every mutation checks the configured debt ratios and past either
+//! threshold schedules a rebuild on the index's dedicated worker thread:
+//! the worker pins an epoch (backend + frozen delta frontier), rebuilds off
+//! to the side while queries keep serving the old epoch, then swaps
+//! atomically — rows inserted and tombstones placed *after* the frontier
+//! are carried into the new epoch, so no write is ever lost to a rebuild.
+//! Compacting an index whose live set is empty parks it (backend kept,
+//! every base point tombstoned) instead of erroring, so a fully drained
+//! index stays openable and writable.
+//!
+//! External ids are stable across compactions: the delta carries the
+//! backend-internal → external id mapping, and an id, once issued, is
+//! never reused. [`Index::save`] persists the delta as a sealed
 //! [`DELTA_FILE`] log next to the spec envelope; [`Index::open`] replays it
 //! (an absent log is an empty delta, so pre-mutability directories stay
-//! readable). Batch serving sees a *consistent snapshot per batch*: the
-//! serving handle returned by [`Index::backend`] (and used by
+//! readable, and the chain flattens to the original single-segment log
+//! format on disk). Batch serving sees a *consistent snapshot per batch*:
+//! the serving handle returned by [`Index::backend`] (and used by
 //! [`Index::run`]) freezes the delta at construction, so writes become
 //! visible at the next batch boundary, never in the middle of one.
 //!
@@ -48,7 +69,9 @@
 //! subdirectory is a full, self-describing `Index` directory).
 
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::Instant;
 
 use bregman::{
     DecomposableBregman, DenseDataset, DivergenceKind, Exponential, GeneralizedI, ItakuraSaito,
@@ -61,6 +84,7 @@ use brepartition_engine::{
     QueryEngine, QueryOutcome, SearchBackend, VaFileBackend,
 };
 use pagestore::format::{seal, unseal, ByteReader, ByteWriter, PersistError};
+use telemetry::{Counter, Gauge, Registry};
 
 use crate::error::{Error, Result};
 use crate::request::{QueryRequest, Request};
@@ -71,12 +95,14 @@ pub const SPEC_MAGIC: [u8; 8] = *b"BREPSPC1";
 
 /// Format version of the spec envelope this build writes and reads.
 ///
-/// Version 2 appends the `f32_candidates` flag byte to the payload.
-/// Version-1 envelopes remain readable; the flag defaults to off.
-pub const SPEC_VERSION: u32 = 2;
+/// Version 2 appended the `f32_candidates` flag byte; version 3 appends the
+/// compaction policy (background flag plus the two debt ratios). Envelopes
+/// of every earlier version remain readable; knobs they predate take their
+/// defaults.
+pub const SPEC_VERSION: u32 = 3;
 
-/// Previous spec-envelope version, still accepted by [`Index::open`].
-pub const LEGACY_SPEC_VERSION: u32 = 1;
+/// Previous spec-envelope versions, still accepted by [`Index::open`].
+pub const LEGACY_SPEC_VERSIONS: [u32; 2] = [2, 1];
 
 /// File name of the spec envelope within an index directory.
 pub const SPEC_FILE: &str = "spec.meta";
@@ -280,29 +306,256 @@ fn registry_entry(method: Method, divergence: DivergenceKind) -> Result<Registry
 /// # Ok(())
 /// # }
 /// ```
-/// Cloning an `Index` is cheap on the backend side (shared behind an
-/// [`Arc`]) but snapshots the mutable delta: the clones' inserts and
-/// deletes diverge from that point on.
+/// Cloning an `Index` is cheap and yields another **handle to the same
+/// index**: clones share the backend, the delta chain and the compaction
+/// worker, so a write through one handle is visible to queries through any
+/// other (at the next batch boundary). This is what lets mutator threads
+/// and query threads race the same index safely — every mutator takes
+/// `&self`.
 #[derive(Clone)]
 pub struct Index {
-    spec: IndexSpec,
+    shared: Arc<IndexShared>,
+}
+
+/// The serving state of one epoch: the static backend and the delta chain
+/// riding on it. Swapped wholesale (under the short state lock) when a
+/// compaction lands.
+struct EpochState {
     backend: Arc<dyn SearchBackend>,
-    /// Copy-on-write: serving snapshots share this `Arc`; a mutation after
-    /// a snapshot was taken clones the segment once (`Arc::make_mut`), so
-    /// snapshotting itself is a refcount bump, never an O(delta) copy.
-    delta: Arc<DeltaSegment>,
+    delta: DeltaSegment,
+}
+
+/// State shared by every handle (clone) of one [`Index`].
+struct IndexShared {
+    spec: IndexSpec,
+    dim: usize,
+    /// The epoch state. Held for O(1)-ish critical sections only: append a
+    /// row, place a tombstone, clone the snapshot, swap the epoch — never
+    /// across a backend build or a query.
+    state: Mutex<EpochState>,
+    /// Serializes compaction runs (worker and inline callers alike).
+    /// Mutators and queries never take it, so a running rebuild blocks
+    /// neither.
+    compaction_lock: Mutex<()>,
+    /// The lazily spawned background compaction worker.
+    worker: Mutex<Option<Compactor>>,
+    /// Epoch counter: bumped once per landed compaction swap.
+    epoch: Arc<Counter>,
+    /// Completed compactions (successful swaps, including parks).
+    compactions: Arc<Counter>,
+    /// Total nanoseconds spent rebuilding inside compactions.
+    compaction_nanos: Arc<Counter>,
+    /// Duration of the most recent compaction, in milliseconds.
+    last_compaction_ms: Arc<Gauge>,
+    /// Current delta-chain length (rows, live and dead) — the write debt a
+    /// compaction would fold away.
+    delta_debt_rows: Arc<Gauge>,
+    /// Current tombstone count — the delete debt.
+    tombstone_debt: Arc<Gauge>,
+}
+
+/// Handle to the background compaction worker thread.
+struct Compactor {
+    /// Requests: monotone tickets; the worker drains the queue and serves
+    /// the highest ticket it saw with one rebuild.
+    tx: mpsc::Sender<u64>,
+    /// Ticket allocator.
+    tickets: AtomicU64,
+    /// Completion state the worker publishes and waiters block on.
+    completion: Arc<Completion>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Default)]
+struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct CompletionState {
+    /// Highest ticket whose compaction run has finished.
+    completed: u64,
+    /// Error of the most recent run, if it failed (the index is unchanged
+    /// then — queries keep serving the old epoch).
+    last_error: Option<String>,
+}
+
+impl IndexShared {
+    fn lock_state(&self) -> MutexGuard<'_, EpochState> {
+        self.state.lock().expect("index state lock poisoned")
+    }
+
+    fn record_debt(&self, delta: &DeltaSegment) {
+        self.delta_debt_rows.set(delta.delta_rows() as i64);
+        self.tombstone_debt.set(delta.tombstone_count() as i64);
+    }
+}
+
+impl Drop for IndexShared {
+    fn drop(&mut self) {
+        let compactor = match self.worker.get_mut() {
+            Ok(slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(mut compactor) = compactor {
+            // Dropping the sender ends the worker's receive loop.
+            drop(compactor.tx);
+            if let Some(join) = compactor.join.take() {
+                // The last handle can be dropped *by* the worker itself (it
+                // holds a temporary upgrade while compacting); a thread
+                // must not join itself.
+                if join.thread().id() != std::thread::current().id() {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for Index {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.lock_state();
         f.debug_struct("Index")
-            .field("spec", &self.spec)
-            .field("backend", &self.backend.name())
-            .field("len", &self.len())
-            .field("dim", &self.backend.dim())
-            .field("delta_rows", &self.delta.delta_rows())
-            .field("tombstones", &self.delta.tombstone_count())
+            .field("spec", &self.shared.spec)
+            .field("backend", &st.backend.name())
+            .field("len", &st.delta.live_len())
+            .field("dim", &self.shared.dim)
+            .field("delta_rows", &st.delta.delta_rows())
+            .field("tombstones", &st.delta.tombstone_count())
+            .field("epoch", &self.shared.epoch.get())
             .finish()
+    }
+}
+
+/// Whether a compaction over this delta state would change anything.
+///
+/// Nothing pending is the obvious no-op. A **parked** segment — live set
+/// empty, chain drained, every base point tombstoned — is also a no-op: no
+/// backend can be built over zero points, and parking again would produce
+/// the identical state. Both cases must not bump the epoch or schedule
+/// work; a delete of a never-issued or already-dead id leaves the segment
+/// in exactly the state it was, so it also never makes this predicate flip.
+fn compaction_is_noop(delta: &DeltaSegment) -> bool {
+    if !delta.has_pending_writes() {
+        return true;
+    }
+    delta.delta_rows() == 0
+        && delta.base_tombstone_count() == delta.base_len()
+        && delta.tombstone_count() == delta.base_tombstone_count()
+}
+
+/// Whether the delta's debt crosses the spec's background-compaction
+/// thresholds.
+fn over_threshold(spec: &IndexSpec, delta: &DeltaSegment) -> bool {
+    if !spec.compaction.background || compaction_is_noop(delta) {
+        return false;
+    }
+    let rows = delta.delta_rows() as f64;
+    let tombstones = delta.tombstone_count() as f64;
+    let base = delta.base_len().max(1) as f64;
+    let live = delta.live_len().max(1) as f64;
+    rows >= spec.compaction.max_delta_ratio * base
+        || tombstones >= spec.compaction.max_tombstone_ratio * live
+}
+
+/// One compaction run: pin a frontier, rebuild off to the side, swap.
+///
+/// The frontier is a snapshot of the epoch state taken under the short
+/// state lock (the active generation is sealed first, so the snapshot
+/// shares every row with the live chain by reference). The rebuild — the
+/// expensive part — runs with **no lock held**: mutators keep appending and
+/// queries keep serving the old epoch. At swap time the state lock is
+/// retaken briefly to reconcile everything that happened after the
+/// frontier: rows with ids at or beyond the frontier's issue counter are
+/// carried into the rebased segment verbatim (ids are monotone and never
+/// reused, which is what makes this sound), and tombstones placed since the
+/// frontier are re-applied. An empty live set parks the index instead of
+/// erroring. Runs are serialized by `compaction_lock`.
+fn compact_once(shared: &IndexShared) -> Result<()> {
+    let _serialized = shared.compaction_lock.lock().expect("compaction lock poisoned");
+    let started = Instant::now();
+    let (backend, frontier) = {
+        let mut st = shared.lock_state();
+        if compaction_is_noop(&st.delta) {
+            return Ok(());
+        }
+        st.delta.seal();
+        (Arc::clone(&st.backend), st.delta.clone())
+    };
+
+    let dim = backend.dim();
+    let base = backend.export_rows()?;
+    let mut flat: Vec<f64> = Vec::with_capacity(frontier.live_len() * dim);
+    let mut ids: Vec<u32> = Vec::with_capacity(frontier.live_len());
+    for (internal, external) in frontier.live_base_entries() {
+        flat.extend_from_slice(base.row(internal));
+        ids.push(external.0);
+    }
+    for (id, _phi, row) in frontier.live_delta_rows() {
+        flat.extend_from_slice(row);
+        ids.push(id.0);
+    }
+    let (new_backend, template) = if ids.is_empty() {
+        // Nothing live at the frontier: park. The old backend stays (fully
+        // tombstoned), the chain is drained, the index remains writable.
+        (None, frontier.parked())
+    } else {
+        let live = DenseDataset::from_flat(dim, flat).map_err(CoreError::from)?;
+        let entry = registry_entry(shared.spec.method, shared.spec.divergence)?;
+        let built = (entry.build)(&shared.spec, &live)?;
+        let rebased = DeltaSegment::rebased(shared.spec.divergence, dim, ids, frontier.next_id())
+            .map_err(Error::Core)?;
+        (Some(built), rebased)
+    };
+
+    {
+        let mut st = shared.lock_state();
+        let mut next = template;
+        for (id, row) in st.delta.delta_rows_from(frontier.next_id()) {
+            next.carry_row(id, row).map_err(Error::Core)?;
+        }
+        for id in st.delta.tombstone_ids() {
+            if !frontier.is_tombstoned(PointId(id)) {
+                next.delete(PointId(id));
+            }
+        }
+        if let Some(backend) = new_backend {
+            st.backend = backend;
+        }
+        st.delta = next;
+        shared.record_debt(&st.delta);
+        shared.epoch.inc();
+    }
+    let elapsed = started.elapsed();
+    shared.compactions.inc();
+    shared.compaction_nanos.add(elapsed.as_nanos() as u64);
+    shared.last_compaction_ms.set(elapsed.as_millis() as i64);
+    Ok(())
+}
+
+/// The background worker's receive loop: drain queued tickets, serve the
+/// highest with one rebuild, publish completion. Exits when every `Index`
+/// handle is gone (the sender lives in `IndexShared`, so dropping the last
+/// handle closes the channel).
+fn compaction_worker(
+    shared: Weak<IndexShared>,
+    rx: mpsc::Receiver<u64>,
+    completion: Arc<Completion>,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut ticket = first;
+        while let Ok(more) = rx.try_recv() {
+            ticket = ticket.max(more);
+        }
+        let error = match shared.upgrade() {
+            Some(shared) => compact_once(&shared).err().map(|e| e.to_string()),
+            None => break,
+        };
+        let mut st = completion.state.lock().expect("compaction completion lock poisoned");
+        st.completed = st.completed.max(ticket);
+        st.last_error = error;
+        completion.cv.notify_all();
     }
 }
 
@@ -317,7 +570,30 @@ impl Index {
         let backend = (entry.build)(spec, data)?;
         let delta = DeltaSegment::new(spec.divergence, backend.dim(), backend.len())
             .map_err(Error::Core)?;
-        Ok(Index { spec: *spec, backend, delta: Arc::new(delta) })
+        Ok(Index::from_parts(*spec, backend, delta))
+    }
+
+    /// Assemble the shared state around a freshly built or opened backend.
+    fn from_parts(spec: IndexSpec, backend: Arc<dyn SearchBackend>, delta: DeltaSegment) -> Index {
+        let dim = backend.dim();
+        let shared = IndexShared {
+            spec,
+            dim,
+            state: Mutex::new(EpochState { backend, delta }),
+            compaction_lock: Mutex::new(()),
+            worker: Mutex::new(None),
+            epoch: Arc::new(Counter::new()),
+            compactions: Arc::new(Counter::new()),
+            compaction_nanos: Arc::new(Counter::new()),
+            last_compaction_ms: Arc::new(Gauge::new()),
+            delta_debt_rows: Arc::new(Gauge::new()),
+            tombstone_debt: Arc::new(Gauge::new()),
+        };
+        {
+            let st = shared.lock_state();
+            shared.record_debt(&st.delta);
+        }
+        Index { shared: Arc::new(shared) }
     }
 
     /// Open an index directory written by [`Index::save`].
@@ -350,7 +626,7 @@ impl Index {
             }
             Err(e) => return Err(Error::Persist(PersistError::Io(e))),
         };
-        Ok(Index { spec, backend, delta: Arc::new(delta) })
+        Ok(Index::from_parts(spec, backend, delta))
     }
 
     /// Persist the index (backend artifacts + spec envelope + delta log)
@@ -358,38 +634,47 @@ impl Index {
     ///
     /// The delta log captures pending inserts and tombstones verbatim —
     /// saving does *not* compact, so a reopened index resumes with the
-    /// exact same live set, id mapping and issue counter.
+    /// exact same live set, id mapping and issue counter. Saving snapshots
+    /// the index consistently even while writers or a background compaction
+    /// are running; the directory reflects one epoch.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        let (backend, delta) = self.snapshot();
         std::fs::create_dir_all(dir).map_err(PersistError::from)?;
-        self.backend.save(dir)?;
+        backend.save(dir)?;
         let mut w = ByteWriter::new();
-        self.spec.write_to(&mut w);
+        self.shared.spec.write_to(&mut w);
         std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, SPEC_VERSION, &w.into_vec()))
             .map_err(PersistError::from)?;
-        std::fs::write(dir.join(DELTA_FILE), self.delta.to_log_bytes())
-            .map_err(PersistError::from)?;
+        std::fs::write(dir.join(DELTA_FILE), delta.to_log_bytes()).map_err(PersistError::from)?;
         Ok(())
+    }
+
+    /// One consistent `(backend, delta)` pair, taken under the short state
+    /// lock. This is the epoch handoff every reader goes through.
+    fn snapshot(&self) -> (Arc<dyn SearchBackend>, DeltaSegment) {
+        let st = self.shared.lock_state();
+        (Arc::clone(&st.backend), st.delta.clone())
     }
 
     /// The spec this index was built (or reopened) with.
     pub fn spec(&self) -> &IndexSpec {
-        &self.spec
+        &self.shared.spec
     }
 
     /// The search method.
     pub fn method(&self) -> Method {
-        self.spec.method
+        self.shared.spec.method
     }
 
     /// The divergence queries are answered under.
     pub fn divergence(&self) -> DivergenceKind {
-        self.spec.divergence
+        self.shared.spec.divergence
     }
 
     /// Number of **live** points: backend points minus tombstones plus
     /// live delta rows.
     pub fn len(&self) -> usize {
-        self.delta.live_len()
+        self.shared.lock_state().delta.live_len()
     }
 
     /// Whether the index holds no live points.
@@ -399,22 +684,70 @@ impl Index {
 
     /// Dimensionality of the indexed points.
     pub fn dim(&self) -> usize {
-        self.backend.dim()
+        self.shared.dim
     }
 
-    /// The mutable delta layer riding on the backend (inspection only; use
-    /// [`Index::insert`] / [`Index::delete`] / [`Index::compact`] to
-    /// change it).
-    pub fn delta(&self) -> &DeltaSegment {
-        &self.delta
+    /// A point-in-time snapshot of the mutable delta layer (inspection
+    /// only; use [`Index::insert`] / [`Index::delete`] / [`Index::compact`]
+    /// to change it). Cheap: sealed generations are shared by reference.
+    pub fn delta(&self) -> DeltaSegment {
+        self.shared.lock_state().delta.clone()
+    }
+
+    /// How many compaction swaps have landed on this index (each bumps the
+    /// serving epoch once).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.get()
+    }
+
+    /// Completed compactions (successful rebuild-and-swap runs, parks
+    /// included).
+    pub fn compactions(&self) -> u64 {
+        self.shared.compactions.get()
+    }
+
+    /// Total time spent inside compaction rebuilds so far, in nanoseconds.
+    pub fn compaction_nanos(&self) -> u64 {
+        self.shared.compaction_nanos.get()
+    }
+
+    /// Register this index's compaction telemetry in `registry` under
+    /// `{prefix}.compactions`, `{prefix}.compaction_nanos`,
+    /// `{prefix}.epoch`, `{prefix}.last_compaction_ms`,
+    /// `{prefix}.delta_debt_rows` and `{prefix}.tombstone_debt`.
+    pub fn bind_telemetry(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(
+            &format!("{prefix}.compactions"),
+            Arc::clone(&self.shared.compactions),
+        );
+        registry.register_counter(
+            &format!("{prefix}.compaction_nanos"),
+            Arc::clone(&self.shared.compaction_nanos),
+        );
+        registry.register_counter(&format!("{prefix}.epoch"), Arc::clone(&self.shared.epoch));
+        registry.register_gauge(
+            &format!("{prefix}.last_compaction_ms"),
+            Arc::clone(&self.shared.last_compaction_ms),
+        );
+        registry.register_gauge(
+            &format!("{prefix}.delta_debt_rows"),
+            Arc::clone(&self.shared.delta_debt_rows),
+        );
+        registry.register_gauge(
+            &format!("{prefix}.tombstone_debt"),
+            Arc::clone(&self.shared.tombstone_debt),
+        );
     }
 
     /// Append one point, returning its stable external id.
     ///
-    /// The write lands in the delta segment — no backend rebuild — and is
-    /// visible to every query and batch issued *after* this call (batches
-    /// already running keep their snapshot). The row must match the
-    /// index's dimensionality and the divergence's domain.
+    /// The write lands in the delta chain's active generation — no backend
+    /// rebuild, no reader blocked — and is visible to every query and batch
+    /// issued *after* this call (batches already running keep their
+    /// snapshot). The row must match the index's dimensionality and the
+    /// divergence's domain. With background compaction enabled, crossing a
+    /// debt threshold schedules a rebuild on the worker; the insert itself
+    /// returns immediately either way.
     ///
     /// ```
     /// use brepartition::{Index, IndexSpec, QueryRequest};
@@ -424,7 +757,7 @@ impl Index {
     /// let rows: Vec<Vec<f64>> =
     ///     (0..32).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
     /// let data = DenseDataset::from_rows(&rows).unwrap();
-    /// let mut index =
+    /// let index =
     ///     Index::build(&IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), &data)?;
     ///
     /// let id = index.insert(&[100.0, 100.0])?;
@@ -434,16 +767,27 @@ impl Index {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn insert(&mut self, row: &[f64]) -> Result<PointId> {
-        Ok(Arc::make_mut(&mut self.delta).insert(row)?)
+    pub fn insert(&self, row: &[f64]) -> Result<PointId> {
+        let (id, trigger) = {
+            let mut st = self.shared.lock_state();
+            let id = st.delta.insert(row)?;
+            self.shared.record_debt(&st.delta);
+            (id, over_threshold(&self.shared.spec, &st.delta))
+        };
+        if trigger {
+            self.request_compaction();
+        }
+        Ok(id)
     }
 
     /// Tombstone a live point (backend-resident or freshly inserted).
     ///
     /// Returns `Ok(true)` if the id was live, `Ok(false)` if it was
-    /// already deleted or never issued — deletes are idempotent. The point
-    /// stops appearing in query results immediately; its storage is
-    /// reclaimed by the next [`Index::compact`].
+    /// already deleted or never issued — deletes are idempotent, and an
+    /// idempotent delete leaves the index untouched: it does not dirty the
+    /// delta and never schedules a background rebuild. The point stops
+    /// appearing in query results immediately; its storage is reclaimed by
+    /// the next compaction.
     ///
     /// ```
     /// use brepartition::{Index, IndexSpec};
@@ -453,7 +797,7 @@ impl Index {
     /// let rows: Vec<Vec<f64>> =
     ///     (0..32).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
     /// let data = DenseDataset::from_rows(&rows).unwrap();
-    /// let mut index =
+    /// let index =
     ///     Index::build(&IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), &data)?;
     ///
     /// assert_eq!(index.delete(PointId(7))?, true); // a backend point
@@ -464,8 +808,19 @@ impl Index {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn delete(&mut self, id: PointId) -> Result<bool> {
-        Ok(Arc::make_mut(&mut self.delta).delete(id))
+    pub fn delete(&self, id: PointId) -> Result<bool> {
+        let (was_live, trigger) = {
+            let mut st = self.shared.lock_state();
+            let was_live = st.delta.delete(id);
+            if was_live {
+                self.shared.record_debt(&st.delta);
+            }
+            (was_live, was_live && over_threshold(&self.shared.spec, &st.delta))
+        };
+        if trigger {
+            self.request_compaction();
+        }
+        Ok(was_live)
     }
 
     /// Fold the delta into the backend: rebuild the index over the live
@@ -475,37 +830,87 @@ impl Index {
     /// External ids survive compaction — the new delta carries the
     /// internal → external mapping and the id issue counter — so ids held
     /// by callers keep resolving to the same points. A no-op when nothing
-    /// is pending. Compacting away every live point is an error (no
-    /// backend can be built over an empty dataset); the index is left
-    /// unchanged.
-    pub fn compact(&mut self) -> Result<()> {
-        if !self.delta.has_pending_writes() {
-            return Ok(());
+    /// is pending. Compacting away every live point **parks** the index
+    /// (the old backend stays, fully tombstoned; the index remains
+    /// queryable, writable and saveable) instead of erroring — no backend
+    /// can be built over an empty dataset, but an empty index is not a
+    /// broken one.
+    ///
+    /// With background compaction enabled this is *request + wait*: the
+    /// rebuild runs on the worker thread (concurrent callers coalesce onto
+    /// one run) and this call blocks until a run covering it finishes,
+    /// propagating its error if it failed. Queries and writers are never
+    /// blocked by the rebuild either way.
+    pub fn compact(&self) -> Result<()> {
+        {
+            let st = self.shared.lock_state();
+            if compaction_is_noop(&st.delta) {
+                return Ok(());
+            }
         }
-        let dim = self.backend.dim();
-        let base = self.backend.export_rows()?;
-        let mut flat: Vec<f64> = Vec::with_capacity(self.delta.live_len() * dim);
-        let mut ids: Vec<u32> = Vec::with_capacity(self.delta.live_len());
-        for (internal, external) in self.delta.live_base_entries() {
-            flat.extend_from_slice(base.row(internal));
-            ids.push(external.0);
+        if self.shared.spec.compaction.background {
+            let waited = self
+                .with_compactor(|c| {
+                    let ticket = c.tickets.fetch_add(1, Ordering::Relaxed) + 1;
+                    c.tx.send(ticket).ok().map(|()| (Arc::clone(&c.completion), ticket))
+                })
+                .flatten();
+            if let Some((completion, ticket)) = waited {
+                let mut st = completion.state.lock().expect("compaction completion lock poisoned");
+                while st.completed < ticket {
+                    st = completion.cv.wait(st).expect("compaction completion lock poisoned");
+                }
+                return match &st.last_error {
+                    Some(message) => Err(Error::Compaction(message.clone())),
+                    None => Ok(()),
+                };
+            }
+            // Worker unavailable (spawn failed or channel closed): fall
+            // through to the inline path below.
         }
-        for (id, _phi, row) in self.delta.live_delta_rows() {
-            flat.extend_from_slice(row);
-            ids.push(id.0);
+        compact_once(&self.shared)
+    }
+
+    /// Schedule a background compaction without waiting (the trigger path
+    /// of [`Index::insert`] / [`Index::delete`]). Requests coalesce in the
+    /// worker's queue; failures surface via the next explicit
+    /// [`Index::compact`].
+    fn request_compaction(&self) {
+        self.with_compactor(|c| {
+            let ticket = c.tickets.fetch_add(1, Ordering::Relaxed) + 1;
+            let _ = c.tx.send(ticket);
+        });
+    }
+
+    /// Run `f` against the background compactor, spawning the worker thread
+    /// on first use. Returns `None` if the worker cannot be spawned —
+    /// callers then compact inline instead.
+    fn with_compactor<R>(&self, f: impl FnOnce(&Compactor) -> R) -> Option<R> {
+        let mut guard = self.shared.worker.lock().expect("compaction worker lock poisoned");
+        if guard.is_none() {
+            let (tx, rx) = mpsc::channel();
+            let completion = Arc::new(Completion::default());
+            let worker_completion = Arc::clone(&completion);
+            // The worker holds a Weak handle: it must not keep the index
+            // alive, or the channel would never close and the thread never
+            // exit.
+            let weak = Arc::downgrade(&self.shared);
+            let spawned = std::thread::Builder::new()
+                .name("brepartition-compactor".to_string())
+                .spawn(move || compaction_worker(weak, rx, worker_completion));
+            match spawned {
+                Ok(join) => {
+                    *guard = Some(Compactor {
+                        tx,
+                        tickets: AtomicU64::new(0),
+                        completion,
+                        join: Some(join),
+                    });
+                }
+                Err(_) => return None,
+            }
         }
-        if ids.is_empty() {
-            return Err(Error::Core(CoreError::EmptyDataset));
-        }
-        let live = DenseDataset::from_flat(dim, flat).map_err(CoreError::from)?;
-        let entry = registry_entry(self.spec.method, self.spec.divergence)?;
-        let backend = (entry.build)(&self.spec, &live)?;
-        self.delta = Arc::new(
-            DeltaSegment::rebased(self.spec.divergence, dim, ids, self.delta.next_id())
-                .map_err(Error::Core)?,
-        );
-        self.backend = backend;
-        Ok(())
+        guard.as_ref().map(f)
     }
 
     /// The serving handle: an engine-ready backend over a **consistent
@@ -513,16 +918,19 @@ impl Index {
     /// [`QueryEngine`]).
     ///
     /// With no pending writes this is the bare backend; otherwise it is a
-    /// [`DeltaOverlayBackend`] holding a frozen copy of the delta, so a
-    /// batch served through it never observes a concurrent insert or
-    /// delete mid-flight. Call again after mutating to pick up the new
-    /// state.
+    /// [`DeltaOverlayBackend`] holding a frozen copy of the delta chain, so
+    /// a batch served through it never observes a concurrent insert,
+    /// delete or compaction swap mid-flight. Call again after mutating to
+    /// pick up the new state. Taking the snapshot is an epoch handoff: two
+    /// `Arc` bumps plus a copy of the bounded active generation, regardless
+    /// of how much history the chain holds.
     pub fn backend(&self) -> Arc<dyn SearchBackend> {
-        if self.delta.is_trivial() {
-            Arc::clone(&self.backend)
+        let (backend, delta) = self.snapshot();
+        if delta.is_trivial() {
+            backend
         } else {
             Arc::new(
-                DeltaOverlayBackend::new(Arc::clone(&self.backend), Arc::clone(&self.delta))
+                DeltaOverlayBackend::new(backend, Arc::new(delta))
                     .expect("the delta segment always matches the backend it was built against"),
             )
         }
@@ -605,8 +1013,10 @@ fn read_spec(dir: &Path) -> Result<IndexSpec> {
     })?;
     let (payload, version) = match unseal(&SPEC_MAGIC, SPEC_VERSION, &bytes) {
         Ok(payload) => (payload, SPEC_VERSION),
-        Err(PersistError::UnsupportedVersion { found: LEGACY_SPEC_VERSION, .. }) => {
-            (unseal(&SPEC_MAGIC, LEGACY_SPEC_VERSION, &bytes)?, LEGACY_SPEC_VERSION)
+        Err(PersistError::UnsupportedVersion { found, .. })
+            if LEGACY_SPEC_VERSIONS.contains(&found) =>
+        {
+            (unseal(&SPEC_MAGIC, found, &bytes)?, found)
         }
         Err(e) => return Err(e.into()),
     };

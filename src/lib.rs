@@ -131,7 +131,7 @@ pub use sharded::{
     Outcome, ResilientBatch, ShardMode, ShardSpec, ShardedIndex, MAX_SHARDS, SHARDS_FILE,
     SHARDS_MAGIC, SHARDS_VERSION,
 };
-pub use spec::{IndexSpec, Method, StorageSpec};
+pub use spec::{CompactionSpec, IndexSpec, Method, StorageSpec};
 
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
@@ -139,7 +139,7 @@ pub mod prelude {
     pub use crate::index::Index;
     pub use crate::request::{QueryRequest, Request};
     pub use crate::sharded::{Outcome, ResilientBatch, ShardMode, ShardSpec, ShardedIndex};
-    pub use crate::spec::{IndexSpec, Method, StorageSpec};
+    pub use crate::spec::{CompactionSpec, IndexSpec, Method, StorageSpec};
     pub use bbtree::{BBTreeConfig, DiskBBTree, VariationalConfig};
     pub use bregman::{
         DecomposableBregman, DenseDataset, Divergence, DivergenceKind, Exponential, ItakuraSaito,

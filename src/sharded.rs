@@ -51,7 +51,7 @@
 //! another index fails descriptively instead of serving wrong ids.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use bregman::{DenseDataset, PointId};
@@ -74,13 +74,15 @@ pub const SHARDS_MAGIC: [u8; 8] = *b"BREPSHD1";
 
 /// Format version of the shard envelope this build writes and reads.
 ///
-/// Version 2 tracks the spec-envelope bump: the embedded [`IndexSpec`]
-/// payload gained the `f32_candidates` flag byte. Version-1 envelopes
-/// remain readable; the flag defaults to off.
-pub const SHARDS_VERSION: u32 = 2;
+/// Shard-envelope versions track spec-envelope versions 1:1. Version 2
+/// added the `f32_candidates` flag byte to the embedded [`IndexSpec`]
+/// payload; version 3 added the compaction policy
+/// ([`CompactionSpec`](crate::CompactionSpec)). Older envelopes remain
+/// readable; missing fields take their defaults.
+pub const SHARDS_VERSION: u32 = 3;
 
-/// Previous shard-envelope version, still accepted on open.
-pub const LEGACY_SHARDS_VERSION: u32 = 1;
+/// Previous shard-envelope versions, still accepted on open.
+pub const LEGACY_SHARDS_VERSIONS: [u32; 2] = [2, 1];
 
 /// File name of the shard envelope within a sharded index directory.
 pub const SHARDS_FILE: &str = "shards.meta";
@@ -330,7 +332,7 @@ pub struct ResilientBatch {
 ///     (0..48).map(|i| vec![1.0 + i as f64, 2.0 + (i % 7) as f64]).collect();
 /// let data = DenseDataset::from_rows(&rows).unwrap();
 /// let spec = ShardSpec::capacity(IndexSpec::bbtree(DivergenceKind::SquaredEuclidean), 3);
-/// let mut sharded = ShardedIndex::build(&spec, &data)?;
+/// let sharded = ShardedIndex::build(&spec, &data)?;
 /// assert_eq!(sharded.len(), 48);
 ///
 /// // Bit-identical to the unsharded index for exact methods.
@@ -354,12 +356,13 @@ pub struct ResilientBatch {
 pub struct ShardedIndex {
     spec: ShardSpec,
     shards: Vec<Index>,
-    /// Capacity mode: per-shard ascending table `local id → global id`,
-    /// derived from the issue counter (see the module docs). Empty in
-    /// forest mode, where local ids *are* global ids.
-    locals: Vec<Vec<u32>>,
-    /// The next global external id to issue.
-    next_global: u32,
+    /// The routing state writers mutate: the global id counter plus the
+    /// capacity-mode local→global tables. Behind one mutex shared across
+    /// clones, so [`ShardedIndex::insert`] / [`ShardedIndex::delete`] take
+    /// `&self` and racing writers serialize on the router while queries
+    /// (which only *read* the tables, briefly, during remap) never wait on
+    /// a shard rebuild.
+    router: Arc<Mutex<RouterState>>,
     /// Per-shard circuit breakers and availability counters, shared across
     /// clones and across the short-lived engines each batch builds —
     /// breaker state must outlive any one fan-out. Runtime-only: never
@@ -373,13 +376,24 @@ pub struct ShardedIndex {
     degraded_queries: Arc<Counter>,
 }
 
+/// The mutable routing state of a [`ShardedIndex`], shared across clones
+/// behind one mutex (see the `router` field).
+struct RouterState {
+    /// Capacity mode: per-shard ascending table `local id → global id`,
+    /// derived from the issue counter (see the module docs). Empty in
+    /// forest mode, where local ids *are* global ids.
+    locals: Vec<Vec<u32>>,
+    /// The next global external id to issue.
+    next_global: u32,
+}
+
 impl std::fmt::Debug for ShardedIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedIndex")
             .field("spec", &self.spec)
             .field("len", &self.len())
             .field("dim", &self.dim())
-            .field("next_global", &self.next_global)
+            .field("next_global", &self.lock_router().next_global)
             .finish()
     }
 }
@@ -397,12 +411,18 @@ impl ShardedIndex {
         ShardedIndex {
             spec,
             shards,
-            locals,
-            next_global,
+            router: Arc::new(Mutex::new(RouterState { locals, next_global })),
             health: Arc::new(ShardHealth::new(count)),
             chaos: vec![None; count],
             degraded_queries: Arc::new(Counter::new()),
         }
+    }
+
+    /// Lock the routing state. The router mutex has no poisoned state worth
+    /// recovering: every critical section leaves the tables consistent
+    /// before any call that can fail.
+    fn lock_router(&self) -> MutexGuard<'_, RouterState> {
+        self.router.lock().expect("sharded router lock poisoned")
     }
 
     /// Build a sharded index over `data` as the spec describes.
@@ -520,14 +540,19 @@ impl ShardedIndex {
     /// [`Index::save`] directory) plus the sealed shard envelope
     /// ([`SHARDS_FILE`]). Like the unsharded save, this does not compact —
     /// a reopened index resumes with the same live set and id counter.
+    ///
+    /// The router lock is held for the duration, so the saved directory is
+    /// a consistent cut: every shard snapshot agrees with the envelope's
+    /// global id counter even while other clones keep inserting.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        let router = self.lock_router();
         std::fs::create_dir_all(dir).map_err(PersistError::from)?;
         for (s, shard) in self.shards.iter().enumerate() {
             shard.save(&dir.join(shard_dir_name(s)))?;
         }
         let mut w = ByteWriter::new();
         self.spec.write_to(&mut w);
-        w.put_u32(self.next_global);
+        w.put_u32(router.next_global);
         std::fs::write(dir.join(SHARDS_FILE), seal(&SHARDS_MAGIC, SHARDS_VERSION, &w.into_vec()))
             .map_err(PersistError::from)?;
         Ok(())
@@ -572,20 +597,23 @@ impl ShardedIndex {
     /// Capacity mode issues the next global id and routes the row to that
     /// id's home shard; forest mode appends the row to every replica. The
     /// write is visible to queries issued after this call, exactly as for
-    /// the unsharded [`Index::insert`].
-    pub fn insert(&mut self, row: &[f64]) -> Result<PointId> {
-        let id = PointId(self.next_global);
+    /// the unsharded [`Index::insert`]. Racing writers serialize on the
+    /// router lock; the global id order *is* the router's application
+    /// order.
+    pub fn insert(&self, row: &[f64]) -> Result<PointId> {
+        let mut router = self.lock_router();
+        let id = PointId(router.next_global);
         match self.spec.mode {
             ShardMode::Capacity => {
                 let shard = self.spec.route(id);
                 let local = self.shards[shard].insert(row)?;
                 assert_eq!(
                     local.0 as usize,
-                    self.locals[shard].len(),
+                    router.locals[shard].len(),
                     "shard-local ids must stay dense"
                 );
-                self.locals[shard].push(id.0);
-                self.next_global += 1;
+                router.locals[shard].push(id.0);
+                router.next_global += 1;
                 Ok(id)
             }
             ShardMode::Forest => {
@@ -593,11 +621,11 @@ impl ShardedIndex {
                 // history, so they cannot fail differently.
                 let issued = self.shards[0].insert(row)?;
                 assert_eq!(issued, id, "forest replicas must issue ids in lockstep");
-                for shard in &mut self.shards[1..] {
+                for shard in &self.shards[1..] {
                     let got = shard.insert(row)?;
                     assert_eq!(got, id, "forest replicas must issue ids in lockstep");
                 }
-                self.next_global += 1;
+                router.next_global += 1;
                 Ok(id)
             }
         }
@@ -605,21 +633,22 @@ impl ShardedIndex {
 
     /// Tombstone a live point by **global** id; idempotent like
     /// [`Index::delete`].
-    pub fn delete(&mut self, id: PointId) -> Result<bool> {
-        if id.0 >= self.next_global {
+    pub fn delete(&self, id: PointId) -> Result<bool> {
+        let router = self.lock_router();
+        if id.0 >= router.next_global {
             return Ok(false);
         }
         match self.spec.mode {
             ShardMode::Capacity => {
                 let shard = self.spec.route(id);
-                let local = self.locals[shard]
+                let local = router.locals[shard]
                     .binary_search(&id.0)
                     .expect("every issued global id is mapped on its home shard");
                 self.shards[shard].delete(PointId(local as u32))
             }
             ShardMode::Forest => {
                 let was_live = self.shards[0].delete(id)?;
-                for shard in &mut self.shards[1..] {
+                for shard in &self.shards[1..] {
                     let got = shard.delete(id)?;
                     assert_eq!(got, was_live, "forest replicas must agree on liveness");
                 }
@@ -631,14 +660,14 @@ impl ShardedIndex {
     /// Compact every shard that has pending writes, folding its delta into
     /// a rebuilt backend (global ids survive, as for [`Index::compact`]).
     ///
-    /// A shard whose live set is empty is skipped — no backend builds over
-    /// an empty dataset — and keeps serving through its tombstones until a
-    /// point routes back to it.
-    pub fn compact(&mut self) -> Result<()> {
-        for shard in &mut self.shards {
-            if shard.is_empty() {
-                continue;
-            }
+    /// A shard whose live set has gone empty — every point of a capacity
+    /// slice deleted — is **parked**, not failed: its backend is left in
+    /// place behind an all-tombstoned delta, it serves no results, and it
+    /// resumes normal compaction once a point routes back to it. (Earlier
+    /// releases aborted the whole sharded compact with `EmptyDataset`
+    /// here.)
+    pub fn compact(&self) -> Result<()> {
+        for shard in &self.shards {
             shard.compact()?;
         }
         Ok(())
@@ -727,11 +756,16 @@ impl ShardedIndex {
 
     /// Register this index's availability telemetry in `registry`: the
     /// health table's counters and gauges (see
-    /// [`ShardHealth::bind`]) plus the counter `prefix.degraded_queries`.
+    /// [`ShardHealth::bind`]) plus the counter `prefix.degraded_queries`,
+    /// and every shard's compaction series under `prefix.shardNNNN.*` (see
+    /// [`Index::bind_telemetry`]).
     pub fn bind_telemetry(&self, registry: &Registry, prefix: &str) {
         self.health.bind(registry, prefix);
         registry
             .register_counter(&format!("{prefix}.degraded_queries"), self.degraded_queries.clone());
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.bind_telemetry(registry, &format!("{prefix}.{}", shard_dir_name(s)));
+        }
     }
 
     /// Arm per-shard fault-injection schedules for chaos testing: entry `s`
@@ -911,10 +945,15 @@ impl ShardedIndex {
     }
 
     /// Translate shard `shard`'s local neighbor ids to global ids in place.
+    ///
+    /// Takes the router lock briefly (the tables are append-only, so any
+    /// interleaving with a racing insert reads a table at least as long as
+    /// the snapshot the ids came from).
     fn remap(&self, shard: usize, neighbors: &mut [(PointId, f64)]) {
         if self.spec.mode == ShardMode::Capacity {
+            let router = self.lock_router();
             for (id, _) in neighbors.iter_mut() {
-                *id = PointId(self.locals[shard][id.0 as usize]);
+                *id = PointId(router.locals[shard][id.0 as usize]);
             }
         }
     }
@@ -981,8 +1020,10 @@ fn read_shard_envelope(dir: &Path) -> Result<(ShardSpec, u32)> {
     })?;
     let (payload, version) = match unseal(&SHARDS_MAGIC, SHARDS_VERSION, &bytes) {
         Ok(payload) => (payload, SHARDS_VERSION),
-        Err(PersistError::UnsupportedVersion { found: LEGACY_SHARDS_VERSION, .. }) => {
-            (unseal(&SHARDS_MAGIC, LEGACY_SHARDS_VERSION, &bytes)?, LEGACY_SHARDS_VERSION)
+        Err(PersistError::UnsupportedVersion { found, .. })
+            if LEGACY_SHARDS_VERSIONS.contains(&found) =>
+        {
+            (unseal(&SHARDS_MAGIC, found, &bytes)?, found)
         }
         Err(e) => return Err(e.into()),
     };

@@ -113,6 +113,34 @@ impl Default for StorageSpec {
     }
 }
 
+/// Compaction policy of the mutable layer: when (and on which thread) the
+/// delta chain is folded back into the partitioned backend.
+///
+/// With `background` off (the default) compaction only happens when the
+/// caller asks ([`Index::compact`](crate::Index::compact)), on the calling
+/// thread — the PR-5 behaviour. With it on, every mutation checks the two
+/// debt ratios and, past either threshold, schedules a rebuild on the
+/// index's dedicated compaction worker; queries keep serving the old epoch
+/// until the rebuilt backend is swapped in atomically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionSpec {
+    /// Run ratio-triggered compactions on a dedicated worker thread.
+    pub background: bool,
+    /// Trigger when `delta_rows ≥ max_delta_ratio × base_len` — the delta
+    /// chain has grown large relative to the partitioned backend, so exact
+    /// scans are eating the backend's pruning advantage.
+    pub max_delta_ratio: f64,
+    /// Trigger when `tombstones ≥ max_tombstone_ratio × live_len` — dead
+    /// points dominate, so queries over-fetch heavily to compensate.
+    pub max_tombstone_ratio: f64,
+}
+
+impl Default for CompactionSpec {
+    fn default() -> Self {
+        Self { background: false, max_delta_ratio: 0.25, max_tombstone_ratio: 0.25 }
+    }
+}
+
 /// A declarative description of one index: which [`Method`] over which
 /// [`DivergenceKind`], with every tuning knob the methods expose.
 ///
@@ -162,6 +190,9 @@ pub struct IndexSpec {
     /// bit-identical with the knob on or off. Costs `4·d` bytes per point
     /// of resident memory; off by default.
     pub f32_candidates: bool,
+    /// Compaction policy of the mutable layer (background worker, debt
+    /// ratios).
+    pub compaction: CompactionSpec,
 }
 
 impl IndexSpec {
@@ -179,6 +210,7 @@ impl IndexSpec {
             probability: 0.9,
             bits_per_dim: 6,
             f32_candidates: false,
+            compaction: CompactionSpec::default(),
         }
     }
 
@@ -269,6 +301,22 @@ impl IndexSpec {
         self
     }
 
+    /// Enable or disable ratio-triggered compaction on the index's
+    /// background worker thread.
+    pub fn with_background_compaction(mut self, enabled: bool) -> Self {
+        self.compaction.background = enabled;
+        self
+    }
+
+    /// Set the compaction debt thresholds: trigger when the delta chain
+    /// reaches `delta_ratio × base_len` rows or tombstones reach
+    /// `tombstone_ratio × live_len`.
+    pub fn with_compaction_ratios(mut self, delta_ratio: f64, tombstone_ratio: f64) -> Self {
+        self.compaction.max_delta_ratio = delta_ratio;
+        self.compaction.max_tombstone_ratio = tombstone_ratio;
+        self
+    }
+
     /// Check the spec for contradictions before anything is built: an
     /// invalid knob returns a typed [`Error::Spec`] naming the offending
     /// field instead of a panic or a silent degradation downstream.
@@ -302,6 +350,16 @@ impl IndexSpec {
                 "bits_per_dim must be in 1..=16, got {}",
                 self.bits_per_dim
             )));
+        }
+        for (name, ratio) in [
+            ("max_delta_ratio", self.compaction.max_delta_ratio),
+            ("max_tombstone_ratio", self.compaction.max_tombstone_ratio),
+        ] {
+            if !(ratio.is_finite() && ratio > 0.0) {
+                return Err(Error::Spec(format!(
+                    "compaction {name} must be finite and positive, got {ratio}"
+                )));
+            }
         }
         Ok(())
     }
@@ -370,11 +428,15 @@ impl IndexSpec {
         w.put_f64(self.probability);
         w.put_u8(self.bits_per_dim);
         w.put_u8(self.f32_candidates as u8);
+        w.put_u8(self.compaction.background as u8);
+        w.put_f64(self.compaction.max_delta_ratio);
+        w.put_f64(self.compaction.max_tombstone_ratio);
     }
 
     /// Inverse of [`IndexSpec::write_to`]. `version` is the spec-envelope
     /// version the payload was sealed under: version-1 envelopes predate
-    /// the `f32_candidates` knob, which then defaults to off.
+    /// the `f32_candidates` knob and version-2 envelopes predate the
+    /// compaction policy; absent knobs take their defaults.
     pub(crate) fn read_from(r: &mut ByteReader<'_>, version: u32) -> PersistResult<IndexSpec> {
         let method = Method::from_tag(r.take_u8()?)?;
         let kind_name = r.take_str()?;
@@ -408,7 +470,7 @@ impl IndexSpec {
             seed: r.take_u64()?,
             probability: r.take_f64()?,
             bits_per_dim: r.take_u8()?,
-            f32_candidates: if version >= crate::index::SPEC_VERSION {
+            f32_candidates: if version >= 2 {
                 match r.take_u8()? {
                     0 => false,
                     1 => true,
@@ -420,6 +482,24 @@ impl IndexSpec {
                 }
             } else {
                 false
+            },
+            compaction: if version >= 3 {
+                let background = match r.take_u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => {
+                        return Err(PersistError::Corrupt(format!(
+                            "unknown background-compaction tag {tag}"
+                        )))
+                    }
+                };
+                CompactionSpec {
+                    background,
+                    max_delta_ratio: r.take_f64()?,
+                    max_tombstone_ratio: r.take_f64()?,
+                }
+            } else {
+                CompactionSpec::default()
             },
         })
     }
@@ -458,8 +538,13 @@ mod tests {
             .with_seed(7)
             .with_probability(0.95)
             .with_bits_per_dim(5)
-            .with_f32_candidates(true);
+            .with_f32_candidates(true)
+            .with_background_compaction(true)
+            .with_compaction_ratios(0.5, 0.125);
         assert_eq!(spec.partitions, PartitionCount::Fixed(12));
+        assert!(spec.compaction.background);
+        assert_eq!(spec.compaction.max_delta_ratio, 0.5);
+        assert_eq!(spec.compaction.max_tombstone_ratio, 0.125);
         assert!(spec.brepartition_config().f32_candidates);
         assert_eq!(spec.brepartition_config().page_size_bytes, 4096);
         assert_eq!(spec.brepartition_config().seed, 7);
@@ -487,6 +572,13 @@ mod tests {
 
         let bad_bits = IndexSpec::vafile(DivergenceKind::ItakuraSaito).with_bits_per_dim(0);
         assert!(matches!(bad_bits.validate(), Err(Error::Spec(_))));
+
+        let bad_ratio =
+            IndexSpec::bbtree(DivergenceKind::ItakuraSaito).with_compaction_ratios(0.0, 0.25);
+        assert!(matches!(bad_ratio.validate(), Err(Error::Spec(_))));
+        let bad_ratio =
+            IndexSpec::bbtree(DivergenceKind::ItakuraSaito).with_compaction_ratios(0.25, f64::NAN);
+        assert!(matches!(bad_ratio.validate(), Err(Error::Spec(_))));
 
         // Generalized-I is not cumulative across partitions: BP/ABP reject
         // it at spec validation, the baselines accept it.

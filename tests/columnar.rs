@@ -150,8 +150,8 @@ fn f32_candidate_tier_is_bit_identical_and_skips_work() {
                 continue; // BP/ABP over GI, pinned by the oracle suite
             }
             let label = format!("{}/{}", method.short_name(), kind.short_name());
-            let mut plain = Index::build(&base, &data).unwrap();
-            let mut tiered = Index::build(&base.with_f32_candidates(true), &data).unwrap();
+            let plain = Index::build(&base, &data).unwrap();
+            let tiered = Index::build(&base.with_f32_candidates(true), &data).unwrap();
 
             for (qi, q) in queries.iter().enumerate() {
                 let want = plain.query(&QueryRequest::new(q, 7)).unwrap();
@@ -198,9 +198,10 @@ fn f32_candidate_tier_is_bit_identical_and_skips_work() {
     }
 }
 
-/// Version-1 spec envelopes (written before the `f32_candidates` byte
-/// existed) still open: the payload is one byte shorter and the knob
-/// defaults to off.
+/// Legacy spec envelopes still open with the newer knobs defaulted off:
+/// version 2 predates the compaction spec (17 trailing bytes — flag +
+/// two ratios), version 1 additionally predates the `f32_candidates`
+/// flag byte.
 #[test]
 fn version_1_spec_envelopes_still_open_with_the_tier_defaulted_off() {
     let data = DenseDataset::from_rows(&rows(40, 13)).unwrap();
@@ -211,18 +212,29 @@ fn version_1_spec_envelopes_still_open_with_the_tier_defaulted_off() {
     let dir = temp_dir("spec-v1");
     index.save(&dir).unwrap();
 
-    // Down-convert the sealed spec envelope to version 1: drop the
-    // trailing flag byte and re-seal under the legacy version.
+    // Down-convert the sealed spec envelope layer by layer and re-seal
+    // under each legacy version.
     let sealed = std::fs::read(dir.join(SPEC_FILE)).unwrap();
     let payload = unseal(&SPEC_MAGIC, SPEC_VERSION, &sealed).unwrap();
-    let legacy_payload = &payload[..payload.len() - 1];
-    std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, 1, legacy_payload)).unwrap();
-
-    let reopened = Index::open(&dir).unwrap();
-    assert!(!reopened.spec().f32_candidates, "legacy envelopes must default the tier off");
-    assert_eq!(reopened.spec().divergence, DivergenceKind::ItakuraSaito);
+    let v2_payload = &payload[..payload.len() - 17];
+    let v1_payload = &v2_payload[..v2_payload.len() - 1];
     let q = rows(1, 99).pop().unwrap();
     let want = index.query(&QueryRequest::new(&q, 5)).unwrap();
+
+    std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, 2, v2_payload)).unwrap();
+    let reopened = Index::open(&dir).unwrap();
+    assert!(
+        !reopened.spec().compaction.background,
+        "v2 envelopes must default background compaction off"
+    );
+    let got = reopened.query(&QueryRequest::new(&q, 5)).unwrap();
+    assert_bit_identical("v2 spec", &got.neighbors, &want.neighbors);
+
+    std::fs::write(dir.join(SPEC_FILE), seal(&SPEC_MAGIC, 1, v1_payload)).unwrap();
+    let reopened = Index::open(&dir).unwrap();
+    assert!(!reopened.spec().f32_candidates, "legacy envelopes must default the tier off");
+    assert!(!reopened.spec().compaction.background);
+    assert_eq!(reopened.spec().divergence, DivergenceKind::ItakuraSaito);
     let got = reopened.query(&QueryRequest::new(&q, 5)).unwrap();
     assert_bit_identical("legacy spec", &got.neighbors, &want.neighbors);
     std::fs::remove_dir_all(&dir).unwrap();

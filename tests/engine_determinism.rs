@@ -143,7 +143,7 @@ fn baseline_backends_serve_batches_exactly() {
 #[test]
 fn delta_overlay_is_thread_count_invariant_and_snapshot_consistent() {
     let (data, queries) = hierarchical_workload(800, 64);
-    let mut index = Index::build(
+    let index = Index::build(
         &IndexSpec::brepartition(DivergenceKind::ItakuraSaito)
             .with_partitions(6)
             .with_leaf_capacity(16)

@@ -358,6 +358,289 @@ impl MethodSeed for Method {
     }
 }
 
+/// One applied mutation of the concurrent run, recorded in application
+/// order under the ledger lock (the concurrent analogue of the loadgen
+/// mutation log).
+enum Applied {
+    Insert { id: u32, row: Vec<f64> },
+    Delete { id: u32 },
+}
+
+/// N mutator threads race query batches against one shared `Index` with
+/// background compaction armed on an aggressive trigger. Mutations are
+/// applied under a ledger lock (so the ledger's order *is* the application
+/// order, exactly like `loadgen::run_open_loop_concurrent`); sampled
+/// queries pin the ledger version they executed under. Afterwards a fresh
+/// index replays the ledger serially and every sample must come back
+/// bit-identical in ids (distances within the oracle tolerance) — however
+/// the threads interleaved and however many epoch swaps the compactor
+/// performed mid-flight. Finishes with a save → open immediately after a
+/// compaction-triggering burst, so persistence during the
+/// compaction-requested state is exercised too.
+#[test]
+fn oracle_concurrent_mutators_match_serial_replay() {
+    use std::sync::Mutex;
+
+    let seed = seed_from_env();
+    let kind = DivergenceKind::ItakuraSaito;
+    let spec = spec_for(Method::BrePartition, kind)
+        .with_background_compaction(true)
+        .with_compaction_ratios(0.05, 0.05);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC04C);
+    let rows: Vec<Vec<f64>> = (0..INITIAL_POINTS).map(|_| random_row(&mut rng)).collect();
+    let data = DenseDataset::from_rows(&rows).unwrap();
+    let index = Index::build(&spec, &data).unwrap();
+
+    struct Ledger {
+        live: Vec<u32>,
+        dead: Vec<u32>,
+        log: Vec<Applied>,
+    }
+    let ledger = Mutex::new(Ledger {
+        live: (0..INITIAL_POINTS as u32).collect(),
+        dead: Vec::new(),
+        log: Vec::new(),
+    });
+    // (version, query, k, answered neighbors)
+    type Sample = (usize, Vec<f64>, usize, Vec<(u32, f64)>);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+    const MUTATORS: usize = 3;
+    const READERS: usize = 2;
+    const OPS_PER_MUTATOR: usize = 60;
+    const QUERIES_PER_READER: usize = 48;
+
+    std::thread::scope(|scope| {
+        for t in 0..MUTATORS {
+            let index = &index;
+            let ledger = &ledger;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0xA11CE + ((t as u64) << 20)));
+            scope.spawn(move || {
+                for _ in 0..OPS_PER_MUTATOR {
+                    match rng.gen_range(0..8u32) {
+                        0..=4 => {
+                            let row = random_row(&mut rng);
+                            let mut guard = ledger.lock().unwrap();
+                            let id = index.insert(&row).unwrap();
+                            guard.live.push(id.0);
+                            guard.log.push(Applied::Insert { id: id.0, row });
+                        }
+                        5..=6 => {
+                            let mut guard = ledger.lock().unwrap();
+                            if guard.live.len() <= 4 {
+                                continue;
+                            }
+                            let slot = rng.gen_range(0..guard.live.len());
+                            let id = guard.live.swap_remove(slot);
+                            assert!(
+                                index.delete(PointId(id)).unwrap(),
+                                "ledger said {id} was live"
+                            );
+                            guard.dead.push(id);
+                            guard.log.push(Applied::Delete { id });
+                        }
+                        // A dead or never-issued delete: must report false
+                        // and is deliberately *not* logged — the replay
+                        // below only works if these were true no-ops.
+                        _ => {
+                            let guard = ledger.lock().unwrap();
+                            let target = if guard.dead.is_empty() || rng.gen_range(0..2u32) == 0 {
+                                u32::MAX - rng.gen_range(0..512u32)
+                            } else {
+                                guard.dead[rng.gen_range(0..guard.dead.len())]
+                            };
+                            assert!(
+                                !index.delete(PointId(target)).unwrap(),
+                                "delete({target}) resurrected a dead id"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let index = &index;
+            let ledger = &ledger;
+            let samples = &samples;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0xBEAD + ((r as u64) << 20)));
+            scope.spawn(move || {
+                for i in 0..QUERIES_PER_READER {
+                    let query = random_row(&mut rng);
+                    let k = rng.gen_range(1..8usize);
+                    if i % 3 == 0 {
+                        // Sampled: hold the ledger closed so no mutation
+                        // lands between the version read and the query.
+                        let guard = ledger.lock().unwrap();
+                        let version = guard.log.len();
+                        let answer = index.query(&QueryRequest::new(&query, k)).unwrap().neighbors;
+                        drop(guard);
+                        let answer = answer.into_iter().map(|(id, d)| (id.0, d)).collect();
+                        samples.lock().unwrap().push((version, query, k, answer));
+                    } else {
+                        // Unsampled: no harness lock at all — these run
+                        // concurrently with mutations and epoch swaps.
+                        index.query(&QueryRequest::new(&query, k)).unwrap();
+                    }
+                }
+            });
+        }
+        // One explicit compactor kicker: request-and-wait folds while the
+        // mutators keep writing.
+        {
+            let index = &index;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    index.compact().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    assert!(
+        index.compactions() >= 1,
+        "the aggressive trigger plus explicit compacts must have folded at least once"
+    );
+
+    // Save immediately after a compaction-triggering burst — the worker
+    // may be mid-rebuild — then reopen; the reopened index must hold
+    // exactly the ledger's live set.
+    let ledger = ledger.into_inner().unwrap();
+    let mut index = index;
+    {
+        let mut burst_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0057);
+        for _ in 0..6 {
+            index.insert(&random_row(&mut burst_rng)).unwrap();
+        }
+        let dir = temp_root(Method::BrePartition, kind, seed).join("concurrent");
+        index.save(&dir).unwrap();
+        index = Index::open(&dir).unwrap();
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+        assert_eq!(index.len(), ledger.live.len() + 6, "live count after reopen");
+    }
+
+    // Serial replay: apply the ledger in order against a fresh
+    // single-threaded index (no background compactor) and demand every
+    // sample back, id-for-id.
+    let replay = Index::build(&spec_for(Method::BrePartition, kind), &data).unwrap();
+    let mut samples = samples.into_inner().unwrap();
+    samples.sort_by_key(|s| s.0);
+    let mut applied = 0usize;
+    for (version, query, k, answer) in &samples {
+        while applied < *version {
+            match &ledger.log[applied] {
+                Applied::Insert { id, row } => {
+                    assert_eq!(replay.insert(row).unwrap().0, *id, "replay id issue order");
+                }
+                Applied::Delete { id } => {
+                    assert!(replay.delete(PointId(*id)).unwrap(), "replay delete({id})");
+                }
+            }
+            applied += 1;
+        }
+        let want = replay.query(&QueryRequest::new(query, *k)).unwrap().neighbors;
+        let want_ids: Vec<u32> = want.iter().map(|(id, _)| id.0).collect();
+        let got_ids: Vec<u32> = answer.iter().map(|(id, _)| *id).collect();
+        assert_eq!(
+            got_ids, want_ids,
+            "sample at version {version} diverged from the serial replay"
+        );
+        for (rank, ((_, wd), (_, gd))) in want.iter().zip(answer.iter()).enumerate() {
+            assert!(
+                (gd - wd).abs() <= 1e-10 * (1.0 + wd.abs()),
+                "version {version} rank {rank}: concurrent {gd} vs replay {wd}"
+            );
+        }
+    }
+}
+
+/// Deleting a never-issued or already-dead id must not dirty the delta or
+/// reschedule work: after a fold, a barrage of dead deletes leaves the
+/// epoch, the compaction counter and the pending-write flag untouched, and
+/// an explicit `compact()` stays a no-op. Exercised through both the
+/// inline and the background compaction paths.
+#[test]
+fn idempotent_deletes_keep_compaction_a_noop() {
+    let seed = seed_from_env();
+    for background in [false, true] {
+        let kind = DivergenceKind::SquaredEuclidean;
+        let mut spec = spec_for(Method::BBTree, kind);
+        if background {
+            spec = spec.with_background_compaction(true);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1DE0);
+        let rows: Vec<Vec<f64>> = (0..INITIAL_POINTS).map(|_| random_row(&mut rng)).collect();
+        let data = DenseDataset::from_rows(&rows).unwrap();
+        let index = Index::build(&spec, &data).unwrap();
+        let ctx = if background { "background" } else { "inline" };
+
+        // A fresh index: a never-issued delete is a no-op and an explicit
+        // compact has nothing to do.
+        assert!(!index.delete(PointId(9_999)).unwrap());
+        assert!(!index.delta().has_pending_writes(), "{ctx}: dead delete dirtied the delta");
+        index.compact().unwrap();
+        assert_eq!(index.epoch(), 0, "{ctx}: no-op compact bumped the epoch");
+        assert_eq!(index.compactions(), 0);
+
+        // One real delete, folded.
+        assert!(index.delete(PointId(3)).unwrap());
+        index.compact().unwrap();
+        let epoch = index.epoch();
+        let folds = index.compactions();
+        assert_eq!(folds, 1, "{ctx}: the real tombstone must fold");
+
+        // Dead deletes (the folded id, plus never-issued ids) must change
+        // nothing, and compaction must stay a no-op.
+        for target in [3u32, 9_999, u32::MAX] {
+            assert!(!index.delete(PointId(target)).unwrap(), "{ctx}: delete({target})");
+        }
+        assert!(!index.delta().has_pending_writes(), "{ctx}: dead deletes dirtied the delta");
+        index.compact().unwrap();
+        assert_eq!(index.epoch(), epoch, "{ctx}: idempotent deletes rescheduled a fold");
+        assert_eq!(index.compactions(), folds, "{ctx}: compaction count moved");
+        assert_eq!(index.len(), INITIAL_POINTS - 1);
+    }
+}
+
+/// The overlay must *clamp* a caller's candidate budget to cover its
+/// tombstone over-fetch, not truncate below it: with more than `k`
+/// tombstones concentrated on the very best base results and a budget
+/// sized for `k`, all `k` live answers must still come back. (Before the
+/// clamp, the inner backend refined only `budget` candidates — all of
+/// them tombstoned — and returned fewer than `k` live results even though
+/// they exist.) The row layout makes VA-file lower bounds exact-ordered,
+/// so the oracle comparison is sound despite the budget.
+#[test]
+fn tombstoned_top_results_survive_a_tight_candidate_budget() {
+    const N: usize = 32;
+    const K: usize = 3;
+    const TOMBSTONES: usize = 5;
+    let kind = DivergenceKind::SquaredEuclidean;
+    // Strictly increasing distance from the query for ascending ids, with
+    // rows far enough apart that every point lands in its own
+    // quantization cell.
+    let rows: Vec<Vec<f64>> = (0..N).map(|i| vec![1.0 + i as f64; 4]).collect();
+    let data = DenseDataset::from_rows(&rows).unwrap();
+    let index = Index::build(&spec_for(Method::VaFile, kind), &data).unwrap();
+    let query = vec![1.0; 4];
+
+    // Tombstone the TOMBSTONES nearest points — more than k, all at the
+    // top of the ranking.
+    for id in 0..TOMBSTONES as u32 {
+        assert!(index.delete(PointId(id)).unwrap());
+    }
+
+    let request = QueryRequest::new(&query, K).with_candidate_budget(K);
+    let got = index.query(&request).unwrap().neighbors;
+    let got_ids: Vec<u32> = got.iter().map(|(id, _)| id.0).collect();
+    let want_ids: Vec<u32> = (TOMBSTONES as u32..(TOMBSTONES + K) as u32).collect();
+    assert_eq!(
+        got_ids, want_ids,
+        "the k best live points must survive the tombstone over-fetch under a tight budget"
+    );
+    assert_eq!(got.len(), K, "budget clamping must never truncate below k");
+}
+
 #[test]
 fn oracle_all_methods_and_kinds() {
     let seed = seed_from_env();

@@ -179,7 +179,7 @@ fn delta_state_roundtrips_for_all_four_methods() {
             .with_partitions(4)
             .with_leaf_capacity(16)
             .with_page_size(4096);
-        let mut index = Index::build(&spec, &data).unwrap();
+        let index = Index::build(&spec, &data).unwrap();
 
         // Writes: 12 inserts derived from (but distinct from) data rows,
         // then tombstones on two backend points and two delta rows.
@@ -222,7 +222,7 @@ fn delta_state_roundtrips_for_all_four_methods() {
 #[test]
 fn compacted_id_mapping_roundtrips() {
     let (data, queries) = hierarchical_workload(400, 16);
-    let mut index = Index::build(
+    let index = Index::build(
         &IndexSpec::bbtree(DivergenceKind::ItakuraSaito)
             .with_leaf_capacity(16)
             .with_page_size(4096),
@@ -261,7 +261,7 @@ fn compacted_id_mapping_roundtrips() {
 #[test]
 fn corrupted_or_truncated_delta_log_is_rejected_descriptively() {
     let (data, _) = hierarchical_workload(300, 4);
-    let mut index = Index::build(
+    let index = Index::build(
         &IndexSpec::bbtree(DivergenceKind::ItakuraSaito)
             .with_leaf_capacity(16)
             .with_page_size(4096),
@@ -322,7 +322,7 @@ fn sharded_directory_roundtrips_and_rejects_tampering() {
             .with_page_size(4096),
         3,
     );
-    let mut index = ShardedIndex::build(&spec, &data).unwrap();
+    let index = ShardedIndex::build(&spec, &data).unwrap();
     for i in 0..9usize {
         let row: Vec<f64> = data.row(i * 31 % data.len()).iter().map(|v| v * 1.04 + 0.1).collect();
         index.insert(&row).unwrap();

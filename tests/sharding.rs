@@ -79,8 +79,8 @@ fn capacity_mode_is_bit_identical_to_unsharded_for_every_exact_pair() {
                 continue; // BP/ABP over GI, pinned by the oracle suite
             }
             let label = format!("{}/{}", method.short_name(), kind.short_name());
-            let mut plain = Index::build(&base, &data).unwrap();
-            let mut sharded = ShardedIndex::build(&ShardSpec::capacity(base, 3), &data).unwrap();
+            let plain = Index::build(&base, &data).unwrap();
+            let sharded = ShardedIndex::build(&ShardSpec::capacity(base, 3), &data).unwrap();
             assert_eq!(sharded.len(), plain.len(), "{label}: build size");
 
             // Identical mutations on both sides: inserts keep issuing the
@@ -185,7 +185,7 @@ fn forest_mode_merging_never_loses_recall_and_routes_writes_to_all_replicas() {
 
     // Writes hit every replica: an insert is immediately its own 1-NN, a
     // deleted point never resurfaces from a stale replica.
-    let mut forest = forest;
+    let forest = forest;
     let fresh: Vec<f64> = data.row(0).iter().map(|v| v * 1.01 + 0.05).collect();
     let id = forest.insert(&fresh).unwrap();
     assert_eq!(id.0 as usize, data.len());
@@ -303,6 +303,67 @@ fn shard_fanout_splits_one_thread_budget_instead_of_multiplying_it() {
         0
     )
     .is_err());
+}
+
+/// Regression: deleting every point homed on one capacity shard must not
+/// kill the sharded index. The emptied shard *parks* — `compact()`
+/// succeeds, queries keep serving bit-identically from the surviving
+/// shards, save → open round-trips the parked shard, and a later insert
+/// routed there revives it. (Earlier releases aborted the whole sharded
+/// compact with `EmptyDataset` as soon as any shard's live set hit zero.)
+#[test]
+fn capacity_shard_emptied_by_deletes_parks_and_revives() {
+    const N: u32 = 48;
+    let data_rows = rows(N as usize, 7);
+    let data = DenseDataset::from_rows(&data_rows).unwrap();
+    let base = spec_for(Method::BBTree, DivergenceKind::SquaredEuclidean);
+    let sspec = ShardSpec::capacity(base, 3);
+    let sharded = ShardedIndex::build(&sspec, &data).unwrap();
+    // An unsharded twin mutated identically supplies the ground truth.
+    let plain = Index::build(&base, &data).unwrap();
+
+    // Delete the entire slice homed on shard 0.
+    let victims: Vec<u32> = (0..N).filter(|id| sspec.route(PointId(*id)) == 0).collect();
+    assert!(!victims.is_empty(), "the salt routed nothing to shard 0; adjust the dataset");
+    for id in &victims {
+        assert!(sharded.delete(PointId(*id)).unwrap(), "victim {id} was live");
+        assert!(plain.delete(PointId(*id)).unwrap());
+    }
+    assert_eq!(sharded.len(), (N as usize) - victims.len());
+
+    // Compacting with a fully-emptied shard parks it instead of failing.
+    sharded.compact().unwrap();
+
+    // The surviving shards keep serving, bit-identical to the twin.
+    let queries = rows(8, 23);
+    for (qi, q) in queries.iter().enumerate() {
+        let got = sharded.query(&QueryRequest::new(q, 5)).unwrap();
+        let want = plain.query(&QueryRequest::new(q, 5)).unwrap();
+        assert_bit_identical(&format!("parked query {qi}"), &got.neighbors, &want.neighbors);
+    }
+
+    // The parked shard survives a save → open cycle.
+    let dir = temp_dir("parked-shard");
+    sharded.save(&dir).unwrap();
+    let reopened = ShardedIndex::open(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_eq!(reopened.len(), sharded.len(), "reopened live size");
+
+    // Reinsert until an issued id routes back to shard 0: the parked
+    // shard revives and serves its new point (distance 0 ⇒ its own 1-NN).
+    let mut fresh_rows = rows(64, 999).into_iter();
+    let mut next = N;
+    loop {
+        let row = fresh_rows.next().expect("64 inserts never routed to shard 0");
+        let id = reopened.insert(&row).unwrap();
+        assert_eq!(id.0, next, "global ids stay monotonic across the parked epoch");
+        next += 1;
+        if sspec.route(id) == 0 {
+            let hit = reopened.query(&QueryRequest::new(&row, 1)).unwrap();
+            assert_eq!(hit.neighbors[0].0, id, "the revived shard must serve its new point");
+            break;
+        }
+    }
 }
 
 /// Capacity-mode build rejects a shard count the dataset cannot populate,
